@@ -1,0 +1,362 @@
+//! Memory agents and the lock-step multi-agent runner.
+//!
+//! The PRACLeak experiments follow Ramulator2's trace mode: each actor
+//! (victim, attacker, trojan, spy) is a stream of *dependent* memory accesses
+//! — the next access is only issued once the previous one has completed, so
+//! every access's latency is directly observable by the actor, exactly the
+//! measurement a real attacker makes with a timed pointer chase.
+//!
+//! [`MultiAgentRunner`] multiplexes several agents onto one
+//! [`MemoryController`]: each tick it lets every idle agent enqueue its next
+//! access, advances the controller, and routes completions (with their
+//! latencies) back to the owning agent.
+
+use memctrl::controller::MemoryController;
+use memctrl::request::MemoryRequest;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an agent within a [`MultiAgentRunner`].
+pub type AgentId = u32;
+
+/// One recorded access of an agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordedAccess {
+    /// Tick at which the access was enqueued.
+    pub issue_tick: u64,
+    /// Tick at which the data returned.
+    pub completion_tick: u64,
+    /// Physical address accessed.
+    pub address: u64,
+}
+
+impl RecordedAccess {
+    /// Observed latency in ticks.
+    #[must_use]
+    pub fn latency_ticks(&self) -> u64 {
+        self.completion_tick.saturating_sub(self.issue_tick)
+    }
+
+    /// Observed latency in nanoseconds.
+    #[must_use]
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ticks() as f64 * 0.25
+    }
+}
+
+/// What an agent wants to do when asked for its next access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentAction {
+    /// Issue a read to the given physical address.
+    Access(u64),
+    /// Do nothing this tick (the agent is waiting for a point in time).
+    Idle,
+    /// The agent has finished its script.
+    Done,
+}
+
+/// An actor issuing serialized (dependent) memory accesses.
+pub trait MemoryAgent: std::fmt::Debug {
+    /// Called whenever the agent has no outstanding access.
+    fn next_action(&mut self, now: u64) -> AgentAction;
+
+    /// Called when the agent's outstanding access completes.
+    fn on_completion(&mut self, access: RecordedAccess);
+
+    /// `true` once the agent has nothing further to do.
+    fn is_done(&self) -> bool;
+}
+
+/// A scripted agent that walks a fixed address list (optionally in a loop),
+/// recording the latency of every access.
+#[derive(Debug, Clone)]
+pub struct SerializedAccessAgent {
+    addresses: Vec<u64>,
+    position: usize,
+    remaining_accesses: u64,
+    /// Delay (in ticks) inserted between a completion and the next issue.
+    think_time: u64,
+    earliest_next_issue: u64,
+    /// Recorded accesses, in completion order.
+    pub history: Vec<RecordedAccess>,
+}
+
+impl SerializedAccessAgent {
+    /// Creates an agent that performs `total_accesses` accesses round-robin
+    /// over `addresses`.
+    #[must_use]
+    pub fn new(addresses: Vec<u64>, total_accesses: u64) -> Self {
+        Self {
+            addresses,
+            position: 0,
+            remaining_accesses: total_accesses,
+            think_time: 0,
+            earliest_next_issue: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Adds a fixed think time between consecutive accesses.
+    #[must_use]
+    pub fn with_think_time(mut self, ticks: u64) -> Self {
+        self.think_time = ticks;
+        self
+    }
+
+    /// Delays the agent's first access until `tick`.
+    #[must_use]
+    pub fn starting_at(mut self, tick: u64) -> Self {
+        self.earliest_next_issue = tick;
+        self
+    }
+
+    /// Latencies (in nanoseconds) of all completed accesses, in order.
+    #[must_use]
+    pub fn latencies_ns(&self) -> Vec<f64> {
+        self.history.iter().map(RecordedAccess::latency_ns).collect()
+    }
+}
+
+impl MemoryAgent for SerializedAccessAgent {
+    fn next_action(&mut self, now: u64) -> AgentAction {
+        if self.remaining_accesses == 0 || self.addresses.is_empty() {
+            return AgentAction::Done;
+        }
+        if now < self.earliest_next_issue {
+            return AgentAction::Idle;
+        }
+        let addr = self.addresses[self.position % self.addresses.len()];
+        self.position += 1;
+        self.remaining_accesses -= 1;
+        AgentAction::Access(addr)
+    }
+
+    fn on_completion(&mut self, access: RecordedAccess) {
+        self.earliest_next_issue = access.completion_tick + self.think_time;
+        self.history.push(access);
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining_accesses == 0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    agent: AgentId,
+    issue_tick: u64,
+    address: u64,
+}
+
+/// Runs several agents against one memory controller in lock step.
+#[derive(Debug)]
+pub struct MultiAgentRunner {
+    controller: MemoryController,
+    now: u64,
+    next_request_id: u64,
+}
+
+impl MultiAgentRunner {
+    /// Wraps a controller, starting the shared clock at tick 0.
+    #[must_use]
+    pub fn new(controller: MemoryController) -> Self {
+        Self {
+            controller,
+            now: 0,
+            next_request_id: 0,
+        }
+    }
+
+    /// The wrapped controller (read-only).
+    #[must_use]
+    pub fn controller(&self) -> &MemoryController {
+        &self.controller
+    }
+
+    /// The current simulation tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs until every agent reports done (or `max_ticks` elapse).  Returns
+    /// the tick at which the run stopped.
+    pub fn run(&mut self, agents: &mut [&mut dyn MemoryAgent], max_ticks: u64) -> u64 {
+        let deadline = self.now + max_ticks;
+        let mut outstanding: Vec<Option<Outstanding>> = vec![None; agents.len()];
+        while self.now < deadline {
+            if agents.iter().all(|a| a.is_done())
+                && outstanding.iter().all(Option::is_none)
+            {
+                break;
+            }
+            // Let every idle agent enqueue its next access.
+            for (idx, agent) in agents.iter_mut().enumerate() {
+                if outstanding[idx].is_some() || agent.is_done() {
+                    continue;
+                }
+                if !self.controller.can_accept() {
+                    break;
+                }
+                match agent.next_action(self.now) {
+                    AgentAction::Access(address) => {
+                        let id = self.next_request_id;
+                        self.next_request_id += 1;
+                        let accepted = self.controller.enqueue(MemoryRequest::read(
+                            id,
+                            address,
+                            idx as u32,
+                            self.now,
+                        ));
+                        debug_assert!(accepted, "queue admission was checked above");
+                        outstanding[idx] = Some(Outstanding {
+                            agent: idx as AgentId,
+                            issue_tick: self.now,
+                            address,
+                        });
+                    }
+                    AgentAction::Idle | AgentAction::Done => {}
+                }
+            }
+            // Advance the controller one tick and deliver completions.
+            for completion in self.controller.tick(self.now) {
+                let agent_idx = completion.core as usize;
+                if let Some(Some(out)) = outstanding.get(agent_idx) {
+                    let record = RecordedAccess {
+                        issue_tick: out.issue_tick,
+                        completion_tick: completion.completion_tick,
+                        address: out.address,
+                    };
+                    debug_assert_eq!(out.agent as usize, agent_idx);
+                    agents[agent_idx].on_completion(record);
+                    outstanding[agent_idx] = None;
+                }
+            }
+            self.now += 1;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::device::DramDeviceConfig;
+    use memctrl::controller::{ControllerConfig, PagePolicy};
+    use memctrl::mapping::MappingKind;
+    use prac_core::config::PracConfig;
+
+    fn controller(nbo: u32) -> MemoryController {
+        let prac = PracConfig::builder()
+            .rowhammer_threshold(nbo)
+            .back_off_threshold(nbo)
+            .build();
+        let device = DramDeviceConfig::tiny_for_tests(prac);
+        let config = ControllerConfig {
+            mapping: MappingKind::RowInterleaved,
+            page_policy: PagePolicy::Closed,
+            refresh_enabled: false,
+            ..ControllerConfig::default()
+        };
+        MemoryController::new(device, config)
+    }
+
+    fn address_of(ctrl: &MemoryController, bank_group: u32, row: u32, col: u32) -> u64 {
+        let org = ctrl.device().config().organization;
+        ctrl.encode_address(&dram_sim::org::DramAddress::new(&org, 0, bank_group, 0, row, col))
+    }
+
+    #[test]
+    fn single_agent_completes_all_accesses() {
+        let ctrl = controller(1024);
+        let addr = address_of(&ctrl, 0, 3, 0);
+        let mut agent = SerializedAccessAgent::new(vec![addr], 10);
+        let mut runner = MultiAgentRunner::new(ctrl);
+        runner.run(&mut [&mut agent], 1_000_000);
+        assert!(agent.is_done());
+        assert_eq!(agent.history.len(), 10);
+        for access in &agent.history {
+            assert!(access.latency_ticks() > 0);
+            assert_eq!(access.address, addr);
+        }
+    }
+
+    #[test]
+    fn accesses_are_serialized_per_agent() {
+        let ctrl = controller(1024);
+        let addr = address_of(&ctrl, 0, 3, 0);
+        let mut agent = SerializedAccessAgent::new(vec![addr], 5);
+        let mut runner = MultiAgentRunner::new(ctrl);
+        runner.run(&mut [&mut agent], 1_000_000);
+        for pair in agent.history.windows(2) {
+            assert!(
+                pair[1].issue_tick >= pair[0].completion_tick,
+                "next access must only issue after the previous completes"
+            );
+        }
+    }
+
+    #[test]
+    fn think_time_spaces_accesses() {
+        let ctrl = controller(1024);
+        let addr = address_of(&ctrl, 0, 3, 0);
+        let mut agent = SerializedAccessAgent::new(vec![addr], 4).with_think_time(1_000);
+        let mut runner = MultiAgentRunner::new(ctrl);
+        runner.run(&mut [&mut agent], 1_000_000);
+        for pair in agent.history.windows(2) {
+            assert!(pair[1].issue_tick >= pair[0].completion_tick + 1_000);
+        }
+    }
+
+    #[test]
+    fn two_agents_in_different_banks_both_make_progress() {
+        let ctrl = controller(1024);
+        let a0 = address_of(&ctrl, 0, 1, 0);
+        let a1 = address_of(&ctrl, 1, 1, 0);
+        let mut spy = SerializedAccessAgent::new(vec![a0], 50);
+        let mut trojan = SerializedAccessAgent::new(vec![a1], 50);
+        let mut runner = MultiAgentRunner::new(ctrl);
+        runner.run(&mut [&mut spy, &mut trojan], 5_000_000);
+        assert!(spy.is_done());
+        assert!(trojan.is_done());
+        assert_eq!(spy.history.len(), 50);
+        assert_eq!(trojan.history.len(), 50);
+    }
+
+    #[test]
+    fn closed_page_policy_makes_every_access_an_activation() {
+        let ctrl = controller(4096);
+        let addr = address_of(&ctrl, 0, 5, 0);
+        let mut agent = SerializedAccessAgent::new(vec![addr], 20);
+        let mut runner = MultiAgentRunner::new(ctrl);
+        runner.run(&mut [&mut agent], 1_000_000);
+        // Under the closed-page policy each serialized access re-activates
+        // the row, so the PRAC counter tracks the access count.
+        let decoded = runner.controller().decode_address(addr);
+        let org = runner.controller().device().config().organization;
+        let bank = runner.controller().device().bank(decoded.flat_bank(&org));
+        assert_eq!(bank.counter(decoded.row), 20);
+    }
+
+    #[test]
+    fn runner_respects_max_ticks() {
+        let ctrl = controller(1024);
+        let addr = address_of(&ctrl, 0, 3, 0);
+        let mut agent = SerializedAccessAgent::new(vec![addr], u64::MAX);
+        let mut runner = MultiAgentRunner::new(ctrl);
+        let stopped_at = runner.run(&mut [&mut agent], 10_000);
+        assert!(stopped_at <= 10_000);
+        assert!(!agent.is_done());
+        assert!(!agent.history.is_empty());
+    }
+
+    #[test]
+    fn starting_at_delays_first_access() {
+        let ctrl = controller(1024);
+        let addr = address_of(&ctrl, 0, 3, 0);
+        let mut agent = SerializedAccessAgent::new(vec![addr], 1).starting_at(5_000);
+        let mut runner = MultiAgentRunner::new(ctrl);
+        runner.run(&mut [&mut agent], 100_000);
+        assert_eq!(agent.history.len(), 1);
+        assert!(agent.history[0].issue_tick >= 5_000);
+    }
+}

@@ -1,0 +1,41 @@
+//! # pracleak
+//!
+//! The **PRACLeak** attacks: covert and side channels that exploit the timing
+//! variations introduced by PRAC's Alert Back-Off (ABO) protocol and Refresh
+//! Management (RFM) commands, plus the experiment drivers that reproduce the
+//! paper's attack figures.
+//!
+//! * [`aes`] — a software AES-128 T-table implementation (the victim of the
+//!   side-channel attack), with helpers exposing the first-round T-table
+//!   access indices that the attack observes.
+//! * [`agents`] — memory "agents" (attacker, victim, trojan, spy) that issue
+//!   serialized dependent requests to the [`memctrl::MemoryController`] and
+//!   record per-access latencies, plus the lock-step multi-agent runner.
+//! * [`latency`] — latency-spike detection used by every receiver.
+//! * [`characterize`] — the Figure 3 experiment: attacker-observed latency
+//!   timelines with and without a concurrent ABO, across PRAC levels.
+//! * [`covert`] — the activity-based and activation-count-based covert
+//!   channels (Table 2): transmission period, bitrate and error rate.
+//! * [`side_channel`] — the AES T-table side channel (Figures 4, 5 and 9):
+//!   chosen-plaintext key-nibble recovery through ABO-triggering rows, with
+//!   and without the TPRAC defense.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aes;
+pub mod agents;
+pub mod characterize;
+pub mod covert;
+pub mod latency;
+pub mod setup;
+pub mod side_channel;
+
+pub use aes::{Aes128TTable, first_round_t0_lines};
+pub use agents::{AgentId, MultiAgentRunner, SerializedAccessAgent};
+pub use characterize::{AboCharacterization, LatencySample};
+pub use covert::{CovertChannelKind, CovertChannelResult, run_covert_channel};
+pub use latency::SpikeDetector;
+pub use setup::AttackSetup;
+pub use side_channel::{SideChannelExperiment, SideChannelOutcome};

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the hot data structures and kernels of the
+//! simulation stack: mitigation-queue updates, DRAM command issue, address
+//! mapping, scheduler picks, the analytical TB-Window solver and the AES
+//! T-table victim.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_sim::command::DramCommand;
+use dram_sim::device::{DramDevice, DramDeviceConfig};
+use dram_sim::org::DramAddress;
+use memctrl::mapping::{AddressMapping, BankStripedMapping, MopMapping};
+use prac_core::config::PracConfig;
+use prac_core::queue::{MitigationQueue, SingleEntryQueue};
+use prac_core::security::{CounterResetPolicy, SecurityAnalysis};
+use prac_core::timing::DramTimingSummary;
+use pracleak::aes::Aes128TTable;
+
+fn bench_mitigation_queue(c: &mut Criterion) {
+    c.bench_function("single_entry_queue_observe_1000", |b| {
+        b.iter(|| {
+            let mut queue = SingleEntryQueue::new();
+            for i in 0u32..1000 {
+                queue.observe_activation(black_box(i % 97), black_box(i));
+            }
+            black_box(queue.pop_for_mitigation())
+        });
+    });
+}
+
+fn bench_dram_activate_precharge(c: &mut Criterion) {
+    let prac = PracConfig::builder().rowhammer_threshold(1 << 20).build();
+    let config = DramDeviceConfig {
+        prac,
+        ..DramDeviceConfig::paper_default()
+    };
+    c.bench_function("dram_activate_precharge_cycle_x100", |b| {
+        b.iter(|| {
+            let mut device = DramDevice::new(config.clone());
+            let org = device.config().organization;
+            let timing = device.config().timing;
+            let mut now = 0u64;
+            for i in 0..100u32 {
+                let addr = DramAddress::new(&org, 0, 0, 0, i % 1024, 0);
+                device.issue(DramCommand::Activate(addr), now).unwrap();
+                now += timing.t_ras;
+                device.issue(DramCommand::Precharge(addr), now).unwrap();
+                now += timing.t_rc - timing.t_ras;
+            }
+            black_box(device.stats().activations)
+        });
+    });
+}
+
+fn bench_address_mapping(c: &mut Criterion) {
+    let org = dram_sim::org::DramOrganization::ddr5_32gb_quad_rank();
+    let mop = MopMapping::new(org);
+    let striped = BankStripedMapping::new(org);
+    c.bench_function("mop_mapping_decode_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc ^= mop.decode(black_box(i * 4096 + 64)).row as u64;
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("bank_striped_decode_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc ^= striped.decode(black_box(i * 4096 + 64)).row as u64;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_tb_window_solver(c: &mut Criterion) {
+    let timing = DramTimingSummary::ddr5_8000b();
+    c.bench_function("tb_window_solver_nrh1024", |b| {
+        b.iter(|| {
+            let analysis = SecurityAnalysis::with_back_off_threshold(
+                black_box(1024),
+                &timing,
+                CounterResetPolicy::ResetEveryTrefw,
+            );
+            black_box(analysis.solve_tb_window().unwrap().tb_window_trefi)
+        });
+    });
+}
+
+fn bench_aes_encrypt(c: &mut Criterion) {
+    let aes = Aes128TTable::new(&[7u8; 16]);
+    c.bench_function("aes_ttable_encrypt_block", |b| {
+        b.iter(|| black_box(aes.encrypt_block(black_box(&[42u8; 16]))));
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_mitigation_queue,
+              bench_dram_activate_precharge,
+              bench_address_mapping,
+              bench_tb_window_solver,
+              bench_aes_encrypt
+}
+criterion_main!(benches);

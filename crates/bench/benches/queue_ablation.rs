@@ -1,0 +1,84 @@
+//! Ablation of the in-DRAM mitigation-queue designs (the design choice called
+//! out in Section 4.1): update/drain cost of the single-entry frequency queue
+//! versus a FIFO and the idealised full-priority queue, plus the end-to-end
+//! effect of the queue choice on how quickly a hammered row is mitigated.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dram_sim::command::DramCommand;
+use dram_sim::device::{DramDevice, DramDeviceConfig};
+use dram_sim::org::DramAddress;
+use prac_core::config::PracConfig;
+use prac_core::queue::QueueKind;
+
+fn bench_queue_update_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_update_drain");
+    for (label, kind) in [
+        ("single_entry", QueueKind::SingleEntryFrequency),
+        ("fifo16", QueueKind::Fifo { capacity: 16 }),
+        ("priority", QueueKind::Priority),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut queue = kind.instantiate();
+                for i in 0u32..2_000 {
+                    queue.observe_activation(black_box(i % 499), black_box(i / 499 + 1));
+                    if i % 75 == 0 {
+                        black_box(queue.pop_for_mitigation());
+                    }
+                }
+                black_box(queue.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_device_with_queue_kind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_rfm_with_queue");
+    for (label, kind) in [
+        ("single_entry", QueueKind::SingleEntryFrequency),
+        ("fifo16", QueueKind::Fifo { capacity: 16 }),
+        ("priority", QueueKind::Priority),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            let prac = PracConfig::builder().rowhammer_threshold(1 << 20).build();
+            let config = DramDeviceConfig {
+                prac,
+                queue_kind: kind,
+                ..DramDeviceConfig::paper_default()
+            };
+            b.iter(|| {
+                let mut device = DramDevice::new(config.clone());
+                let org = device.config().organization;
+                let timing = device.config().timing;
+                let mut now = 0u64;
+                for i in 0..200u32 {
+                    let addr = DramAddress::new(&org, 0, 0, 0, i % 64, 0);
+                    device.issue(DramCommand::Activate(addr), now).unwrap();
+                    now += timing.t_ras;
+                    device.issue(DramCommand::Precharge(addr), now).unwrap();
+                    now += timing.t_rc - timing.t_ras;
+                    if i % 75 == 74 {
+                        now = device.issue(DramCommand::RfmAllBank, now).unwrap();
+                    }
+                }
+                black_box(device.stats().rows_mitigated_by_rfm)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_queue_update_drain, bench_device_with_queue_kind
+}
+criterion_main!(benches);

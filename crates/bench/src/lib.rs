@@ -1,0 +1,271 @@
+//! Shared harness code for the benchmark binaries that regenerate every table
+//! and figure of the paper's evaluation.
+//!
+//! Each `src/bin/*.rs` binary is a thin wrapper: it parses the common command
+//! line (`--full` for the complete sweep, `--instr N` to override the
+//! per-core instruction budget), calls into the experiment drivers of the
+//! component crates, and prints the same rows/series the paper reports.
+//! The heavier shared logic — running a (workload × mitigation) performance
+//! matrix in parallel and aggregating it by memory-intensity bucket or
+//! benchmark group — lives here so the binaries stay declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use system_sim::{parallel_map, run_workload, ExperimentConfig, MitigationSetup, SystemResult};
+use workloads::{full_suite, quick_suite, MemoryIntensity, WorkloadGroup, WorkloadSpec};
+
+/// Common command-line options shared by every benchmark binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Run the full workload suite / full sweep instead of the quick subset.
+    pub full: bool,
+    /// Instructions per core for full-system runs.
+    pub instructions_per_core: u64,
+    /// Worker threads for parallel sweeps.
+    pub workers: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            full: false,
+            instructions_per_core: 60_000,
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl BenchOptions {
+    /// Parses the common flags from `std::env::args`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut options = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => {
+                    options.full = true;
+                    options.instructions_per_core = options.instructions_per_core.max(150_000);
+                }
+                "--instr" => {
+                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        options.instructions_per_core = value;
+                        i += 1;
+                    }
+                }
+                "--workers" => {
+                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        options.workers = value;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        options
+    }
+
+    /// The workload suite selected by the options.
+    #[must_use]
+    pub fn suite(&self) -> Vec<WorkloadSpec> {
+        if self.full {
+            full_suite()
+        } else {
+            quick_suite()
+        }
+    }
+}
+
+/// One cell of a performance matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Memory-intensity bucket of the workload.
+    pub intensity: MemoryIntensity,
+    /// Benchmark-suite grouping of the workload.
+    pub group: WorkloadGroup,
+    /// Label of the mitigation configuration.
+    pub setup_label: String,
+    /// Performance normalised to the no-ABO baseline.
+    pub normalized_performance: f64,
+    /// Protected-run result (for RFM counts, energy, …).
+    pub protected: SystemResult,
+    /// Baseline-run result.
+    pub baseline: SystemResult,
+}
+
+/// Runs every workload of `specs` under every configuration of `configs`
+/// (sharing one baseline run per workload) in parallel and returns the flat
+/// list of matrix cells.
+#[must_use]
+pub fn run_performance_matrix(
+    specs: &[WorkloadSpec],
+    configs: &[(String, ExperimentConfig)],
+    options: &BenchOptions,
+    seed: u64,
+) -> Vec<PerfPoint> {
+    let tasks: Vec<WorkloadSpec> = specs.to_vec();
+    let per_workload = parallel_map(tasks, options.workers, |spec| {
+        let baseline_config = configs
+            .first()
+            .map(|(_, c)| ExperimentConfig {
+                setup: MitigationSetup::BaselineNoAbo,
+                ..c.clone()
+            })
+            .unwrap_or_else(|| {
+                ExperimentConfig::new(MitigationSetup::BaselineNoAbo, options.instructions_per_core)
+            });
+        let baseline = run_workload(&baseline_config, &spec.workload, seed);
+        let mut points = Vec::with_capacity(configs.len());
+        for (label, config) in configs {
+            let protected = run_workload(config, &spec.workload, seed);
+            let normalized = if baseline.total_ipc() > 0.0 {
+                protected.total_ipc() / baseline.total_ipc()
+            } else {
+                0.0
+            };
+            points.push(PerfPoint {
+                workload: spec.workload.name.clone(),
+                intensity: spec.intensity,
+                group: spec.group,
+                setup_label: label.clone(),
+                normalized_performance: normalized,
+                protected,
+                baseline: baseline.clone(),
+            });
+        }
+        points
+    });
+    per_workload.into_iter().flatten().collect()
+}
+
+/// Mean normalised performance of the points matching `label`.
+#[must_use]
+pub fn mean_normalized(points: &[PerfPoint], label: &str) -> f64 {
+    let selected: Vec<f64> = points
+        .iter()
+        .filter(|p| p.setup_label == label)
+        .map(|p| p.normalized_performance)
+        .collect();
+    if selected.is_empty() {
+        0.0
+    } else {
+        selected.iter().sum::<f64>() / selected.len() as f64
+    }
+}
+
+/// Mean normalised performance of the points matching `label` within one
+/// memory-intensity bucket.
+#[must_use]
+pub fn mean_normalized_by_intensity(
+    points: &[PerfPoint],
+    label: &str,
+    intensity: MemoryIntensity,
+) -> f64 {
+    let selected: Vec<f64> = points
+        .iter()
+        .filter(|p| p.setup_label == label && p.intensity == intensity)
+        .map(|p| p.normalized_performance)
+        .collect();
+    if selected.is_empty() {
+        0.0
+    } else {
+        selected.iter().sum::<f64>() / selected.len() as f64
+    }
+}
+
+/// Mean normalised performance of the points matching `label` within one
+/// benchmark group.
+#[must_use]
+pub fn mean_normalized_by_group(points: &[PerfPoint], label: &str, group: WorkloadGroup) -> f64 {
+    let selected: Vec<f64> = points
+        .iter()
+        .filter(|p| p.setup_label == label && p.group == group)
+        .map(|p| p.normalized_performance)
+        .collect();
+    if selected.is_empty() {
+        0.0
+    } else {
+        selected.iter().sum::<f64>() / selected.len() as f64
+    }
+}
+
+/// Prints a per-workload performance table followed by per-bucket and overall
+/// means, in the layout used by the Figure 10 style plots.
+pub fn print_performance_table(points: &[PerfPoint], labels: &[String]) {
+    print!("{:<16} {:>9}", "workload", "intensity");
+    for label in labels {
+        print!(" {:>28}", label);
+    }
+    println!();
+    let mut workloads: Vec<(String, MemoryIntensity)> = points
+        .iter()
+        .map(|p| (p.workload.clone(), p.intensity))
+        .collect();
+    workloads.dedup();
+    for (workload, intensity) in &workloads {
+        print!("{:<16} {:>9}", workload, format!("{intensity:?}"));
+        for label in labels {
+            let value = points
+                .iter()
+                .find(|p| &p.workload == workload && &p.setup_label == label)
+                .map_or(f64::NAN, |p| p.normalized_performance);
+            print!(" {:>28.3}", value);
+        }
+        println!();
+    }
+    println!();
+    for intensity in [MemoryIntensity::High, MemoryIntensity::Medium, MemoryIntensity::Low] {
+        print!("{:<26}", format!("mean ({intensity:?})"));
+        for label in labels {
+            print!(" {:>28.3}", mean_normalized_by_intensity(points, label, intensity));
+        }
+        println!();
+    }
+    print!("{:<26}", "mean (all workloads)");
+    for label in labels {
+        print!(" {:>28.3}", mean_normalized(points, label));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::quick_suite;
+
+    #[test]
+    fn options_default_to_quick_suite() {
+        let options = BenchOptions::default();
+        assert!(!options.full);
+        assert_eq!(options.suite().len(), quick_suite().len());
+    }
+
+    #[test]
+    fn matrix_runs_and_aggregates() {
+        let options = BenchOptions {
+            full: false,
+            instructions_per_core: 4_000,
+            workers: 4,
+        };
+        let suite: Vec<WorkloadSpec> = options.suite().into_iter().take(2).collect();
+        let configs = vec![(
+            "ABO-Only".to_string(),
+            ExperimentConfig::new(MitigationSetup::AboOnly, options.instructions_per_core)
+                .with_cores(2),
+        )];
+        let points = run_performance_matrix(&suite, &configs, &options, 5);
+        assert_eq!(points.len(), 2);
+        let mean = mean_normalized(&points, "ABO-Only");
+        assert!(mean > 0.5 && mean <= 1.05, "mean normalised perf = {mean}");
+    }
+
+    #[test]
+    fn mean_of_missing_label_is_zero() {
+        assert_eq!(mean_normalized(&[], "nope"), 0.0);
+    }
+}

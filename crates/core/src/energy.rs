@@ -1,0 +1,249 @@
+//! Energy-overhead model (Table 5 of the paper).
+//!
+//! TPRAC's Timing-Based RFMs add energy in two ways:
+//!
+//! 1. **Mitigation energy** — every TB-RFM triggers the mitigation of the most
+//!    activated row in each bank's queue: four victim-row refreshes plus one
+//!    aggressor activation to reset its counter, i.e. five activation-equivalents
+//!    per bank per TB-RFM.
+//! 2. **Non-mitigation energy** — TB-RFMs block the channel and lengthen
+//!    execution time, so background/static energy grows proportionally to the
+//!    slowdown.
+//!
+//! [`EnergyModel`] turns simulation statistics (activation counts, RFM counts,
+//! execution times) into the same three columns Table 5 reports: mitigation
+//! overhead, non-mitigation overhead and total overhead, each relative to the
+//! baseline system's energy.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation DRAM energy constants, in arbitrary consistent units
+/// (values below are picojoule-scale figures typical of DDR5 power models;
+/// only ratios matter for the reported overheads).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one row activation + precharge pair.
+    pub activation_energy: f64,
+    /// Energy of one read or write burst.
+    pub rw_energy: f64,
+    /// Energy of one all-bank refresh command.
+    pub refresh_energy: f64,
+    /// Background (static + peripheral) power per nanosecond of execution.
+    pub background_power_per_ns: f64,
+    /// Activation-equivalents consumed by one RFM mitigation
+    /// (4 victim refreshes + 1 counter-reset activation in the paper).
+    pub activations_per_mitigation: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            activation_energy: 170.0,
+            rw_energy: 110.0,
+            refresh_energy: 2200.0,
+            background_power_per_ns: 2.0,
+            activations_per_mitigation: 5.0,
+        }
+    }
+}
+
+/// Raw counters from a simulation run needed by the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyInputs {
+    /// Demand row activations performed (all banks).
+    pub activations: u64,
+    /// Read + write column commands performed.
+    pub reads_writes: u64,
+    /// Periodic refresh commands issued.
+    pub refreshes: u64,
+    /// RFM commands issued (of any kind), each mitigating one row per bank.
+    pub rfms: u64,
+    /// Number of banks mitigated per RFM (RFMab mitigates every bank).
+    pub banks_per_rfm: u32,
+    /// Total execution time in nanoseconds.
+    pub execution_time_ns: f64,
+}
+
+/// Energy breakdown for a single run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy spent on demand activations and column accesses.
+    pub demand_energy: f64,
+    /// Energy spent on periodic refresh.
+    pub refresh_energy: f64,
+    /// Energy spent on RFM-triggered mitigations.
+    pub mitigation_energy: f64,
+    /// Background energy (power × execution time).
+    pub background_energy: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy of the run.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.demand_energy + self.refresh_energy + self.mitigation_energy + self.background_energy
+    }
+}
+
+/// Relative overhead of a protected run versus its baseline, split as in
+/// Table 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyOverhead {
+    /// Extra energy spent on RFM mitigations, as a fraction of baseline total.
+    pub mitigation: f64,
+    /// Extra non-mitigation energy (longer execution time, extra refresh),
+    /// as a fraction of baseline total.
+    pub non_mitigation: f64,
+    /// Total relative overhead (`mitigation + non_mitigation`).
+    pub total: f64,
+}
+
+/// The energy model: converts counters into breakdowns and overheads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with explicit per-operation energies.
+    #[must_use]
+    pub fn new(params: EnergyParams) -> Self {
+        Self { params }
+    }
+
+    /// The per-operation energy constants used by this model.
+    #[must_use]
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Computes the absolute energy breakdown for one run.
+    #[must_use]
+    pub fn breakdown(&self, inputs: &EnergyInputs) -> EnergyBreakdown {
+        let p = &self.params;
+        let demand_energy = inputs.activations as f64 * p.activation_energy
+            + inputs.reads_writes as f64 * p.rw_energy;
+        let refresh_energy = inputs.refreshes as f64 * p.refresh_energy;
+        let mitigation_energy = inputs.rfms as f64
+            * f64::from(inputs.banks_per_rfm.max(1))
+            * p.activations_per_mitigation
+            * p.activation_energy;
+        let background_energy = inputs.execution_time_ns * p.background_power_per_ns;
+        EnergyBreakdown {
+            demand_energy,
+            refresh_energy,
+            mitigation_energy,
+            background_energy,
+        }
+    }
+
+    /// Computes the Table-5 style overhead of `protected` relative to
+    /// `baseline`.
+    ///
+    /// The mitigation column is the protected run's mitigation energy divided
+    /// by the baseline total; the non-mitigation column is every other energy
+    /// difference (longer runtime, extra refresh, different demand energy)
+    /// divided by the baseline total.
+    #[must_use]
+    pub fn overhead(&self, baseline: &EnergyInputs, protected: &EnergyInputs) -> EnergyOverhead {
+        let base = self.breakdown(baseline);
+        let prot = self.breakdown(protected);
+        let base_total = base.total();
+        if base_total <= f64::EPSILON {
+            return EnergyOverhead::default();
+        }
+        let mitigation = (prot.mitigation_energy - base.mitigation_energy) / base_total;
+        let non_mitigation = ((prot.total() - prot.mitigation_energy)
+            - (base.total() - base.mitigation_energy))
+            / base_total;
+        EnergyOverhead {
+            mitigation,
+            non_mitigation,
+            total: mitigation + non_mitigation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_inputs() -> EnergyInputs {
+        EnergyInputs {
+            activations: 1_000_000,
+            reads_writes: 4_000_000,
+            refreshes: 10_000,
+            rfms: 0,
+            banks_per_rfm: 0,
+            execution_time_ns: 10_000_000.0,
+        }
+    }
+
+    #[test]
+    fn breakdown_components_are_additive() {
+        let model = EnergyModel::default();
+        let b = model.breakdown(&baseline_inputs());
+        let total = b.demand_energy + b.refresh_energy + b.mitigation_energy + b.background_energy;
+        assert!((b.total() - total).abs() < 1e-9);
+        assert_eq!(b.mitigation_energy, 0.0);
+    }
+
+    #[test]
+    fn overhead_is_zero_for_identical_runs() {
+        let model = EnergyModel::default();
+        let inputs = baseline_inputs();
+        let o = model.overhead(&inputs, &inputs);
+        assert!(o.mitigation.abs() < 1e-12);
+        assert!(o.non_mitigation.abs() < 1e-12);
+        assert!(o.total.abs() < 1e-12);
+    }
+
+    #[test]
+    fn rfms_contribute_five_activations_per_bank() {
+        let model = EnergyModel::default();
+        let mut protected = baseline_inputs();
+        protected.rfms = 1000;
+        protected.banks_per_rfm = 128;
+        let b = model.breakdown(&protected);
+        let expected = 1000.0 * 128.0 * 5.0 * model.params().activation_energy;
+        assert!((b.mitigation_energy - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn longer_execution_time_shows_up_as_non_mitigation_overhead() {
+        let model = EnergyModel::default();
+        let baseline = baseline_inputs();
+        let mut protected = baseline;
+        protected.execution_time_ns *= 1.05;
+        let o = model.overhead(&baseline, &protected);
+        assert!(o.mitigation.abs() < 1e-12);
+        assert!(o.non_mitigation > 0.0);
+        assert!((o.total - o.non_mitigation).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_grows_with_rfm_frequency() {
+        // More frequent TB-RFMs (lower NRH) must produce larger overhead,
+        // reproducing the trend of Table 5.
+        let model = EnergyModel::default();
+        let baseline = baseline_inputs();
+        let overhead_at = |rfms: u64, slowdown: f64| {
+            let mut p = baseline;
+            p.rfms = rfms;
+            p.banks_per_rfm = 128;
+            p.execution_time_ns *= slowdown;
+            model.overhead(&baseline, &p).total
+        };
+        let high_nrh = overhead_at(100, 1.01);
+        let low_nrh = overhead_at(3000, 1.25);
+        assert!(low_nrh > high_nrh);
+    }
+
+    #[test]
+    fn degenerate_baseline_yields_zero_overhead() {
+        let model = EnergyModel::default();
+        let zero = EnergyInputs::default();
+        let o = model.overhead(&zero, &baseline_inputs());
+        assert_eq!(o, EnergyOverhead::default());
+    }
+}

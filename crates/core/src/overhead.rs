@@ -1,0 +1,168 @@
+//! Storage-overhead accounting (Section 6.8 of the paper).
+//!
+//! TPRAC's controller-side cost is a single **RFM-interval register** per
+//! memory controller (24 bits suffice to express intervals up to roughly half
+//! a refresh window at controller-clock granularity).  The DRAM-side cost of
+//! the single-entry frequency-based mitigation queue is one (row address,
+//! activation count) pair per bank.  This module makes those numbers
+//! computable so the storage table can be regenerated and compared against
+//! alternative queue designs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::queue::QueueKind;
+use crate::timing::DramTimingSummary;
+
+/// Storage requirements of a mitigation design, split by location.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageOverhead {
+    /// Bits required inside the memory controller.
+    pub controller_bits: u64,
+    /// Bits required inside the DRAM device, per bank.
+    pub dram_bits_per_bank: u64,
+    /// Number of banks in the device used to scale the per-bank cost.
+    pub banks: u32,
+}
+
+impl StorageOverhead {
+    /// Total DRAM-side bits across all banks.
+    #[must_use]
+    pub fn dram_bits_total(&self) -> u64 {
+        self.dram_bits_per_bank * u64::from(self.banks)
+    }
+
+    /// Total storage (controller + DRAM) in bytes, rounded up.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        (self.controller_bits + self.dram_bits_total()).div_ceil(8)
+    }
+}
+
+/// Computes the width, in bits, of the RFM-interval register needed to
+/// represent intervals up to `max_interval_ns` with `granularity_ns`
+/// resolution.
+#[must_use]
+pub fn rfm_interval_register_bits(max_interval_ns: f64, granularity_ns: f64) -> u32 {
+    if granularity_ns <= 0.0 || max_interval_ns <= 0.0 {
+        return 0;
+    }
+    let steps = (max_interval_ns / granularity_ns).ceil().max(1.0) as u64;
+    64 - steps.leading_zeros() as u32
+}
+
+/// Storage accounting for TPRAC and the comparison queue designs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageModel {
+    /// Bits needed to address a row within a bank (17 for 128 K rows).
+    pub row_address_bits: u32,
+    /// Bits of the per-row activation counter tracked by the queue entry.
+    pub counter_bits: u32,
+    /// Number of banks per device/channel.
+    pub banks: u32,
+}
+
+impl StorageModel {
+    /// Model for the evaluated 32 Gb DDR5 device (128 K rows per bank,
+    /// 128 banks per channel as configured in Table 3).
+    #[must_use]
+    pub fn ddr5_32gb(timing: &DramTimingSummary, banks: u32) -> Self {
+        let row_address_bits = 32 - (timing.rows_per_bank.max(2) - 1).leading_zeros();
+        Self {
+            row_address_bits,
+            counter_bits: 12,
+            banks,
+        }
+    }
+
+    /// Storage overhead of TPRAC: the controller-side interval register plus
+    /// the chosen in-DRAM queue.
+    #[must_use]
+    pub fn tprac_overhead(&self, timing: &DramTimingSummary, queue: QueueKind) -> StorageOverhead {
+        // The register must cover intervals up to ~half of tREFW at a
+        // controller-cycle granularity of one tREFI/1024 (≈ 3.8 ns), which
+        // lands on the paper's 24-bit figure.
+        let controller_bits = u64::from(rfm_interval_register_bits(
+            timing.t_refw_ns / 2.0,
+            timing.t_refi_ns / 1024.0,
+        ));
+        StorageOverhead {
+            controller_bits,
+            dram_bits_per_bank: self.queue_bits_per_bank(queue),
+            banks: self.banks,
+        }
+    }
+
+    /// Per-bank storage of a mitigation-queue design.
+    #[must_use]
+    pub fn queue_bits_per_bank(&self, queue: QueueKind) -> u64 {
+        let entry_bits = u64::from(self.row_address_bits + self.counter_bits);
+        match queue {
+            QueueKind::SingleEntryFrequency => entry_bits,
+            QueueKind::Fifo { capacity } => entry_bits * capacity as u64,
+            // The idealised priority queue needs an entry per row — this is
+            // exactly why it is an idealisation and not an implementation.
+            QueueKind::Priority => entry_bits * u64::from(1u32 << self.row_address_bits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> DramTimingSummary {
+        DramTimingSummary::ddr5_8000b()
+    }
+
+    #[test]
+    fn interval_register_is_24_bits_or_fewer() {
+        let bits = rfm_interval_register_bits(timing().t_refw_ns / 2.0, timing().t_refi_ns / 1024.0);
+        assert!(
+            (20..=24).contains(&bits),
+            "expected a ~24-bit interval register, got {bits}"
+        );
+    }
+
+    #[test]
+    fn degenerate_register_inputs_yield_zero() {
+        assert_eq!(rfm_interval_register_bits(0.0, 1.0), 0);
+        assert_eq!(rfm_interval_register_bits(100.0, 0.0), 0);
+    }
+
+    #[test]
+    fn row_address_bits_cover_128k_rows() {
+        let model = StorageModel::ddr5_32gb(&timing(), 128);
+        assert_eq!(model.row_address_bits, 17);
+    }
+
+    #[test]
+    fn single_entry_queue_is_tiny() {
+        let model = StorageModel::ddr5_32gb(&timing(), 128);
+        let overhead = model.tprac_overhead(&timing(), QueueKind::SingleEntryFrequency);
+        // One (17 + 12)-bit entry per bank: 29 bits.
+        assert_eq!(overhead.dram_bits_per_bank, 29);
+        // Whole-channel cost stays under a kilobyte.
+        assert!(overhead.total_bytes() < 1024);
+    }
+
+    #[test]
+    fn fifo_scales_linearly_and_priority_explodes() {
+        let model = StorageModel::ddr5_32gb(&timing(), 128);
+        let single = model.queue_bits_per_bank(QueueKind::SingleEntryFrequency);
+        let fifo4 = model.queue_bits_per_bank(QueueKind::Fifo { capacity: 4 });
+        let priority = model.queue_bits_per_bank(QueueKind::Priority);
+        assert_eq!(fifo4, single * 4);
+        assert!(priority > fifo4 * 1000);
+    }
+
+    #[test]
+    fn total_bytes_rounds_up() {
+        let overhead = StorageOverhead {
+            controller_bits: 24,
+            dram_bits_per_bank: 29,
+            banks: 1,
+        };
+        // 53 bits → 7 bytes.
+        assert_eq!(overhead.total_bytes(), 7);
+    }
+}

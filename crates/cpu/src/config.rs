@@ -1,0 +1,133 @@
+//! CPU and cache-hierarchy configuration (Table 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheConfig, ReplacementPolicy};
+
+/// Configuration of one core and its share of the cache hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of cores in the cluster.
+    pub cores: u32,
+    /// Instructions issued into the ROB per cycle.
+    pub issue_width: u32,
+    /// Instructions retired from the ROB per cycle.
+    pub retire_width: u32,
+    /// Reorder-buffer capacity.
+    pub rob_entries: u32,
+    /// Maximum outstanding L1D misses per core (MSHRs).
+    pub mshrs_per_core: u32,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private L2 cache.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// Enable the IP-stride prefetcher at the L1D.
+    pub stride_prefetcher: bool,
+}
+
+impl CpuConfig {
+    /// The 4-core Sunny-Cove-like configuration from Table 3.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            cores: 4,
+            issue_width: 6,
+            retire_width: 4,
+            rob_entries: 352,
+            mshrs_per_core: 16,
+            l1d: CacheConfig {
+                size_bytes: 48 * 1024,
+                ways: 12,
+                line_bytes: 64,
+                hit_latency: 5,
+                replacement: ReplacementPolicy::Lru,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 10,
+                replacement: ReplacementPolicy::Lru,
+            },
+            llc: CacheConfig {
+                size_bytes: 8 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                hit_latency: 20,
+                replacement: ReplacementPolicy::Srrip,
+            },
+            stride_prefetcher: true,
+        }
+    }
+
+    /// A small configuration for fast unit tests (tiny caches, 2 cores).
+    #[must_use]
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            cores: 2,
+            issue_width: 4,
+            retire_width: 4,
+            rob_entries: 32,
+            mshrs_per_core: 4,
+            l1d: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+                hit_latency: 2,
+                replacement: ReplacementPolicy::Lru,
+            },
+            l2: CacheConfig {
+                size_bytes: 4096,
+                ways: 4,
+                line_bytes: 64,
+                hit_latency: 5,
+                replacement: ReplacementPolicy::Lru,
+            },
+            llc: CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                hit_latency: 10,
+                replacement: ReplacementPolicy::Srrip,
+            },
+            stride_prefetcher: false,
+        }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table3() {
+        let c = CpuConfig::paper_default();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.retire_width, 4);
+        assert_eq!(c.rob_entries, 352);
+        assert_eq!(c.l1d.size_bytes, 48 * 1024);
+        assert_eq!(c.l1d.ways, 12);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.llc.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.llc.ways, 16);
+        assert_eq!(c.llc.replacement, ReplacementPolicy::Srrip);
+    }
+
+    #[test]
+    fn tiny_config_has_valid_cache_geometry() {
+        let c = CpuConfig::tiny_for_tests();
+        for cache in [&c.l1d, &c.l2, &c.llc] {
+            assert!(cache.sets() >= 1);
+            assert!(cache.size_bytes % (cache.ways * cache.line_bytes) as u64 == 0);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # cpu-sim
+//!
+//! A trace-driven multi-core CPU model with a three-level cache hierarchy,
+//! used as the processor substrate of the reproduction (standing in for
+//! ChampSim in the paper's evaluation stack).
+//!
+//! The model is deliberately simpler than a full out-of-order simulator while
+//! retaining the properties the memory-system study depends on:
+//!
+//! * a **reorder-buffer-limited core** ([`core_model::Core`]): instructions
+//!   issue in order up to the issue width, retire in order up to the retire
+//!   width, and loads block retirement until their data returns — so memory
+//!   latency and bandwidth changes translate into IPC changes,
+//! * **private L1D and L2 caches plus a shared LLC** with MSHR-style limits
+//!   on outstanding misses, write-back/write-allocate behaviour, LRU or
+//!   SRRIP replacement and an optional IP-stride prefetcher,
+//! * **`clflush` support**, required by the AES T-table side-channel attack,
+//! * trace representation and statistics (IPC, weighted speedup) used by the
+//!   performance experiments.
+//!
+//! Memory-system interaction is abstracted through the
+//! [`core_model::MemoryPort`] trait so this crate stays independent of the
+//! DRAM/ controller crates; the `system-sim` crate wires the two together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod cluster;
+pub mod config;
+pub mod core_model;
+pub mod prefetch;
+pub mod stats;
+pub mod trace;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig, ReplacementPolicy};
+pub use cluster::{ClusterOutput, CpuCluster};
+pub use config::CpuConfig;
+pub use core_model::{Core, CoreMemoryRequest, MemoryPort};
+pub use stats::{CoreStats, weighted_speedup};
+pub use trace::{Trace, TraceOp};

@@ -1,0 +1,127 @@
+//! Per-core statistics and the weighted-speedup metric.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics accumulated by one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Demand loads that missed every cache level (went to DRAM).
+    pub llc_misses: u64,
+    /// Demand loads serviced by any cache level.
+    pub cache_hits: u64,
+    /// clflush operations executed.
+    pub flushes: u64,
+    /// Prefetch requests sent towards memory.
+    pub prefetches: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle (0 when no cycles elapsed).
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Row-buffer-miss-per-kilo-instruction proxy: LLC misses per 1000
+    /// retired instructions (the paper's RBMPKI classification input).
+    #[must_use]
+    pub fn misses_per_kilo_instruction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Weighted speedup of a multi-programmed run:
+/// `Σ_i IPC_shared(i) / IPC_alone(i)`.
+///
+/// # Panics
+///
+/// Panics when the two slices have different lengths.
+#[must_use]
+pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
+    assert_eq!(
+        shared_ipc.len(),
+        alone_ipc.len(),
+        "weighted speedup needs one alone-IPC per core"
+    );
+    shared_ipc
+        .iter()
+        .zip(alone_ipc)
+        .map(|(&s, &a)| if a > 0.0 { s / a } else { 0.0 })
+        .sum()
+}
+
+/// Normalised performance of a protected configuration relative to a
+/// baseline, computed from weighted speedups.
+#[must_use]
+pub fn normalized_performance(protected_ws: f64, baseline_ws: f64) -> f64 {
+    if baseline_ws <= 0.0 {
+        0.0
+    } else {
+        protected_ws / baseline_ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_and_mpki() {
+        let s = CoreStats {
+            instructions: 10_000,
+            cycles: 5_000,
+            llc_misses: 120,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.misses_per_kilo_instruction() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_of_identical_runs_is_core_count() {
+        let ipc = [1.0, 2.0, 0.5, 1.5];
+        assert!((weighted_speedup(&ipc, &ipc) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_degrades_with_slowdown() {
+        let alone = [2.0, 2.0];
+        let shared = [1.0, 1.0];
+        assert!((weighted_speedup(&shared, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_alone_ipc_contributes_zero() {
+        assert_eq!(weighted_speedup(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one alone-IPC per core")]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalized_performance_ratios() {
+        assert!((normalized_performance(3.8, 4.0) - 0.95).abs() < 1e-12);
+        assert_eq!(normalized_performance(1.0, 0.0), 0.0);
+    }
+}

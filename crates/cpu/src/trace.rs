@@ -1,0 +1,184 @@
+//! Instruction traces consumed by the core model.
+//!
+//! A trace is a compact sequence of [`TraceOp`]s.  Memory operations carry
+//! the physical address of the cache line they touch; compute operations
+//! carry only a count so long stretches of non-memory work stay cheap to
+//! store.  Traces are replayed cyclically when a core needs more instructions
+//! than the trace contains (the standard trace-simulation convention).
+
+use serde::{Deserialize, Serialize};
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// `n` back-to-back non-memory instructions.
+    Compute(u32),
+    /// A load from the given physical address.
+    Load(u64),
+    /// A store to the given physical address.
+    Store(u64),
+    /// A cache-line flush (`clflush`) of the given physical address; the line
+    /// is invalidated in every cache level. Counts as one instruction.
+    Flush(u64),
+}
+
+impl TraceOp {
+    /// Number of retired instructions this record represents.
+    #[must_use]
+    pub fn instruction_count(&self) -> u64 {
+        match self {
+            TraceOp::Compute(n) => u64::from(*n),
+            _ => 1,
+        }
+    }
+
+    /// The memory address touched, if any.
+    #[must_use]
+    pub fn address(&self) -> Option<u64> {
+        match self {
+            TraceOp::Compute(_) => None,
+            TraceOp::Load(a) | TraceOp::Store(a) | TraceOp::Flush(a) => Some(*a),
+        }
+    }
+}
+
+/// An instruction trace for one core.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates a named trace from its operations.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ops: Vec<TraceOp>) -> Self {
+        Self {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// The trace name (workload label).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw operations.
+    #[must_use]
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Total instructions represented by one pass over the trace.
+    #[must_use]
+    pub fn instructions_per_pass(&self) -> u64 {
+        self.ops.iter().map(TraceOp::instruction_count).sum()
+    }
+
+    /// Number of memory operations (loads + stores + flushes) per pass.
+    #[must_use]
+    pub fn memory_ops_per_pass(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| !matches!(op, TraceOp::Compute(_)))
+            .count() as u64
+    }
+
+    /// Whether the trace contains no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Returns a cursor that yields operations cyclically forever.
+    #[must_use]
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor {
+            trace: self,
+            index: 0,
+            wraps: 0,
+        }
+    }
+}
+
+/// Cyclic read cursor over a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a Trace,
+    index: usize,
+    wraps: u64,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Next operation; `None` only when the trace is empty.
+    pub fn next_op(&mut self) -> Option<TraceOp> {
+        if self.trace.ops.is_empty() {
+            return None;
+        }
+        let op = self.trace.ops[self.index];
+        self.index += 1;
+        if self.index == self.trace.ops.len() {
+            self.index = 0;
+            self.wraps += 1;
+        }
+        Some(op)
+    }
+
+    /// Number of complete passes over the trace so far.
+    #[must_use]
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::new(
+            "t",
+            vec![
+                TraceOp::Compute(10),
+                TraceOp::Load(0x1000),
+                TraceOp::Store(0x2000),
+                TraceOp::Flush(0x1000),
+            ],
+        )
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let t = trace();
+        assert_eq!(t.instructions_per_pass(), 13);
+        assert_eq!(t.memory_ops_per_pass(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn addresses_only_for_memory_ops() {
+        assert_eq!(TraceOp::Compute(5).address(), None);
+        assert_eq!(TraceOp::Load(0x40).address(), Some(0x40));
+        assert_eq!(TraceOp::Flush(0x80).address(), Some(0x80));
+    }
+
+    #[test]
+    fn cursor_wraps_around() {
+        let t = trace();
+        let mut c = t.cursor();
+        for _ in 0..4 {
+            assert!(c.next_op().is_some());
+        }
+        assert_eq!(c.wraps(), 1);
+        assert_eq!(c.next_op(), Some(TraceOp::Compute(10)));
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        let t = Trace::new("empty", vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.cursor().next_op(), None);
+    }
+}

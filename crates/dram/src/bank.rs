@@ -1,0 +1,449 @@
+//! Per-bank state: row buffer, timing windows, PRAC activation counters and
+//! the in-DRAM mitigation queue.
+
+use std::collections::HashMap;
+
+use prac_core::queue::{MitigationQueue, QueueKind, RowIndex};
+
+use crate::command::IssueError;
+use crate::timing::DramTimingParams;
+
+/// State of a single DRAM bank.
+///
+/// The bank owns:
+/// * the open-row tracking used for row-buffer hit/miss/conflict accounting,
+/// * the earliest-legal-time bookkeeping for ACT / PRE / RD / WR,
+/// * the per-row PRAC activation counters,
+/// * one mitigation queue (design selected by [`QueueKind`]).
+#[derive(Debug)]
+pub struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u32>,
+    /// Earliest tick an ACT may be issued.
+    next_act: u64,
+    /// Earliest tick a PRE may be issued.
+    next_pre: u64,
+    /// Earliest tick a column (RD/WR) command may be issued.
+    next_column: u64,
+    /// Tick of the most recent activation (for tRAS/tRC bookkeeping).
+    last_act: u64,
+    /// Per-row PRAC activation counters (sparse; untouched rows are zero).
+    counters: HashMap<RowIndex, u32>,
+    /// In-DRAM mitigation queue for this bank.
+    queue: Box<dyn MitigationQueue>,
+    /// Number of activations since the bank was last mitigated or reset
+    /// (used for ACB-RFM / BAT accounting by the controller via a getter).
+    activations_since_rfm: u32,
+    /// Lifetime activation count (statistics).
+    total_activations: u64,
+}
+
+impl Bank {
+    /// Creates an idle, fully-precharged bank with the chosen queue design.
+    #[must_use]
+    pub fn new(queue_kind: QueueKind) -> Self {
+        Self {
+            open_row: None,
+            next_act: 0,
+            next_pre: 0,
+            next_column: 0,
+            last_act: 0,
+            counters: HashMap::new(),
+            queue: queue_kind.instantiate(),
+            activations_since_rfm: 0,
+            total_activations: 0,
+        }
+    }
+
+    /// The currently open row, if the bank is active.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// The PRAC counter value of `row`.
+    #[must_use]
+    pub fn counter(&self, row: RowIndex) -> u32 {
+        self.counters.get(&row).copied().unwrap_or(0)
+    }
+
+    /// The maximum PRAC counter value across all rows of this bank.
+    #[must_use]
+    pub fn max_counter(&self) -> u32 {
+        self.counters.values().copied().max().unwrap_or(0)
+    }
+
+    /// Row currently nominated by the mitigation queue, if any.
+    #[must_use]
+    pub fn queue_head(&self) -> Option<RowIndex> {
+        self.queue.peek()
+    }
+
+    /// Activations performed since the last RFM that reached this bank.
+    #[must_use]
+    pub fn activations_since_rfm(&self) -> u32 {
+        self.activations_since_rfm
+    }
+
+    /// Lifetime activation count.
+    #[must_use]
+    pub fn total_activations(&self) -> u64 {
+        self.total_activations
+    }
+
+    /// Earliest tick at which an ACT to this bank is legal.
+    #[must_use]
+    pub fn act_ready_at(&self) -> u64 {
+        self.next_act
+    }
+
+    /// Checks whether activating `row` at `now` is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::IllegalState`] when a row is already open and
+    /// [`IssueError::TooEarly`] when tRC/tRP have not elapsed.
+    pub fn can_activate(&self, now: u64) -> Result<(), IssueError> {
+        if self.open_row.is_some() {
+            return Err(IssueError::IllegalState {
+                reason: "activate issued while another row is open",
+            });
+        }
+        if now < self.next_act {
+            return Err(IssueError::TooEarly {
+                ready_at: self.next_act,
+            });
+        }
+        Ok(())
+    }
+
+    /// Activates `row` at `now`, incrementing its PRAC counter and updating
+    /// the mitigation queue.  Returns the row's new counter value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the legality checks of [`Bank::can_activate`].
+    pub fn activate(&mut self, row: RowIndex, now: u64, timing: &DramTimingParams) -> Result<u32, IssueError> {
+        self.can_activate(now)?;
+        self.open_row = Some(row);
+        self.last_act = now;
+        self.next_pre = now + timing.t_ras;
+        self.next_column = now + timing.t_rcd;
+        self.next_act = now + timing.t_rc;
+        // PRAC: the per-row counter is incremented (physically during the
+        // precharge read-modify-write; counted here at activation time, which
+        // is equivalent for threshold-crossing purposes).
+        let counter = self.counters.entry(row).or_insert(0);
+        *counter = counter.saturating_add(1);
+        let value = *counter;
+        self.queue.observe_activation(row, value);
+        self.activations_since_rfm = self.activations_since_rfm.saturating_add(1);
+        self.total_activations += 1;
+        Ok(value)
+    }
+
+    /// Checks whether a precharge at `now` is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::TooEarly`] when tRAS (or read/write recovery)
+    /// has not elapsed. Precharging an already-closed bank is a no-op and is
+    /// allowed.
+    pub fn can_precharge(&self, now: u64) -> Result<(), IssueError> {
+        if self.open_row.is_none() {
+            return Ok(());
+        }
+        if now < self.next_pre {
+            return Err(IssueError::TooEarly {
+                ready_at: self.next_pre,
+            });
+        }
+        Ok(())
+    }
+
+    /// Precharges (closes) the bank at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Bank::can_precharge`].
+    pub fn precharge(&mut self, now: u64, timing: &DramTimingParams) -> Result<(), IssueError> {
+        self.can_precharge(now)?;
+        if self.open_row.is_some() {
+            self.open_row = None;
+            self.next_act = self.next_act.max(now + timing.t_rp);
+        }
+        Ok(())
+    }
+
+    /// Checks whether a column read/write of `row` at `now` is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::IllegalState`] when the addressed row is not the
+    /// open row, and [`IssueError::TooEarly`] before tRCD/tCCD elapse.
+    pub fn can_access_column(&self, row: RowIndex, now: u64) -> Result<(), IssueError> {
+        match self.open_row {
+            Some(open) if open == row => {}
+            Some(_) => {
+                return Err(IssueError::IllegalState {
+                    reason: "column access to a row that is not the open row",
+                })
+            }
+            None => {
+                return Err(IssueError::IllegalState {
+                    reason: "column access while the bank is precharged",
+                })
+            }
+        }
+        if now < self.next_column {
+            return Err(IssueError::TooEarly {
+                ready_at: self.next_column,
+            });
+        }
+        Ok(())
+    }
+
+    /// Performs a column read at `now`; returns the tick at which data has
+    /// fully returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Bank::can_access_column`].
+    pub fn read(&mut self, row: RowIndex, now: u64, timing: &DramTimingParams) -> Result<u64, IssueError> {
+        self.can_access_column(row, now)?;
+        self.next_column = now + timing.t_ccd;
+        self.next_pre = self.next_pre.max(now + timing.t_rtp);
+        Ok(now + timing.read_latency())
+    }
+
+    /// Performs a column write at `now`; returns the tick at which the write
+    /// has been accepted (write data fully transferred).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Bank::can_access_column`].
+    pub fn write(&mut self, row: RowIndex, now: u64, timing: &DramTimingParams) -> Result<u64, IssueError> {
+        self.can_access_column(row, now)?;
+        self.next_column = now + timing.t_ccd;
+        self.next_pre = self.next_pre.max(now + timing.t_cl + timing.t_bl + timing.t_wr);
+        Ok(now + timing.t_cl + timing.t_bl)
+    }
+
+    /// Mitigates the row nominated by the mitigation queue (if any),
+    /// resetting its PRAC counter.  Returns the mitigated row.
+    ///
+    /// Called by the device when an RFM or a Targeted Refresh reaches the
+    /// bank.  Also clears the per-bank ACB activation count.
+    pub fn mitigate_queue_head(&mut self) -> Option<RowIndex> {
+        let row = self.queue.pop_for_mitigation();
+        if let Some(row) = row {
+            self.counters.insert(row, 0);
+        }
+        self.activations_since_rfm = 0;
+        row
+    }
+
+    /// Resets all PRAC counters and the mitigation queue (counter reset at
+    /// tREFW).
+    pub fn reset_counters(&mut self) {
+        self.counters.clear();
+        self.queue.reset();
+    }
+
+    /// Applies a channel-wide blocking command (refresh or RFM): the bank is
+    /// precharged immediately and no command may be issued before
+    /// `now + duration`.
+    pub fn block_until(&mut self, now: u64, duration: u64) {
+        self.open_row = None;
+        let until = now + duration;
+        self.next_act = self.next_act.max(until);
+        self.next_pre = self.next_pre.max(until);
+        self.next_column = self.next_column.max(until);
+    }
+
+    /// Number of distinct rows with a non-zero PRAC counter.
+    #[must_use]
+    pub fn tracked_rows(&self) -> usize {
+        self.counters.values().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> DramTimingParams {
+        DramTimingParams::ddr5_8000b()
+    }
+
+    fn bank() -> Bank {
+        Bank::new(QueueKind::SingleEntryFrequency)
+    }
+
+    #[test]
+    fn activate_opens_row_and_increments_counter() {
+        let mut b = bank();
+        let count = b.activate(5, 0, &timing()).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(b.open_row(), Some(5));
+        assert_eq!(b.counter(5), 1);
+        assert_eq!(b.queue_head(), Some(5));
+    }
+
+    #[test]
+    fn double_activate_is_illegal() {
+        let mut b = bank();
+        b.activate(5, 0, &timing()).unwrap();
+        let err = b.activate(6, 1_000, &timing()).unwrap_err();
+        assert!(matches!(err, IssueError::IllegalState { .. }));
+    }
+
+    #[test]
+    fn activate_respects_trc() {
+        let t = timing();
+        let mut b = bank();
+        b.activate(1, 0, &t).unwrap();
+        b.precharge(t.t_ras, &t).unwrap();
+        // tRC (208 ticks) not yet elapsed at tRAS + tRP = 64 + 144 = 208... it
+        // is exactly equal, so issuing just before must fail.
+        let err = b.activate(2, t.t_ras + t.t_rp - 1, &t).unwrap_err();
+        assert!(matches!(err, IssueError::TooEarly { .. }));
+        assert!(b.activate(2, t.t_rc, &t).is_ok());
+    }
+
+    #[test]
+    fn precharge_respects_tras() {
+        let t = timing();
+        let mut b = bank();
+        b.activate(1, 100, &t).unwrap();
+        let err = b.precharge(100 + t.t_ras - 1, &t).unwrap_err();
+        assert!(matches!(err, IssueError::TooEarly { ready_at } if ready_at == 100 + t.t_ras));
+        assert!(b.precharge(100 + t.t_ras, &t).is_ok());
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    fn precharging_closed_bank_is_noop() {
+        let t = timing();
+        let mut b = bank();
+        assert!(b.precharge(0, &t).is_ok());
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    fn read_requires_matching_open_row() {
+        let t = timing();
+        let mut b = bank();
+        assert!(matches!(
+            b.read(3, 0, &t).unwrap_err(),
+            IssueError::IllegalState { .. }
+        ));
+        b.activate(3, 0, &t).unwrap();
+        assert!(matches!(
+            b.read(4, t.t_rcd, &t).unwrap_err(),
+            IssueError::IllegalState { .. }
+        ));
+    }
+
+    #[test]
+    fn read_respects_trcd_and_returns_data_time() {
+        let t = timing();
+        let mut b = bank();
+        b.activate(3, 0, &t).unwrap();
+        assert!(matches!(
+            b.read(3, t.t_rcd - 1, &t).unwrap_err(),
+            IssueError::TooEarly { .. }
+        ));
+        let done = b.read(3, t.t_rcd, &t).unwrap();
+        assert_eq!(done, t.t_rcd + t.read_latency());
+    }
+
+    #[test]
+    fn write_extends_precharge_window() {
+        let t = timing();
+        let mut b = bank();
+        b.activate(3, 0, &t).unwrap();
+        b.write(3, t.t_rcd, &t).unwrap();
+        // Precharge must wait for write recovery: tRCD + tCL + tBL + tWR.
+        let earliest = t.t_rcd + t.t_cl + t.t_bl + t.t_wr;
+        assert!(matches!(
+            b.precharge(earliest - 1, &t).unwrap_err(),
+            IssueError::TooEarly { .. }
+        ));
+        assert!(b.precharge(earliest, &t).is_ok());
+    }
+
+    #[test]
+    fn consecutive_column_accesses_respect_tccd() {
+        let t = timing();
+        let mut b = bank();
+        b.activate(3, 0, &t).unwrap();
+        b.read(3, t.t_rcd, &t).unwrap();
+        assert!(matches!(
+            b.read(3, t.t_rcd + 1, &t).unwrap_err(),
+            IssueError::TooEarly { .. }
+        ));
+        assert!(b.read(3, t.t_rcd + t.t_ccd, &t).is_ok());
+    }
+
+    #[test]
+    fn counters_accumulate_across_activations() {
+        let t = timing();
+        let mut b = bank();
+        let mut now = 0;
+        for i in 0..10 {
+            let count = b.activate(7, now, &t).unwrap();
+            assert_eq!(count, i + 1);
+            now += t.t_ras;
+            b.precharge(now, &t).unwrap();
+            now += t.t_rp.max(t.t_rc - t.t_ras);
+        }
+        assert_eq!(b.counter(7), 10);
+        assert_eq!(b.total_activations(), 10);
+    }
+
+    #[test]
+    fn mitigation_resets_counter_of_queue_head() {
+        let t = timing();
+        let mut b = bank();
+        let mut now = 0;
+        for row in [1u32, 1, 1, 2] {
+            b.activate(row, now, &t).unwrap();
+            now += t.t_ras;
+            b.precharge(now, &t).unwrap();
+            now += t.t_rc;
+        }
+        // Row 1 has 3 activations and is the queue head.
+        assert_eq!(b.queue_head(), Some(1));
+        let mitigated = b.mitigate_queue_head();
+        assert_eq!(mitigated, Some(1));
+        assert_eq!(b.counter(1), 0);
+        assert_eq!(b.counter(2), 1);
+        assert_eq!(b.activations_since_rfm(), 0);
+    }
+
+    #[test]
+    fn reset_clears_counters_and_queue() {
+        let t = timing();
+        let mut b = bank();
+        b.activate(9, 0, &t).unwrap();
+        b.reset_counters();
+        assert_eq!(b.counter(9), 0);
+        assert_eq!(b.queue_head(), None);
+        assert_eq!(b.tracked_rows(), 0);
+    }
+
+    #[test]
+    fn block_until_closes_row_and_defers_commands() {
+        let t = timing();
+        let mut b = bank();
+        b.activate(1, 0, &t).unwrap();
+        b.block_until(10, 1_400);
+        assert_eq!(b.open_row(), None);
+        assert!(matches!(
+            b.activate(2, 1_000, &t).unwrap_err(),
+            IssueError::TooEarly { ready_at } if ready_at >= 1_410
+        ));
+        assert!(b.activate(2, 1_410, &t).is_ok());
+    }
+}

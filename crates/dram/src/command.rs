@@ -1,0 +1,151 @@
+//! DRAM commands issued by the memory controller.
+
+use serde::{Deserialize, Serialize};
+
+use crate::org::DramAddress;
+
+/// Commands understood by the device model.
+///
+/// Per-bank commands carry the full [`DramAddress`] of the target; channel- or
+/// rank-wide commands (refresh, RFM) carry no address because they affect
+/// every bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Activate (open) the row addressed by `addr` in its bank.
+    Activate(DramAddress),
+    /// Precharge (close) the bank containing `addr`.
+    Precharge(DramAddress),
+    /// Precharge every bank in the channel.
+    PrechargeAll,
+    /// Column read of the cache line at `addr` (its row must be open).
+    Read(DramAddress),
+    /// Column write of the cache line at `addr` (its row must be open).
+    Write(DramAddress),
+    /// All-bank periodic refresh (REFab). When the device is configured with
+    /// Targeted Refresh, a refresh may also mitigate the head of each bank's
+    /// mitigation queue.
+    Refresh,
+    /// RFM All-Bank: blocks the channel for tRFMab and mitigates the head of
+    /// each bank's mitigation queue.
+    RfmAllBank,
+}
+
+impl DramCommand {
+    /// The address targeted by a per-bank command, if any.
+    #[must_use]
+    pub fn address(&self) -> Option<DramAddress> {
+        match self {
+            DramCommand::Activate(a)
+            | DramCommand::Precharge(a)
+            | DramCommand::Read(a)
+            | DramCommand::Write(a) => Some(*a),
+            DramCommand::PrechargeAll | DramCommand::Refresh | DramCommand::RfmAllBank => None,
+        }
+    }
+
+    /// Returns `true` for commands that block the entire channel
+    /// (refresh and RFM).
+    #[must_use]
+    pub fn is_channel_wide(&self) -> bool {
+        matches!(
+            self,
+            DramCommand::PrechargeAll | DramCommand::Refresh | DramCommand::RfmAllBank
+        )
+    }
+
+    /// Short mnemonic used in debug traces.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Activate(_) => "ACT",
+            DramCommand::Precharge(_) => "PRE",
+            DramCommand::PrechargeAll => "PREab",
+            DramCommand::Read(_) => "RD",
+            DramCommand::Write(_) => "WR",
+            DramCommand::Refresh => "REFab",
+            DramCommand::RfmAllBank => "RFMab",
+        }
+    }
+}
+
+/// Reasons a command could not be issued at the requested time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueError {
+    /// A timing constraint has not yet elapsed; the command may be legal at
+    /// the contained tick.
+    TooEarly {
+        /// Earliest tick at which the command could become legal.
+        ready_at: u64,
+    },
+    /// The command is illegal in the bank's current state (e.g. reading from
+    /// a closed row or activating an already-open bank).
+    IllegalState {
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for IssueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IssueError::TooEarly { ready_at } => {
+                write!(f, "command violates a timing constraint until tick {ready_at}")
+            }
+            IssueError::IllegalState { reason } => write!(f, "illegal command for bank state: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::DramOrganization;
+
+    #[test]
+    fn address_extraction() {
+        let org = DramOrganization::tiny_for_tests();
+        let addr = DramAddress::new(&org, 0, 0, 1, 3, 2);
+        assert_eq!(DramCommand::Activate(addr).address(), Some(addr));
+        assert_eq!(DramCommand::Refresh.address(), None);
+        assert_eq!(DramCommand::RfmAllBank.address(), None);
+    }
+
+    #[test]
+    fn channel_wide_commands() {
+        assert!(DramCommand::Refresh.is_channel_wide());
+        assert!(DramCommand::RfmAllBank.is_channel_wide());
+        assert!(DramCommand::PrechargeAll.is_channel_wide());
+        let org = DramOrganization::tiny_for_tests();
+        let addr = DramAddress::new(&org, 0, 0, 0, 0, 0);
+        assert!(!DramCommand::Read(addr).is_channel_wide());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let org = DramOrganization::tiny_for_tests();
+        let addr = DramAddress::new(&org, 0, 0, 0, 0, 0);
+        let all = [
+            DramCommand::Activate(addr),
+            DramCommand::Precharge(addr),
+            DramCommand::PrechargeAll,
+            DramCommand::Read(addr),
+            DramCommand::Write(addr),
+            DramCommand::Refresh,
+            DramCommand::RfmAllBank,
+        ];
+        let mut set = std::collections::HashSet::new();
+        for cmd in all {
+            assert!(set.insert(cmd.mnemonic()));
+        }
+    }
+
+    #[test]
+    fn issue_error_display() {
+        let e = IssueError::TooEarly { ready_at: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = IssueError::IllegalState { reason: "row closed" };
+        assert!(e.to_string().contains("row closed"));
+    }
+}

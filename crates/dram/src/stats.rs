@@ -1,0 +1,85 @@
+//! Device-side statistics collected during simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by [`crate::device::DramDevice`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Row activations performed (demand ACT commands).
+    pub activations: u64,
+    /// Precharges performed.
+    pub precharges: u64,
+    /// Column reads performed.
+    pub reads: u64,
+    /// Column writes performed.
+    pub writes: u64,
+    /// All-bank refresh commands serviced.
+    pub refreshes: u64,
+    /// RFM All-Bank commands serviced.
+    pub rfm_all_bank: u64,
+    /// Rows mitigated via RFM commands (summed over banks).
+    pub rows_mitigated_by_rfm: u64,
+    /// Rows mitigated via Targeted Refresh.
+    pub rows_mitigated_by_tref: u64,
+    /// Number of times the Alert signal was asserted (ABO events).
+    pub alerts_asserted: u64,
+    /// Number of per-row counter resets performed at tREFW boundaries
+    /// (counted once per reset event, not per row).
+    pub counter_resets: u64,
+}
+
+impl DramStats {
+    /// Total rows mitigated by any mechanism.
+    #[must_use]
+    pub fn total_mitigations(&self) -> u64 {
+        self.rows_mitigated_by_rfm + self.rows_mitigated_by_tref
+    }
+
+    /// Merges another statistics block into this one (used when aggregating
+    /// across devices or runs).
+    pub fn merge(&mut self, other: &DramStats) {
+        self.activations += other.activations;
+        self.precharges += other.precharges;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
+        self.rfm_all_bank += other.rfm_all_bank;
+        self.rows_mitigated_by_rfm += other.rows_mitigated_by_rfm;
+        self.rows_mitigated_by_tref += other.rows_mitigated_by_tref;
+        self.alerts_asserted += other.alerts_asserted;
+        self.counter_resets += other.counter_resets;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = DramStats {
+            activations: 1,
+            precharges: 2,
+            reads: 3,
+            writes: 4,
+            refreshes: 5,
+            rfm_all_bank: 6,
+            rows_mitigated_by_rfm: 7,
+            rows_mitigated_by_tref: 8,
+            alerts_asserted: 9,
+            counter_resets: 10,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.activations, 2);
+        assert_eq!(a.counter_resets, 20);
+        assert_eq!(a.total_mitigations(), 30);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = DramStats::default();
+        assert_eq!(s.total_mitigations(), 0);
+        assert_eq!(s.activations, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # memctrl
+//!
+//! A DDR5 memory controller model for PRAC-enabled DRAM.
+//!
+//! The controller implements the system side of the paper's evaluation stack:
+//!
+//! * **Address mapping** from physical addresses to DRAM coordinates,
+//!   including the Minimalist Open-Page (MOP) mapping of Table 3 and a
+//!   bank-striped mapping that places consecutive cache lines of a page in
+//!   different banks (the property that lets two processes share a DRAM row,
+//!   enabling the activation-count channel).
+//! * **Scheduling**: First-Ready First-Come-First-Served (FR-FCFS) with a cap
+//!   on consecutive row-buffer hits, plus open/closed page policies.
+//! * **Refresh management**: periodic all-bank refresh every tREFI.
+//! * **RFM engines** for every mitigation policy evaluated by the paper:
+//!   the Alert Back-Off responder (ABO-RFM), proactive Activation-Based RFMs
+//!   driven by the Bank-Activation threshold (ACB-RFM), TPRAC's Timing-Based
+//!   RFMs (TB-RFM) with Targeted-Refresh co-design, and the obfuscation
+//!   defense's random RFM injection.
+//! * **Per-request latency recording**, the observable the PRACLeak attacks
+//!   monitor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+pub mod mapping;
+pub mod request;
+pub mod rfm;
+pub mod scheduler;
+pub mod stats;
+
+pub use controller::{ControllerConfig, MemoryController, PagePolicy};
+pub use mapping::{AddressMapping, BankStripedMapping, MappingKind, MopMapping, RowInterleavedMapping};
+pub use request::{CompletedRequest, MemoryRequest, RequestKind};
+pub use rfm::RfmKind;
+pub use scheduler::FrFcfsScheduler;
+pub use stats::ControllerStats;

@@ -1,0 +1,437 @@
+//! Physical-address → DRAM-coordinate mapping policies.
+//!
+//! Three mappings are provided:
+//!
+//! * [`MopMapping`] — Minimalist Open-Page (the paper's Table 3 policy): a
+//!   small run of consecutive cache lines stays in the same row to retain
+//!   some spatial locality, while higher-order bits interleave across bank
+//!   groups, banks and ranks for parallelism.
+//! * [`BankStripedMapping`] — consecutive cache lines are striped across
+//!   banks, so the cache lines of a single 4 KB page land in many banks and a
+//!   single DRAM row holds lines from many different pages.  This is the
+//!   mapping property the activation-count covert channel and the AES side
+//!   channel rely on (two processes sharing one physical DRAM row).
+//! * [`RowInterleavedMapping`] — a simple row:bank:column layout used as a
+//!   baseline in tests.
+//!
+//! All mappings are bijective on the cache-line index; property tests verify
+//! the round trip.
+
+use dram_sim::org::{DramAddress, DramOrganization};
+use serde::{Deserialize, Serialize};
+
+/// A physical→DRAM address translation policy.
+pub trait AddressMapping: std::fmt::Debug + Send + Sync {
+    /// Decodes a physical byte address into DRAM coordinates.
+    fn decode(&self, physical_address: u64) -> DramAddress;
+
+    /// Re-encodes DRAM coordinates into the physical byte address of the
+    /// start of that cache line (inverse of [`AddressMapping::decode`]).
+    fn encode(&self, address: &DramAddress) -> u64;
+
+    /// The organisation this mapping was built for.
+    fn organization(&self) -> &DramOrganization;
+}
+
+/// Selector for the provided mapping policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingKind {
+    /// Minimalist Open-Page.
+    Mop,
+    /// Cache lines striped across banks.
+    BankStriped,
+    /// Row-interleaved baseline.
+    RowInterleaved,
+}
+
+impl MappingKind {
+    /// Instantiates the mapping for `org`.
+    #[must_use]
+    pub fn instantiate(self, org: DramOrganization) -> Box<dyn AddressMapping> {
+        match self {
+            MappingKind::Mop => Box::new(MopMapping::new(org)),
+            MappingKind::BankStriped => Box::new(BankStripedMapping::new(org)),
+            MappingKind::RowInterleaved => Box::new(RowInterleavedMapping::new(org)),
+        }
+    }
+}
+
+impl Default for MappingKind {
+    fn default() -> Self {
+        MappingKind::Mop
+    }
+}
+
+fn log2(value: u32) -> u32 {
+    debug_assert!(value.is_power_of_two());
+    value.trailing_zeros()
+}
+
+/// Splits a cache-line index into fields of the given widths (low to high),
+/// returning the extracted fields.
+fn extract_fields(mut index: u64, widths: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(widths.len());
+    for &w in widths {
+        let mask = (1u64 << w) - 1;
+        out.push((index & mask) as u32);
+        index >>= w;
+    }
+    out
+}
+
+fn pack_fields(fields: &[u32], widths: &[u32]) -> u64 {
+    debug_assert_eq!(fields.len(), widths.len());
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    for (&f, &w) in fields.iter().zip(widths) {
+        debug_assert!(u64::from(f) < (1u64 << w));
+        out |= u64::from(f) << shift;
+        shift += w;
+    }
+    out
+}
+
+/// Minimalist Open-Page mapping.
+///
+/// Cache-line index bit layout (low → high):
+/// `[column_low (mop run)] [bank group] [bank] [rank] [column_high] [row]`.
+/// A run of `mop_run` consecutive lines shares the row (open-page locality),
+/// while the next bits spread accesses across bank groups/banks/ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MopMapping {
+    org: DramOrganization,
+    mop_run: u32,
+}
+
+impl MopMapping {
+    /// Creates the mapping with the default run length of 4 cache lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the organisation is not power-of-two sized.
+    #[must_use]
+    pub fn new(org: DramOrganization) -> Self {
+        assert!(org.is_valid(), "organisation must be power-of-two sized");
+        let mop_run = 4.min(org.columns_per_row);
+        Self { org, mop_run }
+    }
+
+    fn widths(&self) -> [u32; 6] {
+        let col_low = log2(self.mop_run);
+        let col_high = log2(self.org.columns_per_row) - col_low;
+        [
+            col_low,
+            log2(self.org.bank_groups),
+            log2(self.org.banks_per_group),
+            log2(self.org.ranks),
+            col_high,
+            log2(self.org.rows_per_bank),
+        ]
+    }
+}
+
+impl AddressMapping for MopMapping {
+    fn decode(&self, physical_address: u64) -> DramAddress {
+        let line = (physical_address / u64::from(self.org.column_bytes))
+            % (self.org.capacity_bytes() / u64::from(self.org.column_bytes));
+        let widths = self.widths();
+        let f = extract_fields(line, &widths);
+        let column = f[0] | (f[4] << log2(self.mop_run));
+        DramAddress {
+            rank: f[3],
+            bank_group: f[1],
+            bank: f[2],
+            row: f[5],
+            column,
+        }
+    }
+
+    fn encode(&self, address: &DramAddress) -> u64 {
+        let widths = self.widths();
+        let col_low_bits = log2(self.mop_run);
+        let col_low = address.column & (self.mop_run - 1);
+        let col_high = address.column >> col_low_bits;
+        let fields = [
+            col_low,
+            address.bank_group,
+            address.bank,
+            address.rank,
+            col_high,
+            address.row,
+        ];
+        pack_fields(&fields, &widths) * u64::from(self.org.column_bytes)
+    }
+
+    fn organization(&self) -> &DramOrganization {
+        &self.org
+    }
+}
+
+/// Bank-striped mapping: consecutive cache lines rotate across bank groups,
+/// banks and ranks before advancing the column.
+///
+/// Under this mapping a 4 KB page (64 cache lines) spreads over up to 64
+/// banks while each DRAM row holds cache lines belonging to many distinct
+/// pages — the exact condition the paper exploits for row sharing between
+/// victim and attacker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStripedMapping {
+    org: DramOrganization,
+}
+
+impl BankStripedMapping {
+    /// Creates the mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the organisation is not power-of-two sized.
+    #[must_use]
+    pub fn new(org: DramOrganization) -> Self {
+        assert!(org.is_valid(), "organisation must be power-of-two sized");
+        Self { org }
+    }
+
+    fn widths(&self) -> [u32; 5] {
+        [
+            log2(self.org.bank_groups),
+            log2(self.org.banks_per_group),
+            log2(self.org.ranks),
+            log2(self.org.columns_per_row),
+            log2(self.org.rows_per_bank),
+        ]
+    }
+}
+
+impl AddressMapping for BankStripedMapping {
+    fn decode(&self, physical_address: u64) -> DramAddress {
+        let line = (physical_address / u64::from(self.org.column_bytes))
+            % (self.org.capacity_bytes() / u64::from(self.org.column_bytes));
+        let f = extract_fields(line, &self.widths());
+        DramAddress {
+            bank_group: f[0],
+            bank: f[1],
+            rank: f[2],
+            column: f[3],
+            row: f[4],
+        }
+    }
+
+    fn encode(&self, address: &DramAddress) -> u64 {
+        let fields = [
+            address.bank_group,
+            address.bank,
+            address.rank,
+            address.column,
+            address.row,
+        ];
+        pack_fields(&fields, &self.widths()) * u64::from(self.org.column_bytes)
+    }
+
+    fn organization(&self) -> &DramOrganization {
+        &self.org
+    }
+}
+
+/// Simple row:rank:bank-group:bank:column layout (highest bits select the
+/// row). Used as a test baseline; exhibits poor bank parallelism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowInterleavedMapping {
+    org: DramOrganization,
+}
+
+impl RowInterleavedMapping {
+    /// Creates the mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the organisation is not power-of-two sized.
+    #[must_use]
+    pub fn new(org: DramOrganization) -> Self {
+        assert!(org.is_valid(), "organisation must be power-of-two sized");
+        Self { org }
+    }
+
+    fn widths(&self) -> [u32; 5] {
+        [
+            log2(self.org.columns_per_row),
+            log2(self.org.banks_per_group),
+            log2(self.org.bank_groups),
+            log2(self.org.ranks),
+            log2(self.org.rows_per_bank),
+        ]
+    }
+}
+
+impl AddressMapping for RowInterleavedMapping {
+    fn decode(&self, physical_address: u64) -> DramAddress {
+        let line = (physical_address / u64::from(self.org.column_bytes))
+            % (self.org.capacity_bytes() / u64::from(self.org.column_bytes));
+        let f = extract_fields(line, &self.widths());
+        DramAddress {
+            column: f[0],
+            bank: f[1],
+            bank_group: f[2],
+            rank: f[3],
+            row: f[4],
+        }
+    }
+
+    fn encode(&self, address: &DramAddress) -> u64 {
+        let fields = [
+            address.column,
+            address.bank,
+            address.bank_group,
+            address.rank,
+            address.row,
+        ];
+        pack_fields(&fields, &self.widths()) * u64::from(self.org.column_bytes)
+    }
+
+    fn organization(&self) -> &DramOrganization {
+        &self.org
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org() -> DramOrganization {
+        DramOrganization::ddr5_32gb_quad_rank()
+    }
+
+    #[test]
+    fn mop_keeps_short_runs_in_one_row() {
+        let m = MopMapping::new(org());
+        let base = 0x4000_0000u64;
+        let first = m.decode(base);
+        for i in 1..4u64 {
+            let next = m.decode(base + i * 64);
+            assert!(first.same_row(&next), "line {i} left the row under MOP");
+        }
+        // The 5th line moves to another bank group (run length 4).
+        let fifth = m.decode(base + 4 * 64);
+        assert!(!first.same_bank(&fifth));
+    }
+
+    #[test]
+    fn bank_striped_spreads_consecutive_lines_across_banks() {
+        let m = BankStripedMapping::new(org());
+        let base = 0x1234_5000u64 & !63;
+        let a = m.decode(base);
+        let b = m.decode(base + 64);
+        assert!(!a.same_bank(&b), "consecutive lines must land in different banks");
+    }
+
+    #[test]
+    fn bank_striped_rows_hold_many_pages() {
+        // Two addresses 2 MB apart (different 4 KB pages) can share a row:
+        // find the encode of the same (bank, row) with different columns.
+        let m = BankStripedMapping::new(org());
+        let row_addr = DramAddress {
+            rank: 0,
+            bank_group: 0,
+            bank: 0,
+            row: 42,
+            column: 0,
+        };
+        let other_col = DramAddress {
+            column: 17,
+            ..row_addr
+        };
+        let pa0 = m.encode(&row_addr);
+        let pa1 = m.encode(&other_col);
+        // Different 4 KB pages...
+        assert_ne!(pa0 >> 12, pa1 >> 12);
+        // ...but the same DRAM row.
+        assert!(m.decode(pa0).same_row(&m.decode(pa1)));
+    }
+
+    #[test]
+    fn mop_round_trips() {
+        let m = MopMapping::new(org());
+        for pa in [0u64, 64, 4096, 1 << 20, (1 << 30) + 64 * 7, (1 << 36) + 4096 * 3] {
+            let decoded = m.decode(pa);
+            assert_eq!(m.encode(&decoded), pa, "MOP round trip failed for {pa:#x}");
+        }
+    }
+
+    #[test]
+    fn all_mappings_decode_within_bounds() {
+        let o = org();
+        for kind in [MappingKind::Mop, MappingKind::BankStriped, MappingKind::RowInterleaved] {
+            let m = kind.instantiate(o);
+            for pa in [0u64, 64, 1 << 21, (1 << 33) + 128, o.capacity_bytes() - 64] {
+                let d = m.decode(pa);
+                assert!(d.rank < o.ranks);
+                assert!(d.bank_group < o.bank_groups);
+                assert!(d.bank < o.banks_per_group);
+                assert!(d.row < o.rows_per_bank);
+                assert!(d.column < o.columns_per_row);
+            }
+        }
+    }
+
+    #[test]
+    fn row_interleaved_keeps_whole_row_contiguous() {
+        let m = RowInterleavedMapping::new(org());
+        let base = 0u64;
+        let first = m.decode(base);
+        for i in 1..u64::from(org().columns_per_row) {
+            let next = m.decode(base + i * 64);
+            assert!(first.same_row(&next));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn invalid_organisation_is_rejected() {
+        let mut o = DramOrganization::tiny_for_tests();
+        o.columns_per_row = 3;
+        let _ = MopMapping::new(o);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn org() -> DramOrganization {
+        DramOrganization::ddr5_32gb_quad_rank()
+    }
+
+    proptest! {
+        #[test]
+        fn mop_bijective(line in 0u64..(1u64 << 31)) {
+            let m = MopMapping::new(org());
+            let pa = line * 64;
+            let decoded = m.decode(pa);
+            prop_assert_eq!(m.encode(&decoded), pa);
+        }
+
+        #[test]
+        fn bank_striped_bijective(line in 0u64..(1u64 << 31)) {
+            let m = BankStripedMapping::new(org());
+            let pa = line * 64;
+            let decoded = m.decode(pa);
+            prop_assert_eq!(m.encode(&decoded), pa);
+        }
+
+        #[test]
+        fn row_interleaved_bijective(line in 0u64..(1u64 << 31)) {
+            let m = RowInterleavedMapping::new(org());
+            let pa = line * 64;
+            let decoded = m.decode(pa);
+            prop_assert_eq!(m.encode(&decoded), pa);
+        }
+
+        /// Distinct physical lines decode to distinct DRAM coordinates.
+        #[test]
+        fn decode_is_injective(a in 0u64..(1u64 << 28), b in 0u64..(1u64 << 28)) {
+            prop_assume!(a != b);
+            let m = MopMapping::new(org());
+            prop_assert_ne!(m.decode(a * 64), m.decode(b * 64));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Refresh-Management (RFM) engines: the pieces of the controller that decide
+//! *when* to issue RFM All-Bank commands, for every policy evaluated in the
+//! paper.
+//!
+//! * [`AboResponder`] — reacts to the DRAM's Alert signal: after allowing up
+//!   to `ABOACT` further activations (bounded by tABOACT), it issues the PRAC
+//!   level's worth of RFMab commands (1, 2 or 4).  These are the activity-
+//!   dependent **ABO-RFMs** PRACLeak exploits.
+//! * [`AcbRfmEngine`] — issues a proactive **ACB-RFM** whenever any bank has
+//!   accumulated `BAT` activations since its last RFM.  Still activity
+//!   dependent, still leaky.
+//! * TPRAC's **TB-RFMs** are produced by [`prac_core::tprac::TpracScheduler`]
+//!   and wired in by the controller.
+//! * [`RfmKind`] labels every issued RFM so the statistics can distinguish
+//!   the sources (and the attacks can check which kind they observed).
+
+use prac_core::config::PracConfig;
+use serde::{Deserialize, Serialize};
+
+/// Why an RFM All-Bank command was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RfmKind {
+    /// Triggered by the Alert Back-Off protocol (activity dependent).
+    AboRfm,
+    /// Proactive Activation-Based RFM triggered by the Bank-Activation
+    /// threshold (activity dependent).
+    AcbRfm,
+    /// TPRAC Timing-Based RFM (activity independent).
+    TbRfm,
+    /// Randomly injected RFM from the obfuscation defense.
+    InjectedRfm,
+}
+
+impl RfmKind {
+    /// `true` for RFMs whose timing depends on memory activity (the
+    /// exploitable ones).
+    #[must_use]
+    pub fn is_activity_dependent(self) -> bool {
+        matches!(self, RfmKind::AboRfm | RfmKind::AcbRfm)
+    }
+}
+
+/// State machine responding to the DRAM's Alert signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AboResponder {
+    /// RFMs issued per Alert (the PRAC level).
+    rfms_per_alert: u32,
+    /// Delay between observing Alert and the first RFM (tABOACT budget).
+    response_delay_ticks: u64,
+    /// RFMab commands still owed for the current Alert.
+    pending_rfms: u32,
+    /// Tick at which the next owed RFM may be issued.
+    next_rfm_at: u64,
+    /// Total ABO events handled.
+    alerts_handled: u64,
+}
+
+impl AboResponder {
+    /// Creates a responder from the PRAC configuration and the tABOACT bound
+    /// (in ticks).
+    #[must_use]
+    pub fn new(prac: &PracConfig, t_abo_act_ticks: u64) -> Self {
+        Self {
+            rfms_per_alert: prac.rfms_per_alert(),
+            response_delay_ticks: t_abo_act_ticks,
+            pending_rfms: 0,
+            next_rfm_at: 0,
+            alerts_handled: 0,
+        }
+    }
+
+    /// Notifies the responder that the Alert signal is asserted at `now`.
+    /// Has no effect if a response is already in flight.
+    pub fn on_alert(&mut self, now: u64) {
+        if self.pending_rfms == 0 {
+            self.pending_rfms = self.rfms_per_alert;
+            self.next_rfm_at = now + self.response_delay_ticks;
+            self.alerts_handled += 1;
+        }
+    }
+
+    /// Returns `true` when an RFM should be issued at `now`; the caller must
+    /// then call [`AboResponder::rfm_issued`] with the tick at which the next
+    /// RFM becomes possible (end of the current RFM's blocking period).
+    #[must_use]
+    pub fn wants_rfm(&self, now: u64) -> bool {
+        self.pending_rfms > 0 && now >= self.next_rfm_at
+    }
+
+    /// Records that one of the owed RFMs was issued; `next_possible` is the
+    /// earliest tick a subsequent RFM may start (typically the end of the
+    /// current blocking period).
+    pub fn rfm_issued(&mut self, next_possible: u64) {
+        debug_assert!(self.pending_rfms > 0);
+        self.pending_rfms -= 1;
+        self.next_rfm_at = next_possible;
+    }
+
+    /// RFMs still owed for the current Alert.
+    #[must_use]
+    pub fn pending(&self) -> u32 {
+        self.pending_rfms
+    }
+
+    /// Number of distinct Alert events responded to.
+    #[must_use]
+    pub fn alerts_handled(&self) -> u64 {
+        self.alerts_handled
+    }
+}
+
+/// Proactive Activation-Based RFM engine (the JEDEC Targeted-RFM mechanism):
+/// issues an RFM when any bank's activation count since its last RFM reaches
+/// the Bank-Activation threshold (BAT).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcbRfmEngine {
+    bank_activation_threshold: u32,
+    rfms_requested: u64,
+}
+
+impl AcbRfmEngine {
+    /// Creates the engine with the configured BAT.
+    #[must_use]
+    pub fn new(prac: &PracConfig) -> Self {
+        Self {
+            bank_activation_threshold: prac.bank_activation_threshold,
+            rfms_requested: 0,
+        }
+    }
+
+    /// Given the per-bank activation counts since each bank's last RFM,
+    /// returns `true` when an ACB-RFM should be issued now.
+    #[must_use]
+    pub fn wants_rfm(&self, activations_since_rfm_per_bank: impl IntoIterator<Item = u32>) -> bool {
+        activations_since_rfm_per_bank
+            .into_iter()
+            .any(|acts| acts >= self.bank_activation_threshold)
+    }
+
+    /// Records that an ACB-RFM was issued.
+    pub fn rfm_issued(&mut self) {
+        self.rfms_requested += 1;
+    }
+
+    /// Number of ACB-RFMs requested so far.
+    #[must_use]
+    pub fn rfms_requested(&self) -> u64 {
+        self.rfms_requested
+    }
+
+    /// The configured Bank-Activation threshold.
+    #[must_use]
+    pub fn bank_activation_threshold(&self) -> u32 {
+        self.bank_activation_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prac_core::config::{PracConfig, PracLevel};
+
+    #[test]
+    fn rfm_kind_activity_dependence() {
+        assert!(RfmKind::AboRfm.is_activity_dependent());
+        assert!(RfmKind::AcbRfm.is_activity_dependent());
+        assert!(!RfmKind::TbRfm.is_activity_dependent());
+        assert!(!RfmKind::InjectedRfm.is_activity_dependent());
+    }
+
+    #[test]
+    fn abo_responder_owes_prac_level_rfms() {
+        for (level, expected) in [(PracLevel::One, 1), (PracLevel::Two, 2), (PracLevel::Four, 4)] {
+            let prac = PracConfig::builder().prac_level(level).build();
+            let mut r = AboResponder::new(&prac, 720);
+            r.on_alert(1000);
+            assert_eq!(r.pending(), expected);
+            assert_eq!(r.alerts_handled(), 1);
+        }
+    }
+
+    #[test]
+    fn abo_responder_waits_for_taboact() {
+        let prac = PracConfig::paper_default();
+        let mut r = AboResponder::new(&prac, 720);
+        r.on_alert(1000);
+        assert!(!r.wants_rfm(1000));
+        assert!(!r.wants_rfm(1719));
+        assert!(r.wants_rfm(1720));
+    }
+
+    #[test]
+    fn abo_responder_spaces_multiple_rfms() {
+        let prac = PracConfig::builder().prac_level(PracLevel::Two).build();
+        let mut r = AboResponder::new(&prac, 0);
+        r.on_alert(0);
+        assert!(r.wants_rfm(0));
+        r.rfm_issued(1400); // first RFM blocks until tick 1400
+        assert!(!r.wants_rfm(100));
+        assert!(r.wants_rfm(1400));
+        r.rfm_issued(2800);
+        assert_eq!(r.pending(), 0);
+        assert!(!r.wants_rfm(10_000));
+    }
+
+    #[test]
+    fn abo_responder_ignores_realert_while_pending() {
+        let prac = PracConfig::builder().prac_level(PracLevel::Four).build();
+        let mut r = AboResponder::new(&prac, 0);
+        r.on_alert(0);
+        r.on_alert(10);
+        assert_eq!(r.pending(), 4);
+        assert_eq!(r.alerts_handled(), 1);
+    }
+
+    #[test]
+    fn acb_engine_triggers_at_bat() {
+        let prac = PracConfig::builder().bank_activation_threshold(16).build();
+        let mut e = AcbRfmEngine::new(&prac);
+        assert!(!e.wants_rfm([0, 5, 15]));
+        assert!(e.wants_rfm([0, 16, 2]));
+        e.rfm_issued();
+        assert_eq!(e.rfms_requested(), 1);
+        assert_eq!(e.bank_activation_threshold(), 16);
+    }
+}

@@ -1,0 +1,198 @@
+//! First-Ready First-Come-First-Served (FR-FCFS) scheduling with a cap on
+//! consecutive row-buffer hits.
+//!
+//! FR-FCFS prioritises requests whose target row is already open (row-buffer
+//! hits) because they can be serviced with a single column command; among
+//! equally-ready requests the oldest wins.  Uncapped FR-FCFS can starve
+//! row-miss requests, so — following the paper's configuration ("FR-FCFS with
+//! a cap of 4") — after `cap` consecutive hits to the same bank the scheduler
+//! falls back to the oldest request.
+
+use dram_sim::org::DramAddress;
+use serde::{Deserialize, Serialize};
+
+/// A candidate visible to the scheduler: its queue slot, decoded address and
+/// whether the target row is currently open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerCandidate {
+    /// Index of the request in the controller's pending queue.
+    pub queue_index: usize,
+    /// Decoded DRAM coordinate of the request.
+    pub address: DramAddress,
+    /// Whether the bank currently has this row open (row-buffer hit).
+    pub row_hit: bool,
+    /// Arrival tick (for FCFS ordering).
+    pub arrival_tick: u64,
+}
+
+/// FR-FCFS scheduler state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrFcfsScheduler {
+    cap: u32,
+    consecutive_hits: u32,
+    last_hit_bank: Option<u32>,
+}
+
+impl FrFcfsScheduler {
+    /// Creates a scheduler with the given row-hit cap (0 disables capping).
+    #[must_use]
+    pub fn new(cap: u32) -> Self {
+        Self {
+            cap,
+            consecutive_hits: 0,
+            last_hit_bank: None,
+        }
+    }
+
+    /// The paper's configuration: FR-FCFS with a cap of 4.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(4)
+    }
+
+    /// Picks the next request to service from `candidates`, returning its
+    /// `queue_index`.  Returns `None` when there are no candidates.
+    pub fn pick(&mut self, candidates: &[SchedulerCandidate], flat_bank_of: impl Fn(&DramAddress) -> u32) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let oldest = candidates
+            .iter()
+            .min_by_key(|c| (c.arrival_tick, c.queue_index))
+            .expect("candidates is non-empty");
+        let oldest_hit_allowed = self.cap == 0 || self.consecutive_hits < self.cap;
+        let chosen = if oldest_hit_allowed {
+            // Prefer the oldest row hit, else the oldest request overall.
+            candidates
+                .iter()
+                .filter(|c| c.row_hit)
+                .min_by_key(|c| (c.arrival_tick, c.queue_index))
+                .unwrap_or(oldest)
+        } else {
+            // Cap reached: force the oldest request regardless of hit status.
+            oldest
+        };
+        let bank = flat_bank_of(&chosen.address);
+        if chosen.row_hit && self.last_hit_bank == Some(bank) {
+            self.consecutive_hits += 1;
+        } else if chosen.row_hit {
+            self.consecutive_hits = 1;
+            self.last_hit_bank = Some(bank);
+        } else {
+            self.consecutive_hits = 0;
+            self.last_hit_bank = None;
+        }
+        Some(chosen.queue_index)
+    }
+
+    /// Number of consecutive row hits scheduled to the same bank so far.
+    #[must_use]
+    pub fn consecutive_hits(&self) -> u32 {
+        self.consecutive_hits
+    }
+}
+
+impl Default for FrFcfsScheduler {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::org::DramOrganization;
+
+    fn candidate(queue_index: usize, bank: u32, row: u32, row_hit: bool, arrival: u64) -> SchedulerCandidate {
+        let org = DramOrganization::tiny_for_tests();
+        SchedulerCandidate {
+            queue_index,
+            address: DramAddress::new(&org, 0, bank % org.bank_groups, 0, row, 0),
+            row_hit,
+            arrival_tick: arrival,
+        }
+    }
+
+    fn flat(addr: &DramAddress) -> u32 {
+        DramOrganization::tiny_for_tests().flat_bank_index(addr.rank, addr.bank_group, addr.bank)
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut s = FrFcfsScheduler::paper_default();
+        assert_eq!(s.pick(&[], flat), None);
+    }
+
+    #[test]
+    fn row_hits_win_over_older_misses() {
+        let mut s = FrFcfsScheduler::paper_default();
+        let c = vec![
+            candidate(0, 0, 1, false, 10),
+            candidate(1, 1, 2, true, 20),
+        ];
+        assert_eq!(s.pick(&c, flat), Some(1));
+    }
+
+    #[test]
+    fn oldest_wins_among_misses() {
+        let mut s = FrFcfsScheduler::paper_default();
+        let c = vec![
+            candidate(0, 0, 1, false, 30),
+            candidate(1, 1, 2, false, 10),
+        ];
+        assert_eq!(s.pick(&c, flat), Some(1));
+    }
+
+    #[test]
+    fn oldest_wins_among_hits() {
+        let mut s = FrFcfsScheduler::paper_default();
+        let c = vec![
+            candidate(0, 0, 1, true, 30),
+            candidate(1, 0, 1, true, 10),
+        ];
+        assert_eq!(s.pick(&c, flat), Some(1));
+    }
+
+    #[test]
+    fn cap_forces_oldest_after_four_hits() {
+        let mut s = FrFcfsScheduler::new(4);
+        let hits = vec![candidate(0, 0, 1, true, 100)];
+        for _ in 0..4 {
+            assert_eq!(s.pick(&hits, flat), Some(0));
+        }
+        assert_eq!(s.consecutive_hits(), 4);
+        // Now an older miss must win even though a hit exists.
+        let mixed = vec![
+            candidate(0, 0, 1, true, 100),
+            candidate(1, 1, 2, false, 50),
+        ];
+        assert_eq!(s.pick(&mixed, flat), Some(1));
+        // Counter resets after servicing a miss.
+        assert_eq!(s.consecutive_hits(), 0);
+    }
+
+    #[test]
+    fn cap_zero_never_forces_misses() {
+        let mut s = FrFcfsScheduler::new(0);
+        let mixed = vec![
+            candidate(0, 0, 1, true, 100),
+            candidate(1, 1, 2, false, 50),
+        ];
+        for _ in 0..16 {
+            assert_eq!(s.pick(&mixed, flat), Some(0));
+        }
+    }
+
+    #[test]
+    fn hit_streak_tracks_bank_changes() {
+        let mut s = FrFcfsScheduler::new(4);
+        let bank_a = vec![candidate(0, 0, 1, true, 1)];
+        let bank_b = vec![candidate(0, 1, 1, true, 1)];
+        s.pick(&bank_a, flat);
+        s.pick(&bank_a, flat);
+        assert_eq!(s.consecutive_hits(), 2);
+        // Switching banks restarts the streak.
+        s.pick(&bank_b, flat);
+        assert_eq!(s.consecutive_hits(), 1);
+    }
+}

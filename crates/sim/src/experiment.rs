@@ -1,0 +1,336 @@
+//! Mitigation-configuration descriptors and workload runners for the
+//! performance experiments (Figures 10–14).
+//!
+//! Every performance figure compares one or more *protected* configurations
+//! against the same baseline: a PRAC-enabled DDR5 system **without** the
+//! Alert Back-Off protocol (no mitigation RFMs of any kind).  The helpers
+//! here build the corresponding [`SystemConfig`]s from a RowHammer threshold
+//! and run a workload under them, returning normalised performance.
+
+use cpu_sim::config::CpuConfig;
+use cpu_sim::trace::Trace;
+use dram_sim::device::DramDeviceConfig;
+use memctrl::controller::ControllerConfig;
+use prac_core::config::{MitigationPolicy, PracConfig, PracLevel};
+use prac_core::security::CounterResetPolicy;
+use prac_core::timing::DramTimingSummary;
+use prac_core::tprac::{TpracConfig, TrefRate};
+use serde::{Deserialize, Serialize};
+use workloads::generator::SyntheticWorkload;
+
+use crate::system::{SystemConfig, SystemResult, SystemSimulation};
+
+/// Which mitigation configuration a run uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MitigationSetup {
+    /// PRAC-enabled DRAM without the ABO protocol: no mitigation RFMs at all.
+    /// This is the normalisation baseline of every performance figure.
+    BaselineNoAbo,
+    /// Rely solely on the ABO protocol (insecure against timing channels).
+    AboOnly,
+    /// ABO plus proactive Activation-Based RFMs (insecure against timing
+    /// channels).
+    AboPlusAcbRfm,
+    /// The TPRAC defense.
+    Tprac {
+        /// Targeted-Refresh rate used to skip TB-RFMs.
+        tref_rate: TrefRate,
+        /// Whether per-row counters reset every tREFW.
+        counter_reset: bool,
+    },
+}
+
+impl MitigationSetup {
+    /// Label used in reports and plots.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            MitigationSetup::BaselineNoAbo => "Baseline (no ABO)".to_string(),
+            MitigationSetup::AboOnly => "ABO-Only".to_string(),
+            MitigationSetup::AboPlusAcbRfm => "ABO+ACB-RFM".to_string(),
+            MitigationSetup::Tprac { tref_rate, counter_reset } => {
+                let reset = if *counter_reset { "" } else { "-NoReset" };
+                match tref_rate {
+                    TrefRate::None => format!("TPRAC{reset} w/o Targeted"),
+                    TrefRate::EveryTrefi(n) => format!("TPRAC{reset} w/ 1 Targeted per {n} tREFI"),
+                }
+            }
+        }
+    }
+
+    /// The four-way comparison used by Figure 10 and Figure 11.
+    #[must_use]
+    pub fn figure10_set() -> Vec<MitigationSetup> {
+        vec![
+            MitigationSetup::AboOnly,
+            MitigationSetup::AboPlusAcbRfm,
+            MitigationSetup::Tprac {
+                tref_rate: TrefRate::None,
+                counter_reset: true,
+            },
+        ]
+    }
+}
+
+/// Full experiment configuration: mitigation setup + sweep parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// RowHammer threshold (`NRH`); `NBO` is set equal to it.
+    pub rowhammer_threshold: u32,
+    /// PRAC level (RFMs per Alert).
+    pub prac_level: PracLevel,
+    /// The mitigation configuration under test.
+    pub setup: MitigationSetup,
+    /// Instructions per core.
+    pub instructions_per_core: u64,
+    /// Number of cores (homogeneous workload copies).
+    pub cores: u32,
+}
+
+impl ExperimentConfig {
+    /// The paper's default operating point (NRH = 1024, PRAC-1, 4 cores) with
+    /// a configurable instruction budget.
+    #[must_use]
+    pub fn new(setup: MitigationSetup, instructions_per_core: u64) -> Self {
+        Self {
+            rowhammer_threshold: 1024,
+            prac_level: PracLevel::One,
+            setup,
+            instructions_per_core,
+            cores: 4,
+        }
+    }
+
+    /// Sets the RowHammer threshold.
+    #[must_use]
+    pub fn with_rowhammer_threshold(mut self, nrh: u32) -> Self {
+        self.rowhammer_threshold = nrh;
+        self
+    }
+
+    /// Sets the PRAC level.
+    #[must_use]
+    pub fn with_prac_level(mut self, level: PracLevel) -> Self {
+        self.prac_level = level;
+        self
+    }
+
+    /// Sets the core count.
+    #[must_use]
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Derives the DRAM-device and controller configurations for this
+    /// experiment.
+    #[must_use]
+    pub fn build_system_config(&self) -> SystemConfig {
+        let timing = DramTimingSummary::ddr5_8000b();
+        let (policy, counter_reset, nbo, tref_refreshes) = match &self.setup {
+            MitigationSetup::BaselineNoAbo => {
+                // A Back-Off threshold nothing benign (or even adversarial,
+                // within the run length) can reach: ABO never fires and no
+                // RFMs are issued.
+                (MitigationPolicy::AboOnly, true, 1 << 30, None)
+            }
+            MitigationSetup::AboOnly => (
+                MitigationPolicy::AboOnly,
+                true,
+                self.rowhammer_threshold,
+                None,
+            ),
+            MitigationSetup::AboPlusAcbRfm => (
+                MitigationPolicy::AboPlusAcbRfm,
+                true,
+                self.rowhammer_threshold,
+                None,
+            ),
+            MitigationSetup::Tprac {
+                tref_rate,
+                counter_reset,
+            } => {
+                let reset_policy = if *counter_reset {
+                    CounterResetPolicy::ResetEveryTrefw
+                } else {
+                    CounterResetPolicy::NoReset
+                };
+                let tprac = TpracConfig::solve_for_threshold(
+                    self.rowhammer_threshold,
+                    &timing,
+                    reset_policy,
+                )
+                .unwrap_or_else(|_| TpracConfig::with_window_trefi(0.1, &timing))
+                .with_tref_rate(*tref_rate);
+                let tref_refreshes = match tref_rate {
+                    TrefRate::None => None,
+                    TrefRate::EveryTrefi(n) => Some(*n),
+                };
+                (
+                    MitigationPolicy::Tprac(tprac),
+                    *counter_reset,
+                    self.rowhammer_threshold,
+                    tref_refreshes,
+                )
+            }
+        };
+        let nrh_for_config = nbo.max(self.rowhammer_threshold);
+        let prac = PracConfig::builder()
+            .rowhammer_threshold(nrh_for_config)
+            .back_off_threshold(nbo)
+            .prac_level(self.prac_level)
+            .counter_reset_every_trefw(counter_reset)
+            .policy(policy)
+            .build();
+        let device = DramDeviceConfig {
+            prac,
+            tref_every_n_refreshes: tref_refreshes,
+            ..DramDeviceConfig::paper_default()
+        };
+        let mut cpu = CpuConfig::paper_default();
+        cpu.cores = self.cores;
+        SystemConfig {
+            cpu,
+            device,
+            controller: ControllerConfig::default(),
+            instructions_per_core: self.instructions_per_core,
+            max_ticks: self.instructions_per_core.saturating_mul(600).max(20_000_000),
+        }
+    }
+}
+
+/// Runs `workload` (one copy per core) under the given experiment
+/// configuration and returns the raw result.
+#[must_use]
+pub fn run_workload(config: &ExperimentConfig, workload: &SyntheticWorkload, seed: u64) -> SystemResult {
+    let system_config = config.build_system_config();
+    let traces: Vec<Trace> = (0..config.cores)
+        .map(|core| {
+            // Give each core its own slice of the address space so four
+            // copies do not trivially share cache lines, mirroring the
+            // paper's rate-mode methodology.
+            let mut per_core = workload.clone();
+            per_core.base_address = workload.base_address + u64::from(core) * (1 << 30);
+            per_core.generate(config.instructions_per_core, seed ^ u64::from(core))
+        })
+        .collect();
+    SystemSimulation::new(system_config, traces).run()
+}
+
+/// Runs `workload` under `setup` and under the no-ABO baseline, returning
+/// `(normalised performance, protected result, baseline result)`.
+#[must_use]
+pub fn run_workload_normalized(
+    config: &ExperimentConfig,
+    workload: &SyntheticWorkload,
+    seed: u64,
+) -> (f64, SystemResult, SystemResult) {
+    let protected = run_workload(config, workload, seed);
+    let baseline_config = ExperimentConfig {
+        setup: MitigationSetup::BaselineNoAbo,
+        ..config.clone()
+    };
+    let baseline = run_workload(&baseline_config, workload, seed);
+    let normalized = if baseline.total_ipc() > 0.0 {
+        protected.total_ipc() / baseline.total_ipc()
+    } else {
+        0.0
+    };
+    (normalized, protected, baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::generator::AccessPattern;
+
+    const INSTR: u64 = 30_000;
+
+    fn high_intensity_workload() -> SyntheticWorkload {
+        SyntheticWorkload::new("h-test", 60, AccessPattern::RandomLarge).with_footprint(64 << 20)
+    }
+
+    fn low_intensity_workload() -> SyntheticWorkload {
+        SyntheticWorkload::new("l-test", 1, AccessPattern::CacheResident)
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(MitigationSetup::AboOnly.label(), "ABO-Only");
+        assert!(MitigationSetup::Tprac {
+            tref_rate: TrefRate::EveryTrefi(2),
+            counter_reset: true
+        }
+        .label()
+        .contains("per 2 tREFI"));
+        assert!(MitigationSetup::Tprac {
+            tref_rate: TrefRate::None,
+            counter_reset: false
+        }
+        .label()
+        .contains("NoReset"));
+    }
+
+    #[test]
+    fn baseline_config_never_issues_rfms() {
+        let config = ExperimentConfig::new(MitigationSetup::BaselineNoAbo, INSTR).with_cores(2);
+        let result = run_workload(&config, &high_intensity_workload(), 1);
+        assert!(result.completed);
+        assert_eq!(result.controller_stats.total_rfms(), 0);
+    }
+
+    #[test]
+    fn tprac_issues_tb_rfms_and_slows_memory_bound_workloads() {
+        let tprac = ExperimentConfig::new(
+            MitigationSetup::Tprac {
+                tref_rate: TrefRate::None,
+                counter_reset: true,
+            },
+            INSTR,
+        )
+        .with_cores(2);
+        let (normalized, protected, baseline) =
+            run_workload_normalized(&tprac, &high_intensity_workload(), 2);
+        assert!(protected.completed && baseline.completed);
+        assert!(protected.controller_stats.tb_rfms > 0, "{:?}", protected.controller_stats);
+        assert_eq!(protected.controller_stats.abo_rfms, 0);
+        assert!(
+            normalized <= 1.005,
+            "TPRAC cannot be faster than the unprotected baseline: {normalized}"
+        );
+        assert!(
+            normalized > 0.80,
+            "TPRAC slowdown should be moderate at NRH=1024: {normalized}"
+        );
+    }
+
+    #[test]
+    fn low_intensity_workloads_are_barely_affected_by_tprac() {
+        let tprac = ExperimentConfig::new(
+            MitigationSetup::Tprac {
+                tref_rate: TrefRate::None,
+                counter_reset: true,
+            },
+            INSTR,
+        )
+        .with_cores(2);
+        let (normalized, _, _) = run_workload_normalized(&tprac, &low_intensity_workload(), 3);
+        assert!(
+            normalized > 0.97,
+            "cache-resident workloads should see <3% slowdown, got {normalized}"
+        );
+    }
+
+    #[test]
+    fn abo_only_has_negligible_overhead_for_benign_workloads() {
+        let abo = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_cores(2);
+        let (normalized, protected, _) = run_workload_normalized(&abo, &high_intensity_workload(), 4);
+        assert_eq!(protected.controller_stats.abo_rfms, 0, "benign workloads never hit NBO");
+        assert!(normalized > 0.98, "ABO-Only should be near-baseline: {normalized}");
+    }
+
+    #[test]
+    fn figure10_set_contains_three_configurations() {
+        assert_eq!(MitigationSetup::figure10_set().len(), 3);
+    }
+}

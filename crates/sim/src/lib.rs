@@ -1,0 +1,31 @@
+//! # system-sim
+//!
+//! The full-system simulation harness: trace-driven cores and caches
+//! (`cpu-sim`) in front of a PRAC-enabled DDR5 memory system (`memctrl` +
+//! `dram-sim`), used to reproduce the paper's performance, energy and
+//! sensitivity studies (Figures 10–14 and Table 5).
+//!
+//! * [`system`] — the [`system::SystemSimulation`] tick loop wiring the CPU
+//!   cluster to the memory controller, and the per-run result record.
+//! * [`experiment`] — mitigation-configuration descriptors (baseline without
+//!   ABO, ABO-Only, ABO+ACB-RFM, TPRAC with/without TREF and counter reset)
+//!   and helpers that run a workload under a configuration and report
+//!   normalised performance.
+//! * [`energy`] — converts run results into the Table 5 energy-overhead rows
+//!   via the `prac-core` energy model.
+//! * [`parallel`] — a small thread-pool helper (crossbeam-based) used by the
+//!   bench harness to sweep workloads and configurations concurrently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod energy;
+pub mod experiment;
+pub mod parallel;
+pub mod system;
+
+pub use energy::energy_overhead_for;
+pub use experiment::{ExperimentConfig, MitigationSetup, run_workload, run_workload_normalized};
+pub use parallel::parallel_map;
+pub use system::{SystemConfig, SystemResult, SystemSimulation};

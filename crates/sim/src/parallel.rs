@@ -1,0 +1,84 @@
+//! A small scoped-thread helper for sweeping experiments in parallel.
+//!
+//! The bench harness runs many independent (workload × configuration)
+//! simulations; [`parallel_map`] fans them out over a bounded number of
+//! worker threads using crossbeam's scoped threads, preserving input order in
+//! the output.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Applies `f` to every item of `inputs` using up to `workers` threads and
+/// returns the results in input order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
+    let workers = workers.max(1);
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+    for pair in inputs.into_iter().enumerate() {
+        task_tx.send(pair).expect("queueing tasks cannot fail");
+    }
+    drop(task_tx);
+
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            let task_rx = task_rx.clone();
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok((index, input)) = task_rx.recv() {
+                    let output = f(&input);
+                    results.lock()[index] = Some(output);
+                }
+            });
+        }
+    })
+    .expect("a worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every task produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = parallel_map((0..100).collect(), 8, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_still_completes() {
+        let out = parallel_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let out = parallel_map(vec![5], 32, |x| x * x);
+        assert_eq!(out, vec![25]);
+    }
+}

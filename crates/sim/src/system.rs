@@ -1,0 +1,263 @@
+//! The full-system tick loop: CPU cluster ⇄ memory controller ⇄ PRAC DRAM.
+
+use cpu_sim::cluster::CpuCluster;
+use cpu_sim::config::CpuConfig;
+use cpu_sim::stats::CoreStats;
+use cpu_sim::trace::Trace;
+use dram_sim::device::DramDeviceConfig;
+use dram_sim::stats::DramStats;
+use memctrl::controller::{ControllerConfig, MemoryController};
+use memctrl::request::{MemoryRequest, RequestKind};
+use memctrl::stats::ControllerStats;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one full-system run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// CPU and cache-hierarchy configuration.
+    pub cpu: CpuConfig,
+    /// DRAM device configuration (organisation, timing, PRAC).
+    pub device: DramDeviceConfig,
+    /// Memory-controller configuration.
+    pub controller: ControllerConfig,
+    /// Instructions each core must retire before the run ends.
+    pub instructions_per_core: u64,
+    /// Hard cap on simulated ticks (safety net against livelock).
+    pub max_ticks: u64,
+}
+
+impl SystemConfig {
+    /// Paper-like defaults with a reduced instruction budget suitable for
+    /// laptop-scale runs (the paper simulates 200 M instructions per core on
+    /// a cluster; relative results stabilise far earlier for synthetic
+    /// workloads).
+    #[must_use]
+    pub fn paper_default(instructions_per_core: u64) -> Self {
+        Self {
+            cpu: CpuConfig::paper_default(),
+            device: DramDeviceConfig::paper_default(),
+            controller: ControllerConfig::default(),
+            instructions_per_core,
+            max_ticks: instructions_per_core.saturating_mul(400).max(10_000_000),
+        }
+    }
+}
+
+/// Result of one full-system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemResult {
+    /// Per-core statistics (IPC, misses, …).
+    pub core_stats: Vec<CoreStats>,
+    /// Memory-controller statistics (RFM counts, latencies, …).
+    pub controller_stats: ControllerStats,
+    /// DRAM device statistics (activations, refreshes, mitigations, …).
+    pub dram_stats: DramStats,
+    /// Number of ticks the run took (time for the slowest core to finish).
+    pub elapsed_ticks: u64,
+    /// Whether every core finished within the tick budget.
+    pub completed: bool,
+}
+
+impl SystemResult {
+    /// Sum of per-core IPCs — for homogeneous workload mixes this ratio
+    /// between two configurations equals the weighted-speedup ratio.
+    #[must_use]
+    pub fn total_ipc(&self) -> f64 {
+        self.core_stats.iter().map(CoreStats::ipc).sum()
+    }
+
+    /// Execution time in nanoseconds.
+    #[must_use]
+    pub fn execution_time_ns(&self) -> f64 {
+        self.elapsed_ticks as f64 * 0.25
+    }
+
+    /// Average misses-per-kilo-instruction across cores.
+    #[must_use]
+    pub fn average_mpki(&self) -> f64 {
+        if self.core_stats.is_empty() {
+            return 0.0;
+        }
+        self.core_stats
+            .iter()
+            .map(CoreStats::misses_per_kilo_instruction)
+            .sum::<f64>()
+            / self.core_stats.len() as f64
+    }
+}
+
+/// A full-system simulation instance.
+#[derive(Debug)]
+pub struct SystemSimulation {
+    cluster: CpuCluster,
+    controller: MemoryController,
+    instructions_per_core: u64,
+    max_ticks: u64,
+    /// Maps an in-flight controller request id to (core, core-local id).
+    /// Controller ids are globally unique, so a flat Vec-backed map keyed by
+    /// id modulo capacity would risk collisions; a HashMap stays simple and
+    /// is far from the critical path.
+    inflight: std::collections::HashMap<u64, (u32, u64)>,
+    next_controller_id: u64,
+}
+
+impl SystemSimulation {
+    /// Builds a simulation running one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the number of traces does not match the configured core
+    /// count (propagated from [`CpuCluster::new`]).
+    #[must_use]
+    pub fn new(config: SystemConfig, traces: Vec<Trace>) -> Self {
+        let cluster = CpuCluster::new(config.cpu.clone(), traces, config.instructions_per_core);
+        let controller = MemoryController::new(config.device.clone(), config.controller.clone());
+        Self {
+            cluster,
+            controller,
+            instructions_per_core: config.instructions_per_core,
+            max_ticks: config.max_ticks,
+            inflight: std::collections::HashMap::new(),
+            next_controller_id: 0,
+        }
+    }
+
+    /// The instruction budget per core.
+    #[must_use]
+    pub fn instructions_per_core(&self) -> u64 {
+        self.instructions_per_core
+    }
+
+    /// Runs the simulation to completion (or the tick cap) and returns the
+    /// collected statistics.
+    pub fn run(mut self) -> SystemResult {
+        let mut now = 0u64;
+        let mut backlog: Vec<(u32, cpu_sim::core_model::CoreMemoryRequest)> = Vec::new();
+        while now < self.max_ticks && !self.cluster.all_finished() {
+            // 1. CPU side: collect new DRAM-bound requests.
+            let output = self.cluster.tick(now);
+            backlog.extend(output.requests);
+
+            // 2. Forward as many backlog requests as the controller accepts.
+            while !backlog.is_empty() && self.controller.can_accept() {
+                let (core, req) = backlog.swap_remove(0);
+                let id = self.next_controller_id;
+                self.next_controller_id += 1;
+                let request = if req.is_write {
+                    MemoryRequest::write(id, req.address, core, now)
+                } else {
+                    MemoryRequest::read(id, req.address, core, now)
+                };
+                let accepted = self.controller.enqueue(request);
+                debug_assert!(accepted);
+                if !req.is_write && core != u32::MAX {
+                    self.inflight.insert(id, (core, req.id));
+                }
+            }
+
+            // 3. Memory side: advance one tick and route completions.
+            for completion in self.controller.tick(now) {
+                if completion.kind == RequestKind::Read {
+                    if let Some((core, core_req_id)) = self.inflight.remove(&completion.id) {
+                        self.cluster.on_memory_completion(core, core_req_id);
+                    }
+                }
+            }
+            now += 1;
+        }
+        SystemResult {
+            core_stats: self.cluster.core_stats(),
+            controller_stats: self.controller.stats().clone(),
+            dram_stats: *self.controller.device().stats(),
+            elapsed_ticks: now,
+            completed: self.cluster.all_finished(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_sim::trace::TraceOp;
+    use prac_core::config::PracConfig;
+
+    fn tiny_system(instr: u64, traces: Vec<Trace>) -> SystemSimulation {
+        let cores = traces.len() as u32;
+        let mut cpu = CpuConfig::tiny_for_tests();
+        cpu.cores = cores;
+        let prac = PracConfig::builder().rowhammer_threshold(1024).build();
+        let device = DramDeviceConfig {
+            organization: dram_sim::org::DramOrganization::ddr5_32gb_quad_rank(),
+            timing: dram_sim::timing::DramTimingParams::ddr5_8000b(),
+            prac,
+            queue_kind: prac_core::queue::QueueKind::SingleEntryFrequency,
+            tref_every_n_refreshes: None,
+        };
+        let config = SystemConfig {
+            cpu,
+            device,
+            controller: ControllerConfig::default(),
+            instructions_per_core: instr,
+            max_ticks: 50_000_000,
+        };
+        SystemSimulation::new(config, traces)
+    }
+
+    fn memory_trace(base: u64, lines: u64) -> Trace {
+        let ops = (0..lines)
+            .flat_map(|i| [TraceOp::Load(base + i * 64), TraceOp::Compute(9)])
+            .collect();
+        Trace::new("mem", ops)
+    }
+
+    #[test]
+    fn compute_only_system_finishes_quickly() {
+        let traces = vec![
+            Trace::new("c0", vec![TraceOp::Compute(16)]),
+            Trace::new("c1", vec![TraceOp::Compute(16)]),
+        ];
+        let result = tiny_system(2_000, traces).run();
+        assert!(result.completed);
+        assert!(result.total_ipc() > 2.0);
+        assert_eq!(result.controller_stats.reads_completed, 0);
+    }
+
+    #[test]
+    fn memory_bound_system_reaches_dram_and_finishes() {
+        let traces = vec![
+            memory_trace(0x1_0000_0000, 4096),
+            memory_trace(0x2_0000_0000, 4096),
+        ];
+        let result = tiny_system(5_000, traces).run();
+        assert!(result.completed, "run hit the tick cap: {result:?}");
+        assert!(result.controller_stats.reads_completed > 100);
+        assert!(result.dram_stats.activations > 50);
+        assert!(result.average_mpki() > 1.0);
+        assert!(result.execution_time_ns() > 0.0);
+    }
+
+    #[test]
+    fn refreshes_are_issued_during_long_runs() {
+        let traces = vec![
+            memory_trace(0x1_0000_0000, 8192),
+            memory_trace(0x2_0000_0000, 8192),
+        ];
+        let result = tiny_system(20_000, traces).run();
+        assert!(result.completed);
+        // Runs longer than tREFI (15.6 K ticks) must contain refreshes.
+        if result.elapsed_ticks > 20_000 {
+            assert!(result.controller_stats.refreshes_issued > 0);
+        }
+    }
+
+    #[test]
+    fn total_ipc_sums_cores() {
+        let traces = vec![
+            Trace::new("c0", vec![TraceOp::Compute(4)]),
+            Trace::new("c1", vec![TraceOp::Compute(4)]),
+        ];
+        let result = tiny_system(1_000, traces).run();
+        let manual: f64 = result.core_stats.iter().map(|s| s.ipc()).sum();
+        assert!((result.total_ipc() - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Parameterised synthetic workload generator.
+//!
+//! A [`SyntheticWorkload`] is defined by its memory intensity (memory
+//! operations per kilo-instruction), its access pattern and footprint, and
+//! its store fraction.  Calling [`SyntheticWorkload::generate`] turns it into
+//! a [`Trace`] consumable by the core model.
+
+use cpu_sim::trace::{Trace, TraceOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::patterns::AddressPattern;
+
+/// High-level access-pattern selector for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Sequential streaming over a large footprint (row-buffer friendly but
+    /// cache-hostile).
+    Streaming,
+    /// Uniformly random accesses over a large footprint (row-buffer hostile
+    /// and cache hostile).
+    RandomLarge,
+    /// Accesses confined to a small hot set that fits in the caches.
+    CacheResident,
+    /// Strided accesses that skip across DRAM rows.
+    RowStrided,
+}
+
+/// A parameterised synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticWorkload {
+    /// Workload name (used for reporting).
+    pub name: String,
+    /// Memory operations per 1000 instructions.
+    pub mem_ops_per_kilo_instr: u32,
+    /// Fraction of memory operations that are stores, in `[0, 1]`.
+    pub store_fraction: f64,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Footprint in bytes for the large-footprint patterns.
+    pub footprint_bytes: u64,
+    /// Base physical address of the workload's region (keeps workloads on
+    /// different cores in disjoint regions).
+    pub base_address: u64,
+}
+
+impl SyntheticWorkload {
+    /// Creates a workload with the given name and intensity, using defaults
+    /// for the remaining fields (random pattern over 64 MB).
+    #[must_use]
+    pub fn new(name: impl Into<String>, mem_ops_per_kilo_instr: u32, pattern: AccessPattern) -> Self {
+        Self {
+            name: name.into(),
+            mem_ops_per_kilo_instr,
+            store_fraction: 0.25,
+            pattern,
+            footprint_bytes: 64 << 20,
+            base_address: 0x1_0000_0000,
+        }
+    }
+
+    /// Sets the base address of the workload's memory region.
+    #[must_use]
+    pub fn with_base_address(mut self, base: u64) -> Self {
+        self.base_address = base;
+        self
+    }
+
+    /// Sets the footprint.
+    #[must_use]
+    pub fn with_footprint(mut self, bytes: u64) -> Self {
+        self.footprint_bytes = bytes;
+        self
+    }
+
+    /// Sets the store fraction.
+    #[must_use]
+    pub fn with_store_fraction(mut self, fraction: f64) -> Self {
+        self.store_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    fn address_pattern(&self, seed: u64) -> AddressPattern {
+        match self.pattern {
+            AccessPattern::Streaming => AddressPattern::Streaming {
+                base: self.base_address,
+                footprint: self.footprint_bytes,
+            },
+            AccessPattern::RandomLarge => AddressPattern::Random {
+                base: self.base_address,
+                footprint: self.footprint_bytes,
+                seed,
+            },
+            AccessPattern::CacheResident => AddressPattern::HotSet {
+                base: self.base_address,
+                // 64 hot lines (4 KB): comfortably inside even the L1D.
+                lines: 64,
+            },
+            AccessPattern::RowStrided => AddressPattern::Strided {
+                base: self.base_address,
+                footprint: self.footprint_bytes,
+                // 8 KB stride: every access lands in a different DRAM row
+                // under row-interleaved layouts.
+                stride: 8 * 1024,
+            },
+        }
+    }
+
+    /// Generates a trace containing approximately `instructions` retired
+    /// instructions.
+    #[must_use]
+    pub fn generate(&self, instructions: u64, seed: u64) -> Trace {
+        let mut ops = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut addresses = self.address_pattern(seed).iter();
+        let mem_per_kilo = u64::from(self.mem_ops_per_kilo_instr.max(1));
+        // Compute-instruction gap between consecutive memory operations.
+        let gap = (1000 / mem_per_kilo).max(1) as u32;
+        let mut emitted: u64 = 0;
+        while emitted < instructions {
+            if gap > 1 {
+                ops.push(TraceOp::Compute(gap - 1));
+                emitted += u64::from(gap - 1);
+            }
+            let addr = addresses.next_address();
+            if rng.gen_bool(self.store_fraction) {
+                ops.push(TraceOp::Store(addr));
+            } else {
+                ops.push(TraceOp::Load(addr));
+            }
+            emitted += 1;
+        }
+        Trace::new(self.name.clone(), ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_trace_has_requested_intensity() {
+        let w = SyntheticWorkload::new("hot", 100, AccessPattern::RandomLarge);
+        let trace = w.generate(10_000, 1);
+        let instr = trace.instructions_per_pass();
+        let mem = trace.memory_ops_per_pass();
+        let mpki = mem as f64 * 1000.0 / instr as f64;
+        assert!((80.0..120.0).contains(&mpki), "memory ops per kilo-instr = {mpki}");
+    }
+
+    #[test]
+    fn low_intensity_workloads_have_sparse_memory_ops() {
+        let w = SyntheticWorkload::new("cold", 1, AccessPattern::CacheResident);
+        let trace = w.generate(50_000, 2);
+        let mpki = trace.memory_ops_per_pass() as f64 * 1000.0 / trace.instructions_per_pass() as f64;
+        assert!(mpki <= 1.5, "memory ops per kilo-instr = {mpki}");
+    }
+
+    #[test]
+    fn store_fraction_is_respected_approximately() {
+        let w = SyntheticWorkload::new("stores", 200, AccessPattern::Streaming).with_store_fraction(0.5);
+        let trace = w.generate(20_000, 3);
+        let stores = trace
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Store(_)))
+            .count() as f64;
+        let mems = trace.memory_ops_per_pass() as f64;
+        let frac = stores / mems;
+        assert!((0.4..0.6).contains(&frac), "store fraction = {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let w = SyntheticWorkload::new("det", 50, AccessPattern::RandomLarge);
+        assert_eq!(w.generate(5_000, 9), w.generate(5_000, 9));
+        assert_ne!(w.generate(5_000, 9), w.generate(5_000, 10));
+    }
+
+    #[test]
+    fn cache_resident_pattern_touches_few_lines() {
+        let w = SyntheticWorkload::new("resident", 100, AccessPattern::CacheResident)
+            .with_store_fraction(0.0);
+        let trace = w.generate(20_000, 4);
+        let mut lines = std::collections::HashSet::new();
+        for op in trace.ops() {
+            if let Some(addr) = op.address() {
+                lines.insert(addr / 64);
+            }
+        }
+        assert!(lines.len() <= 64);
+    }
+
+    #[test]
+    fn footprint_and_base_are_respected() {
+        let w = SyntheticWorkload::new("bounded", 100, AccessPattern::Streaming)
+            .with_base_address(0x2_0000_0000)
+            .with_footprint(1 << 20);
+        let trace = w.generate(10_000, 5);
+        for op in trace.ops() {
+            if let Some(addr) = op.address() {
+                assert!(addr >= 0x2_0000_0000);
+                assert!(addr < 0x2_0000_0000 + (1 << 20));
+            }
+        }
+    }
+}

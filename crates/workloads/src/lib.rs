@@ -1,0 +1,34 @@
+//! # workloads
+//!
+//! Synthetic workload generators standing in for the SPEC2006 / SPEC2017 /
+//! CloudSuite traces used by the paper's performance study.
+//!
+//! The paper buckets its 50 workloads purely by memory intensity —
+//! row-buffer misses per kilo-instruction (RBMPKI): High (≥ 10),
+//! Medium (1–10) and Low (< 1) — and reports slowdowns per bucket.  The
+//! generators here produce traces that land in the same buckets by
+//! construction, so the *relative* performance results (who is hurt by
+//! TB-RFMs, by roughly how much) are preserved even though the absolute
+//! instruction streams differ from the proprietary traces.
+//!
+//! Three building blocks are provided:
+//!
+//! * [`generator::SyntheticWorkload`] — a parameterised generator
+//!   (memory operations per kilo-instruction, footprint, access pattern,
+//!   write fraction),
+//! * [`suite`] — the named 50-workload suite mirroring Table 4's grouping
+//!   into SPEC2K6-like, SPEC2K17-like and CloudSuite-like entries, plus a
+//!   reduced "quick" suite for fast runs,
+//! * [`patterns`] — low-level address-pattern iterators (streaming,
+//!   strided, random-over-footprint, hot-set).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generator;
+pub mod patterns;
+pub mod suite;
+
+pub use generator::{AccessPattern, SyntheticWorkload};
+pub use suite::{MemoryIntensity, WorkloadGroup, WorkloadSpec, full_suite, quick_suite};

@@ -1,0 +1,189 @@
+//! Low-level address-pattern iterators used by the workload generators.
+//!
+//! All patterns produce cache-line-aligned physical addresses inside a
+//! contiguous region `[base, base + footprint)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Cache-line size assumed by all patterns.
+pub const LINE_BYTES: u64 = 64;
+
+/// A deterministic stream of cache-line addresses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AddressPattern {
+    /// Sequential lines, wrapping at the end of the footprint.
+    Streaming {
+        /// First byte of the region.
+        base: u64,
+        /// Region size in bytes.
+        footprint: u64,
+    },
+    /// Fixed-stride lines (stride expressed in bytes), wrapping at the end.
+    Strided {
+        /// First byte of the region.
+        base: u64,
+        /// Region size in bytes.
+        footprint: u64,
+        /// Stride between consecutive accesses, in bytes.
+        stride: u64,
+    },
+    /// Uniformly random lines over the footprint.
+    Random {
+        /// First byte of the region.
+        base: u64,
+        /// Region size in bytes.
+        footprint: u64,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// A small hot set of lines accessed round-robin (high cache locality).
+    HotSet {
+        /// First byte of the region.
+        base: u64,
+        /// Number of distinct hot lines.
+        lines: u64,
+    },
+}
+
+impl AddressPattern {
+    /// Creates an iterator over the pattern's addresses.
+    #[must_use]
+    pub fn iter(&self) -> PatternIter {
+        let rng = match self {
+            AddressPattern::Random { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        PatternIter {
+            pattern: self.clone(),
+            position: 0,
+            rng,
+        }
+    }
+
+    /// The number of distinct cache lines the pattern can touch.
+    #[must_use]
+    pub fn distinct_lines(&self) -> u64 {
+        match self {
+            AddressPattern::Streaming { footprint, .. }
+            | AddressPattern::Random { footprint, .. } => (footprint / LINE_BYTES).max(1),
+            AddressPattern::Strided {
+                footprint, stride, ..
+            } => (footprint / stride.max(&LINE_BYTES)).max(1),
+            AddressPattern::HotSet { lines, .. } => (*lines).max(1),
+        }
+    }
+}
+
+/// Iterator over an [`AddressPattern`].
+#[derive(Debug, Clone)]
+pub struct PatternIter {
+    pattern: AddressPattern,
+    position: u64,
+    rng: Option<StdRng>,
+}
+
+impl PatternIter {
+    /// Next cache-line-aligned address (infinite stream).
+    pub fn next_address(&mut self) -> u64 {
+        let addr = match &self.pattern {
+            AddressPattern::Streaming { base, footprint } => {
+                let lines = (footprint / LINE_BYTES).max(1);
+                base + (self.position % lines) * LINE_BYTES
+            }
+            AddressPattern::Strided {
+                base,
+                footprint,
+                stride,
+            } => {
+                let stride = (*stride).max(LINE_BYTES);
+                let slots = (footprint / stride).max(1);
+                base + (self.position % slots) * stride
+            }
+            AddressPattern::Random { base, footprint, .. } => {
+                let lines = (footprint / LINE_BYTES).max(1);
+                let rng = self.rng.as_mut().expect("random pattern carries an RNG");
+                base + rng.gen_range(0..lines) * LINE_BYTES
+            }
+            AddressPattern::HotSet { base, lines } => {
+                base + (self.position % (*lines).max(1)) * LINE_BYTES
+            }
+        };
+        self.position += 1;
+        addr & !(LINE_BYTES - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_wraps_at_footprint() {
+        let p = AddressPattern::Streaming {
+            base: 0x1000,
+            footprint: 256,
+        };
+        let mut it = p.iter();
+        let addrs: Vec<u64> = (0..6).map(|_| it.next_address()).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000, 0x1040]);
+        assert_eq!(p.distinct_lines(), 4);
+    }
+
+    #[test]
+    fn strided_respects_stride() {
+        let p = AddressPattern::Strided {
+            base: 0,
+            footprint: 4096,
+            stride: 1024,
+        };
+        let mut it = p.iter();
+        assert_eq!(it.next_address(), 0);
+        assert_eq!(it.next_address(), 1024);
+        assert_eq!(it.next_address(), 2048);
+        assert_eq!(p.distinct_lines(), 4);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_bounds() {
+        let p = AddressPattern::Random {
+            base: 0x8000,
+            footprint: 1 << 20,
+            seed: 7,
+        };
+        let a: Vec<u64> = {
+            let mut it = p.iter();
+            (0..100).map(|_| it.next_address()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut it = p.iter();
+            (0..100).map(|_| it.next_address()).collect()
+        };
+        assert_eq!(a, b, "same seed must reproduce the same stream");
+        for addr in a {
+            assert!(addr >= 0x8000 && addr < 0x8000 + (1 << 20));
+            assert_eq!(addr % LINE_BYTES, 0);
+        }
+    }
+
+    #[test]
+    fn hot_set_cycles_over_small_working_set() {
+        let p = AddressPattern::HotSet { base: 0, lines: 3 };
+        let mut it = p.iter();
+        let addrs: Vec<u64> = (0..6).map(|_| it.next_address()).collect();
+        assert_eq!(addrs, vec![0, 64, 128, 0, 64, 128]);
+    }
+
+    #[test]
+    fn addresses_are_always_line_aligned() {
+        let p = AddressPattern::Streaming {
+            base: 0x1001, // deliberately misaligned base
+            footprint: 4096,
+        };
+        let mut it = p.iter();
+        for _ in 0..50 {
+            assert_eq!(it.next_address() % LINE_BYTES, 0);
+        }
+    }
+}

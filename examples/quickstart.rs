@@ -1,0 +1,77 @@
+//! Quickstart: build a PRAC-enabled DDR5 memory system, watch the Alert
+//! Back-Off protocol fire under a hammering pattern, then size and apply the
+//! TPRAC defense and confirm the ABO events disappear.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use prac_timing::prelude::*;
+use pracleak::agents::{MultiAgentRunner, SerializedAccessAgent};
+
+fn hammer_and_report(label: &str, setup: &AttackSetup) {
+    let controller = setup.build_controller();
+    // A victim hammering one row plus an observer timing accesses in another
+    // bank — the minimal setup that exposes the timing channel.
+    let victim_row = setup.row_address(&controller, 0, 7, 0);
+    let observer_rows: Vec<u64> = (0..32)
+        .map(|r| setup.row_address(&controller, 1, 100 + r, 0))
+        .collect();
+
+    let mut victim = SerializedAccessAgent::new(vec![victim_row], 2_000);
+    let mut observer = SerializedAccessAgent::new(observer_rows, 2_000);
+    let mut runner = MultiAgentRunner::new(controller);
+    runner.run(&mut [&mut victim, &mut observer], 10_000_000);
+
+    let stats = runner.controller().stats();
+    let detector = SpikeDetector::default();
+    let latencies = observer.latencies_ns();
+    let spikes = detector.count_spikes(&latencies);
+    println!("--- {label} ---");
+    println!(
+        "  ABO events (Alert assertions)  : {}",
+        runner.controller().device().stats().alerts_asserted
+    );
+    println!("  ABO-RFMs issued                : {}", stats.abo_rfms);
+    println!("  TB-RFMs issued                 : {}", stats.tb_rfms);
+    println!("  latency spikes seen by observer: {spikes}");
+    println!(
+        "  observer mean latency          : {:.1} ns",
+        latencies.iter().sum::<f64>() / latencies.len().max(1) as f64
+    );
+    println!();
+}
+
+fn main() {
+    let nbo = 512;
+
+    // 1. Analytical step: how often must TPRAC issue a Timing-Based RFM so
+    //    that even a worst-case (Feinting/Wave) attacker can never reach the
+    //    Back-Off threshold?
+    let timing = DramTimingSummary::ddr5_8000b();
+    let analysis = SecurityAnalysis::with_back_off_threshold(
+        nbo,
+        &timing,
+        CounterResetPolicy::ResetEveryTrefw,
+    );
+    let window = analysis.solve_tb_window().expect("a safe TB-Window exists");
+    println!("TPRAC sizing for NBO = {nbo}:");
+    println!(
+        "  TB-Window             : {:.2} tREFI ({:.2} us)",
+        window.tb_window_trefi,
+        window.tb_window_ns / 1000.0
+    );
+    println!("  worst-case activations : {} (< {nbo})", window.tmax);
+    println!("  bandwidth loss bound   : {:.1} %", window.bandwidth_loss * 100.0);
+    println!();
+
+    // 2. Undefended system: hammering a row triggers Alert Back-Off and the
+    //    resulting RFMs are visible as latency spikes to an unrelated thread.
+    let undefended = AttackSetup::new(nbo);
+    hammer_and_report("PRAC with ABO only (vulnerable)", &undefended);
+
+    // 3. TPRAC-defended system: the same hammering pattern never reaches NBO
+    //    because the most-activated row is proactively mitigated at every
+    //    activity-independent TB-RFM.
+    let tprac = TpracConfig::with_window_trefi(window.tb_window_trefi, &timing);
+    let defended = AttackSetup::new(nbo).with_policy(MitigationPolicy::Tprac(tprac));
+    hammer_and_report("TPRAC (defended)", &defended);
+}

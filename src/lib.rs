@@ -1,0 +1,79 @@
+//! # prac-timing
+//!
+//! Reproduction of *"When Mitigations Backfire: Timing Channel Attacks and
+//! Defense for PRAC-Based RowHammer Mitigations"* (ISCA 2025): the
+//! **PRACLeak** covert- and side-channel attacks on PRAC's Alert Back-Off
+//! protocol, and the **TPRAC** defense that closes those timing channels with
+//! activity-independent Timing-Based RFMs.
+//!
+//! This crate is the umbrella: it re-exports the workspace's component crates
+//! so applications can depend on a single crate, and hosts the runnable
+//! examples and cross-crate integration tests.
+//!
+//! | Component | Crate | What it provides |
+//! |---|---|---|
+//! | PRAC / TPRAC core | [`prac_core`] | PRAC parameters, mitigation queues, TB-Window security analysis, energy & storage models |
+//! | DRAM device | [`dram_sim`] | Cycle-accurate DDR5 model with per-row activation counters and Alert Back-Off |
+//! | Memory controller | [`memctrl`] | Address mapping, FR-FCFS scheduling, refresh, ABO/ACB/TB-RFM engines |
+//! | CPU | [`cpu_sim`] | Trace-driven ROB-limited cores with an L1/L2/LLC hierarchy |
+//! | Workloads | [`workloads`] | Synthetic workload suite bucketed by memory intensity |
+//! | Attacks | [`pracleak`] | PRACLeak covert channels and the AES T-table side channel |
+//! | Full system | [`system_sim`] | The performance/energy experiment harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prac_timing::prelude::*;
+//!
+//! // Size TPRAC's TB-Window for the paper's default RowHammer threshold and
+//! // confirm it closes the timing channel with modest bandwidth cost.
+//! let timing = DramTimingSummary::ddr5_8000b();
+//! let analysis = SecurityAnalysis::with_back_off_threshold(
+//!     1024,
+//!     &timing,
+//!     CounterResetPolicy::ResetEveryTrefw,
+//! );
+//! let window = analysis.solve_tb_window().expect("safe window exists");
+//! assert!(window.tmax < 1024);
+//! assert!(window.bandwidth_loss < 0.10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cpu_sim;
+pub use dram_sim;
+pub use memctrl;
+pub use prac_core;
+pub use pracleak;
+pub use system_sim;
+pub use workloads;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use cpu_sim::{CpuConfig, Trace, TraceOp};
+    pub use dram_sim::{DramDevice, DramDeviceConfig, DramOrganization, DramTimingParams};
+    pub use memctrl::{ControllerConfig, MemoryController, MemoryRequest, PagePolicy};
+    pub use prac_core::config::{MitigationPolicy, PracConfig, PracLevel};
+    pub use prac_core::queue::{MitigationQueue, QueueKind, SingleEntryQueue};
+    pub use prac_core::security::{CounterResetPolicy, SecurityAnalysis, TbWindowSolution};
+    pub use prac_core::timing::DramTimingSummary;
+    pub use prac_core::tprac::{TpracConfig, TrefRate};
+    pub use pracleak::{
+        Aes128TTable, AttackSetup, CovertChannelKind, SideChannelExperiment, SpikeDetector,
+    };
+    pub use system_sim::{ExperimentConfig, MitigationSetup, SystemResult};
+    pub use workloads::{AccessPattern, MemoryIntensity, SyntheticWorkload};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_core_types() {
+        use crate::prelude::*;
+        let cfg = PracConfig::paper_default();
+        assert_eq!(cfg.rowhammer_threshold, 1024);
+        let timing = DramTimingSummary::ddr5_8000b();
+        assert_eq!(timing.activations_per_trefi(), 75);
+    }
+}
