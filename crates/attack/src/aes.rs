@@ -87,10 +87,15 @@ pub struct Aes128TTable {
     t_tables: Box<[[u32; 256]; 4]>,
 }
 
+// Referenced by the `#[serde(default = "...")]` attributes above; the
+// offline serde-derive shim does not expand those, so the compiler cannot
+// see the use.
+#[allow(dead_code)]
 fn build_sbox_boxed() -> Box<[u8; 256]> {
     Box::new(build_sbox())
 }
 
+#[allow(dead_code)]
 fn empty_t_tables() -> Box<[[u32; 256]; 4]> {
     Box::new([[0u32; 256]; 4])
 }
@@ -196,12 +201,8 @@ impl Aes128TTable {
                 let b1 = (state[(c + 1) % 4] >> 16) as u8;
                 let b2 = (state[(c + 2) % 4] >> 8) as u8;
                 let b3 = state[(c + 3) % 4] as u8;
-                let key_word = u32::from_be_bytes([
-                    rk[4 * c],
-                    rk[4 * c + 1],
-                    rk[4 * c + 2],
-                    rk[4 * c + 3],
-                ]);
+                let key_word =
+                    u32::from_be_bytes([rk[4 * c], rk[4 * c + 1], rk[4 * c + 2], rk[4 * c + 3]]);
                 *slot = self.t_tables[0][usize::from(b0)]
                     ^ self.t_tables[1][usize::from(b1)]
                     ^ self.t_tables[2][usize::from(b2)]
@@ -300,8 +301,8 @@ mod tests {
         assert_eq!(
             aes.round_keys()[10],
             [
-                0x13, 0x11, 0x1d, 0x7f, 0xe3, 0x94, 0x4a, 0x17, 0xf3, 0x07, 0xa7, 0x8b, 0x4d,
-                0x2b, 0x30, 0xc5
+                0x13, 0x11, 0x1d, 0x7f, 0xe3, 0x94, 0x4a, 0x17, 0xf3, 0x07, 0xa7, 0x8b, 0x4d, 0x2b,
+                0x30, 0xc5
             ]
         );
     }

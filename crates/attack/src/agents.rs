@@ -112,7 +112,10 @@ impl SerializedAccessAgent {
     /// Latencies (in nanoseconds) of all completed accesses, in order.
     #[must_use]
     pub fn latencies_ns(&self) -> Vec<f64> {
-        self.history.iter().map(RecordedAccess::latency_ns).collect()
+        self.history
+            .iter()
+            .map(RecordedAccess::latency_ns)
+            .collect()
     }
 }
 
@@ -184,9 +187,7 @@ impl MultiAgentRunner {
         let deadline = self.now + max_ticks;
         let mut outstanding: Vec<Option<Outstanding>> = vec![None; agents.len()];
         while self.now < deadline {
-            if agents.iter().all(|a| a.is_done())
-                && outstanding.iter().all(Option::is_none)
-            {
+            if agents.iter().all(|a| a.is_done()) && outstanding.iter().all(Option::is_none) {
                 break;
             }
             // Let every idle agent enqueue its next access.
@@ -201,12 +202,9 @@ impl MultiAgentRunner {
                     AgentAction::Access(address) => {
                         let id = self.next_request_id;
                         self.next_request_id += 1;
-                        let accepted = self.controller.enqueue(MemoryRequest::read(
-                            id,
-                            address,
-                            idx as u32,
-                            self.now,
-                        ));
+                        let accepted = self
+                            .controller
+                            .enqueue(MemoryRequest::read(id, address, idx as u32, self.now));
                         debug_assert!(accepted, "queue admission was checked above");
                         outstanding[idx] = Some(Outstanding {
                             agent: idx as AgentId,
@@ -262,7 +260,9 @@ mod tests {
 
     fn address_of(ctrl: &MemoryController, bank_group: u32, row: u32, col: u32) -> u64 {
         let org = ctrl.device().config().organization;
-        ctrl.encode_address(&dram_sim::org::DramAddress::new(&org, 0, bank_group, 0, row, col))
+        ctrl.encode_address(&dram_sim::org::DramAddress::new(
+            &org, 0, bank_group, 0, row, col,
+        ))
     }
 
     #[test]

@@ -114,8 +114,16 @@ pub fn run_characterization(
         prac_level,
         abo_events: runner.controller().device().stats().alerts_asserted,
         abo_rfms: runner.controller().stats().abo_rfms,
-        mean_spike_latency_ns: if spike_n > 0 { spike_sum / spike_n as f64 } else { 0.0 },
-        mean_baseline_latency_ns: if base_n > 0 { base_sum / base_n as f64 } else { 0.0 },
+        mean_spike_latency_ns: if spike_n > 0 {
+            spike_sum / spike_n as f64
+        } else {
+            0.0
+        },
+        mean_baseline_latency_ns: if base_n > 0 {
+            base_sum / base_n as f64
+        } else {
+            0.0
+        },
         samples,
     }
 }
@@ -153,7 +161,10 @@ mod tests {
         let result = run_characterization(64, Some(PracLevel::One), WINDOW_NS);
         assert!(result.abo_events >= 1, "expected at least one ABO");
         assert!(result.abo_rfms >= 1);
-        assert!(result.spike_count() >= 1, "attacker must observe the RFM stall");
+        assert!(
+            result.spike_count() >= 1,
+            "attacker must observe the RFM stall"
+        );
         assert!(result.mean_spike_latency_ns > 350.0);
     }
 

@@ -21,7 +21,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::agents::{AgentAction, MemoryAgent, MultiAgentRunner, RecordedAccess, SerializedAccessAgent};
+use crate::agents::{
+    AgentAction, MemoryAgent, MultiAgentRunner, RecordedAccess, SerializedAccessAgent,
+};
 use crate::latency::SpikeDetector;
 use crate::setup::AttackSetup;
 
@@ -104,7 +106,11 @@ impl MemoryAgent for ActivitySender {
             if self.current_bit >= self.bits.len() {
                 return AgentAction::Done;
             }
-            self.accesses_left_in_bit = if self.bits[self.current_bit] { self.nbo } else { 0 };
+            self.accesses_left_in_bit = if self.bits[self.current_bit] {
+                self.nbo
+            } else {
+                0
+            };
         }
         if self.accesses_left_in_bit > 0 {
             self.accesses_left_in_bit -= 1;
@@ -195,7 +201,9 @@ fn run_activation_count_based(nbo: u32, payload_symbols: usize, seed: u64) -> Co
     let bits_per_symbol = 32 - (nbo - 1).leading_zeros().min(31);
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
-    let symbols: Vec<u32> = (0..payload_symbols).map(|_| rng.gen_range(0..nbo)).collect();
+    let symbols: Vec<u32> = (0..payload_symbols)
+        .map(|_| rng.gen_range(0..nbo))
+        .collect();
 
     let mut total_period_ticks = 0u64;
     let mut errors_in_bits = 0u64;
@@ -223,8 +231,9 @@ fn run_activation_count_based(nbo: u32, payload_symbols: usize, seed: u64) -> Co
         runner.run(&mut [&mut sender], 4 * u64::from(nbo) * 600 + 10_000);
 
         // Phase 2: the receiver activates the same row until the ABO spike.
-        let mut receiver = SerializedAccessAgent::new(vec![shared_row_receiver], u64::from(nbo) + 4)
-            .with_think_time(receiver_think_ticks);
+        let mut receiver =
+            SerializedAccessAgent::new(vec![shared_row_receiver], u64::from(nbo) + 4)
+                .with_think_time(receiver_think_ticks);
         runner.run(
             &mut [&mut receiver],
             (4 * 600 + receiver_think_ticks) * u64::from(nbo) + 100_000,
@@ -300,7 +309,10 @@ mod tests {
     #[test]
     fn activation_count_channel_recovers_exact_values() {
         let result = run_covert_channel(CovertChannelKind::ActivationCountBased, 64, 6, 11);
-        assert_eq!(result.bit_errors, 0, "count-based channel must be exact: {result:?}");
+        assert_eq!(
+            result.bit_errors, 0,
+            "count-based channel must be exact: {result:?}"
+        );
         assert_eq!(result.bits_transmitted, 6 * 6); // log2(64) bits per symbol
     }
 

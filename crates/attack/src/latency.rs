@@ -56,7 +56,9 @@ impl Default for SpikeDetector {
     fn default() -> Self {
         // A conservative default: normal accesses finish well under 250 ns
         // while an access stalled behind an RFMab exceeds 350 ns.
-        Self { threshold_ns: 300.0 }
+        Self {
+            threshold_ns: 300.0,
+        }
     }
 }
 

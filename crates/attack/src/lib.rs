@@ -32,10 +32,10 @@ pub mod latency;
 pub mod setup;
 pub mod side_channel;
 
-pub use aes::{Aes128TTable, first_round_t0_lines};
+pub use aes::{first_round_t0_lines, Aes128TTable};
 pub use agents::{AgentId, MultiAgentRunner, SerializedAccessAgent};
 pub use characterize::{AboCharacterization, LatencySample};
-pub use covert::{CovertChannelKind, CovertChannelResult, run_covert_channel};
+pub use covert::{run_covert_channel, CovertChannelKind, CovertChannelResult};
 pub use latency::SpikeDetector;
 pub use setup::AttackSetup;
 pub use side_channel::{SideChannelExperiment, SideChannelOutcome};

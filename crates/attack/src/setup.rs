@@ -123,7 +123,9 @@ mod tests {
         let victim = setup.row_address(&ctrl, 0, 42, 0);
         let attacker = setup.row_address(&ctrl, 0, 42, 7);
         assert_ne!(victim, attacker);
-        assert!(ctrl.decode_address(victim).same_row(&ctrl.decode_address(attacker)));
+        assert!(ctrl
+            .decode_address(victim)
+            .same_row(&ctrl.decode_address(attacker)));
         // And they belong to different 4 KB pages, as the threat model needs.
         assert_ne!(victim >> 12, attacker >> 12);
     }

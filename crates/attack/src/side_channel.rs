@@ -176,7 +176,13 @@ impl SideChannelExperiment {
             .map(|&addr| {
                 let decoded = runner.controller().decode_address(addr);
                 let org = runner.controller().device().config().organization;
-                u64::from(runner.controller().device().bank(decoded.flat_bank(&org)).counter(decoded.row))
+                u64::from(
+                    runner
+                        .controller()
+                        .device()
+                        .bank(decoded.flat_bank(&org))
+                        .counter(decoded.row),
+                )
             })
             .collect()
     }
@@ -295,7 +301,10 @@ mod tests {
     fn attack_recovers_key_nibble_without_defense() {
         for k0 in [0x00u8, 0x30, 0xA0, 0xF0] {
             let outcome = quick_attack().run_for_key_byte(k0, 0);
-            assert!(outcome.abo_rfms >= 1, "attack needs an ABO-RFM (k0={k0:#x})");
+            assert!(
+                outcome.abo_rfms >= 1,
+                "attack needs an ABO-RFM (k0={k0:#x})"
+            );
             assert!(
                 outcome.nibble_recovered(),
                 "expected nibble {:#x}, leaked row {:?}",
@@ -311,7 +320,8 @@ mod tests {
         let outcome = exp.run_for_key_byte(0x50, 0);
         assert!(outcome.nibble_recovered());
         let row = outcome.leaked_row.unwrap();
-        let total = outcome.victim_activations[row] + u64::from(outcome.attacker_activations_to_leaked_row);
+        let total =
+            outcome.victim_activations[row] + u64::from(outcome.attacker_activations_to_leaked_row);
         // The triggering activation itself may or may not be included in the
         // attacker count depending on attribution, so allow ±2.
         assert!(
@@ -334,8 +344,9 @@ mod tests {
     #[test]
     fn tprac_defense_eliminates_abo_rfms_and_hides_the_key() {
         let timing = DramTimingSummary::ddr5_8000b();
-        let tprac = TpracConfig::solve_for_threshold(128, &timing, CounterResetPolicy::ResetEveryTrefw)
-            .expect("a safe TB-Window exists for NBO=128");
+        let tprac =
+            TpracConfig::solve_for_threshold(128, &timing, CounterResetPolicy::ResetEveryTrefw)
+                .expect("a safe TB-Window exists for NBO=128");
         let exp = quick_attack().with_policy(MitigationPolicy::Tprac(tprac));
         let mut correct = 0;
         for k0 in [0x10u8, 0x60, 0xC0] {

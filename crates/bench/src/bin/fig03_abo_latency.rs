@@ -1,40 +1,9 @@
-//! Figure 3: attacker-observed memory-access latency in the presence and
-//! absence of a concurrent Alert Back-Off, for 1, 2 and 4 RFMs per ABO.
-
-use bench_harness::BenchOptions;
-use pracleak::characterize::figure3_panels;
+//! Figure 3: attacker-observed memory-access latency with and without a concurrent Alert Back-Off.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig03` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    // The paper plots a 2 ms window at NBO = 256. The quick run uses a shorter
-    // window and lower threshold so several ABOs still fall inside it.
-    let (nbo, window_ns) = if options.full { (256, 2_000_000.0) } else { (128, 400_000.0) };
-
-    println!("Figure 3 — timing variation due to Alert Back-Off (NBO = {nbo}, window = {window_ns} ns)");
-    println!();
-    for panel in figure3_panels(nbo, window_ns) {
-        let label = panel
-            .prac_level
-            .map_or("No ABO".to_string(), |l| format!("{} RFM(s) per ABO", l.rfms_per_alert()));
-        println!("--- {label} ---");
-        println!("  attacker accesses        : {}", panel.samples.len());
-        println!("  ABO events               : {}", panel.abo_events);
-        println!("  ABO-RFMs issued          : {}", panel.abo_rfms);
-        println!("  latency spikes observed  : {}", panel.spike_count());
-        println!("  mean baseline latency    : {:.0} ns", panel.mean_baseline_latency_ns);
-        println!("  mean spike latency       : {:.0} ns", panel.mean_spike_latency_ns);
-        // Print a compact, decimated latency timeline (the raw series is what
-        // the paper plots; the decimation keeps the output readable).
-        let step = (panel.samples.len() / 16).max(1);
-        let timeline: Vec<String> = panel
-            .samples
-            .iter()
-            .step_by(step)
-            .map(|s| format!("{:.0}@{:.0}us", s.latency_ns, s.time_ns / 1000.0))
-            .collect();
-        println!("  latency timeline (ns@t)  : {}", timeline.join(" "));
-        println!();
-    }
-    println!("Paper reference: mean spiked latencies of ~545 ns, ~976 ns and ~1669 ns for");
-    println!("1, 2 and 4 RFMs per ABO, against a flat baseline when no ABO occurs.");
+    std::process::exit(campaign::cli::delegate("fig03"));
 }

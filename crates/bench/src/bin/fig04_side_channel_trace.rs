@@ -1,52 +1,9 @@
-//! Figure 4: one instance of the PRACLeak side-channel attack on AES T-tables
-//! (plaintext byte 0 fixed, key byte 0 = 0): attacker latency timeline, RFM
-//! count, and per-row activation counts for the victim and attacker phases.
-
-use bench_harness::BenchOptions;
-use pracleak::latency::SpikeDetector;
-use pracleak::side_channel::SideChannelExperiment;
+//! Figure 4: one instance of the PRACLeak side-channel attack on AES T-tables.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig04` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let mut experiment = SideChannelExperiment::paper_attack();
-    if !options.full {
-        experiment.nbo = 128;
-        experiment.encryptions = 100;
-    }
-
-    println!(
-        "Figure 4 — side-channel attack instance (p0 = 0, k0 = 0, NBO = {}, {} encryptions)",
-        experiment.nbo, experiment.encryptions
-    );
-    let outcome = experiment.run_for_key_byte(0x00, 0x00);
-
-    println!();
-    println!("Victim-phase activation counts per T0 DRAM row:");
-    for (row, count) in outcome.victim_activations.iter().enumerate() {
-        println!("  row {row:>2}: {count:>5} {}", "#".repeat((*count as usize / 4).min(80)));
-    }
-
-    println!();
-    println!("RFM count over time: {} RFM(s)", outcome.rfm_times_ns.len());
-    for (i, t) in outcome.rfm_times_ns.iter().enumerate() {
-        println!("  RFM {i}: t = {:.1} us", t / 1000.0);
-    }
-
-    println!();
-    let detector = SpikeDetector::default();
-    let spikes = detector.count_spikes(&outcome.attacker_latencies_ns);
-    println!(
-        "Attacker probe phase: {} accesses, {} latency spike(s), first spike at index {:?}",
-        outcome.attacker_latencies_ns.len(),
-        spikes,
-        detector.first_spike(&outcome.attacker_latencies_ns)
-    );
-    println!(
-        "Leaked row: {:?} (true top nibble of k0: {:#x}) — attacker activations to that row: {}",
-        outcome.leaked_row, outcome.true_nibble, outcome.attacker_activations_to_leaked_row
-    );
-    println!();
-    println!("Paper reference (Figure 4): the victim drives ~207 activations to Row-0; the");
-    println!("attacker observes the ABO after ~49 of its own activations to Row-0, because");
-    println!("victim + attacker activations to the hottest row sum to exactly NBO.");
+    std::process::exit(campaign::cli::delegate("fig04"));
 }

@@ -1,58 +1,9 @@
-//! Figure 5: sweep of secret key byte 0 — (a) the DRAM row the victim
-//! activates most after 200 encryptions, and (b) the attacker activation
-//! count to the row that causes the first ABO, whose index leaks the key
-//! nibble.
-
-use bench_harness::BenchOptions;
-use pracleak::side_channel::SideChannelExperiment;
+//! Figure 5: sweep of secret key byte 0 — the leaked row index recovers the key nibble.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig05` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let (mut experiment, step) = if options.full {
-        (SideChannelExperiment::paper_attack(), 4)
-    } else {
-        let mut quick = SideChannelExperiment::paper_attack();
-        quick.nbo = 128;
-        quick.encryptions = 100;
-        (quick, 16)
-    };
-    experiment.seed = 0xF165;
-
-    println!(
-        "Figure 5 — key-byte sweep (NBO = {}, {} encryptions, k0 step = {step})",
-        experiment.nbo, experiment.encryptions
-    );
-    println!();
-    println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>10} {:>24}",
-        "k0", "hot row", "leaked row", "true nibble", "correct?", "attacker ACTs to hot row"
-    );
-
-    let outcomes = experiment.sweep_key_byte(step);
-    let mut correct = 0usize;
-    for outcome in &outcomes {
-        if outcome.nibble_recovered() {
-            correct += 1;
-        }
-        println!(
-            "{:>6} {:>12} {:>12} {:>12} {:>10} {:>24}",
-            format!("{:#04x}", outcome.k0),
-            outcome.hottest_victim_row().map_or("-".into(), |r| r.to_string()),
-            outcome.leaked_row.map_or("-".into(), |r| r.to_string()),
-            format!("{:#x}", outcome.true_nibble),
-            if outcome.nibble_recovered() { "yes" } else { "no" },
-            outcome.attacker_activations_to_leaked_row
-        );
-    }
-    println!();
-    println!(
-        "Recovered {} / {} key nibbles ({:.1}%).",
-        correct,
-        outcomes.len(),
-        100.0 * correct as f64 / outcomes.len() as f64
-    );
-    println!();
-    println!("Paper reference (Figure 5): as k0 grows from 0 to 255 the hottest row walks from");
-    println!("Row-0 to Row-15, and victim + attacker activations to that row always sum to NBO,");
-    println!("so the attacker recovers the top 4 bits of every key byte (64 of 128 key bits).");
+    std::process::exit(campaign::cli::delegate("fig05"));
 }

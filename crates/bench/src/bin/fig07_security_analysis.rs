@@ -1,62 +1,9 @@
-//! Figure 7: theoretical maximum activations to a target row (TMAX) as the
-//! TB-Window varies, with and without per-row activation-counter reset at
-//! every tREFW, plus the solved TB-Window per RowHammer threshold used by the
-//! rest of the evaluation.
-
-use prac_core::security::{figure7_windows, CounterResetPolicy, SecurityAnalysis};
-use prac_core::timing::DramTimingSummary;
+//! Figure 7: worst-case activations (TMAX) vs TB-Window, and the solved TB-Window per RowHammer threshold.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig07` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let timing = DramTimingSummary::ddr5_8000b();
-    println!("Figure 7 — worst-case activations to a target row (TMAX) vs TB-Window");
-    println!("DDR5 32Gb chip, {} rows per bank, tRC = {} ns, tREFI = {} ns", timing.rows_per_bank, timing.t_rc_ns, timing.t_refi_ns);
-    println!();
-    println!(
-        "{:>14} {:>26} {:>30}",
-        "TB-Window", "TMAX (with counter reset)", "TMAX (without counter reset)"
-    );
-    let with_reset =
-        SecurityAnalysis::with_back_off_threshold(4096, &timing, CounterResetPolicy::ResetEveryTrefw);
-    let without_reset =
-        SecurityAnalysis::with_back_off_threshold(4096, &timing, CounterResetPolicy::NoReset);
-    for window in figure7_windows() {
-        println!(
-            "{:>9.2} tREFI {:>26} {:>30}",
-            window,
-            with_reset.tmax(window),
-            without_reset.tmax(window)
-        );
-    }
-
-    println!();
-    println!("Solved TB-Window per RowHammer threshold (Equation 1: TMAX < NBO)");
-    println!(
-        "{:>8} {:>22} {:>22} {:>12} {:>12}",
-        "NRH", "window, reset (tREFI)", "window, no-reset", "TMAX reset", "bw loss"
-    );
-    for nrh in [128u32, 256, 512, 1024, 2048, 4096] {
-        let reset_solution = SecurityAnalysis::with_back_off_threshold(
-            nrh,
-            &timing,
-            CounterResetPolicy::ResetEveryTrefw,
-        )
-        .solve_tb_window();
-        let noreset_solution =
-            SecurityAnalysis::with_back_off_threshold(nrh, &timing, CounterResetPolicy::NoReset)
-                .solve_tb_window();
-        match (reset_solution, noreset_solution) {
-            (Ok(reset), Ok(noreset)) => println!(
-                "{:>8} {:>22.3} {:>22.3} {:>12} {:>11.1}%",
-                nrh,
-                reset.tb_window_trefi,
-                noreset.tb_window_trefi,
-                reset.tmax,
-                reset.bandwidth_loss * 100.0
-            ),
-            (reset, noreset) => println!("{nrh:>8} unsolvable: {reset:?} / {noreset:?}"),
-        }
-    }
-    println!();
-    println!("Paper reference points: TMAX(1 tREFI) = 572 (reset) / 736 (no reset);");
-    println!("TMAX(4 tREFI) = 2138 / 3220; NRH = 1024 needs roughly one TB-RFM per 1.6 tREFI.");
+    std::process::exit(campaign::cli::delegate("fig07"));
 }

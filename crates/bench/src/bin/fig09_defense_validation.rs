@@ -1,71 +1,9 @@
-//! Figure 9: empirical security validation of TPRAC — the DRAM row that
-//! triggers the first RFM during the attacker's probe phase, with and without
-//! the defense.  Without TPRAC the row tracks the secret key byte; with TPRAC
-//! it does not (and no ABO-RFM is ever issued).
-
-use bench_harness::BenchOptions;
-use prac_core::config::MitigationPolicy;
-use prac_core::security::CounterResetPolicy;
-use prac_core::timing::DramTimingSummary;
-use prac_core::tprac::TpracConfig;
-use pracleak::side_channel::SideChannelExperiment;
-
-fn correlation_with_truth(pairs: &[(u8, Option<usize>)]) -> f64 {
-    if pairs.is_empty() {
-        return 0.0;
-    }
-    let matches = pairs
-        .iter()
-        .filter(|(k0, leaked)| *leaked == Some(usize::from(k0 >> 4)))
-        .count();
-    matches as f64 / pairs.len() as f64
-}
+//! Figure 9: empirical security validation of TPRAC against the side-channel attack.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig09` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let (nbo, encryptions, step) = if options.full { (256, 200, 8) } else { (128, 100, 32) };
-
-    let attack = SideChannelExperiment {
-        nbo,
-        encryptions,
-        policy: MitigationPolicy::AboOnly,
-        seed: 0x916,
-    };
-    let timing = DramTimingSummary::ddr5_8000b();
-    let tprac = TpracConfig::solve_for_threshold(nbo, &timing, CounterResetPolicy::ResetEveryTrefw)
-        .expect("TB-Window solvable");
-    let defended = attack.clone().with_policy(MitigationPolicy::Tprac(tprac));
-
-    println!("Figure 9 — row triggering the first RFM for the attacker (NBO = {nbo}, {encryptions} encryptions)");
-    println!();
-    println!("{:>6} {:>26} {:>26}", "k0", "without defense", "with TPRAC");
-
-    let mut undefended_pairs = Vec::new();
-    let mut defended_pairs = Vec::new();
-    let mut defended_abo_rfms = 0u64;
-    for k0 in (0..256usize).step_by(step) {
-        let k0 = k0 as u8;
-        let plain = attack.run_for_key_byte(k0, 0);
-        let protected = defended.run_for_key_byte(k0, 0);
-        defended_abo_rfms += protected.abo_rfms;
-        println!(
-            "{:>6} {:>26} {:>26}",
-            format!("{k0:#04x}"),
-            plain.leaked_row.map_or("-".into(), |r| format!("row {r}")),
-            protected.leaked_row.map_or("no spike".into(), |r| format!("row {r}"))
-        );
-        undefended_pairs.push((k0, plain.leaked_row));
-        defended_pairs.push((k0, protected.leaked_row));
-    }
-
-    println!();
-    println!(
-        "Key-nibble agreement without defense: {:.0}%  (paper: strong correlation, key leaks)",
-        correlation_with_truth(&undefended_pairs) * 100.0
-    );
-    println!(
-        "Key-nibble agreement with TPRAC     : {:.0}%  (paper: no correlation, ~chance level)",
-        correlation_with_truth(&defended_pairs) * 100.0
-    );
-    println!("ABO-RFMs issued under TPRAC          : {defended_abo_rfms} (must be 0)");
+    std::process::exit(campaign::cli::delegate("fig09"));
 }

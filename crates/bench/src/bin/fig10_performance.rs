@@ -1,38 +1,9 @@
-//! Figure 10: normalised performance of TPRAC versus the insecure baselines
-//! (ABO-Only and ABO+ACB-RFM) at a RowHammer threshold of 1024, per workload
-//! and averaged over the memory-intensity buckets.
-
-use bench_harness::{print_performance_table, run_performance_matrix, BenchOptions};
-use system_sim::{ExperimentConfig, MitigationSetup};
+//! Figure 10: normalised performance of TPRAC versus the insecure baselines at NRH = 1024.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig10` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let suite = options.suite();
-    let configs: Vec<(String, ExperimentConfig)> = MitigationSetup::figure10_set()
-        .into_iter()
-        .map(|setup| {
-            (
-                setup.label(),
-                ExperimentConfig::new(setup, options.instructions_per_core),
-            )
-        })
-        .collect();
-    let labels: Vec<String> = configs.iter().map(|(l, _)| l.clone()).collect();
-
-    println!(
-        "Figure 10 — normalised performance at NRH = 1024 ({} workloads, {} instructions/core, {} workers)",
-        suite.len(),
-        options.instructions_per_core,
-        options.workers
-    );
-    println!("Normalisation baseline: PRAC-enabled DDR5 without the ABO protocol (no RFMs).");
-    println!();
-
-    let points = run_performance_matrix(&suite, &configs, &options, 0xF16_10);
-    print_performance_table(&points, &labels);
-
-    println!();
-    println!("Paper reference (Figure 10): ABO-Only ~1.00, ABO+ACB-RFM ~0.993, TPRAC ~0.966 on");
-    println!("average; memory-intensive workloads slow down by up to ~6-8% under TPRAC because");
-    println!("each TB-RFM blocks all banks for 350 ns out of every ~6.2 us.");
+    std::process::exit(campaign::cli::delegate("fig10"));
 }

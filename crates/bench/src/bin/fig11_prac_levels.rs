@@ -1,47 +1,9 @@
-//! Figure 11: sensitivity to the PRAC level (1, 2 or 4 RFMs per Alert
-//! Back-Off) at a RowHammer threshold of 1024.  Because both ABO+ACB-RFM and
-//! TPRAC eliminate ABO-RFMs, their performance is insensitive to the level.
-
-use bench_harness::{mean_normalized, run_performance_matrix, BenchOptions};
-use prac_core::config::PracLevel;
-use system_sim::{ExperimentConfig, MitigationSetup};
+//! Figure 11: sensitivity to the PRAC level (1, 2 or 4 RFMs per Alert).
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig11` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let suite = options.suite();
-
-    println!(
-        "Figure 11 — normalised performance vs PRAC level at NRH = 1024 ({} workloads)",
-        suite.len()
-    );
-    println!();
-    println!(
-        "{:<12} {:>14} {:>18} {:>14}",
-        "PRAC level", "ABO-Only", "ABO+ACB-RFM", "TPRAC"
-    );
-
-    for level in PracLevel::all() {
-        let configs: Vec<(String, ExperimentConfig)> = MitigationSetup::figure10_set()
-            .into_iter()
-            .map(|setup| {
-                (
-                    setup.label(),
-                    ExperimentConfig::new(setup, options.instructions_per_core).with_prac_level(level),
-                )
-            })
-            .collect();
-        let points = run_performance_matrix(&suite, &configs, &options, 0xF16_11 ^ level.rfms_per_alert() as u64);
-        println!(
-            "{:<12} {:>14.3} {:>18.3} {:>14.3}",
-            level.to_string(),
-            mean_normalized(&points, "ABO-Only"),
-            mean_normalized(&points, "ABO+ACB-RFM"),
-            mean_normalized(&points, "TPRAC w/o Targeted"),
-        );
-    }
-
-    println!();
-    println!("Paper reference (Figure 11): performance is flat across PRAC-1/2/4 — ~1.00 for");
-    println!("ABO-Only, ~0.993 for ABO+ACB-RFM and ~0.966 for TPRAC — because benign workloads");
-    println!("rarely trigger ABOs and the proactive schemes remove them entirely.");
+    std::process::exit(campaign::cli::delegate("fig11"));
 }

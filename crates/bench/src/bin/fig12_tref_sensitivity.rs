@@ -1,64 +1,9 @@
-//! Figure 12: sensitivity of TPRAC to the Targeted-Refresh (TREF) rate at a
-//! RowHammer threshold of 1024, grouped by benchmark suite.  More frequent
-//! TREFs let TPRAC skip TB-RFMs and shrink the slowdown.
-
-use bench_harness::{mean_normalized, mean_normalized_by_group, run_performance_matrix, BenchOptions};
-use prac_core::tprac::TrefRate;
-use system_sim::{ExperimentConfig, MitigationSetup};
-use workloads::WorkloadGroup;
+//! Figure 12: sensitivity of TPRAC to the Targeted-Refresh (TREF) rate.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig12` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let suite = options.suite();
-
-    let configs: Vec<(String, ExperimentConfig)> = TrefRate::figure12_sweep()
-        .into_iter()
-        .map(|tref_rate| {
-            let setup = MitigationSetup::Tprac {
-                tref_rate,
-                counter_reset: true,
-            };
-            (
-                setup.label(),
-                ExperimentConfig::new(setup, options.instructions_per_core),
-            )
-        })
-        .collect();
-    let labels: Vec<String> = configs.iter().map(|(l, _)| l.clone()).collect();
-
-    println!(
-        "Figure 12 — TPRAC performance vs Targeted-Refresh rate at NRH = 1024 ({} workloads)",
-        suite.len()
-    );
-    println!();
-    let points = run_performance_matrix(&suite, &configs, &options, 0xF16_12);
-
-    println!(
-        "{:<42} {:>16} {:>16} {:>18} {:>12}",
-        "configuration", "SPEC2K6-like", "SPEC2K17-like", "CloudSuite-like", "All"
-    );
-    let fmt_group = |value: f64| {
-        if value == 0.0 {
-            // The quick suite does not cover every benchmark group; avoid
-            // printing a misleading zero for groups with no workloads.
-            "    n/a".to_string()
-        } else {
-            format!("{value:>7.3}")
-        }
-    };
-    for label in &labels {
-        println!(
-            "{:<42} {:>16} {:>16} {:>18} {:>12.3}",
-            label,
-            fmt_group(mean_normalized_by_group(&points, label, WorkloadGroup::Spec2006Like)),
-            fmt_group(mean_normalized_by_group(&points, label, WorkloadGroup::Spec2017Like)),
-            fmt_group(mean_normalized_by_group(&points, label, WorkloadGroup::CloudSuiteLike)),
-            mean_normalized(&points, label)
-        );
-    }
-
-    println!();
-    println!("Paper reference (Figure 12): slowdowns of 3.4%, 2.4%, 2.0%, 1.4% and ~0% with no");
-    println!("TREF and one TREF per 4, 3, 2 and 1 tREFI respectively — each TREF mitigates the");
-    println!("queue head and lets the matching TB-RFM be skipped.");
+    std::process::exit(campaign::cli::delegate("fig12"));
 }

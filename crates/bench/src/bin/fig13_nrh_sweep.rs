@@ -1,61 +1,9 @@
-//! Figure 13: normalised performance as the RowHammer threshold (NRH) varies
-//! from 128 to 4096, for the insecure baselines and TPRAC with different
-//! Targeted-Refresh rates.
-
-use bench_harness::{mean_normalized, run_performance_matrix, BenchOptions};
-use prac_core::tprac::TrefRate;
-use system_sim::{ExperimentConfig, MitigationSetup};
+//! Figure 13: normalised performance as the RowHammer threshold varies from 128 to 4096.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig13` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let suite = options.suite();
-    let nrh_values: &[u32] = if options.full {
-        &[128, 256, 512, 1024, 2048, 4096]
-    } else {
-        &[256, 1024, 4096]
-    };
-
-    let setups = vec![
-        MitigationSetup::AboOnly,
-        MitigationSetup::AboPlusAcbRfm,
-        MitigationSetup::Tprac { tref_rate: TrefRate::None, counter_reset: true },
-        MitigationSetup::Tprac { tref_rate: TrefRate::EveryTrefi(4), counter_reset: true },
-        MitigationSetup::Tprac { tref_rate: TrefRate::EveryTrefi(1), counter_reset: true },
-    ];
-    let labels: Vec<String> = setups.iter().map(MitigationSetup::label).collect();
-
-    println!(
-        "Figure 13 — normalised performance vs RowHammer threshold ({} workloads)",
-        suite.len()
-    );
-    println!();
-    print!("{:<8}", "NRH");
-    for label in &labels {
-        print!(" {:>34}", label);
-    }
-    println!();
-
-    for &nrh in nrh_values {
-        let configs: Vec<(String, ExperimentConfig)> = setups
-            .iter()
-            .map(|setup| {
-                (
-                    setup.label(),
-                    ExperimentConfig::new(setup.clone(), options.instructions_per_core)
-                        .with_rowhammer_threshold(nrh),
-                )
-            })
-            .collect();
-        let points = run_performance_matrix(&suite, &configs, &options, 0xF16_13 ^ u64::from(nrh));
-        print!("{nrh:<8}");
-        for label in &labels {
-            print!(" {:>34.3}", mean_normalized(&points, label));
-        }
-        println!();
-    }
-
-    println!();
-    println!("Paper reference (Figure 13): TPRAC slowdowns of 0.6%/1.6%/3.4% at NRH = 4096/2048/");
-    println!("1024, growing to 6.5%/14.1%/22.6% at 512/256/128; ABO+ACB-RFM stays cheaper but");
-    println!("leaks; TREF co-design recovers part of the low-threshold loss.");
+    std::process::exit(campaign::cli::delegate("fig13"));
 }

@@ -1,64 +1,9 @@
-//! Figure 14: TPRAC performance with and without per-row activation-counter
-//! reset at every tREFW, as the RowHammer threshold varies.  Resetting the
-//! counters shrinks the attacker's feasible pool, allows a longer TB-Window,
-//! and therefore helps most at ultra-low thresholds.
-
-use bench_harness::{mean_normalized, run_performance_matrix, BenchOptions};
-use prac_core::tprac::TrefRate;
-use system_sim::{ExperimentConfig, MitigationSetup};
+//! Figure 14: TPRAC performance with and without per-row activation-counter reset.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run fig14` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let suite = options.suite();
-    let nrh_values: &[u32] = if options.full {
-        &[128, 256, 512, 1024, 2048, 4096]
-    } else {
-        &[256, 1024, 4096]
-    };
-
-    let setups = vec![
-        ("TPRAC (reset)".to_string(), true, TrefRate::None),
-        ("TPRAC-NoReset".to_string(), false, TrefRate::None),
-        ("TPRAC (reset) + TREF/1".to_string(), true, TrefRate::EveryTrefi(1)),
-        ("TPRAC-NoReset + TREF/1".to_string(), false, TrefRate::EveryTrefi(1)),
-    ];
-
-    println!(
-        "Figure 14 — TPRAC with vs without counter reset ({} workloads)",
-        suite.len()
-    );
-    println!();
-    print!("{:<8}", "NRH");
-    for (label, _, _) in &setups {
-        print!(" {:>26}", label);
-    }
-    println!();
-
-    for &nrh in nrh_values {
-        let configs: Vec<(String, ExperimentConfig)> = setups
-            .iter()
-            .map(|(label, counter_reset, tref_rate)| {
-                let setup = MitigationSetup::Tprac {
-                    tref_rate: *tref_rate,
-                    counter_reset: *counter_reset,
-                };
-                (
-                    label.clone(),
-                    ExperimentConfig::new(setup, options.instructions_per_core)
-                        .with_rowhammer_threshold(nrh),
-                )
-            })
-            .collect();
-        let points = run_performance_matrix(&suite, &configs, &options, 0xF16_14 ^ u64::from(nrh));
-        print!("{nrh:<8}");
-        for (label, _, _) in &setups {
-            print!(" {:>26.3}", mean_normalized(&points, label));
-        }
-        println!();
-    }
-
-    println!();
-    println!("Paper reference (Figure 14): at NRH >= 1024 the reset policy changes performance");
-    println!("by < 1%; at NRH = 128 resetting counters every tREFW improves performance by ~3.4%");
-    println!("because the no-reset worst case forces a shorter (more expensive) TB-Window.");
+    std::process::exit(campaign::cli::delegate("fig14"));
 }

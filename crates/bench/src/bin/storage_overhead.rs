@@ -1,42 +1,9 @@
-//! Section 6.8: storage overhead of TPRAC (the RFM-interval register and the
-//! per-bank single-entry mitigation queue), compared against the alternative
-//! queue designs.
-
-use prac_core::overhead::{rfm_interval_register_bits, StorageModel};
-use prac_core::queue::QueueKind;
-use prac_core::timing::DramTimingSummary;
+//! Section 6.8: storage overhead of TPRAC compared against the alternative queue designs.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run storage` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let timing = DramTimingSummary::ddr5_8000b();
-    let banks = 128;
-    let model = StorageModel::ddr5_32gb(&timing, banks);
-
-    println!("Section 6.8 — storage overhead");
-    println!();
-    let register_bits = rfm_interval_register_bits(timing.t_refw_ns / 2.0, timing.t_refi_ns / 1024.0);
-    println!("RFM-interval register (controller side): {register_bits} bits (paper: 24 bits / 3 bytes)");
-    println!();
-    println!(
-        "{:<34} {:>18} {:>20} {:>14}",
-        "mitigation queue design", "bits per bank", "bits whole channel", "total bytes"
-    );
-    for (label, kind) in [
-        ("single-entry frequency (TPRAC)", QueueKind::SingleEntryFrequency),
-        ("FIFO, 4 entries", QueueKind::Fifo { capacity: 4 }),
-        ("FIFO, 16 entries", QueueKind::Fifo { capacity: 16 }),
-        ("idealised priority (UPRAC)", QueueKind::Priority),
-    ] {
-        let overhead = model.tprac_overhead(&timing, kind);
-        println!(
-            "{:<34} {:>18} {:>20} {:>14}",
-            label,
-            overhead.dram_bits_per_bank,
-            overhead.dram_bits_total(),
-            overhead.total_bytes()
-        );
-    }
-    println!();
-    println!("TPRAC's whole-channel cost is a few hundred bytes; the idealised full-priority");
-    println!("queue it matches in security would need megabytes, which is why the single-entry");
-    println!("frequency-based queue is the practical design point.");
+    std::process::exit(campaign::cli::delegate("storage"));
 }

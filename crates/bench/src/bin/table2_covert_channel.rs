@@ -1,37 +1,9 @@
-//! Table 2: covert-channel transmission period and bitrate for the
-//! activity-based and activation-count-based channels at NBO ∈ {256, 512,
-//! 1024}.
-
-use bench_harness::BenchOptions;
-use pracleak::covert::{run_covert_channel, CovertChannelKind};
+//! Table 2: covert-channel transmission period and bitrate.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run table2` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let symbols = if options.full { 32 } else { 8 };
-    let nbos: &[u32] = if options.full { &[256, 512, 1024] } else { &[256, 512] };
-
-    println!("Table 2 — covert-channel transmission period and bitrate ({symbols} symbols per point)");
-    println!();
-    println!(
-        "{:<26} {:>6} {:>22} {:>18} {:>12}",
-        "Type", "NBO", "Transmission (us)", "bitrate (Kbps)", "error rate"
-    );
-    for kind in [CovertChannelKind::ActivityBased, CovertChannelKind::ActivationCountBased] {
-        for &nbo in nbos {
-            let result = run_covert_channel(kind, nbo, symbols, 0xBEEF ^ u64::from(nbo));
-            println!(
-                "{:<26} {:>6} {:>22.1} {:>18.1} {:>11.2}%",
-                format!("{kind:?}"),
-                nbo,
-                result.transmission_period_us,
-                result.bitrate_kbps,
-                result.error_rate() * 100.0
-            );
-        }
-    }
-    println!();
-    println!("Paper reference (Table 2): Activity-Based 24.1/46.7/91.8 us and 41.4/21.4/10.9 Kbps;");
-    println!("Activation-Count-Based 64.7/128.0/257.6 us and 123.6/70.3/38.8 Kbps, for NBO = 256/512/1024;");
-    println!("error rates below 0.1%. Expected shape: periods grow ~linearly with NBO, the");
-    println!("count-based channel has a longer period but a higher bitrate.");
+    std::process::exit(campaign::cli::delegate("table2"));
 }

@@ -1,62 +1,9 @@
-//! Table 5: energy overhead of TPRAC, split into mitigation (RFM) energy and
-//! non-mitigation (execution-time) energy, as the RowHammer threshold varies.
-
-use bench_harness::{run_performance_matrix, BenchOptions};
-use prac_core::tprac::TrefRate;
-use system_sim::{energy_overhead_for, ExperimentConfig, MitigationSetup};
+//! Table 5: energy overhead of TPRAC as the RowHammer threshold varies.
+//!
+//! Thin wrapper over the campaign registry — equivalent to
+//! `prac-bench run table5` (plus any `--full` / `--instr` / `--workers`
+//! flags, which are forwarded).
 
 fn main() {
-    let options = BenchOptions::from_args();
-    let suite = options.suite();
-    let nrh_values: &[u32] = if options.full {
-        &[128, 256, 512, 1024, 2048, 4096]
-    } else {
-        &[256, 1024, 4096]
-    };
-    let banks_per_rfm = 128;
-
-    println!(
-        "Table 5 — energy overhead of TPRAC ({} workloads, averaged)",
-        suite.len()
-    );
-    println!();
-    println!(
-        "{:>8} {:>20} {:>28} {:>12}",
-        "NRH", "Mitigation (RFM)", "Non-Mitigation (exec time)", "Total"
-    );
-
-    for &nrh in nrh_values {
-        let setup = MitigationSetup::Tprac {
-            tref_rate: TrefRate::None,
-            counter_reset: true,
-        };
-        let configs = vec![(
-            setup.label(),
-            ExperimentConfig::new(setup.clone(), options.instructions_per_core)
-                .with_rowhammer_threshold(nrh),
-        )];
-        let points = run_performance_matrix(&suite, &configs, &options, 0x7AB1E5 ^ u64::from(nrh));
-        let mut mitigation = 0.0;
-        let mut non_mitigation = 0.0;
-        for point in &points {
-            let overhead = energy_overhead_for(&point.baseline, &point.protected, banks_per_rfm);
-            mitigation += overhead.mitigation;
-            non_mitigation += overhead.non_mitigation;
-        }
-        let n = points.len().max(1) as f64;
-        mitigation /= n;
-        non_mitigation /= n;
-        println!(
-            "{:>8} {:>19.1}% {:>27.1}% {:>11.1}%",
-            nrh,
-            mitigation * 100.0,
-            non_mitigation * 100.0,
-            (mitigation + non_mitigation) * 100.0
-        );
-    }
-
-    println!();
-    println!("Paper reference (Table 5): total overheads of 44.3%, 26.1%, 10.4%, 7.4%, 2.6% and");
-    println!("1.0% for NRH = 128, 256, 512, 1024, 2048 and 4096 — dominated by execution-time");
-    println!("energy at high thresholds and by mitigation energy as TB-RFMs become frequent.");
+    std::process::exit(campaign::cli::delegate("table5"));
 }

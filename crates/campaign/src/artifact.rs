@@ -1,0 +1,193 @@
+//! Per-campaign artifact store.
+//!
+//! Every campaign run writes two machine-readable artifacts under
+//! `target/campaigns/<name>/`:
+//!
+//! * `results.json` — the campaign metadata plus one record per scenario
+//!   (spec, cache key, metrics, timing),
+//! * `results.csv` — the same metrics flattened to one row per scenario,
+//!   with the header built from the sorted union of metric keys.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde_json::{Map, Value};
+
+use crate::runner::ScenarioRecord;
+use crate::scenario::Campaign;
+
+/// Writes campaign artifacts under a root directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+/// Paths of the artifacts written for one campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactPaths {
+    /// The JSON artifact.
+    pub json: PathBuf,
+    /// The CSV artifact.
+    pub csv: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Creates a store rooted at `root` (typically `target/campaigns`).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The default on-disk location, `target/campaigns`.
+    #[must_use]
+    pub fn default_root() -> PathBuf {
+        Path::new("target").join("campaigns")
+    }
+
+    /// Writes `results.json` and `results.csv` for a completed campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory or either file cannot be
+    /// written.
+    pub fn write(
+        &self,
+        campaign: &Campaign,
+        records: &[ScenarioRecord],
+    ) -> io::Result<ArtifactPaths> {
+        let dir = self.root.join(&campaign.name);
+        fs::create_dir_all(&dir)?;
+        let paths = ArtifactPaths {
+            json: dir.join("results.json"),
+            csv: dir.join("results.csv"),
+        };
+        fs::write(&paths.json, render_json(campaign, records))?;
+        fs::write(&paths.csv, render_csv(records))?;
+        Ok(paths)
+    }
+}
+
+fn render_json(campaign: &Campaign, records: &[ScenarioRecord]) -> String {
+    let mut doc = Map::new();
+    doc.insert("campaign".into(), campaign.name.as_str().into());
+    doc.insert("title".into(), campaign.title.as_str().into());
+    doc.insert("paper_reference".into(), campaign.reference.as_str().into());
+    doc.insert(
+        "scenarios".into(),
+        Value::Array(
+            records
+                .iter()
+                .map(|record| {
+                    let mut row = Map::new();
+                    row.insert("name".into(), record.scenario.name.as_str().into());
+                    row.insert(
+                        "key".into(),
+                        format!("{:016x}", record.scenario.key()).into(),
+                    );
+                    row.insert("spec".into(), record.scenario.spec.to_json());
+                    row.insert("cached".into(), record.cached.into());
+                    row.insert("wall_ms".into(), record.wall_ms.into());
+                    row.insert("metrics".into(), Value::Object(record.metrics.clone()));
+                    Value::Object(row)
+                })
+                .collect(),
+        ),
+    );
+    serde_json::to_string_pretty(&Value::Object(doc)).expect("JSON serialisation is infallible")
+}
+
+fn render_csv(records: &[ScenarioRecord]) -> String {
+    // Header: fixed columns plus the sorted union of metric keys, so
+    // heterogeneous campaigns still produce a rectangular table.
+    let mut metric_keys: Vec<&str> = Vec::new();
+    for record in records {
+        for key in record.metrics.keys() {
+            if !metric_keys.contains(&key.as_str()) {
+                metric_keys.push(key);
+            }
+        }
+    }
+    metric_keys.sort_unstable();
+
+    let mut out = String::from("scenario,key,cached,wall_ms");
+    for key in &metric_keys {
+        out.push(',');
+        out.push_str(&csv_field(key));
+    }
+    out.push('\n');
+
+    for record in records {
+        out.push_str(&csv_field(&record.scenario.name));
+        out.push_str(&format!(
+            ",{:016x},{},{:.3}",
+            record.scenario.key(),
+            record.cached,
+            record.wall_ms
+        ));
+        for key in &metric_keys {
+            out.push(',');
+            if let Some(value) = record.metrics.get(*key) {
+                out.push_str(&csv_value(value));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn csv_value(value: &Value) -> String {
+    match value {
+        Value::Null => String::new(),
+        Value::String(s) => csv_field(s),
+        other => csv_field(&other.to_string()),
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline.
+fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioSpec};
+
+    fn record(name: &str, key: &str, value: f64) -> ScenarioRecord {
+        let mut metrics = Map::new();
+        metrics.insert(key.into(), value.into());
+        ScenarioRecord {
+            scenario: Scenario::new(
+                name,
+                ScenarioSpec::SolveWindow {
+                    nrh: 1024,
+                    counter_reset: true,
+                },
+            ),
+            metrics,
+            cached: false,
+            wall_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn csv_has_union_header_and_one_row_per_record() {
+        let csv = render_csv(&[record("a", "x", 1.0), record("b", "y", 2.0)]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("scenario,key,cached,wall_ms,x,y"));
+        assert_eq!(lines.clone().count(), 2);
+        // Record "a" has no "y": its last field is empty.
+        assert!(lines.next().unwrap().ends_with(",1.0,"));
+    }
+
+    #[test]
+    fn csv_escapes_delimiters() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,148 @@
+//! Incremental result cache.
+//!
+//! Each executed scenario is persisted as one JSON file named by its stable
+//! [`Scenario::key`] hash.  A later run with the same configuration finds the
+//! file, verifies the embedded spec matches (guarding against hash collisions
+//! and stale formats), and skips the simulation.  Any change to the scenario
+//! — threshold, seed, budget, workload — changes the key and misses.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde_json::{Map, Value};
+
+use crate::scenario::Scenario;
+
+/// A directory of per-scenario result files.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+/// A cached (or freshly executed) scenario result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// The scenario's metric map.
+    pub metrics: Map,
+    /// Wall-clock milliseconds the original execution took.
+    pub wall_ms: f64,
+}
+
+impl ResultCache {
+    /// Opens (and creates if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The default on-disk location, `target/campaigns/cache`.
+    #[must_use]
+    pub fn default_root() -> PathBuf {
+        Path::new("target").join("campaigns").join("cache")
+    }
+
+    /// Path of the result file for `scenario`.
+    #[must_use]
+    pub fn entry_path(&self, scenario: &Scenario) -> PathBuf {
+        self.root.join(format!("{:016x}.json", scenario.key()))
+    }
+
+    /// Looks the scenario up; `None` on miss, format mismatch, or a (wildly
+    /// unlikely) hash collision.
+    #[must_use]
+    pub fn lookup(&self, scenario: &Scenario) -> Option<CachedResult> {
+        let text = fs::read_to_string(self.entry_path(scenario)).ok()?;
+        let value = serde_json::from_str(&text).ok()?;
+        if value.get("spec") != Some(&scenario.spec.to_json()) {
+            return None;
+        }
+        Some(CachedResult {
+            metrics: value.get("metrics")?.as_object()?.clone(),
+            wall_ms: value.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
+        })
+    }
+
+    /// Persists a freshly executed result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the file cannot be written.
+    pub fn store(&self, scenario: &Scenario, result: &CachedResult) -> io::Result<()> {
+        let mut entry = Map::new();
+        entry.insert("spec".into(), scenario.spec.to_json());
+        entry.insert("metrics".into(), Value::Object(result.metrics.clone()));
+        entry.insert("wall_ms".into(), result.wall_ms.into());
+        let text = serde_json::to_string_pretty(&Value::Object(entry))
+            .expect("JSON serialisation is infallible");
+        fs::write(self.entry_path(scenario), text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSpec;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let root =
+            std::env::temp_dir().join(format!("prac-campaign-cache-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        ResultCache::open(root).unwrap()
+    }
+
+    fn scenario(nrh: u32) -> Scenario {
+        Scenario::new(
+            "s",
+            ScenarioSpec::SolveWindow {
+                nrh,
+                counter_reset: true,
+            },
+        )
+    }
+
+    #[test]
+    fn miss_then_hit_then_miss_on_change() {
+        let cache = temp_cache("hit-miss");
+        let s = scenario(1024);
+        assert!(cache.lookup(&s).is_none(), "cold cache must miss");
+
+        let mut metrics = Map::new();
+        metrics.insert("tmax".into(), 572u64.into());
+        let result = CachedResult {
+            metrics,
+            wall_ms: 1.5,
+        };
+        cache.store(&s, &result).unwrap();
+        assert_eq!(cache.lookup(&s), Some(result), "same config must hit");
+
+        assert!(
+            cache.lookup(&scenario(2048)).is_none(),
+            "changed threshold must miss"
+        );
+    }
+
+    #[test]
+    fn collision_guard_rejects_mismatched_spec() {
+        let cache = temp_cache("collision");
+        let s = scenario(512);
+        cache
+            .store(
+                &s,
+                &CachedResult {
+                    metrics: Map::new(),
+                    wall_ms: 0.0,
+                },
+            )
+            .unwrap();
+        // Corrupt the entry so the stored spec no longer matches.
+        let path = cache.entry_path(&s);
+        fs::write(&path, r#"{"spec":{"kind":"other"},"metrics":{}}"#).unwrap();
+        assert!(cache.lookup(&s).is_none());
+    }
+}

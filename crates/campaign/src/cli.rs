@@ -1,0 +1,359 @@
+//! The `prac-bench` command-line interface.
+//!
+//! * `prac-bench list` — enumerate the registered campaigns,
+//! * `prac-bench run <name>... | --all` — run campaigns through the parallel
+//!   runner with the incremental cache and JSON/CSV artifacts,
+//! * the former `fig*`/`table*` binaries delegate here via [`delegate`].
+
+use std::path::PathBuf;
+
+use serde_json::Value;
+
+use crate::artifact::ArtifactStore;
+use crate::cache::ResultCache;
+use crate::registry::{all_campaigns, find_campaign, Profile};
+use crate::runner::{CampaignRunner, RunSummary, ScenarioRecord};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    command: Command,
+    names: Vec<String>,
+    all: bool,
+    full: bool,
+    instructions_per_core: Option<u64>,
+    cores: Option<u32>,
+    workers: Option<usize>,
+    no_cache: bool,
+    out_dir: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    List,
+    Run,
+    Help,
+}
+
+const USAGE: &str = "prac-bench — unified campaign runner for the PRACLeak/TPRAC evaluation
+
+USAGE:
+    prac-bench list [--full]
+    prac-bench run <name>... [options]
+    prac-bench run --all [options]
+
+OPTIONS:
+    --all             Run every registered campaign
+    --quick           Reduced sweeps and budgets (default)
+    --full            Paper-scale sweeps and budgets
+    --instr <N>       Override instructions per core for performance cells
+    --cores <N>       Override core count for performance cells
+    --workers <N>     Worker threads (default: all hardware threads)
+    --no-cache        Ignore and do not update the incremental result cache
+    --out <DIR>       Artifact root (default: target/campaigns)
+    --cache-dir <DIR> Cache root (default: target/campaigns/cache)
+
+Artifacts are written to <out>/<campaign>/results.{json,csv}; cached cells
+are reused when the scenario configuration (including seeds and budgets) is
+unchanged.";
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        command: Command::Help,
+        names: Vec::new(),
+        all: false,
+        full: false,
+        instructions_per_core: None,
+        cores: None,
+        workers: None,
+        no_cache: false,
+        out_dir: None,
+        cache_dir: None,
+    };
+    let mut iter = args.iter();
+    match iter.next().map(String::as_str) {
+        Some("list") => options.command = Command::List,
+        Some("run") => options.command = Command::Run,
+        Some("help" | "--help" | "-h") | None => return Ok(options),
+        Some(other) => return Err(format!("unknown command `{other}`")),
+    }
+    let mut iter = iter.peekable();
+    while let Some(arg) = iter.next() {
+        let mut numeric = |name: &str| -> Result<u64, String> {
+            iter.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} requires a numeric argument"))
+        };
+        match arg.as_str() {
+            "--all" => options.all = true,
+            "--full" => options.full = true,
+            "--quick" => options.full = false,
+            "--no-cache" => options.no_cache = true,
+            "--instr" => options.instructions_per_core = Some(numeric("--instr")?),
+            "--cores" => options.cores = Some(numeric("--cores")? as u32),
+            "--workers" => options.workers = Some(numeric("--workers")? as usize),
+            "--out" => {
+                options.out_dir = Some(
+                    iter.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| "--out requires a directory".to_string())?,
+                );
+            }
+            "--cache-dir" => {
+                options.cache_dir = Some(
+                    iter.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| "--cache-dir requires a directory".to_string())?,
+                );
+            }
+            name if name.starts_with("--") => return Err(format!("unknown option `{name}`")),
+            name => options.names.push(name.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn profile_for(options: &Options) -> Profile {
+    let mut profile = if options.full {
+        Profile::full()
+    } else {
+        Profile::quick()
+    };
+    if let Some(instr) = options.instructions_per_core {
+        profile.instructions_per_core = instr;
+    }
+    if let Some(cores) = options.cores {
+        profile.cores = cores;
+    }
+    profile
+}
+
+/// Runs the CLI against explicit arguments (everything after the binary
+/// name) and returns the process exit code.
+#[must_use]
+pub fn run_cli(args: &[String]) -> i32 {
+    let options = match parse(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    match options.command {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::List => {
+            let profile = profile_for(&options);
+            println!(
+                "{} registered campaigns ({} profile):\n",
+                all_campaigns(&profile).len(),
+                if profile.full { "full" } else { "quick" }
+            );
+            println!("{:<10} {:>9}  title", "name", "scenarios");
+            for campaign in all_campaigns(&profile) {
+                println!(
+                    "{:<10} {:>9}  {}",
+                    campaign.name,
+                    campaign.scenarios.len(),
+                    campaign.title
+                );
+            }
+            0
+        }
+        Command::Run => run_command(&options),
+    }
+}
+
+/// Entry point for `std::env::args`-based binaries.
+#[must_use]
+pub fn main_from_env() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&args)
+}
+
+/// Delegation shim for the former per-figure bench binaries: forwards any
+/// recognised legacy flags (`--full`, `--instr`, `--workers`) and runs the
+/// named campaign.
+#[must_use]
+pub fn delegate(campaign_name: &str) -> i32 {
+    let mut args = vec!["run".to_string(), campaign_name.to_string()];
+    let mut env = std::env::args().skip(1);
+    while let Some(arg) = env.next() {
+        match arg.as_str() {
+            "--full" => args.push(arg),
+            "--instr" | "--workers" => {
+                if let Some(value) = env.next() {
+                    args.push(arg);
+                    args.push(value);
+                }
+            }
+            _ => {}
+        }
+    }
+    run_cli(&args)
+}
+
+fn run_command(options: &Options) -> i32 {
+    let profile = profile_for(options);
+    let campaigns = if options.all {
+        all_campaigns(&profile)
+    } else if options.names.is_empty() {
+        eprintln!("error: `run` needs campaign names or --all\n\n{USAGE}");
+        return 2;
+    } else {
+        let mut selected = Vec::new();
+        for name in &options.names {
+            match find_campaign(name, &profile) {
+                Some(campaign) => selected.push(campaign),
+                None => {
+                    let known: Vec<String> = all_campaigns(&profile)
+                        .into_iter()
+                        .map(|c| c.name)
+                        .collect();
+                    eprintln!(
+                        "error: unknown campaign `{name}` (known: {})",
+                        known.join(", ")
+                    );
+                    return 2;
+                }
+            }
+        }
+        selected
+    };
+
+    let artifact_root = options
+        .out_dir
+        .clone()
+        .unwrap_or_else(ArtifactStore::default_root);
+    let cache_root = options
+        .cache_dir
+        .clone()
+        .unwrap_or_else(ResultCache::default_root);
+
+    for campaign in &campaigns {
+        let mut runner = CampaignRunner::new()
+            .with_progress(true)
+            .with_artifacts(ArtifactStore::new(&artifact_root));
+        if let Some(workers) = options.workers {
+            runner = runner.with_workers(workers);
+        }
+        if !options.no_cache {
+            match ResultCache::open(&cache_root) {
+                Ok(cache) => runner = runner.with_cache(cache),
+                Err(error) => {
+                    eprintln!(
+                        "error: cannot open cache at {}: {error}",
+                        cache_root.display()
+                    );
+                    return 1;
+                }
+            }
+        }
+
+        println!("== {} — {}", campaign.name, campaign.title);
+        match runner.run(campaign) {
+            Ok(summary) => print_summary(campaign.name.as_str(), &summary),
+            Err(error) => {
+                eprintln!("error: campaign {} failed: {error}", campaign.name);
+                return 1;
+            }
+        }
+        println!();
+    }
+    0
+}
+
+fn print_summary(name: &str, summary: &RunSummary) {
+    println!(
+        "[{name}] {} scenarios ({} cached, {} executed) in {:.1} s",
+        summary.records.len(),
+        summary.cached,
+        summary.executed,
+        summary.wall_ms / 1e3
+    );
+    for (label, mean) in mean_normalized_by_setup(&summary.records) {
+        println!("[{name}]   mean normalised performance, {label}: {mean:.3}");
+    }
+    if let Some(paths) = &summary.artifacts {
+        println!("[{name}] artifacts: {}", paths.json.display());
+        println!("[{name}]            {}", paths.csv.display());
+    }
+}
+
+/// Mean of the `normalized_performance` metric grouped by the `setup` label,
+/// in first-seen order — the headline number of every performance campaign.
+fn mean_normalized_by_setup(records: &[ScenarioRecord]) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: std::collections::HashMap<String, (f64, usize)> =
+        std::collections::HashMap::new();
+    for record in records {
+        let (Some(setup), Some(value)) = (
+            record.metrics.get("setup").and_then(Value::as_str),
+            record
+                .metrics
+                .get("normalized_performance")
+                .and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        let entry = sums.entry(setup.to_string()).or_insert_with(|| {
+            order.push(setup.to_string());
+            (0.0, 0)
+        });
+        entry.0 += value;
+        entry.1 += 1;
+    }
+    order
+        .into_iter()
+        .map(|label| {
+            let (sum, count) = sums[&label];
+            (label, sum / count as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let options = parse(&args(&[
+            "run",
+            "fig10",
+            "--full",
+            "--instr",
+            "5000",
+            "--workers",
+            "3",
+            "--no-cache",
+        ]))
+        .unwrap();
+        assert_eq!(options.command, Command::Run);
+        assert_eq!(options.names, vec!["fig10".to_string()]);
+        assert!(options.full && options.no_cache);
+        assert_eq!(options.instructions_per_core, Some(5000));
+        assert_eq!(options.workers, Some(3));
+    }
+
+    #[test]
+    fn rejects_unknown_options_and_commands() {
+        assert!(parse(&args(&["run", "--bogus"])).is_err());
+        assert!(parse(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn listing_and_unknown_campaigns_exit_cleanly() {
+        assert_eq!(run_cli(&args(&["list"])), 0);
+        assert_eq!(run_cli(&args(&["help"])), 0);
+        assert_eq!(run_cli(&args(&["run", "no-such-campaign"])), 2);
+        assert_eq!(run_cli(&args(&["run"])), 2);
+    }
+}

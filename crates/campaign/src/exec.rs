@@ -1,0 +1,317 @@
+//! Scenario execution: turns a declarative [`ScenarioSpec`] into a flat
+//! metric map.
+//!
+//! Execution is a pure function of the spec (every random stream is seeded
+//! from fields of the spec), which is what makes cached results valid across
+//! runs: same spec → same key → same metrics, bit for bit.
+
+use prac_core::config::MitigationPolicy;
+use prac_core::overhead::{rfm_interval_register_bits, StorageModel};
+use prac_core::security::{figure7_windows, CounterResetPolicy, SecurityAnalysis};
+use prac_core::timing::DramTimingSummary;
+use prac_core::tprac::TpracConfig;
+use pracleak::characterize::run_characterization;
+use pracleak::covert::run_covert_channel;
+use pracleak::latency::SpikeDetector;
+use pracleak::side_channel::SideChannelExperiment;
+use serde_json::{Map, Value};
+use system_sim::{energy_overhead_for, run_workload_normalized, ExperimentConfig};
+use workloads::MemoryIntensity;
+
+use crate::scenario::ScenarioSpec;
+
+/// Banks blocked by one all-bank RFM in the energy model (one DDR5 channel).
+const BANKS_PER_RFM: u32 = 128;
+
+/// Runs a scenario and returns its metrics as a flat JSON object.
+#[must_use]
+pub fn execute(spec: &ScenarioSpec) -> Map {
+    match spec {
+        ScenarioSpec::Perf(perf) => execute_perf(perf),
+        ScenarioSpec::AboLatency {
+            prac_level,
+            nbo,
+            window_ns,
+        } => execute_abo_latency(*prac_level, *nbo, *window_ns),
+        ScenarioSpec::SideChannel {
+            nbo,
+            encryptions,
+            k0,
+            p0,
+            defended,
+            seed,
+        } => execute_side_channel(*nbo, *encryptions, *k0, *p0, *defended, *seed),
+        ScenarioSpec::TmaxSeries { nbo, counter_reset } => {
+            execute_tmax_series(*nbo, *counter_reset)
+        }
+        ScenarioSpec::SolveWindow { nrh, counter_reset } => {
+            execute_solve_window(*nrh, *counter_reset)
+        }
+        ScenarioSpec::Covert {
+            kind,
+            nbo,
+            symbols,
+            seed,
+        } => execute_covert(*kind, *nbo, *symbols, *seed),
+        ScenarioSpec::Storage { queue, banks } => execute_storage(*queue, *banks),
+    }
+}
+
+fn execute_perf(perf: &crate::scenario::PerfScenario) -> Map {
+    let config = ExperimentConfig {
+        rowhammer_threshold: perf.rowhammer_threshold,
+        prac_level: perf.prac_level,
+        setup: perf.setup.clone(),
+        instructions_per_core: perf.instructions_per_core,
+        cores: perf.cores,
+    };
+    let (normalized, protected, baseline) =
+        run_workload_normalized(&config, &perf.workload.workload, perf.seed);
+    let energy = energy_overhead_for(&baseline, &protected, BANKS_PER_RFM);
+
+    let mut m = Map::new();
+    m.insert(
+        "workload".into(),
+        perf.workload.workload.name.as_str().into(),
+    );
+    m.insert(
+        "intensity".into(),
+        match perf.workload.intensity {
+            MemoryIntensity::High => "high",
+            MemoryIntensity::Medium => "medium",
+            MemoryIntensity::Low => "low",
+        }
+        .into(),
+    );
+    m.insert("group".into(), perf.workload.group.to_string().into());
+    m.insert("setup".into(), perf.setup.label().into());
+    m.insert("nrh".into(), perf.rowhammer_threshold.into());
+    m.insert("normalized_performance".into(), normalized.into());
+    m.insert("ipc_protected".into(), protected.total_ipc().into());
+    m.insert("ipc_baseline".into(), baseline.total_ipc().into());
+    m.insert("tb_rfms".into(), protected.controller_stats.tb_rfms.into());
+    m.insert(
+        "abo_rfms".into(),
+        protected.controller_stats.abo_rfms.into(),
+    );
+    m.insert(
+        "execution_time_protected_ns".into(),
+        protected.execution_time_ns().into(),
+    );
+    m.insert(
+        "execution_time_baseline_ns".into(),
+        baseline.execution_time_ns().into(),
+    );
+    m.insert(
+        "energy_mitigation_overhead".into(),
+        energy.mitigation.into(),
+    );
+    m.insert(
+        "energy_non_mitigation_overhead".into(),
+        energy.non_mitigation.into(),
+    );
+    m.insert("energy_total_overhead".into(), energy.total.into());
+    m.insert(
+        "completed".into(),
+        (protected.completed && baseline.completed).into(),
+    );
+    m
+}
+
+fn execute_abo_latency(
+    prac_level: Option<prac_core::config::PracLevel>,
+    nbo: u32,
+    window_ns: f64,
+) -> Map {
+    let panel = run_characterization(nbo, prac_level, window_ns);
+    let mut m = Map::new();
+    m.insert(
+        "rfms_per_abo".into(),
+        prac_level.map_or(Value::Null, |l| l.rfms_per_alert().into()),
+    );
+    m.insert("attacker_accesses".into(), panel.samples.len().into());
+    m.insert("abo_events".into(), panel.abo_events.into());
+    m.insert("abo_rfms".into(), panel.abo_rfms.into());
+    m.insert("latency_spikes".into(), panel.spike_count().into());
+    m.insert(
+        "mean_baseline_latency_ns".into(),
+        panel.mean_baseline_latency_ns.into(),
+    );
+    m.insert(
+        "mean_spike_latency_ns".into(),
+        panel.mean_spike_latency_ns.into(),
+    );
+    m
+}
+
+fn execute_side_channel(
+    nbo: u32,
+    encryptions: u32,
+    k0: u8,
+    p0: u8,
+    defended: bool,
+    seed: u64,
+) -> Map {
+    let policy = if defended {
+        let timing = DramTimingSummary::ddr5_8000b();
+        let tprac =
+            TpracConfig::solve_for_threshold(nbo, &timing, CounterResetPolicy::ResetEveryTrefw)
+                .expect("TB-Window solvable for the attack NBO");
+        MitigationPolicy::Tprac(tprac)
+    } else {
+        MitigationPolicy::AboOnly
+    };
+    let experiment = SideChannelExperiment {
+        nbo,
+        encryptions,
+        policy,
+        seed,
+    };
+    let outcome = experiment.run_for_key_byte(k0, p0);
+    let detector = SpikeDetector::default();
+
+    let mut m = Map::new();
+    m.insert("k0".into(), u64::from(k0).into());
+    m.insert("defended".into(), defended.into());
+    m.insert("true_nibble".into(), u64::from(outcome.true_nibble).into());
+    m.insert(
+        "leaked_row".into(),
+        outcome.leaked_row.map_or(Value::Null, Value::from),
+    );
+    m.insert(
+        "hottest_victim_row".into(),
+        outcome
+            .hottest_victim_row()
+            .map_or(Value::Null, Value::from),
+    );
+    m.insert("nibble_recovered".into(), outcome.nibble_recovered().into());
+    m.insert(
+        "attacker_activations_to_leaked_row".into(),
+        outcome.attacker_activations_to_leaked_row.into(),
+    );
+    m.insert("abo_rfms".into(), outcome.abo_rfms.into());
+    m.insert("tb_rfms".into(), outcome.tb_rfms.into());
+    m.insert("rfm_count".into(), outcome.rfm_times_ns.len().into());
+    m.insert(
+        "attacker_accesses".into(),
+        outcome.attacker_latencies_ns.len().into(),
+    );
+    m.insert(
+        "latency_spikes".into(),
+        detector.count_spikes(&outcome.attacker_latencies_ns).into(),
+    );
+    m
+}
+
+fn execute_tmax_series(nbo: u32, counter_reset: bool) -> Map {
+    let timing = DramTimingSummary::ddr5_8000b();
+    let analysis = SecurityAnalysis::with_back_off_threshold(nbo, &timing, reset(counter_reset));
+    let mut m = Map::new();
+    m.insert("nbo".into(), nbo.into());
+    m.insert("counter_reset".into(), counter_reset.into());
+    for (window, tmax) in analysis.tmax_series(&figure7_windows()) {
+        m.insert(format!("tmax_at_{window:.2}_trefi"), tmax.into());
+    }
+    m
+}
+
+fn execute_solve_window(nrh: u32, counter_reset: bool) -> Map {
+    let timing = DramTimingSummary::ddr5_8000b();
+    let analysis = SecurityAnalysis::with_back_off_threshold(nrh, &timing, reset(counter_reset));
+    let mut m = Map::new();
+    m.insert("nrh".into(), nrh.into());
+    m.insert("counter_reset".into(), counter_reset.into());
+    match analysis.solve_tb_window() {
+        Ok(solution) => {
+            m.insert("solvable".into(), true.into());
+            m.insert("tb_window_trefi".into(), solution.tb_window_trefi.into());
+            m.insert("tb_window_ns".into(), solution.tb_window_ns.into());
+            m.insert("tmax".into(), solution.tmax.into());
+            m.insert("bandwidth_loss".into(), solution.bandwidth_loss.into());
+        }
+        Err(_) => {
+            m.insert("solvable".into(), false.into());
+        }
+    }
+    m
+}
+
+fn execute_covert(
+    kind: pracleak::covert::CovertChannelKind,
+    nbo: u32,
+    symbols: usize,
+    seed: u64,
+) -> Map {
+    let result = run_covert_channel(kind, nbo, symbols, seed);
+    let mut m = Map::new();
+    m.insert("channel".into(), format!("{kind:?}").into());
+    m.insert("nbo".into(), nbo.into());
+    m.insert(
+        "transmission_period_us".into(),
+        result.transmission_period_us.into(),
+    );
+    m.insert("bitrate_kbps".into(), result.bitrate_kbps.into());
+    m.insert("bits_transmitted".into(), result.bits_transmitted.into());
+    m.insert("bit_errors".into(), result.bit_errors.into());
+    m.insert("error_rate".into(), result.error_rate().into());
+    m
+}
+
+fn execute_storage(queue: prac_core::queue::QueueKind, banks: u32) -> Map {
+    let timing = DramTimingSummary::ddr5_8000b();
+    let model = StorageModel::ddr5_32gb(&timing, banks);
+    let overhead = model.tprac_overhead(&timing, queue);
+    let mut m = Map::new();
+    m.insert(
+        "rfm_interval_register_bits".into(),
+        rfm_interval_register_bits(timing.t_refw_ns / 2.0, timing.t_refi_ns / 1024.0).into(),
+    );
+    m.insert(
+        "dram_bits_per_bank".into(),
+        overhead.dram_bits_per_bank.into(),
+    );
+    m.insert("dram_bits_total".into(), overhead.dram_bits_total().into());
+    m.insert("controller_bits".into(), overhead.controller_bits.into());
+    m.insert("total_bytes".into(), overhead.total_bytes().into());
+    m
+}
+
+fn reset(counter_reset: bool) -> CounterResetPolicy {
+    if counter_reset {
+        CounterResetPolicy::ResetEveryTrefw
+    } else {
+        CounterResetPolicy::NoReset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_scenarios_execute_instantly() {
+        let metrics = execute(&ScenarioSpec::SolveWindow {
+            nrh: 1024,
+            counter_reset: true,
+        });
+        assert_eq!(metrics.get("solvable"), Some(&Value::Bool(true)));
+        assert!(metrics.get("tmax").and_then(Value::as_u64).unwrap() < 1024);
+
+        let metrics = execute(&ScenarioSpec::Storage {
+            queue: prac_core::queue::QueueKind::SingleEntryFrequency,
+            banks: 128,
+        });
+        assert!(metrics.get("total_bytes").and_then(Value::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let spec = ScenarioSpec::Covert {
+            kind: pracleak::covert::CovertChannelKind::ActivityBased,
+            nbo: 256,
+            symbols: 4,
+            seed: 9,
+        };
+        assert_eq!(execute(&spec), execute(&spec));
+    }
+}

@@ -1,0 +1,50 @@
+//! # campaign
+//!
+//! Declarative scenario sweeps, parallel execution, incremental result
+//! caching and the unified `prac-bench` CLI for the paper's evaluation
+//! matrix.
+//!
+//! The paper's evaluation is a matrix of scenarios — mitigation policy ×
+//! RowHammer threshold × PRAC level × workload — that this crate models as
+//! data instead of code:
+//!
+//! * [`scenario`] — the serialisable [`Scenario`] / [`Campaign`] model and
+//!   the stable FNV-1a cache key derived from a scenario's canonical JSON,
+//! * [`exec`] — turns a [`ScenarioSpec`] into a flat metric map (running
+//!   full-system simulations, attack instances or analytical models),
+//! * [`cache`] — the [`ResultCache`]: one JSON file per executed cell, so
+//!   re-runs only execute changed scenarios,
+//! * [`artifact`] — the [`ArtifactStore`] writing per-campaign
+//!   `results.json` / `results.csv` under `target/campaigns/`,
+//! * [`runner`] — the [`CampaignRunner`] fanning cache misses out over the
+//!   work-stealing pool with per-scenario timing and progress,
+//! * [`registry`] — every paper figure/table as a registered campaign
+//!   (`fig03` … `fig14`, `table2`, `table5`, `storage`),
+//! * [`cli`] — the `prac-bench` command line (`list`, `run <name>`,
+//!   `run --all`).
+//!
+//! ```no_run
+//! use campaign::registry::{find_campaign, Profile};
+//! use campaign::runner::CampaignRunner;
+//!
+//! let campaign = find_campaign("fig10", &Profile::quick()).unwrap();
+//! let summary = CampaignRunner::new().run(&campaign).unwrap();
+//! assert_eq!(summary.records.len(), campaign.scenarios.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+pub mod cli;
+pub mod exec;
+pub mod registry;
+pub mod runner;
+pub mod scenario;
+
+pub use artifact::{ArtifactPaths, ArtifactStore};
+pub use cache::{CachedResult, ResultCache};
+pub use registry::{all_campaigns, find_campaign, Profile};
+pub use runner::{CampaignRunner, RunSummary, ScenarioRecord};
+pub use scenario::{Campaign, PerfScenario, Scenario, ScenarioSpec};

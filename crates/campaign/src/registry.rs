@@ -1,0 +1,571 @@
+//! The figure registry: every figure and table of the paper's evaluation,
+//! re-expressed as a declarative [`Campaign`].
+//!
+//! Each entry mirrors the parameters of the former ad-hoc `fig*`/`table*`
+//! bench binary (same sweeps, same seeds), so `prac-bench run --all`
+//! reproduces the paper end-to-end, and new scenarios — another threshold,
+//! another policy, another workload mix — are a few lines of data here
+//! rather than a new binary.
+
+use prac_core::config::PracLevel;
+use prac_core::queue::QueueKind;
+use prac_core::tprac::TrefRate;
+use pracleak::covert::CovertChannelKind;
+use system_sim::MitigationSetup;
+use workloads::{full_suite, quick_suite, WorkloadSpec};
+
+use crate::scenario::{Campaign, PerfScenario, Scenario, ScenarioSpec};
+
+/// Global knobs applied to every campaign a registry builds: sweep size and
+/// simulation budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Full paper-scale sweeps instead of the quick (CI / laptop) subset.
+    pub full: bool,
+    /// Instructions per core for full-system performance runs.
+    pub instructions_per_core: u64,
+    /// Cores for full-system performance runs.
+    pub cores: u32,
+}
+
+impl Profile {
+    /// The quick profile: reduced workload suite, short instruction budget.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            full: false,
+            instructions_per_core: 20_000,
+            cores: 2,
+        }
+    }
+
+    /// The full paper-scale profile.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            full: true,
+            instructions_per_core: 150_000,
+            cores: 4,
+        }
+    }
+
+    fn suite(&self) -> Vec<WorkloadSpec> {
+        if self.full {
+            full_suite()
+        } else {
+            quick_suite()
+        }
+    }
+
+    fn nrh_sweep(&self) -> &'static [u32] {
+        if self.full {
+            &[128, 256, 512, 1024, 2048, 4096]
+        } else {
+            &[256, 1024, 4096]
+        }
+    }
+}
+
+/// Builds every registered campaign under the given profile, in paper order.
+#[must_use]
+pub fn all_campaigns(profile: &Profile) -> Vec<Campaign> {
+    vec![
+        fig03(profile),
+        fig04(profile),
+        fig05(profile),
+        fig07(profile),
+        fig09(profile),
+        fig10(profile),
+        fig11(profile),
+        fig12(profile),
+        fig13(profile),
+        fig14(profile),
+        table2(profile),
+        table5(profile),
+        storage(profile),
+    ]
+}
+
+/// Looks a campaign up by registry name.
+#[must_use]
+pub fn find_campaign(name: &str, profile: &Profile) -> Option<Campaign> {
+    all_campaigns(profile).into_iter().find(|c| c.name == name)
+}
+
+/// Short label for a mitigation setup, suitable for scenario names.
+fn setup_slug(setup: &MitigationSetup) -> String {
+    match setup {
+        MitigationSetup::BaselineNoAbo => "baseline".into(),
+        MitigationSetup::AboOnly => "abo-only".into(),
+        MitigationSetup::AboPlusAcbRfm => "abo-acb-rfm".into(),
+        MitigationSetup::Tprac {
+            tref_rate,
+            counter_reset,
+        } => {
+            let reset = if *counter_reset { "" } else { "-noreset" };
+            match tref_rate {
+                TrefRate::None => format!("tprac{reset}"),
+                TrefRate::EveryTrefi(n) => format!("tprac{reset}-tref{n}"),
+            }
+        }
+    }
+}
+
+/// Appends one performance cell per (workload × setup) pair.
+#[allow(clippy::too_many_arguments)]
+fn push_perf_matrix(
+    campaign: &mut Campaign,
+    profile: &Profile,
+    suite: &[WorkloadSpec],
+    setups: &[MitigationSetup],
+    nrh: u32,
+    prac_level: PracLevel,
+    seed: u64,
+    name_prefix: &str,
+) {
+    for workload in suite {
+        for setup in setups {
+            campaign.push(Scenario::new(
+                format!(
+                    "{name_prefix}{}/{}",
+                    workload.workload.name,
+                    setup_slug(setup)
+                ),
+                ScenarioSpec::Perf(Box::new(PerfScenario {
+                    setup: setup.clone(),
+                    rowhammer_threshold: nrh,
+                    prac_level,
+                    workload: workload.clone(),
+                    instructions_per_core: profile.instructions_per_core,
+                    cores: profile.cores,
+                    seed,
+                })),
+            ));
+        }
+    }
+}
+
+fn fig03(profile: &Profile) -> Campaign {
+    let (nbo, window_ns) = if profile.full {
+        (256, 2_000_000.0)
+    } else {
+        (128, 400_000.0)
+    };
+    let mut campaign = Campaign::new(
+        "fig03",
+        "Attacker-observed latency with and without concurrent Alert Back-Off",
+        "Mean spiked latencies of ~545/~976/~1669 ns for 1/2/4 RFMs per ABO, flat baseline without ABO",
+    );
+    campaign.push(Scenario::new(
+        "no-abo",
+        ScenarioSpec::AboLatency {
+            prac_level: None,
+            nbo,
+            window_ns,
+        },
+    ));
+    for level in PracLevel::all() {
+        campaign.push(Scenario::new(
+            format!("prac-{}", level.rfms_per_alert()),
+            ScenarioSpec::AboLatency {
+                prac_level: Some(level),
+                nbo,
+                window_ns,
+            },
+        ));
+    }
+    campaign
+}
+
+/// The side-channel parameters each profile uses: `(nbo, encryptions)`.
+fn side_channel_shape(profile: &Profile) -> (u32, u32) {
+    if profile.full {
+        (256, 200)
+    } else {
+        (128, 100)
+    }
+}
+
+fn fig04(profile: &Profile) -> Campaign {
+    let (nbo, encryptions) = side_channel_shape(profile);
+    let mut campaign = Campaign::new(
+        "fig04",
+        "One PRACLeak side-channel instance (p0 = 0, k0 = 0)",
+        "Victim drives ~207 ACTs to Row-0; victim + attacker ACTs to the hottest row sum to NBO",
+    );
+    campaign.push(Scenario::new(
+        "k0-0x00",
+        ScenarioSpec::SideChannel {
+            nbo,
+            encryptions,
+            k0: 0,
+            p0: 0,
+            defended: false,
+            seed: 0x5ec2e7,
+        },
+    ));
+    campaign
+}
+
+fn fig05(profile: &Profile) -> Campaign {
+    let (nbo, encryptions) = side_channel_shape(profile);
+    let step = if profile.full { 4 } else { 16 };
+    let mut campaign = Campaign::new(
+        "fig05",
+        "Key-byte sweep: leaked row index vs secret key byte 0",
+        "The hottest row walks Row-0..Row-15 with k0; the attacker recovers the top nibble of every key byte",
+    );
+    for k0 in (0..256usize).step_by(step) {
+        campaign.push(Scenario::new(
+            format!("k0-{k0:#04x}"),
+            ScenarioSpec::SideChannel {
+                nbo,
+                encryptions,
+                k0: k0 as u8,
+                p0: 0,
+                defended: false,
+                seed: 0xF165,
+            },
+        ));
+    }
+    campaign
+}
+
+fn fig07(_profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "fig07",
+        "Worst-case activations (TMAX) vs TB-Window, and the solved TB-Window per threshold",
+        "TMAX(1 tREFI) = 572 (reset) / 736 (no reset); NRH = 1024 needs ~one TB-RFM per 1.6 tREFI",
+    );
+    for counter_reset in [true, false] {
+        campaign.push(Scenario::new(
+            format!("tmax-series-{}", reset_slug(counter_reset)),
+            ScenarioSpec::TmaxSeries {
+                nbo: 4096,
+                counter_reset,
+            },
+        ));
+    }
+    for &nrh in &[128u32, 256, 512, 1024, 2048, 4096] {
+        for counter_reset in [true, false] {
+            campaign.push(Scenario::new(
+                format!("solve-nrh{nrh}-{}", reset_slug(counter_reset)),
+                ScenarioSpec::SolveWindow { nrh, counter_reset },
+            ));
+        }
+    }
+    campaign
+}
+
+fn fig09(profile: &Profile) -> Campaign {
+    let (nbo, encryptions) = side_channel_shape(profile);
+    let step = if profile.full { 8 } else { 32 };
+    let mut campaign = Campaign::new(
+        "fig09",
+        "Empirical TPRAC validation: row triggering the first RFM, with and without the defense",
+        "Without TPRAC the first-RFM row tracks the key nibble; with TPRAC there is no correlation and 0 ABO-RFMs",
+    );
+    for k0 in (0..256usize).step_by(step) {
+        for defended in [false, true] {
+            campaign.push(Scenario::new(
+                format!(
+                    "k0-{k0:#04x}-{}",
+                    if defended { "tprac" } else { "undefended" }
+                ),
+                ScenarioSpec::SideChannel {
+                    nbo,
+                    encryptions,
+                    k0: k0 as u8,
+                    p0: 0,
+                    defended,
+                    seed: 0x916,
+                },
+            ));
+        }
+    }
+    campaign
+}
+
+fn fig10(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "fig10",
+        "Normalised performance of TPRAC vs the insecure baselines at NRH = 1024",
+        "ABO-Only ~1.00, ABO+ACB-RFM ~0.993, TPRAC ~0.966 on average; up to ~6-8% on memory-intensive workloads",
+    );
+    push_perf_matrix(
+        &mut campaign,
+        profile,
+        &profile.suite(),
+        &MitigationSetup::figure10_set(),
+        1024,
+        PracLevel::One,
+        0x000F_1610,
+        "",
+    );
+    campaign
+}
+
+fn fig11(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "fig11",
+        "Sensitivity to the PRAC level (1, 2 or 4 RFMs per Alert) at NRH = 1024",
+        "Performance is flat across PRAC-1/2/4 because benign workloads rarely trigger ABOs",
+    );
+    let suite = profile.suite();
+    for level in PracLevel::all() {
+        push_perf_matrix(
+            &mut campaign,
+            profile,
+            &suite,
+            &MitigationSetup::figure10_set(),
+            1024,
+            level,
+            0x000F_1611 ^ u64::from(level.rfms_per_alert()),
+            &format!("prac{}/", level.rfms_per_alert()),
+        );
+    }
+    campaign
+}
+
+fn fig12(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "fig12",
+        "TPRAC performance vs Targeted-Refresh rate at NRH = 1024",
+        "Slowdowns of 3.4%/2.4%/2.0%/1.4%/~0% with no TREF and one TREF per 4/3/2/1 tREFI",
+    );
+    let setups: Vec<MitigationSetup> = TrefRate::figure12_sweep()
+        .into_iter()
+        .map(|tref_rate| MitigationSetup::Tprac {
+            tref_rate,
+            counter_reset: true,
+        })
+        .collect();
+    push_perf_matrix(
+        &mut campaign,
+        profile,
+        &profile.suite(),
+        &setups,
+        1024,
+        PracLevel::One,
+        0x000F_1612,
+        "",
+    );
+    campaign
+}
+
+fn nrh_sweep_setups() -> Vec<MitigationSetup> {
+    vec![
+        MitigationSetup::AboOnly,
+        MitigationSetup::AboPlusAcbRfm,
+        MitigationSetup::Tprac {
+            tref_rate: TrefRate::None,
+            counter_reset: true,
+        },
+        MitigationSetup::Tprac {
+            tref_rate: TrefRate::EveryTrefi(4),
+            counter_reset: true,
+        },
+        MitigationSetup::Tprac {
+            tref_rate: TrefRate::EveryTrefi(1),
+            counter_reset: true,
+        },
+    ]
+}
+
+fn fig13(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "fig13",
+        "Normalised performance vs RowHammer threshold (NRH 128-4096)",
+        "TPRAC slowdowns of 0.6%/1.6%/3.4% at NRH = 4096/2048/1024, growing to 22.6% at 128",
+    );
+    let suite = profile.suite();
+    let setups = nrh_sweep_setups();
+    for &nrh in profile.nrh_sweep() {
+        push_perf_matrix(
+            &mut campaign,
+            profile,
+            &suite,
+            &setups,
+            nrh,
+            PracLevel::One,
+            0x000F_1613 ^ u64::from(nrh),
+            &format!("nrh{nrh}/"),
+        );
+    }
+    campaign
+}
+
+fn fig14(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "fig14",
+        "TPRAC with vs without per-row counter reset, across RowHammer thresholds",
+        "At NRH >= 1024 the reset policy changes performance by < 1%; at NRH = 128 it is worth ~3.4%",
+    );
+    let suite = profile.suite();
+    let setups: Vec<MitigationSetup> = [
+        (true, TrefRate::None),
+        (false, TrefRate::None),
+        (true, TrefRate::EveryTrefi(1)),
+        (false, TrefRate::EveryTrefi(1)),
+    ]
+    .into_iter()
+    .map(|(counter_reset, tref_rate)| MitigationSetup::Tprac {
+        tref_rate,
+        counter_reset,
+    })
+    .collect();
+    for &nrh in profile.nrh_sweep() {
+        push_perf_matrix(
+            &mut campaign,
+            profile,
+            &suite,
+            &setups,
+            nrh,
+            PracLevel::One,
+            0x000F_1614 ^ u64::from(nrh),
+            &format!("nrh{nrh}/"),
+        );
+    }
+    campaign
+}
+
+fn table2(profile: &Profile) -> Campaign {
+    let symbols = if profile.full { 32 } else { 8 };
+    let nbos: &[u32] = if profile.full {
+        &[256, 512, 1024]
+    } else {
+        &[256, 512]
+    };
+    let mut campaign = Campaign::new(
+        "table2",
+        "Covert-channel transmission period and bitrate",
+        "Activity-Based: 24.1-91.8 us, 41.4-10.9 Kbps; Activation-Count-Based: 64.7-257.6 us, 123.6-38.8 Kbps",
+    );
+    for kind in [
+        CovertChannelKind::ActivityBased,
+        CovertChannelKind::ActivationCountBased,
+    ] {
+        for &nbo in nbos {
+            campaign.push(Scenario::new(
+                format!(
+                    "{}-nbo{nbo}",
+                    match kind {
+                        CovertChannelKind::ActivityBased => "activity",
+                        CovertChannelKind::ActivationCountBased => "activation-count",
+                    }
+                ),
+                ScenarioSpec::Covert {
+                    kind,
+                    nbo,
+                    symbols,
+                    seed: 0xBEEF ^ u64::from(nbo),
+                },
+            ));
+        }
+    }
+    campaign
+}
+
+fn table5(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "table5",
+        "Energy overhead of TPRAC (mitigation vs execution-time energy) per threshold",
+        "Total overheads of 44.3%/26.1%/10.4%/7.4%/2.6%/1.0% for NRH = 128...4096",
+    );
+    let suite = profile.suite();
+    let setup = MitigationSetup::Tprac {
+        tref_rate: TrefRate::None,
+        counter_reset: true,
+    };
+    for &nrh in profile.nrh_sweep() {
+        push_perf_matrix(
+            &mut campaign,
+            profile,
+            &suite,
+            std::slice::from_ref(&setup),
+            nrh,
+            PracLevel::One,
+            0x7AB1E5 ^ u64::from(nrh),
+            &format!("nrh{nrh}/"),
+        );
+    }
+    campaign
+}
+
+fn storage(_profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "storage",
+        "Storage overhead of the mitigation-queue designs (Section 6.8)",
+        "TPRAC's whole-channel cost is a few hundred bytes; the idealised priority queue needs megabytes",
+    );
+    for (slug, queue) in [
+        ("single-entry-frequency", QueueKind::SingleEntryFrequency),
+        ("fifo-4", QueueKind::Fifo { capacity: 4 }),
+        ("fifo-16", QueueKind::Fifo { capacity: 16 }),
+        ("priority", QueueKind::Priority),
+    ] {
+        campaign.push(Scenario::new(
+            slug,
+            ScenarioSpec::Storage { queue, banks: 128 },
+        ));
+    }
+    campaign
+}
+
+fn reset_slug(counter_reset: bool) -> &'static str {
+    if counter_reset {
+        "reset"
+    } else {
+        "noreset"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_ten_campaigns_with_unique_names() {
+        let campaigns = all_campaigns(&Profile::quick());
+        assert!(campaigns.len() >= 10, "{} campaigns", campaigns.len());
+        let mut names = std::collections::HashSet::new();
+        for campaign in &campaigns {
+            assert!(
+                names.insert(campaign.name.clone()),
+                "duplicate {}",
+                campaign.name
+            );
+            assert!(!campaign.scenarios.is_empty(), "{} is empty", campaign.name);
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_unique_within_each_campaign() {
+        for profile in [Profile::quick(), Profile::full()] {
+            for campaign in all_campaigns(&profile) {
+                let mut names = std::collections::HashSet::new();
+                for scenario in &campaign.scenarios {
+                    assert!(
+                        names.insert(scenario.name.clone()),
+                        "duplicate scenario {} in {}",
+                        scenario.name,
+                        campaign.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quick_and_full_profiles_produce_different_cache_keys() {
+        let quick = find_campaign("fig10", &Profile::quick()).unwrap();
+        let full = find_campaign("fig10", &Profile::full()).unwrap();
+        assert_ne!(quick.scenarios[0].key(), full.scenarios[0].key());
+    }
+
+    #[test]
+    fn fig10_covers_the_quick_suite_times_three_setups() {
+        let campaign = find_campaign("fig10", &Profile::quick()).unwrap();
+        assert_eq!(campaign.scenarios.len(), 9 * 3);
+    }
+}

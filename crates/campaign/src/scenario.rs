@@ -1,0 +1,449 @@
+//! The declarative scenario model.
+//!
+//! A [`Scenario`] is one cell of the paper's evaluation matrix — a mitigation
+//! setup × RowHammer threshold × workload × instruction budget for the
+//! performance figures, or the equivalent declarative description of an
+//! attack / analytical experiment for the security figures.  A [`Campaign`]
+//! is a named, ordered list of scenarios (one paper figure or table).
+//!
+//! Scenarios are *data*: they serialise to canonical JSON (the `serde_json`
+//! shim keeps object members sorted), and the [`Scenario::key`] cache key is
+//! a stable FNV-1a hash of that canonical form.  Any change to any field —
+//! threshold, seed, budget, workload shape — changes the key, which is what
+//! lets the incremental result cache re-run only the cells that changed.
+
+use prac_core::config::PracLevel;
+use prac_core::queue::QueueKind;
+use prac_core::tprac::TrefRate;
+use pracleak::covert::CovertChannelKind;
+use serde_json::{Map, Value};
+use system_sim::MitigationSetup;
+use workloads::{MemoryIntensity, WorkloadGroup, WorkloadSpec};
+
+/// One cell of a campaign: a unique name plus the declarative spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Name of the cell, unique within its campaign (used in reports and
+    /// artifact rows).
+    pub name: String,
+    /// What to run.
+    pub spec: ScenarioSpec,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(name: impl Into<String>, spec: ScenarioSpec) -> Self {
+        Self {
+            name: name.into(),
+            spec,
+        }
+    }
+
+    /// Stable 64-bit cache key of the scenario *configuration* (the name is
+    /// excluded, so renaming a cell does not invalidate its cached result).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        fnv1a64(self.spec.to_json().to_string().as_bytes())
+    }
+}
+
+/// A named, ordered scenario matrix — typically one paper figure or table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Registry name (`fig10`, `table5`, …).
+    pub name: String,
+    /// One-line human title.
+    pub title: String,
+    /// What the paper reports for this figure, for context in artifacts.
+    pub reference: String,
+    /// The ordered scenario matrix.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Campaign {
+    /// Creates an empty campaign.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        reference: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            reference: reference.into(),
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Adds a scenario.
+    pub fn push(&mut self, scenario: Scenario) {
+        self.scenarios.push(scenario);
+    }
+}
+
+/// A full-system performance cell: one protected run and one baseline run of
+/// the same workload, reported as normalised performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfScenario {
+    /// The mitigation configuration under test.
+    pub setup: MitigationSetup,
+    /// RowHammer threshold (`NRH`, with `NBO` set equal to it).
+    pub rowhammer_threshold: u32,
+    /// PRAC level (RFMs per Alert).
+    pub prac_level: PracLevel,
+    /// The workload (with its intensity/group labels).
+    pub workload: WorkloadSpec,
+    /// Instructions per core.
+    pub instructions_per_core: u64,
+    /// Number of cores running copies of the workload.
+    pub cores: u32,
+    /// Trace-generation seed: the entire run is a pure function of the
+    /// scenario including this value.
+    pub seed: u64,
+}
+
+/// The declarative description of what a scenario runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSpec {
+    /// Figure 10–14 / Table 5 style performance cell.
+    Perf(Box<PerfScenario>),
+    /// Figure 3: attacker-observed latency with / without concurrent ABOs.
+    AboLatency {
+        /// `Some(level)` runs the victim hammer alongside the attacker;
+        /// `None` is the "No ABO" panel.
+        prac_level: Option<PracLevel>,
+        /// Back-Off threshold.
+        nbo: u32,
+        /// Observation window in nanoseconds.
+        window_ns: f64,
+    },
+    /// Figure 4 / 5 / 9: one instance of the AES T-table side channel.
+    SideChannel {
+        /// Back-Off threshold.
+        nbo: u32,
+        /// Encryptions in the victim phase.
+        encryptions: u32,
+        /// Secret key byte 0.
+        k0: u8,
+        /// Fixed plaintext byte 0.
+        p0: u8,
+        /// Run under the TPRAC defense instead of plain ABO.
+        defended: bool,
+        /// Experiment seed.
+        seed: u64,
+    },
+    /// Figure 7 (left): worst-case activations (TMAX) over the standard
+    /// TB-Window sweep.
+    TmaxSeries {
+        /// Back-Off threshold.
+        nbo: u32,
+        /// Whether per-row counters reset every tREFW.
+        counter_reset: bool,
+    },
+    /// Figure 7 (right): solved TB-Window for a RowHammer threshold.
+    SolveWindow {
+        /// RowHammer threshold.
+        nrh: u32,
+        /// Whether per-row counters reset every tREFW.
+        counter_reset: bool,
+    },
+    /// Table 2: one covert-channel measurement point.
+    Covert {
+        /// Channel variant.
+        kind: CovertChannelKind,
+        /// Back-Off threshold.
+        nbo: u32,
+        /// Symbols transmitted.
+        symbols: usize,
+        /// Channel seed.
+        seed: u64,
+    },
+    /// Section 6.8: storage overhead of one mitigation-queue design.
+    Storage {
+        /// Queue design.
+        queue: QueueKind,
+        /// Banks per channel.
+        banks: u32,
+    },
+}
+
+impl ScenarioSpec {
+    /// Canonical JSON form of the spec.  This is the serialisation the cache
+    /// key hashes and the artifact store embeds, so it must be stable: the
+    /// `serde_json` shim's sorted objects plus the explicit field names here
+    /// guarantee that.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        match self {
+            ScenarioSpec::Perf(perf) => {
+                map.insert("kind".into(), "perf".into());
+                map.insert("setup".into(), setup_to_json(&perf.setup));
+                map.insert("nrh".into(), perf.rowhammer_threshold.into());
+                map.insert("prac_level".into(), perf.prac_level.rfms_per_alert().into());
+                map.insert("workload".into(), workload_spec_to_json(&perf.workload));
+                map.insert(
+                    "instructions_per_core".into(),
+                    perf.instructions_per_core.into(),
+                );
+                map.insert("cores".into(), perf.cores.into());
+                map.insert("seed".into(), perf.seed.into());
+            }
+            ScenarioSpec::AboLatency {
+                prac_level,
+                nbo,
+                window_ns,
+            } => {
+                map.insert("kind".into(), "abo_latency".into());
+                map.insert(
+                    "prac_level".into(),
+                    prac_level.map_or(Value::Null, |l| l.rfms_per_alert().into()),
+                );
+                map.insert("nbo".into(), (*nbo).into());
+                map.insert("window_ns".into(), (*window_ns).into());
+            }
+            ScenarioSpec::SideChannel {
+                nbo,
+                encryptions,
+                k0,
+                p0,
+                defended,
+                seed,
+            } => {
+                map.insert("kind".into(), "side_channel".into());
+                map.insert("nbo".into(), (*nbo).into());
+                map.insert("encryptions".into(), (*encryptions).into());
+                map.insert("k0".into(), u64::from(*k0).into());
+                map.insert("p0".into(), u64::from(*p0).into());
+                map.insert("defended".into(), (*defended).into());
+                map.insert("seed".into(), (*seed).into());
+            }
+            ScenarioSpec::TmaxSeries { nbo, counter_reset } => {
+                map.insert("kind".into(), "tmax_series".into());
+                map.insert("nbo".into(), (*nbo).into());
+                map.insert("counter_reset".into(), (*counter_reset).into());
+            }
+            ScenarioSpec::SolveWindow { nrh, counter_reset } => {
+                map.insert("kind".into(), "solve_window".into());
+                map.insert("nrh".into(), (*nrh).into());
+                map.insert("counter_reset".into(), (*counter_reset).into());
+            }
+            ScenarioSpec::Covert {
+                kind,
+                nbo,
+                symbols,
+                seed,
+            } => {
+                map.insert("kind".into(), "covert".into());
+                map.insert(
+                    "channel".into(),
+                    match kind {
+                        CovertChannelKind::ActivityBased => "activity",
+                        CovertChannelKind::ActivationCountBased => "activation_count",
+                    }
+                    .into(),
+                );
+                map.insert("nbo".into(), (*nbo).into());
+                map.insert("symbols".into(), (*symbols).into());
+                map.insert("seed".into(), (*seed).into());
+            }
+            ScenarioSpec::Storage { queue, banks } => {
+                map.insert("kind".into(), "storage".into());
+                map.insert("queue".into(), queue_kind_to_json(queue));
+                map.insert("banks".into(), (*banks).into());
+            }
+        }
+        Value::Object(map)
+    }
+}
+
+fn setup_to_json(setup: &MitigationSetup) -> Value {
+    let mut map = Map::new();
+    match setup {
+        MitigationSetup::BaselineNoAbo => {
+            map.insert("policy".into(), "baseline_no_abo".into());
+        }
+        MitigationSetup::AboOnly => {
+            map.insert("policy".into(), "abo_only".into());
+        }
+        MitigationSetup::AboPlusAcbRfm => {
+            map.insert("policy".into(), "abo_plus_acb_rfm".into());
+        }
+        MitigationSetup::Tprac {
+            tref_rate,
+            counter_reset,
+        } => {
+            map.insert("policy".into(), "tprac".into());
+            map.insert(
+                "tref_per_trefi".into(),
+                match tref_rate {
+                    TrefRate::None => Value::Null,
+                    TrefRate::EveryTrefi(n) => (*n).into(),
+                },
+            );
+            map.insert("counter_reset".into(), (*counter_reset).into());
+        }
+    }
+    Value::Object(map)
+}
+
+fn workload_spec_to_json(spec: &WorkloadSpec) -> Value {
+    let w = &spec.workload;
+    let mut map = Map::new();
+    map.insert("name".into(), w.name.as_str().into());
+    map.insert(
+        "mem_ops_per_kilo_instr".into(),
+        w.mem_ops_per_kilo_instr.into(),
+    );
+    map.insert("store_fraction".into(), w.store_fraction.into());
+    map.insert(
+        "pattern".into(),
+        format!("{:?}", w.pattern).to_lowercase().into(),
+    );
+    map.insert("footprint_bytes".into(), w.footprint_bytes.into());
+    map.insert("base_address".into(), w.base_address.into());
+    map.insert(
+        "intensity".into(),
+        match spec.intensity {
+            MemoryIntensity::High => "high",
+            MemoryIntensity::Medium => "medium",
+            MemoryIntensity::Low => "low",
+        }
+        .into(),
+    );
+    map.insert(
+        "group".into(),
+        match spec.group {
+            WorkloadGroup::Spec2006Like => "spec2006",
+            WorkloadGroup::Spec2017Like => "spec2017",
+            WorkloadGroup::CloudSuiteLike => "cloudsuite",
+        }
+        .into(),
+    );
+    Value::Object(map)
+}
+
+fn queue_kind_to_json(kind: &QueueKind) -> Value {
+    match kind {
+        QueueKind::SingleEntryFrequency => "single_entry_frequency".into(),
+        QueueKind::Fifo { capacity } => format!("fifo_{capacity}").into(),
+        QueueKind::Priority => "priority".into(),
+    }
+}
+
+/// 64-bit FNV-1a: simple, dependency-free and stable across platforms and
+/// compiler versions (unlike `DefaultHasher`, whose algorithm is unspecified).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prac_core::tprac::TrefRate;
+    use workloads::quick_suite;
+
+    fn perf_scenario(nrh: u32) -> Scenario {
+        Scenario::new(
+            "cell",
+            ScenarioSpec::Perf(Box::new(PerfScenario {
+                setup: MitigationSetup::Tprac {
+                    tref_rate: TrefRate::None,
+                    counter_reset: true,
+                },
+                rowhammer_threshold: nrh,
+                prac_level: PracLevel::One,
+                workload: quick_suite().remove(0),
+                instructions_per_core: 10_000,
+                cores: 2,
+                seed: 7,
+            })),
+        )
+    }
+
+    #[test]
+    fn same_config_hashes_identically() {
+        assert_eq!(perf_scenario(1024).key(), perf_scenario(1024).key());
+    }
+
+    #[test]
+    fn changed_threshold_changes_the_key() {
+        assert_ne!(perf_scenario(1024).key(), perf_scenario(2048).key());
+    }
+
+    #[test]
+    fn changed_seed_changes_the_key() {
+        let a = perf_scenario(1024);
+        let mut b = a.clone();
+        if let ScenarioSpec::Perf(perf) = &mut b.spec {
+            perf.seed = 8;
+        }
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn renaming_does_not_change_the_key() {
+        let a = perf_scenario(1024);
+        let mut b = a.clone();
+        b.name = "renamed".into();
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn spec_json_is_canonical_and_roundtrips() {
+        let json = perf_scenario(1024).spec.to_json();
+        let text = json.to_string();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(reparsed, json);
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn every_spec_kind_serialises() {
+        let specs = vec![
+            ScenarioSpec::AboLatency {
+                prac_level: Some(PracLevel::Two),
+                nbo: 256,
+                window_ns: 2e6,
+            },
+            ScenarioSpec::SideChannel {
+                nbo: 128,
+                encryptions: 100,
+                k0: 3,
+                p0: 0,
+                defended: true,
+                seed: 1,
+            },
+            ScenarioSpec::TmaxSeries {
+                nbo: 4096,
+                counter_reset: false,
+            },
+            ScenarioSpec::SolveWindow {
+                nrh: 512,
+                counter_reset: true,
+            },
+            ScenarioSpec::Covert {
+                kind: CovertChannelKind::ActivityBased,
+                nbo: 256,
+                symbols: 8,
+                seed: 2,
+            },
+            ScenarioSpec::Storage {
+                queue: QueueKind::Fifo { capacity: 4 },
+                banks: 128,
+            },
+        ];
+        let mut keys = std::collections::HashSet::new();
+        for spec in specs {
+            let scenario = Scenario::new("s", spec);
+            assert!(scenario.spec.to_json().get("kind").is_some());
+            assert!(keys.insert(scenario.key()), "key collision across kinds");
+        }
+    }
+}

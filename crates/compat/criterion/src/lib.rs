@@ -1,0 +1,221 @@
+//! Offline compat shim for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `Bencher::iter`, benchmark groups, `BenchmarkId`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery.  Results
+//! are printed as `name ... <mean> ns/iter (N iterations)`; there is no
+//! outlier analysis, no plotting and no baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    report: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, measuring mean wall-clock time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: `sample_size` samples or until the time budget runs
+        // out, whichever comes first.
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        while iterations < self.sample_size as u64 && total < self.measurement_time {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iterations += 1;
+        }
+        let mean_ns = total.as_nanos() as f64 / iterations.max(1) as f64;
+        self.report = Some((mean_ns, iterations));
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time budget.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((mean_ns, iterations)) => {
+                println!("{name:<48} {mean_ns:>14.1} ns/iter ({iterations} iterations)");
+            }
+            None => println!("{name:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (criterion API shape).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point (criterion API shape).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = 0u32;
+        fast_config().bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            });
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut criterion = fast_config();
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline compat shim for `parking_lot`.
+//!
+//! Provides the `Mutex` API subset this workspace uses (poison-free `lock()`
+//! and `into_inner()`) on top of `std::sync::Mutex`.  Lock poisoning is
+//! swallowed, matching parking_lot semantics: a panicking critical section
+//! leaves the data accessible to other threads.
+
+#![forbid(unsafe_code)]
+
+use std::sync::PoisonError;
+
+/// A poison-free mutex with the parking_lot calling convention.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking until it is available.  Never fails:
+    /// poisoning from a panicked holder is ignored.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_into_inner_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn survives_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        *m.lock() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline compat shim for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the `proptest!` macro, `prop_assert*` macros, integer-range
+//! strategies, `collection::vec` and `array::uniform16`.  Instead of
+//! proptest's adaptive case generation and shrinking, each property runs a
+//! fixed number of deterministic pseudo-random cases (seeded per test from a
+//! constant), so failures are reproducible — but they are reported without
+//! input shrinking.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+// Re-exported for the `proptest!` macro, so consumer crates do not need
+// their own `rand` dependency.
+#[doc(hidden)]
+pub use rand;
+
+/// Number of cases each property is checked against.
+pub const CASES: u32 = 64;
+
+/// A source of test values (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits scaled into [start, end).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl Strategy for std::ops::RangeFrom<u8> {
+    type Value = u8;
+    fn sample(&self, rng: &mut StdRng) -> u8 {
+        rng.gen_range(self.start..=u8::MAX)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Builds a `Vec` strategy (proptest's `collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.len.start..self.len.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for `[T; 16]` arrays (proptest's `array::uniform16`).
+    #[derive(Debug, Clone)]
+    pub struct Uniform16<S>(S);
+
+    /// Builds a 16-element array strategy.
+    pub fn uniform16<S: Strategy>(element: S) -> Uniform16<S> {
+        Uniform16(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform16<S>
+    where
+        S::Value: Default + Copy,
+    {
+        type Value = [S::Value; 16];
+        fn sample(&self, rng: &mut StdRng) -> [S::Value; 16] {
+            let mut out = [S::Value::default(); 16];
+            for slot in &mut out {
+                *slot = self.0.sample(rng);
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
+}
+
+/// Discards the current case when the assumption does not hold.  Proptest
+/// redraws a replacement input; this shim simply moves on to the next of its
+/// [`CASES`] fixed cases, so over-constrained assumptions thin the sample
+/// rather than erroring out.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` in this shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against [`CASES`] deterministic
+/// pseudo-random inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                use $crate::rand::SeedableRng as _;
+                // Deterministic per-test seed: the same inputs are replayed
+                // on every run, keeping failures reproducible.
+                let mut rng = $crate::rand::rngs::StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15);
+                for _case in 0..$crate::CASES {
+                    $(let $arg = ($strategy).sample(&mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0u8..) {
+            prop_assert!((3..17).contains(&x));
+            let _ = y; // full-domain draw; nothing to bound-check
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in crate::collection::vec(0u64..100, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn array_strategy_fills_all_slots(a in crate::array::uniform16(1u8..)) {
+            prop_assert_eq!(a.len(), 16);
+            prop_assert!(a.iter().all(|&b| b >= 1));
+            prop_assert_ne!(&a[..], &[0u8; 16][..]);
+        }
+    }
+}

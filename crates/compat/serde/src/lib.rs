@@ -1,0 +1,29 @@
+//! Offline compat shim for `serde`.
+//!
+//! This build environment cannot reach crates.io, so the real serde cannot be
+//! used.  The workspace's types only use serde in derive position (no generic
+//! `T: Serialize` bounds and no direct serializer calls), so the shim keeps
+//! the exact import surface (`use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]`) compiling by providing:
+//!
+//! * marker traits `Serialize` / `Deserialize` with blanket implementations,
+//! * inert derive macros re-exported from the `serde_derive` shim.
+//!
+//! Actual JSON serialization for the campaign artifact store lives in the
+//! `serde_json` compat shim, which is a real (if small) JSON library; the
+//! `campaign` crate defines its own `ToJson`/`FromJson` conversions on top of
+//! it.  Replacing these shims with the real crates is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.  The real trait is lifetime-parameterised; no code in this
+/// workspace names the lifetime, so the shim can omit it.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -15,9 +15,12 @@ use crate::tprac::TpracConfig;
 
 /// The PRAC level: number of RFM All-Bank commands the memory controller
 /// issues per Alert Back-Off event (`Nmit` in the paper, Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum PracLevel {
     /// One RFM per Alert (PRAC-1).
+    #[default]
     One,
     /// Two RFMs per Alert (PRAC-2).
     Two,
@@ -43,12 +46,6 @@ impl PracLevel {
     }
 }
 
-impl Default for PracLevel {
-    fn default() -> Self {
-        PracLevel::One
-    }
-}
-
 impl std::fmt::Display for PracLevel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "PRAC-{}", self.rfms_per_alert())
@@ -59,11 +56,12 @@ impl std::fmt::Display for PracLevel {
 ///
 /// The first two are the insecure baselines evaluated in the paper
 /// (Section 5, "Evaluated Design"); the third is the proposed defense.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum MitigationPolicy {
     /// Rely solely on the Alert Back-Off protocol: RFMs are only issued when
     /// the DRAM asserts Alert (a row reached `NBO`).  Vulnerable to
     /// PRACLeak timing channels.
+    #[default]
     AboOnly,
     /// ABO plus proactive Activation-Based RFMs: an RFM is issued whenever a
     /// bank accumulates `BAT` activations, which (when `BAT` is configured
@@ -92,12 +90,6 @@ impl MitigationPolicy {
             MitigationPolicy::AboPlusAcbRfm => "ABO+ACB-RFM",
             MitigationPolicy::Tprac(_) => "TPRAC",
         }
-    }
-}
-
-impl Default for MitigationPolicy {
-    fn default() -> Self {
-        MitigationPolicy::AboOnly
     }
 }
 
@@ -361,7 +353,10 @@ mod tests {
 
     #[test]
     fn prac_levels_enumerate_spec_values() {
-        let levels: Vec<u32> = PracLevel::all().iter().map(|l| l.rfms_per_alert()).collect();
+        let levels: Vec<u32> = PracLevel::all()
+            .iter()
+            .map(|l| l.rfms_per_alert())
+            .collect();
         assert_eq!(levels, vec![1, 2, 4]);
     }
 
@@ -393,7 +388,9 @@ mod tests {
             .rowhammer_threshold(0)
             .try_build()
             .unwrap_err();
-        assert!(matches!(err, ConfigError::InvalidParameter { name, .. } if name == "rowhammer_threshold"));
+        assert!(
+            matches!(err, ConfigError::InvalidParameter { name, .. } if name == "rowhammer_threshold")
+        );
     }
 
     #[test]
@@ -403,7 +400,9 @@ mod tests {
             .back_off_threshold(512)
             .try_build()
             .unwrap_err();
-        assert!(matches!(err, ConfigError::InvalidParameter { name, .. } if name == "back_off_threshold"));
+        assert!(
+            matches!(err, ConfigError::InvalidParameter { name, .. } if name == "back_off_threshold")
+        );
     }
 
     #[test]

@@ -119,8 +119,7 @@ impl InjectionSequence {
     /// Creates a sequence with the given seed and injection probability.
     #[must_use]
     pub fn new(config: ObfuscationConfig, seed: u64) -> Self {
-        let threshold =
-            (config.injection_probability_per_trefi * u64::MAX as f64).round() as u64;
+        let threshold = (config.injection_probability_per_trefi * u64::MAX as f64).round() as u64;
         Self {
             state: seed.max(1),
             threshold,

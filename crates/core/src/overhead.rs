@@ -47,7 +47,7 @@ pub fn rfm_interval_register_bits(max_interval_ns: f64, granularity_ns: f64) -> 
         return 0;
     }
     let steps = (max_interval_ns / granularity_ns).ceil().max(1.0) as u64;
-    64 - steps.leading_zeros() as u32
+    64 - steps.leading_zeros()
 }
 
 /// Storage accounting for TPRAC and the comparison queue designs.
@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn interval_register_is_24_bits_or_fewer() {
-        let bits = rfm_interval_register_bits(timing().t_refw_ns / 2.0, timing().t_refi_ns / 1024.0);
+        let bits =
+            rfm_interval_register_bits(timing().t_refw_ns / 2.0, timing().t_refi_ns / 1024.0);
         assert!(
             (20..=24).contains(&bits),
             "expected a ~24-bit interval register, got {bits}"

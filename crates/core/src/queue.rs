@@ -23,9 +23,10 @@ use serde::{Deserialize, Serialize};
 pub type RowIndex = u32;
 
 /// Which mitigation-queue design a simulation should instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum QueueKind {
     /// The paper's single-entry frequency-based queue.
+    #[default]
     SingleEntryFrequency,
     /// A bounded FIFO queue of alerted rows.
     Fifo {
@@ -34,12 +35,6 @@ pub enum QueueKind {
     },
     /// The idealised UPRAC priority queue (tracks all rows).
     Priority,
-}
-
-impl Default for QueueKind {
-    fn default() -> Self {
-        QueueKind::SingleEntryFrequency
-    }
 }
 
 impl QueueKind {
@@ -172,7 +167,10 @@ impl FifoQueue {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "FIFO mitigation queue capacity must be non-zero");
+        assert!(
+            capacity > 0,
+            "FIFO mitigation queue capacity must be non-zero"
+        );
         Self {
             capacity,
             entries: VecDeque::with_capacity(capacity),

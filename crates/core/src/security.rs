@@ -83,11 +83,7 @@ impl SecurityAnalysis {
     /// Creates an analysis for the given PRAC configuration, device timing
     /// and counter-reset policy.
     #[must_use]
-    pub fn new(
-        config: &PracConfig,
-        timing: &DramTimingSummary,
-        reset: CounterResetPolicy,
-    ) -> Self {
+    pub fn new(config: &PracConfig, timing: &DramTimingSummary, reset: CounterResetPolicy) -> Self {
         Self {
             nbo: config.back_off_threshold,
             timing: timing.clone(),
@@ -197,7 +193,8 @@ impl SecurityAnalysis {
         let pool = self.optimal_initial_pool(tb_window_trefi);
         match self.reset {
             CounterResetPolicy::ResetEveryTrefw => {
-                self.feinting_rounds(pool, acts_per_window).target_activations
+                self.feinting_rounds(pool, acts_per_window)
+                    .target_activations
             }
             CounterResetPolicy::NoReset => {
                 // Without reset the attack can span refresh windows; sweep a
@@ -246,7 +243,11 @@ impl SecurityAnalysis {
     /// interval and [`ConfigError::NoSafeWindow`] when no window in the
     /// interval is safe.
     pub fn solve_tb_window_in(&self, min_window: f64, max_window: f64) -> Result<TbWindowSolution> {
-        if !(min_window > 0.0) || !(max_window > min_window) {
+        if !min_window.is_finite()
+            || !max_window.is_finite()
+            || min_window <= 0.0
+            || max_window <= min_window
+        {
             return Err(ConfigError::InvalidParameter {
                 name: "tb_window search bounds",
                 reason: format!("expected 0 < min < max, got [{min_window}, {max_window}]"),
@@ -344,7 +345,10 @@ mod tests {
 
     #[test]
     fn tmax_is_monotone_in_window() {
-        for reset in [CounterResetPolicy::ResetEveryTrefw, CounterResetPolicy::NoReset] {
+        for reset in [
+            CounterResetPolicy::ResetEveryTrefw,
+            CounterResetPolicy::NoReset,
+        ] {
             let a = analysis(1024, reset);
             let series = a.tmax_series(&figure7_windows());
             for pair in series.windows(2) {
@@ -431,7 +435,10 @@ mod tests {
         let w4096 = solve(4096);
         assert!(w512 < w1024 && w1024 < w4096);
         let ratio = w1024 / w512;
-        assert!((1.4..2.6).contains(&ratio), "window should ~double, got {ratio}");
+        assert!(
+            (1.4..2.6).contains(&ratio),
+            "window should ~double, got {ratio}"
+        );
     }
 
     #[test]
@@ -469,9 +476,16 @@ mod tests {
 
     #[test]
     fn reset_policy_tracks_config_flag() {
-        let cfg = PracConfig::builder().counter_reset_every_trefw(false).build();
-        assert_eq!(CounterResetPolicy::from_config(&cfg), CounterResetPolicy::NoReset);
-        let cfg = PracConfig::builder().counter_reset_every_trefw(true).build();
+        let cfg = PracConfig::builder()
+            .counter_reset_every_trefw(false)
+            .build();
+        assert_eq!(
+            CounterResetPolicy::from_config(&cfg),
+            CounterResetPolicy::NoReset
+        );
+        let cfg = PracConfig::builder()
+            .counter_reset_every_trefw(true)
+            .build();
         assert_eq!(
             CounterResetPolicy::from_config(&cfg),
             CounterResetPolicy::ResetEveryTrefw

@@ -29,9 +29,10 @@ use crate::timing::DramTimingSummary;
 
 /// Rate at which the DRAM performs Targeted Refreshes (TREFs), expressed as
 /// one TREF every `n` tREFI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum TrefRate {
     /// The DRAM performs no Targeted Refreshes.
+    #[default]
     None,
     /// One TREF every `n` tREFI intervals (`n >= 1`).
     EveryTrefi(u32),
@@ -57,12 +58,6 @@ impl TrefRate {
             TrefRate::EveryTrefi(2),
             TrefRate::EveryTrefi(1),
         ]
-    }
-}
-
-impl Default for TrefRate {
-    fn default() -> Self {
-        TrefRate::None
     }
 }
 
@@ -96,8 +91,9 @@ impl TpracConfig {
     /// Builds a TPRAC configuration from an explicit TB-Window in tREFI.
     #[must_use]
     pub fn with_window_trefi(tb_window_trefi: f64, timing: &DramTimingSummary) -> Self {
-        let tb_window_ticks =
-            ((tb_window_trefi * timing.t_refi_ns) * 4.0).round().max(1.0) as u64;
+        let tb_window_ticks = ((tb_window_trefi * timing.t_refi_ns) * 4.0)
+            .round()
+            .max(1.0) as u64;
         Self {
             tb_window_ticks,
             tb_window_trefi,

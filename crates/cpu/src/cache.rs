@@ -92,7 +92,10 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         assert!(sets >= 1, "cache must have at least one set");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Self {
             config,
@@ -274,7 +277,10 @@ mod tests {
         let mut c = small_cache(ReplacementPolicy::Lru);
         assert!(!c.access(0x1000, false).is_hit());
         assert!(c.access(0x1000, false).is_hit());
-        assert!(c.access(0x1004, false).is_hit(), "same line, different offset");
+        assert!(
+            c.access(0x1004, false).is_hit(),
+            "same line, different offset"
+        );
         assert_eq!(c.hits(), 2);
         assert_eq!(c.misses(), 1);
     }
@@ -303,7 +309,9 @@ mod tests {
         }
         let outcome = c.access(4 * 256, false);
         match outcome {
-            AccessOutcome::Miss { writeback: Some(addr) } => assert_eq!(addr, 0),
+            AccessOutcome::Miss {
+                writeback: Some(addr),
+            } => assert_eq!(addr, 0),
             other => panic!("expected a write-back of line 0, got {other:?}"),
         }
     }

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn cluster_produces_dram_traffic_for_streaming_workloads() {
         let cfg = CpuConfig::tiny_for_tests();
-        let traces = vec![streaming_trace(0x1000_0000, 512), streaming_trace(0x2000_0000, 512)];
+        let traces = vec![
+            streaming_trace(0x1000_0000, 512),
+            streaming_trace(0x2000_0000, 512),
+        ];
         let mut cluster = CpuCluster::new(cfg, traces, 2_000);
         let mut total_requests = 0usize;
         for now in 0..50_000 {
@@ -204,7 +207,10 @@ mod tests {
                 break;
             }
         }
-        assert!(cluster.all_finished(), "cores should finish with instant memory");
+        assert!(
+            cluster.all_finished(),
+            "cores should finish with instant memory"
+        );
         assert!(total_requests > 50, "streaming workloads must reach DRAM");
     }
 
@@ -235,7 +241,10 @@ mod tests {
         assert!(cluster.all_finished());
         // 8 distinct lines; both cores together should miss far fewer than
         // 2 * total accesses thanks to the shared LLC and private caches.
-        assert!(dram_reads < 64, "expected heavy reuse, got {dram_reads} DRAM reads");
+        assert!(
+            dram_reads < 64,
+            "expected heavy reuse, got {dram_reads} DRAM reads"
+        );
     }
 
     #[test]

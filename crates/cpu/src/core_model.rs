@@ -97,7 +97,9 @@ impl Core {
     pub fn new(id: u32, config: CpuConfig, trace: Trace, instruction_limit: u64) -> Self {
         let l1d = Cache::new(config.l1d);
         let l2 = Cache::new(config.l2);
-        let prefetcher = config.stride_prefetcher.then(|| StridePrefetcher::new(1024));
+        let prefetcher = config
+            .stride_prefetcher
+            .then(|| StridePrefetcher::new(1024));
         Self {
             id,
             config,
@@ -552,7 +554,9 @@ mod tests {
         let mut cfg = CpuConfig::tiny_for_tests();
         cfg.mshrs_per_core = 2;
         // Loads to distinct lines so each one needs an MSHR.
-        let ops: Vec<TraceOp> = (0..16).map(|i| TraceOp::Load(0x900_0000 + i * 64)).collect();
+        let ops: Vec<TraceOp> = (0..16)
+            .map(|i| TraceOp::Load(0x900_0000 + i * 64))
+            .collect();
         let mut core = Core::new(0, cfg, Trace::new("burst", ops), 1_000);
         let mut port = TestPort::new(0);
         // Never complete anything: at most 2 requests may be outstanding.

@@ -38,5 +38,5 @@ pub use cache::{AccessOutcome, Cache, CacheConfig, ReplacementPolicy};
 pub use cluster::{ClusterOutput, CpuCluster};
 pub use config::CpuConfig;
 pub use core_model::{Core, CoreMemoryRequest, MemoryPort};
-pub use stats::{CoreStats, weighted_speedup};
+pub use stats::{weighted_speedup, CoreStats};
 pub use trace::{Trace, TraceOp};

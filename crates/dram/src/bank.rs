@@ -123,7 +123,12 @@ impl Bank {
     /// # Errors
     ///
     /// Propagates the legality checks of [`Bank::can_activate`].
-    pub fn activate(&mut self, row: RowIndex, now: u64, timing: &DramTimingParams) -> Result<u32, IssueError> {
+    pub fn activate(
+        &mut self,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<u32, IssueError> {
         self.can_activate(now)?;
         self.open_row = Some(row);
         self.last_act = now;
@@ -209,7 +214,12 @@ impl Bank {
     /// # Errors
     ///
     /// Propagates [`Bank::can_access_column`].
-    pub fn read(&mut self, row: RowIndex, now: u64, timing: &DramTimingParams) -> Result<u64, IssueError> {
+    pub fn read(
+        &mut self,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<u64, IssueError> {
         self.can_access_column(row, now)?;
         self.next_column = now + timing.t_ccd;
         self.next_pre = self.next_pre.max(now + timing.t_rtp);
@@ -222,10 +232,17 @@ impl Bank {
     /// # Errors
     ///
     /// Propagates [`Bank::can_access_column`].
-    pub fn write(&mut self, row: RowIndex, now: u64, timing: &DramTimingParams) -> Result<u64, IssueError> {
+    pub fn write(
+        &mut self,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<u64, IssueError> {
         self.can_access_column(row, now)?;
         self.next_column = now + timing.t_ccd;
-        self.next_pre = self.next_pre.max(now + timing.t_cl + timing.t_bl + timing.t_wr);
+        self.next_pre = self
+            .next_pre
+            .max(now + timing.t_cl + timing.t_bl + timing.t_wr);
         Ok(now + timing.t_cl + timing.t_bl)
     }
 

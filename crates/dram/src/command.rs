@@ -89,9 +89,14 @@ impl std::fmt::Display for IssueError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IssueError::TooEarly { ready_at } => {
-                write!(f, "command violates a timing constraint until tick {ready_at}")
+                write!(
+                    f,
+                    "command violates a timing constraint until tick {ready_at}"
+                )
             }
-            IssueError::IllegalState { reason } => write!(f, "illegal command for bank state: {reason}"),
+            IssueError::IllegalState { reason } => {
+                write!(f, "illegal command for bank state: {reason}")
+            }
         }
     }
 }
@@ -145,7 +150,9 @@ mod tests {
     fn issue_error_display() {
         let e = IssueError::TooEarly { ready_at: 42 };
         assert!(e.to_string().contains("42"));
-        let e = IssueError::IllegalState { reason: "row closed" };
+        let e = IssueError::IllegalState {
+            reason: "row closed",
+        };
         assert!(e.to_string().contains("row closed"));
     }
 }

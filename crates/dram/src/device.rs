@@ -92,7 +92,9 @@ impl DramDevice {
     #[must_use]
     pub fn new(config: DramDeviceConfig) -> Self {
         let total_banks = config.organization.total_banks() as usize;
-        let banks = (0..total_banks).map(|_| Bank::new(config.queue_kind)).collect();
+        let banks = (0..total_banks)
+            .map(|_| Bank::new(config.queue_kind))
+            .collect();
         let next_counter_reset = if config.prac.counter_reset_every_trefw {
             config.timing.t_refw
         } else {
@@ -186,7 +188,9 @@ impl DramDevice {
             DramCommand::Activate(addr) => {
                 let rank_ready = self.rank_next_act[addr.rank as usize];
                 if now < rank_ready {
-                    return Err(IssueError::TooEarly { ready_at: rank_ready });
+                    return Err(IssueError::TooEarly {
+                        ready_at: rank_ready,
+                    });
                 }
                 self.banks[self.bank_index(addr)].can_activate(now)
             }
@@ -291,7 +295,7 @@ impl DramDevice {
         self.stats.refreshes += 1;
         self.refreshes_seen += 1;
         if let Some(every) = self.config.tref_every_n_refreshes {
-            if every > 0 && self.refreshes_seen % u64::from(every) == 0 {
+            if every > 0 && self.refreshes_seen.is_multiple_of(u64::from(every)) {
                 for bank in &mut self.banks {
                     if bank.mitigate_queue_head().is_some() {
                         self.stats.rows_mitigated_by_tref += 1;
@@ -328,7 +332,7 @@ impl DramDevice {
     #[must_use]
     pub fn next_refresh_performs_tref(&self) -> bool {
         match self.config.tref_every_n_refreshes {
-            Some(every) if every > 0 => (self.refreshes_seen + 1) % u64::from(every) == 0,
+            Some(every) if every > 0 => (self.refreshes_seen + 1).is_multiple_of(u64::from(every)),
             _ => false,
         }
     }

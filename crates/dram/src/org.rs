@@ -143,9 +143,19 @@ impl DramAddress {
     /// Creates an address, asserting (in debug builds) that it is within the
     /// bounds of `org`.
     #[must_use]
-    pub fn new(org: &DramOrganization, rank: u32, bank_group: u32, bank: u32, row: u32, column: u32) -> Self {
+    pub fn new(
+        org: &DramOrganization,
+        rank: u32,
+        bank_group: u32,
+        bank: u32,
+        row: u32,
+        column: u32,
+    ) -> Self {
         debug_assert!(rank < org.ranks, "rank {rank} out of range");
-        debug_assert!(bank_group < org.bank_groups, "bank group {bank_group} out of range");
+        debug_assert!(
+            bank_group < org.bank_groups,
+            "bank group {bank_group} out of range"
+        );
         debug_assert!(bank < org.banks_per_group, "bank {bank} out of range");
         debug_assert!(row < org.rows_per_bank, "row {row} out of range");
         debug_assert!(column < org.columns_per_row, "column {column} out of range");

@@ -16,18 +16,13 @@ use crate::scheduler::{FrFcfsScheduler, SchedulerCandidate};
 use crate::stats::ControllerStats;
 
 /// Row-buffer management policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PagePolicy {
     /// Keep rows open after a column access (exploits locality).
+    #[default]
     Open,
     /// Precharge immediately after the column access completes.
     Closed,
-}
-
-impl Default for PagePolicy {
-    fn default() -> Self {
-        PagePolicy::Open
-    }
 }
 
 /// Static controller configuration.
@@ -248,22 +243,23 @@ impl MemoryController {
         let mut completed = self.collect_completions(now);
 
         // 1. Periodic refresh has the highest priority once due.
-        if self.config.refresh_enabled && now >= self.next_refresh {
-            if self.device.can_issue(&DramCommand::Refresh, now).is_ok() {
-                let performs_tref = self.device.next_refresh_performs_tref();
-                if self.device.issue(DramCommand::Refresh, now).is_ok() {
-                    self.stats.refreshes_issued += 1;
-                    self.next_refresh += self.device.config().timing.t_refi;
-                    if performs_tref {
-                        if let Some(tprac) = &mut self.tprac {
-                            tprac.note_targeted_refresh();
-                        }
+        if self.config.refresh_enabled
+            && now >= self.next_refresh
+            && self.device.can_issue(&DramCommand::Refresh, now).is_ok()
+        {
+            let performs_tref = self.device.next_refresh_performs_tref();
+            if self.device.issue(DramCommand::Refresh, now).is_ok() {
+                self.stats.refreshes_issued += 1;
+                self.next_refresh += self.device.config().timing.t_refi;
+                if performs_tref {
+                    if let Some(tprac) = &mut self.tprac {
+                        tprac.note_targeted_refresh();
                     }
-                    return completed;
                 }
+                return completed;
             }
-            // Refresh due but channel blocked: fall through and retry next tick.
         }
+        // Refresh due but channel blocked: fall through and retry next tick.
 
         // 2. Mitigation policies (RFM engines).
         if self.drive_rfm_engines(now) {
@@ -346,10 +342,10 @@ impl MemoryController {
         if let Some(injection) = &mut self.injection {
             if now >= self.next_injection_check {
                 self.next_injection_check += self.device.config().timing.t_refi;
-                if injection.next_decision() {
-                    if self.try_issue_rfm(now, RfmKind::InjectedRfm).is_some() {
-                        return true;
-                    }
+                if injection.next_decision()
+                    && self.try_issue_rfm(now, RfmKind::InjectedRfm).is_some()
+                {
+                    return true;
                 }
             }
         }
@@ -427,11 +423,7 @@ impl MemoryController {
             }
             None => {
                 // Row closed: activate.
-                if self
-                    .device
-                    .issue(DramCommand::Activate(addr), now)
-                    .is_ok()
-                {
+                if self.device.issue(DramCommand::Activate(addr), now).is_ok() {
                     self.pending[index].needed_activate = true;
                 }
             }
@@ -508,7 +500,13 @@ mod tests {
         MemoryController::new(device_config, config)
     }
 
-    fn physical_for(ctrl: &MemoryController, bank_group: u32, bank: u32, row: u32, col: u32) -> u64 {
+    fn physical_for(
+        ctrl: &MemoryController,
+        bank_group: u32,
+        bank: u32,
+        row: u32,
+        col: u32,
+    ) -> u64 {
         let org = ctrl.device().config().organization;
         ctrl.encode_address(&DramAddress::new(&org, 0, bank_group, bank, row, col))
     }
@@ -585,7 +583,13 @@ mod tests {
     /// physical addresses, waiting for each to complete before issuing the
     /// next. This is the access pattern an attacker uses to guarantee one
     /// activation per access. Returns the tick after the last completion.
-    fn hammer_pairs(ctrl: &mut MemoryController, pa_a: u64, pa_b: u64, pairs: u32, start: u64) -> u64 {
+    fn hammer_pairs(
+        ctrl: &mut MemoryController,
+        pa_a: u64,
+        pa_b: u64,
+        pairs: u32,
+        start: u64,
+    ) -> u64 {
         let mut now = start;
         let mut id = 0u64;
         for _ in 0..pairs {

@@ -32,7 +32,9 @@ pub mod scheduler;
 pub mod stats;
 
 pub use controller::{ControllerConfig, MemoryController, PagePolicy};
-pub use mapping::{AddressMapping, BankStripedMapping, MappingKind, MopMapping, RowInterleavedMapping};
+pub use mapping::{
+    AddressMapping, BankStripedMapping, MappingKind, MopMapping, RowInterleavedMapping,
+};
 pub use request::{CompletedRequest, MemoryRequest, RequestKind};
 pub use rfm::RfmKind;
 pub use scheduler::FrFcfsScheduler;

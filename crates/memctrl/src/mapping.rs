@@ -34,9 +34,10 @@ pub trait AddressMapping: std::fmt::Debug + Send + Sync {
 }
 
 /// Selector for the provided mapping policies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum MappingKind {
     /// Minimalist Open-Page.
+    #[default]
     Mop,
     /// Cache lines striped across banks.
     BankStriped,
@@ -53,12 +54,6 @@ impl MappingKind {
             MappingKind::BankStriped => Box::new(BankStripedMapping::new(org)),
             MappingKind::RowInterleaved => Box::new(RowInterleavedMapping::new(org)),
         }
-    }
-}
-
-impl Default for MappingKind {
-    fn default() -> Self {
-        MappingKind::Mop
     }
 }
 
@@ -320,7 +315,10 @@ mod tests {
         let base = 0x1234_5000u64 & !63;
         let a = m.decode(base);
         let b = m.decode(base + 64);
-        assert!(!a.same_bank(&b), "consecutive lines must land in different banks");
+        assert!(
+            !a.same_bank(&b),
+            "consecutive lines must land in different banks"
+        );
     }
 
     #[test]
@@ -350,7 +348,14 @@ mod tests {
     #[test]
     fn mop_round_trips() {
         let m = MopMapping::new(org());
-        for pa in [0u64, 64, 4096, 1 << 20, (1 << 30) + 64 * 7, (1 << 36) + 4096 * 3] {
+        for pa in [
+            0u64,
+            64,
+            4096,
+            1 << 20,
+            (1 << 30) + 64 * 7,
+            (1 << 36) + 4096 * 3,
+        ] {
             let decoded = m.decode(pa);
             assert_eq!(m.encode(&decoded), pa, "MOP round trip failed for {pa:#x}");
         }
@@ -359,7 +364,11 @@ mod tests {
     #[test]
     fn all_mappings_decode_within_bounds() {
         let o = org();
-        for kind in [MappingKind::Mop, MappingKind::BankStriped, MappingKind::RowInterleaved] {
+        for kind in [
+            MappingKind::Mop,
+            MappingKind::BankStriped,
+            MappingKind::RowInterleaved,
+        ] {
             let m = kind.instantiate(o);
             for pa in [0u64, 64, 1 << 21, (1 << 33) + 128, o.capacity_bytes() - 64] {
                 let d = m.decode(pa);

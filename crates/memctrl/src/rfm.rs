@@ -170,7 +170,11 @@ mod tests {
 
     #[test]
     fn abo_responder_owes_prac_level_rfms() {
-        for (level, expected) in [(PracLevel::One, 1), (PracLevel::Two, 2), (PracLevel::Four, 4)] {
+        for (level, expected) in [
+            (PracLevel::One, 1),
+            (PracLevel::Two, 2),
+            (PracLevel::Four, 4),
+        ] {
             let prac = PracConfig::builder().prac_level(level).build();
             let mut r = AboResponder::new(&prac, 720);
             r.on_alert(1000);

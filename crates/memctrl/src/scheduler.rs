@@ -52,7 +52,11 @@ impl FrFcfsScheduler {
 
     /// Picks the next request to service from `candidates`, returning its
     /// `queue_index`.  Returns `None` when there are no candidates.
-    pub fn pick(&mut self, candidates: &[SchedulerCandidate], flat_bank_of: impl Fn(&DramAddress) -> u32) -> Option<usize> {
+    pub fn pick(
+        &mut self,
+        candidates: &[SchedulerCandidate],
+        flat_bank_of: impl Fn(&DramAddress) -> u32,
+    ) -> Option<usize> {
         if candidates.is_empty() {
             return None;
         }
@@ -103,7 +107,13 @@ mod tests {
     use super::*;
     use dram_sim::org::DramOrganization;
 
-    fn candidate(queue_index: usize, bank: u32, row: u32, row_hit: bool, arrival: u64) -> SchedulerCandidate {
+    fn candidate(
+        queue_index: usize,
+        bank: u32,
+        row: u32,
+        row_hit: bool,
+        arrival: u64,
+    ) -> SchedulerCandidate {
         let org = DramOrganization::tiny_for_tests();
         SchedulerCandidate {
             queue_index,
@@ -126,30 +136,21 @@ mod tests {
     #[test]
     fn row_hits_win_over_older_misses() {
         let mut s = FrFcfsScheduler::paper_default();
-        let c = vec![
-            candidate(0, 0, 1, false, 10),
-            candidate(1, 1, 2, true, 20),
-        ];
+        let c = vec![candidate(0, 0, 1, false, 10), candidate(1, 1, 2, true, 20)];
         assert_eq!(s.pick(&c, flat), Some(1));
     }
 
     #[test]
     fn oldest_wins_among_misses() {
         let mut s = FrFcfsScheduler::paper_default();
-        let c = vec![
-            candidate(0, 0, 1, false, 30),
-            candidate(1, 1, 2, false, 10),
-        ];
+        let c = vec![candidate(0, 0, 1, false, 30), candidate(1, 1, 2, false, 10)];
         assert_eq!(s.pick(&c, flat), Some(1));
     }
 
     #[test]
     fn oldest_wins_among_hits() {
         let mut s = FrFcfsScheduler::paper_default();
-        let c = vec![
-            candidate(0, 0, 1, true, 30),
-            candidate(1, 0, 1, true, 10),
-        ];
+        let c = vec![candidate(0, 0, 1, true, 30), candidate(1, 0, 1, true, 10)];
         assert_eq!(s.pick(&c, flat), Some(1));
     }
 
@@ -162,10 +163,7 @@ mod tests {
         }
         assert_eq!(s.consecutive_hits(), 4);
         // Now an older miss must win even though a hit exists.
-        let mixed = vec![
-            candidate(0, 0, 1, true, 100),
-            candidate(1, 1, 2, false, 50),
-        ];
+        let mixed = vec![candidate(0, 0, 1, true, 100), candidate(1, 1, 2, false, 50)];
         assert_eq!(s.pick(&mixed, flat), Some(1));
         // Counter resets after servicing a miss.
         assert_eq!(s.consecutive_hits(), 0);
@@ -174,10 +172,7 @@ mod tests {
     #[test]
     fn cap_zero_never_forces_misses() {
         let mut s = FrFcfsScheduler::new(0);
-        let mixed = vec![
-            candidate(0, 0, 1, true, 100),
-            candidate(1, 1, 2, false, 50),
-        ];
+        let mixed = vec![candidate(0, 0, 1, true, 100), candidate(1, 1, 2, false, 50)];
         for _ in 0..16 {
             assert_eq!(s.pick(&mixed, flat), Some(0));
         }

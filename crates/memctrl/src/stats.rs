@@ -123,8 +123,10 @@ mod tests {
 
     #[test]
     fn latency_accumulates_and_tracks_max() {
-        let mut s = ControllerStats::default();
-        s.reads_completed = 2;
+        let mut s = ControllerStats {
+            reads_completed: 2,
+            ..Default::default()
+        };
         s.record_latency(100);
         s.record_latency(300);
         assert_eq!(s.total_latency_ticks, 400);
@@ -135,10 +137,12 @@ mod tests {
 
     #[test]
     fn hit_rate_computation() {
-        let mut s = ControllerStats::default();
-        s.row_hits = 3;
-        s.row_misses = 1;
-        s.row_conflicts = 0;
+        let s = ControllerStats {
+            row_hits: 3,
+            row_misses: 1,
+            row_conflicts: 0,
+            ..Default::default()
+        };
         assert!((s.row_hit_rate() - 0.75).abs() < 1e-9);
     }
 }

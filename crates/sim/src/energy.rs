@@ -45,8 +45,10 @@ mod tests {
     use memctrl::stats::ControllerStats;
 
     fn result(activations: u64, rows_mitigated: u64, ticks: u64) -> SystemResult {
-        let mut controller_stats = ControllerStats::default();
-        controller_stats.tb_rfms = rows_mitigated;
+        let controller_stats = ControllerStats {
+            tb_rfms: rows_mitigated,
+            ..Default::default()
+        };
         SystemResult {
             core_stats: vec![CoreStats::default()],
             controller_stats,
@@ -85,7 +87,10 @@ mod tests {
         let r = result(123, 7, 400);
         let inputs = energy_inputs_for(&r, 64);
         assert_eq!(inputs.activations, 123);
-        assert_eq!(inputs.rfms, 7, "five activations are charged per issued RFM");
+        assert_eq!(
+            inputs.rfms, 7,
+            "five activations are charged per issued RFM"
+        );
         assert_eq!(inputs.banks_per_rfm, 1);
         assert!((inputs.execution_time_ns - 100.0).abs() < 1e-9);
     }

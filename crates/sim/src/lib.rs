@@ -26,6 +26,6 @@ pub mod parallel;
 pub mod system;
 
 pub use energy::energy_overhead_for;
-pub use experiment::{ExperimentConfig, MitigationSetup, run_workload, run_workload_normalized};
+pub use experiment::{run_workload, run_workload_normalized, ExperimentConfig, MitigationSetup};
 pub use parallel::parallel_map;
 pub use system::{SystemConfig, SystemResult, SystemSimulation};

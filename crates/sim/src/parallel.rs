@@ -1,11 +1,21 @@
-//! A small scoped-thread helper for sweeping experiments in parallel.
+//! A work-stealing parallel-map used to sweep experiments concurrently.
 //!
-//! The bench harness runs many independent (workload × configuration)
-//! simulations; [`parallel_map`] fans them out over a bounded number of
-//! worker threads using crossbeam's scoped threads, preserving input order in
-//! the output.
+//! The campaign engine and the bench harness run many independent
+//! (workload × configuration) simulations; [`parallel_map`] fans them out
+//! over a work-stealing thread pool, preserving input order in the output.
+//!
+//! Each worker owns a deque pre-loaded with a contiguous chunk of the input;
+//! when a worker drains its own deque it steals from the shared injector and
+//! then from the other workers, so long-running scenarios at one end of the
+//! input cannot serialise the sweep.  If a worker panics, the original panic
+//! payload is re-raised on the calling thread (not a generic "a scoped thread
+//! panicked" message), and the remaining workers stop picking up new tasks.
 
-use crossbeam::channel;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 
 /// Applies `f` to every item of `inputs` using up to `workers` threads and
@@ -13,40 +23,84 @@ use parking_lot::Mutex;
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics.
+/// Re-raises the first worker panic with its **original payload**, so
+/// `panic!("reason")` inside `f` surfaces as `"reason"` at the call site.
 pub fn parallel_map<T, R, F>(inputs: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(&T) -> R + Send + Sync,
 {
-    let workers = workers.max(1);
     let n = inputs.len();
     if n == 0 {
         return Vec::new();
     }
-    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
-    for pair in inputs.into_iter().enumerate() {
-        task_tx.send(pair).expect("queueing tasks cannot fail");
+    let workers = workers.clamp(1, n);
+
+    // Pre-distribute contiguous chunks to per-worker deques; the injector
+    // stays empty initially and exists so future callers can top up work.
+    let locals: Vec<Worker<(usize, T)>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = locals.iter().map(Worker::stealer).collect();
+    let injector: Injector<(usize, T)> = Injector::new();
+    let chunk = n.div_ceil(workers);
+    for (index, input) in inputs.into_iter().enumerate() {
+        locals[(index / chunk).min(workers - 1)].push((index, input));
     }
-    drop(task_tx);
 
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            let task_rx = task_rx.clone();
+    let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let aborted = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for local in locals {
+            let stealers = &stealers;
+            let injector = &injector;
             let results = &results;
+            let panic_payload = &panic_payload;
+            let aborted = &aborted;
             let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((index, input)) = task_rx.recv() {
-                    let output = f(&input);
-                    results.lock()[index] = Some(output);
+            scope.spawn(move || {
+                while !aborted.load(Ordering::Relaxed) {
+                    // Own deque first, then the injector, then steal from
+                    // the other workers' deques.  `Steal::Retry` signals a
+                    // race, not emptiness — per the crossbeam contract the
+                    // scan must repeat until every source reports `Empty`.
+                    let task = local.pop().or_else(|| loop {
+                        let mut contended = false;
+                        let steals = std::iter::once(injector.steal())
+                            .chain(stealers.iter().map(Stealer::steal));
+                        for steal in steals {
+                            match steal {
+                                Steal::Success(task) => return Some(task),
+                                Steal::Retry => contended = true,
+                                Steal::Empty => {}
+                            }
+                        }
+                        if !contended {
+                            return None;
+                        }
+                    });
+                    let Some((index, input)) = task else {
+                        // All queues were empty at scan time and tasks are
+                        // never re-enqueued, so the remaining work is already
+                        // executing on other workers.
+                        break;
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| f(&input))) {
+                        Ok(output) => results.lock()[index] = Some(output),
+                        Err(payload) => {
+                            panic_payload.lock().get_or_insert(payload);
+                            aborted.store(true, Ordering::Relaxed);
+                        }
+                    }
                 }
             });
         }
-    })
-    .expect("a worker thread panicked");
+    });
 
+    if let Some(payload) = panic_payload.into_inner() {
+        resume_unwind(payload);
+    }
     results
         .into_inner()
         .into_iter()
@@ -80,5 +134,32 @@ mod tests {
     fn more_workers_than_tasks_is_fine() {
         let out = parallel_map(vec![5], 32, |x| x * x);
         assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn uneven_task_durations_preserve_order() {
+        // Long tasks land in the first worker's chunk; the rest must be
+        // stolen and still come back in input order.
+        let durations: Vec<u64> = (0..64).map(|i| if i < 4 { 20 } else { 1 }).collect();
+        let out = parallel_map(durations.clone(), 8, |ms| {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+            *ms
+        });
+        assert_eq!(out, durations);
+    }
+
+    #[test]
+    fn propagates_the_original_panic_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..16).collect::<Vec<u32>>(), 4, |x| {
+                assert!(*x != 11, "worker payload {x}");
+                *x
+            })
+        })
+        .expect_err("a worker panic must propagate");
+        let message = caught
+            .downcast_ref::<String>()
+            .expect("payload should be the original formatted message");
+        assert_eq!(message, "worker payload 11");
     }
 }

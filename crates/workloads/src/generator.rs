@@ -49,7 +49,11 @@ impl SyntheticWorkload {
     /// Creates a workload with the given name and intensity, using defaults
     /// for the remaining fields (random pattern over 64 MB).
     #[must_use]
-    pub fn new(name: impl Into<String>, mem_ops_per_kilo_instr: u32, pattern: AccessPattern) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        mem_ops_per_kilo_instr: u32,
+        pattern: AccessPattern,
+    ) -> Self {
         Self {
             name: name.into(),
             mem_ops_per_kilo_instr,
@@ -146,20 +150,25 @@ mod tests {
         let instr = trace.instructions_per_pass();
         let mem = trace.memory_ops_per_pass();
         let mpki = mem as f64 * 1000.0 / instr as f64;
-        assert!((80.0..120.0).contains(&mpki), "memory ops per kilo-instr = {mpki}");
+        assert!(
+            (80.0..120.0).contains(&mpki),
+            "memory ops per kilo-instr = {mpki}"
+        );
     }
 
     #[test]
     fn low_intensity_workloads_have_sparse_memory_ops() {
         let w = SyntheticWorkload::new("cold", 1, AccessPattern::CacheResident);
         let trace = w.generate(50_000, 2);
-        let mpki = trace.memory_ops_per_pass() as f64 * 1000.0 / trace.instructions_per_pass() as f64;
+        let mpki =
+            trace.memory_ops_per_pass() as f64 * 1000.0 / trace.instructions_per_pass() as f64;
         assert!(mpki <= 1.5, "memory ops per kilo-instr = {mpki}");
     }
 
     #[test]
     fn store_fraction_is_respected_approximately() {
-        let w = SyntheticWorkload::new("stores", 200, AccessPattern::Streaming).with_store_fraction(0.5);
+        let w = SyntheticWorkload::new("stores", 200, AccessPattern::Streaming)
+            .with_store_fraction(0.5);
         let trace = w.generate(20_000, 3);
         let stores = trace
             .ops()

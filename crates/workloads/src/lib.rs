@@ -31,4 +31,4 @@ pub mod patterns;
 pub mod suite;
 
 pub use generator::{AccessPattern, SyntheticWorkload};
-pub use suite::{MemoryIntensity, WorkloadGroup, WorkloadSpec, full_suite, quick_suite};
+pub use suite::{full_suite, quick_suite, MemoryIntensity, WorkloadGroup, WorkloadSpec};

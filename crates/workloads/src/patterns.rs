@@ -101,7 +101,9 @@ impl PatternIter {
                 let slots = (footprint / stride).max(1);
                 base + (self.position % slots) * stride
             }
-            AddressPattern::Random { base, footprint, .. } => {
+            AddressPattern::Random {
+                base, footprint, ..
+            } => {
                 let lines = (footprint / LINE_BYTES).max(1);
                 let rng = self.rng.as_mut().expect("random pattern carries an RNG");
                 base + rng.gen_range(0..lines) * LINE_BYTES
@@ -162,7 +164,7 @@ mod tests {
         };
         assert_eq!(a, b, "same seed must reproduce the same stream");
         for addr in a {
-            assert!(addr >= 0x8000 && addr < 0x8000 + (1 << 20));
+            assert!((0x8000..0x8000 + (1 << 20)).contains(&addr));
             assert_eq!(addr % LINE_BYTES, 0);
         }
     }

@@ -191,7 +191,11 @@ pub fn full_suite() -> Vec<WorkloadSpec> {
 pub fn quick_suite() -> Vec<WorkloadSpec> {
     let full = full_suite();
     let mut out = Vec::new();
-    for intensity in [MemoryIntensity::High, MemoryIntensity::Medium, MemoryIntensity::Low] {
+    for intensity in [
+        MemoryIntensity::High,
+        MemoryIntensity::Medium,
+        MemoryIntensity::Low,
+    ] {
         out.extend(
             full.iter()
                 .filter(|w| w.intensity == intensity)
@@ -221,7 +225,11 @@ mod tests {
         let suite = full_suite();
         let mut names = std::collections::HashSet::new();
         for w in &suite {
-            assert!(names.insert(w.workload.name.clone()), "duplicate {}", w.workload.name);
+            assert!(
+                names.insert(w.workload.name.clone()),
+                "duplicate {}",
+                w.workload.name
+            );
         }
     }
 
@@ -230,7 +238,12 @@ mod tests {
         let suite = full_suite();
         let mut regions: Vec<(u64, u64)> = suite
             .iter()
-            .map(|w| (w.workload.base_address, w.workload.base_address + w.workload.footprint_bytes))
+            .map(|w| {
+                (
+                    w.workload.base_address,
+                    w.workload.base_address + w.workload.footprint_bytes,
+                )
+            })
             .collect();
         regions.sort_unstable();
         for pair in regions.windows(2) {
@@ -242,7 +255,11 @@ mod tests {
     fn quick_suite_covers_all_buckets() {
         let q = quick_suite();
         assert_eq!(q.len(), 9);
-        for intensity in [MemoryIntensity::High, MemoryIntensity::Medium, MemoryIntensity::Low] {
+        for intensity in [
+            MemoryIntensity::High,
+            MemoryIntensity::Medium,
+            MemoryIntensity::Low,
+        ] {
             assert_eq!(q.iter().filter(|w| w.intensity == intensity).count(), 3);
         }
     }
@@ -253,8 +270,8 @@ mod tests {
         // intended RBMPKI band, assuming large-footprint accesses mostly miss.
         for w in quick_suite() {
             let trace = w.workload.generate(20_000, 7);
-            let mpki = trace.memory_ops_per_pass() as f64 * 1000.0
-                / trace.instructions_per_pass() as f64;
+            let mpki =
+                trace.memory_ops_per_pass() as f64 * 1000.0 / trace.instructions_per_pass() as f64;
             match w.intensity {
                 MemoryIntensity::High => assert!(mpki >= 10.0, "{}: {mpki}", w.workload.name),
                 MemoryIntensity::Medium => {

@@ -9,17 +9,23 @@
 //!
 //! Run with `cargo run --release --example aes_side_channel`.
 
-use prac_timing::prelude::*;
 use prac_core::security::CounterResetPolicy;
+use prac_timing::prelude::*;
 
 fn main() {
     // The paper's configuration: NBO = 256, 200 encryptions per key byte.
     let attack = SideChannelExperiment::paper_attack();
 
-    println!("PRACLeak AES T-table side channel (NBO = {}, {} encryptions)", attack.nbo, attack.encryptions);
+    println!(
+        "PRACLeak AES T-table side channel (NBO = {}, {} encryptions)",
+        attack.nbo, attack.encryptions
+    );
     println!();
     println!("--- Without defense (ABO-only PRAC) ---");
-    println!("{:>6} {:>12} {:>12} {:>10} {:>16}", "k0", "true nibble", "leaked row", "correct?", "victim ACTs");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>16}",
+        "k0", "true nibble", "leaked row", "correct?", "victim ACTs"
+    );
     let mut recovered = 0;
     let sample_keys = [0x00u8, 0x23, 0x47, 0x6B, 0x8F, 0xB3, 0xD7, 0xFB];
     for &k0 in &sample_keys {
@@ -32,8 +38,14 @@ fn main() {
             "{:>6} {:>12} {:>12} {:>10} {:>16}",
             format!("{k0:#04x}"),
             format!("{:#x}", outcome.true_nibble),
-            outcome.leaked_row.map_or("-".to_string(), |r| format!("{r:#x}")),
-            if outcome.nibble_recovered() { "yes" } else { "no" },
+            outcome
+                .leaked_row
+                .map_or("-".to_string(), |r| format!("{r:#x}")),
+            if outcome.nibble_recovered() {
+                "yes"
+            } else {
+                "no"
+            },
             outcome.victim_activations[hot]
         );
     }
@@ -42,12 +54,16 @@ fn main() {
 
     // Same attack against TPRAC.
     let timing = DramTimingSummary::ddr5_8000b();
-    let tprac = TpracConfig::solve_for_threshold(attack.nbo, &timing, CounterResetPolicy::ResetEveryTrefw)
-        .expect("TB-Window solvable for NBO=256");
+    let tprac =
+        TpracConfig::solve_for_threshold(attack.nbo, &timing, CounterResetPolicy::ResetEveryTrefw)
+            .expect("TB-Window solvable for NBO=256");
     let defended = attack.clone().with_policy(MitigationPolicy::Tprac(tprac));
 
     println!("--- With the TPRAC defense ---");
-    println!("{:>6} {:>12} {:>12} {:>10} {:>10} {:>10}", "k0", "true nibble", "leaked row", "correct?", "ABO-RFMs", "TB-RFMs");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "k0", "true nibble", "leaked row", "correct?", "ABO-RFMs", "TB-RFMs"
+    );
     let mut recovered_defended = 0;
     for &k0 in &sample_keys {
         let outcome = defended.run_for_key_byte(k0, 0);
@@ -58,8 +74,14 @@ fn main() {
             "{:>6} {:>12} {:>12} {:>10} {:>10} {:>10}",
             format!("{k0:#04x}"),
             format!("{:#x}", outcome.true_nibble),
-            outcome.leaked_row.map_or("-".to_string(), |r| format!("{r:#x}")),
-            if outcome.nibble_recovered() { "yes" } else { "no" },
+            outcome
+                .leaked_row
+                .map_or("-".to_string(), |r| format!("{r:#x}")),
+            if outcome.nibble_recovered() {
+                "yes"
+            } else {
+                "no"
+            },
             outcome.abo_rfms,
             outcome.tb_rfms
         );

@@ -60,7 +60,10 @@ fn main() {
         window.tb_window_ns / 1000.0
     );
     println!("  worst-case activations : {} (< {nbo})", window.tmax);
-    println!("  bandwidth loss bound   : {:.1} %", window.bandwidth_loss * 100.0);
+    println!(
+        "  bandwidth loss bound   : {:.1} %",
+        window.bandwidth_loss * 100.0
+    );
     println!();
 
     // 2. Undefended system: hammering a row triggers Alert Back-Off and the

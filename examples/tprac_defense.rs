@@ -6,15 +6,17 @@
 //!
 //! Run with `cargo run --release --example tprac_defense`.
 
-use prac_timing::prelude::*;
 use prac_core::security::{figure7_windows, CounterResetPolicy};
+use prac_timing::prelude::*;
 use pracleak::agents::{MultiAgentRunner, SerializedAccessAgent};
 
 fn abo_events_under_hammering(setup: &AttackSetup, accesses_per_row: u64) -> (u64, u64) {
     let controller = setup.build_controller();
     // A Feinting-style pattern: spread activations over a pool of decoy rows,
     // then focus on the target row.
-    let decoys: Vec<u64> = (0..16).map(|r| setup.row_address(&controller, 0, 100 + r, 0)).collect();
+    let decoys: Vec<u64> = (0..16)
+        .map(|r| setup.row_address(&controller, 0, 100 + r, 0))
+        .collect();
     let target = setup.row_address(&controller, 0, 7, 0);
     let mut decoy_agent = SerializedAccessAgent::new(decoys, accesses_per_row * 16);
     let mut target_agent = SerializedAccessAgent::new(vec![target], accesses_per_row * 4);
@@ -32,10 +34,18 @@ fn main() {
     // Part 1: the Figure 7 analysis — worst-case activations to a single row
     // (TMAX) as the TB-Window grows, with and without counter reset.
     println!("Worst-case activations to a target row (TMAX) vs TB-Window  [Figure 7]");
-    println!("{:>12} {:>22} {:>24}", "TB-Window", "with counter reset", "without counter reset");
+    println!(
+        "{:>12} {:>22} {:>24}",
+        "TB-Window", "with counter reset", "without counter reset"
+    );
     for window in figure7_windows() {
-        let with_reset = SecurityAnalysis::with_back_off_threshold(4096, &timing, CounterResetPolicy::ResetEveryTrefw);
-        let no_reset = SecurityAnalysis::with_back_off_threshold(4096, &timing, CounterResetPolicy::NoReset);
+        let with_reset = SecurityAnalysis::with_back_off_threshold(
+            4096,
+            &timing,
+            CounterResetPolicy::ResetEveryTrefw,
+        );
+        let no_reset =
+            SecurityAnalysis::with_back_off_threshold(4096, &timing, CounterResetPolicy::NoReset);
         println!(
             "{:>9.2} tREFI {:>18} {:>24}",
             window,
@@ -47,13 +57,23 @@ fn main() {
 
     // Part 2: solve the TB-Window per RowHammer threshold.
     println!("Solved TB-Window per RowHammer threshold (counter reset every tREFW)");
-    println!("{:>8} {:>16} {:>12} {:>18}", "NRH", "TB-Window (tREFI)", "TMAX", "bandwidth loss");
+    println!(
+        "{:>8} {:>16} {:>12} {:>18}",
+        "NRH", "TB-Window (tREFI)", "TMAX", "bandwidth loss"
+    );
     for nrh in [512u32, 1024, 2048, 4096] {
-        let analysis = SecurityAnalysis::with_back_off_threshold(nrh, &timing, CounterResetPolicy::ResetEveryTrefw);
+        let analysis = SecurityAnalysis::with_back_off_threshold(
+            nrh,
+            &timing,
+            CounterResetPolicy::ResetEveryTrefw,
+        );
         match analysis.solve_tb_window() {
             Ok(sol) => println!(
                 "{:>8} {:>16.2} {:>12} {:>17.1}%",
-                nrh, sol.tb_window_trefi, sol.tmax, sol.bandwidth_loss * 100.0
+                nrh,
+                sol.tb_window_trefi,
+                sol.tmax,
+                sol.bandwidth_loss * 100.0
             ),
             Err(e) => println!("{nrh:>8} {e}"),
         }

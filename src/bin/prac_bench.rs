@@ -1,0 +1,6 @@
+//! The unified `prac-bench` CLI: `prac-bench list`, `prac-bench run <name>`,
+//! `prac-bench run --all`.  See `campaign::cli` for the implementation.
+
+fn main() {
+    std::process::exit(campaign::cli::main_from_env());
+}

@@ -10,15 +10,38 @@
 //! so applications can depend on a single crate, and hosts the runnable
 //! examples and cross-crate integration tests.
 //!
+//! ## Workspace layout
+//!
 //! | Component | Crate | What it provides |
 //! |---|---|---|
 //! | PRAC / TPRAC core | [`prac_core`] | PRAC parameters, mitigation queues, TB-Window security analysis, energy & storage models |
 //! | DRAM device | [`dram_sim`] | Cycle-accurate DDR5 model with per-row activation counters and Alert Back-Off |
 //! | Memory controller | [`memctrl`] | Address mapping, FR-FCFS scheduling, refresh, ABO/ACB/TB-RFM engines |
 //! | CPU | [`cpu_sim`] | Trace-driven ROB-limited cores with an L1/L2/LLC hierarchy |
-//! | Workloads | [`workloads`] | Synthetic workload suite bucketed by memory intensity |
+//! | Workloads | [`workloads`] | Synthetic workload suite bucketed by memory intensity, seedable end-to-end |
 //! | Attacks | [`pracleak`] | PRACLeak covert channels and the AES T-table side channel |
-//! | Full system | [`system_sim`] | The performance/energy experiment harness |
+//! | Full system | [`system_sim`] | The tick-loop simulation harness and the work-stealing `parallel_map` |
+//! | Campaigns | [`campaign`] | Declarative scenario sweeps, result cache, artifacts and the `prac-bench` CLI |
+//! | Bench wrappers | `bench-harness` | The legacy `fig*`/`table*` binaries, now thin wrappers over the campaign registry |
+//!
+//! (External dependencies resolve to offline shims under `crates/compat/`;
+//! see that directory's README.)
+//!
+//! ## Reproducing the paper
+//!
+//! Every figure and table is a registered campaign; the `prac-bench` binary
+//! lists and runs them with parallel execution, an incremental result cache
+//! and JSON/CSV artifacts under `target/campaigns/`:
+//!
+//! ```text
+//! cargo run --release --bin prac-bench -- list
+//! cargo run --release --bin prac-bench -- run fig10 --quick
+//! cargo run --release --bin prac-bench -- run --all --full
+//! ```
+//!
+//! A second `run` of an unchanged campaign is served from the cache; any
+//! change to a scenario (threshold, seed, budget, workload) re-runs exactly
+//! the cells it touches.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use campaign;
 pub use cpu_sim;
 pub use dram_sim;
 pub use memctrl;
@@ -51,6 +75,7 @@ pub use workloads;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use campaign::{Campaign, CampaignRunner, Profile, Scenario, ScenarioSpec};
     pub use cpu_sim::{CpuConfig, Trace, TraceOp};
     pub use dram_sim::{DramDevice, DramDeviceConfig, DramOrganization, DramTimingParams};
     pub use memctrl::{ControllerConfig, MemoryController, MemoryRequest, PagePolicy};

@@ -2,17 +2,20 @@
 //! the energy model and the storage-overhead accounting, exercised through
 //! the public umbrella API.
 
-use prac_timing::prelude::*;
 use prac_core::energy::{EnergyInputs, EnergyModel};
 use prac_core::obfuscation::ObfuscationConfig;
 use prac_core::overhead::StorageModel;
 use prac_core::security::{figure7_windows, CounterResetPolicy};
+use prac_timing::prelude::*;
 
 #[test]
 fn figure7_series_has_the_published_shape() {
     let timing = DramTimingSummary::ddr5_8000b();
-    let with_reset =
-        SecurityAnalysis::with_back_off_threshold(4096, &timing, CounterResetPolicy::ResetEveryTrefw);
+    let with_reset = SecurityAnalysis::with_back_off_threshold(
+        4096,
+        &timing,
+        CounterResetPolicy::ResetEveryTrefw,
+    );
     let without_reset =
         SecurityAnalysis::with_back_off_threshold(4096, &timing, CounterResetPolicy::NoReset);
     let windows = figure7_windows();
@@ -87,7 +90,10 @@ fn energy_model_reproduces_table5_monotonicity() {
             ..baseline
         };
         let overhead = model.overhead(&baseline, &protected);
-        assert!(overhead.total < last_total, "overhead must fall as NRH rises");
+        assert!(
+            overhead.total < last_total,
+            "overhead must fall as NRH rises"
+        );
         assert!(overhead.total > 0.0);
         last_total = overhead.total;
     }

@@ -1,0 +1,108 @@
+//! End-to-end smoke test of the campaign engine through the umbrella crate:
+//! a tiny two-scenario campaign runs through the parallel runner with cache
+//! and artifact store, writes valid JSON + CSV, and hits the cache on a
+//! second run.
+
+use prac_timing::campaign::registry::{all_campaigns, find_campaign, Profile};
+use prac_timing::campaign::{
+    ArtifactStore, Campaign, CampaignRunner, PerfScenario, ResultCache, Scenario, ScenarioSpec,
+};
+use prac_timing::prelude::*;
+use prac_timing::workloads::quick_suite;
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("prac-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn tiny_campaign() -> Campaign {
+    let mut campaign = Campaign::new("smoke", "Two-scenario smoke campaign", "not a paper figure");
+    campaign.push(Scenario::new(
+        "perf-cell",
+        ScenarioSpec::Perf(Box::new(PerfScenario {
+            setup: MitigationSetup::Tprac {
+                tref_rate: TrefRate::None,
+                counter_reset: true,
+            },
+            rowhammer_threshold: 1024,
+            prac_level: PracLevel::One,
+            workload: quick_suite().remove(0),
+            instructions_per_core: 3_000,
+            cores: 1,
+            seed: 42,
+        })),
+    ));
+    campaign.push(Scenario::new(
+        "solve-cell",
+        ScenarioSpec::SolveWindow {
+            nrh: 1024,
+            counter_reset: true,
+        },
+    ));
+    campaign
+}
+
+#[test]
+fn tiny_campaign_writes_artifacts_and_caches() {
+    let root = temp_root("artifacts");
+    let campaign = tiny_campaign();
+    let runner = || {
+        CampaignRunner::new()
+            .with_workers(2)
+            .with_cache(ResultCache::open(root.join("cache")).unwrap())
+            .with_artifacts(ArtifactStore::new(root.join("campaigns")))
+    };
+
+    let first = runner().run(&campaign).unwrap();
+    assert_eq!(first.records.len(), 2);
+    assert_eq!((first.cached, first.executed), (0, 2));
+
+    // The JSON artifact parses and carries both scenarios with metrics.
+    let paths = first.artifacts.clone().unwrap();
+    let json_text = std::fs::read_to_string(&paths.json).unwrap();
+    let json = serde_json::from_str(&json_text).unwrap();
+    assert_eq!(json.get("campaign").and_then(|v| v.as_str()), Some("smoke"));
+    let scenarios = json.get("scenarios").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(scenarios.len(), 2);
+    let perf = scenarios[0].get("metrics").unwrap();
+    let normalized = perf
+        .get("normalized_performance")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(
+        normalized > 0.5 && normalized < 1.1,
+        "normalised perf = {normalized}"
+    );
+
+    // The CSV artifact is rectangular: header + one row per scenario.
+    let csv = std::fs::read_to_string(&paths.csv).unwrap();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert!(header.starts_with("scenario,key,cached,wall_ms"));
+    let columns = header.split(',').count();
+    for line in lines.clone() {
+        assert_eq!(line.split(',').count(), columns, "ragged CSV row: {line}");
+    }
+    assert_eq!(lines.count(), 2);
+
+    // A second run is served entirely from the cache with identical metrics.
+    let second = runner().run(&campaign).unwrap();
+    assert_eq!((second.cached, second.executed), (2, 0));
+    assert_eq!(first.records[0].metrics, second.records[0].metrics);
+}
+
+#[test]
+fn registry_covers_the_paper() {
+    let campaigns = all_campaigns(&Profile::quick());
+    assert!(campaigns.len() >= 10, "{} campaigns", campaigns.len());
+    for expected in [
+        "fig03", "fig04", "fig05", "fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "table2", "table5", "storage",
+    ] {
+        assert!(
+            find_campaign(expected, &Profile::quick()).is_some(),
+            "missing campaign {expected}"
+        );
+    }
+}

@@ -47,7 +47,11 @@ fn aes_side_channel_recovers_key_nibbles_end_to_end() {
             correct += 1;
         }
     }
-    assert_eq!(correct, keys.len(), "every probed key nibble should be recovered");
+    assert_eq!(
+        correct,
+        keys.len(),
+        "every probed key nibble should be recovered"
+    );
 }
 
 #[test]

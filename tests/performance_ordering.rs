@@ -4,8 +4,8 @@
 //! These tests run the full CPU + controller + DRAM stack, so they use small
 //! instruction budgets; the trends they check are coarse by design.
 
-use prac_timing::prelude::*;
 use prac_core::tprac::TrefRate;
+use prac_timing::prelude::*;
 use system_sim::{run_workload, run_workload_normalized};
 use workloads::generator::{AccessPattern, SyntheticWorkload};
 
@@ -38,13 +38,22 @@ fn tprac_is_slower_than_insecure_baselines_but_not_catastrophic() {
     let (tprac_perf, tprac_run, _) = run_workload_normalized(&tprac, &workload, 11);
 
     // Paper ordering at NRH=1024: ABO-Only ≈ 1.0 ≥ ABO+ACB ≥ TPRAC ≥ ~0.9.
-    assert!(abo_perf > 0.97, "ABO-Only should be near baseline: {abo_perf}");
-    assert!(acb_perf > 0.95, "ABO+ACB should be near baseline: {acb_perf}");
+    assert!(
+        abo_perf > 0.97,
+        "ABO-Only should be near baseline: {abo_perf}"
+    );
+    assert!(
+        acb_perf > 0.95,
+        "ABO+ACB should be near baseline: {acb_perf}"
+    );
     assert!(
         tprac_perf <= abo_perf + 0.01,
         "TPRAC ({tprac_perf}) must not beat ABO-Only ({abo_perf})"
     );
-    assert!(tprac_perf > 0.85, "TPRAC slowdown must stay moderate: {tprac_perf}");
+    assert!(
+        tprac_perf > 0.85,
+        "TPRAC slowdown must stay moderate: {tprac_perf}"
+    );
     assert!(tprac_run.controller_stats.tb_rfms > 0);
 }
 
@@ -69,7 +78,10 @@ fn tprac_overhead_grows_as_the_rowhammer_threshold_drops() {
 fn low_intensity_workloads_see_negligible_tprac_overhead() {
     let config = ExperimentConfig::new(tprac_setup(true), INSTR).with_cores(2);
     let (perf, _, _) = run_workload_normalized(&config, &cache_friendly(), 17);
-    assert!(perf > 0.97, "cache-resident workloads should be nearly unaffected: {perf}");
+    assert!(
+        perf > 0.97,
+        "cache-resident workloads should be nearly unaffected: {perf}"
+    );
 }
 
 #[test]

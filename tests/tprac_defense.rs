@@ -3,8 +3,8 @@
 //! patterns, and the defended system must hide the AES key from the
 //! side-channel attack while remaining functional.
 
-use prac_timing::prelude::*;
 use prac_core::security::CounterResetPolicy;
+use prac_timing::prelude::*;
 use pracleak::agents::{MultiAgentRunner, SerializedAccessAgent};
 
 fn tprac_policy(nbo: u32) -> MitigationPolicy {
@@ -22,7 +22,9 @@ fn tprac_eliminates_abo_under_feinting_style_pattern() {
 
     // Feinting-style pattern: uniformly activate a pool of decoys, then focus
     // every remaining activation on the target row.
-    let decoys: Vec<u64> = (0..32).map(|r| setup.row_address(&controller, 0, 500 + r, 0)).collect();
+    let decoys: Vec<u64> = (0..32)
+        .map(|r| setup.row_address(&controller, 0, 500 + r, 0))
+        .collect();
     let target = setup.row_address(&controller, 0, 7, 0);
     let mut decoy_agent = SerializedAccessAgent::new(decoys, 32 * 64);
     let mut runner = MultiAgentRunner::new(controller);
@@ -32,7 +34,10 @@ fn tprac_eliminates_abo_under_feinting_style_pattern() {
 
     let device_stats = runner.controller().device().stats();
     let ctrl_stats = runner.controller().stats();
-    assert_eq!(device_stats.alerts_asserted, 0, "no row may ever reach NBO under TPRAC");
+    assert_eq!(
+        device_stats.alerts_asserted, 0,
+        "no row may ever reach NBO under TPRAC"
+    );
     assert_eq!(ctrl_stats.abo_rfms, 0);
     assert!(ctrl_stats.tb_rfms > 0, "TB-RFMs must be flowing");
     assert!(device_stats.rows_mitigated_by_rfm > 0);
@@ -112,21 +117,35 @@ fn defended_side_channel_observes_no_key_correlation() {
             recovered += 1;
         }
     }
-    assert!(recovered < keys.len(), "TPRAC must break the key correlation");
+    assert!(
+        recovered < keys.len(),
+        "TPRAC must break the key correlation"
+    );
 }
 
 #[test]
 fn solved_windows_reproduce_headline_operating_points() {
     // NRH = 1024 -> ~1.6 tREFI (reset); NRH = 512 -> roughly half of that.
     let timing = DramTimingSummary::ddr5_8000b();
-    let w1024 = SecurityAnalysis::with_back_off_threshold(1024, &timing, CounterResetPolicy::ResetEveryTrefw)
-        .solve_tb_window()
-        .unwrap();
-    let w512 = SecurityAnalysis::with_back_off_threshold(512, &timing, CounterResetPolicy::ResetEveryTrefw)
-        .solve_tb_window()
-        .unwrap();
+    let w1024 = SecurityAnalysis::with_back_off_threshold(
+        1024,
+        &timing,
+        CounterResetPolicy::ResetEveryTrefw,
+    )
+    .solve_tb_window()
+    .unwrap();
+    let w512 = SecurityAnalysis::with_back_off_threshold(
+        512,
+        &timing,
+        CounterResetPolicy::ResetEveryTrefw,
+    )
+    .solve_tb_window()
+    .unwrap();
     assert!((1.0..2.5).contains(&w1024.tb_window_trefi), "{w1024:?}");
     assert!(w512.tb_window_trefi < w1024.tb_window_trefi);
     let ratio = w1024.tb_window_trefi / w512.tb_window_trefi;
-    assert!((1.5..2.6).contains(&ratio), "window should roughly halve: {ratio}");
+    assert!(
+        (1.5..2.6).contains(&ratio),
+        "window should roughly halve: {ratio}"
+    );
 }
