@@ -8,6 +8,7 @@
 use std::path::PathBuf;
 
 use serde_json::Value;
+use system_sim::EngineKind;
 
 use crate::artifact::ArtifactStore;
 use crate::cache::ResultCache;
@@ -24,6 +25,7 @@ struct Options {
     instructions_per_core: Option<u64>,
     cores: Option<u32>,
     workers: Option<usize>,
+    engine: EngineKind,
     no_cache: bool,
     out_dir: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
@@ -50,6 +52,9 @@ OPTIONS:
     --instr <N>       Override instructions per core for performance cells
     --cores <N>       Override core count for performance cells
     --workers <N>     Worker threads (default: all hardware threads)
+    --engine <E>      Simulation engine: `event` (default) jumps between
+                      component wake-ups; `tick` is the legacy per-cycle
+                      loop.  Results are bit-identical either way.
     --no-cache        Ignore and do not update the incremental result cache
     --out <DIR>       Artifact root (default: target/campaigns)
     --cache-dir <DIR> Cache root (default: target/campaigns/cache)
@@ -67,6 +72,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         instructions_per_core: None,
         cores: None,
         workers: None,
+        engine: EngineKind::default(),
         no_cache: false,
         out_dir: None,
         cache_dir: None,
@@ -93,6 +99,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--instr" => options.instructions_per_core = Some(numeric("--instr")?),
             "--cores" => options.cores = Some(numeric("--cores")? as u32),
             "--workers" => options.workers = Some(numeric("--workers")? as usize),
+            "--engine" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--engine requires `tick` or `event`".to_string())?;
+                options.engine = EngineKind::parse(value)
+                    .ok_or_else(|| format!("unknown engine `{value}` (use `tick` or `event`)"))?;
+            }
             "--out" => {
                 options.out_dir = Some(
                     iter.next()
@@ -184,7 +197,7 @@ pub fn delegate(campaign_name: &str) -> i32 {
     while let Some(arg) = env.next() {
         match arg.as_str() {
             "--full" => args.push(arg),
-            "--instr" | "--workers" => {
+            "--instr" | "--workers" | "--engine" => {
                 if let Some(value) = env.next() {
                     args.push(arg);
                     args.push(value);
@@ -236,6 +249,7 @@ fn run_command(options: &Options) -> i32 {
     for campaign in &campaigns {
         let mut runner = CampaignRunner::new()
             .with_progress(true)
+            .with_engine(options.engine)
             .with_artifacts(ArtifactStore::new(&artifact_root));
         if let Some(workers) = options.workers {
             runner = runner.with_workers(workers);
@@ -347,6 +361,20 @@ mod tests {
     fn rejects_unknown_options_and_commands() {
         assert!(parse(&args(&["run", "--bogus"])).is_err());
         assert!(parse(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_engine_selection() {
+        let options = parse(&args(&["run", "fig10", "--engine", "tick"])).unwrap();
+        assert_eq!(options.engine, EngineKind::Tick);
+        let options = parse(&args(&["run", "fig10", "--engine", "event"])).unwrap();
+        assert_eq!(options.engine, EngineKind::Event);
+        assert_eq!(
+            parse(&args(&["run", "fig10"])).unwrap().engine,
+            EngineKind::Event
+        );
+        assert!(parse(&args(&["run", "fig10", "--engine", "warp"])).is_err());
+        assert!(parse(&args(&["run", "fig10", "--engine"])).is_err());
     }
 
     #[test]

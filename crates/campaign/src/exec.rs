@@ -15,7 +15,7 @@ use pracleak::covert::run_covert_channel;
 use pracleak::latency::SpikeDetector;
 use pracleak::side_channel::SideChannelExperiment;
 use serde_json::{Map, Value};
-use system_sim::{energy_overhead_for, run_workload_normalized, ExperimentConfig};
+use system_sim::{energy_overhead_for, run_workload_normalized, EngineKind, ExperimentConfig};
 use workloads::MemoryIntensity;
 
 use crate::scenario::ScenarioSpec;
@@ -23,11 +23,23 @@ use crate::scenario::ScenarioSpec;
 /// Banks blocked by one all-bank RFM in the energy model (one DDR5 channel).
 const BANKS_PER_RFM: u32 = 128;
 
-/// Runs a scenario and returns its metrics as a flat JSON object.
+/// Runs a scenario with the default (event-driven) engine and returns its
+/// metrics as a flat JSON object.
 #[must_use]
 pub fn execute(spec: &ScenarioSpec) -> Map {
+    execute_with(spec, EngineKind::default())
+}
+
+/// Runs a scenario under an explicit simulation engine.
+///
+/// The engine is an execution knob, not part of the scenario's identity: the
+/// two engines produce bit-identical results (enforced by the differential
+/// suite), so cached metrics remain valid across engines and the engine is
+/// deliberately excluded from the cache key.
+#[must_use]
+pub fn execute_with(spec: &ScenarioSpec, engine: EngineKind) -> Map {
     match spec {
-        ScenarioSpec::Perf(perf) => execute_perf(perf),
+        ScenarioSpec::Perf(perf) => execute_perf(perf, engine),
         ScenarioSpec::AboLatency {
             prac_level,
             nbo,
@@ -57,13 +69,14 @@ pub fn execute(spec: &ScenarioSpec) -> Map {
     }
 }
 
-fn execute_perf(perf: &crate::scenario::PerfScenario) -> Map {
+fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map {
     let config = ExperimentConfig {
         rowhammer_threshold: perf.rowhammer_threshold,
         prac_level: perf.prac_level,
         setup: perf.setup.clone(),
         instructions_per_core: perf.instructions_per_core,
         cores: perf.cores,
+        engine,
     };
     let (normalized, protected, baseline) =
         run_workload_normalized(&config, &perf.workload.workload, perf.seed);
@@ -313,5 +326,23 @@ mod tests {
             seed: 9,
         };
         assert_eq!(execute(&spec), execute(&spec));
+    }
+
+    #[test]
+    fn perf_metrics_are_engine_independent() {
+        let spec = ScenarioSpec::Perf(Box::new(crate::scenario::PerfScenario {
+            setup: system_sim::MitigationSetup::AboOnly,
+            rowhammer_threshold: 1024,
+            prac_level: prac_core::config::PracLevel::One,
+            workload: workloads::quick_suite().remove(0),
+            instructions_per_core: 5_000,
+            cores: 2,
+            seed: 41,
+        }));
+        assert_eq!(
+            execute_with(&spec, EngineKind::Tick),
+            execute_with(&spec, EngineKind::Event),
+            "cached metrics must stay valid across engines"
+        );
     }
 }

@@ -10,11 +10,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use serde_json::Map;
-use system_sim::parallel_map;
+use system_sim::{parallel_map, EngineKind};
 
 use crate::artifact::{ArtifactPaths, ArtifactStore};
 use crate::cache::{CachedResult, ResultCache};
-use crate::exec::execute;
+use crate::exec::execute_with;
 use crate::scenario::{Campaign, Scenario};
 
 /// The outcome of one scenario within a campaign run.
@@ -52,6 +52,7 @@ pub struct CampaignRunner {
     cache: Option<ResultCache>,
     artifacts: Option<ArtifactStore>,
     progress: bool,
+    engine: EngineKind,
 }
 
 impl Default for CampaignRunner {
@@ -61,6 +62,7 @@ impl Default for CampaignRunner {
             cache: None,
             artifacts: None,
             progress: false,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -97,6 +99,15 @@ impl CampaignRunner {
     #[must_use]
     pub fn with_progress(mut self, progress: bool) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Selects the simulation engine scenarios execute under.  Results (and
+    /// therefore cache entries) are engine-independent; this only changes
+    /// how fast the misses run.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -142,9 +153,10 @@ impl CampaignRunner {
         let done = AtomicUsize::new(0);
         let campaign_name = campaign.name.as_str();
         let progress = self.progress;
+        let engine = self.engine;
         let fresh = parallel_map(pending, self.workers, |(index, scenario)| {
             let cell_started = Instant::now();
-            let metrics = execute(&scenario.spec);
+            let metrics = execute_with(&scenario.spec, engine);
             let wall_ms = cell_started.elapsed().as_secs_f64() * 1e3;
             if progress {
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;

@@ -8,9 +8,11 @@
 //!
 //! Scenarios are *data*: they serialise to canonical JSON (the `serde_json`
 //! shim keeps object members sorted), and the [`Scenario::key`] cache key is
-//! a stable FNV-1a hash of that canonical form.  Any change to any field —
-//! threshold, seed, budget, workload shape — changes the key, which is what
-//! lets the incremental result cache re-run only the cells that changed.
+//! a stable FNV-1a hash of that canonical form prefixed with the simulator's
+//! [`SIM_REVISION`].  Any change to any field — threshold, seed, budget,
+//! workload shape — changes the key, which is what lets the incremental
+//! result cache re-run only the cells that changed; bumping the revision
+//! when simulation semantics change retires every stale cache entry at once.
 
 use prac_core::config::PracLevel;
 use prac_core::queue::QueueKind;
@@ -19,6 +21,18 @@ use pracleak::covert::CovertChannelKind;
 use serde_json::{Map, Value};
 use system_sim::MitigationSetup;
 use workloads::{MemoryIntensity, WorkloadGroup, WorkloadSpec};
+
+/// Simulation-semantics revision mixed into every cache key.
+///
+/// Bump this whenever a change alters simulation *results* without changing
+/// any scenario field — e.g. revision 2 covers the FR-FCFS hit-streak
+/// accounting fix that landed with the event-driven engine.  Bumping it
+/// orphans every existing `target/campaigns/cache/` entry (they simply miss
+/// and re-execute), which is exactly the point: a cached metric must always
+/// mean "what the current simulator would produce".  The golden snapshot in
+/// `tests/cache_key_snapshot.rs` pins the combined effect of this constant
+/// and the canonical spec serialisation.
+pub const SIM_REVISION: u32 = 2;
 
 /// One cell of a campaign: a unique name plus the declarative spec.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,9 +55,15 @@ impl Scenario {
 
     /// Stable 64-bit cache key of the scenario *configuration* (the name is
     /// excluded, so renaming a cell does not invalidate its cached result).
+    ///
+    /// The simulator's semantics revision is mixed into the hash, so results
+    /// cached by a binary with different simulation behaviour miss instead
+    /// of being silently mixed with fresh ones.
     #[must_use]
     pub fn key(&self) -> u64 {
-        fnv1a64(self.spec.to_json().to_string().as_bytes())
+        let mut bytes = format!("sim-r{SIM_REVISION}:").into_bytes();
+        bytes.extend_from_slice(self.spec.to_json().to_string().as_bytes());
+        fnv1a64(&bytes)
     }
 }
 

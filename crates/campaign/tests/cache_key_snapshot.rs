@@ -1,0 +1,127 @@
+//! Golden snapshot of every registry scenario's cache key.
+//!
+//! The incremental result cache under `target/campaigns/cache/` is addressed
+//! by the stable FNV-1a hash of each scenario's canonical JSON spec.  An
+//! *accidental* change to that serialisation (a renamed field, a reordered
+//! map, a tweaked default) would silently invalidate the whole cache — or,
+//! worse, silently reuse stale results for a scenario whose meaning changed.
+//! This test pins the key of every scenario in the registry, for both the
+//! quick and the full profile, against a committed golden file.
+//!
+//! When keys change **intentionally** (new scenarios, deliberately changed
+//! sweeps), regenerate the snapshot and review the diff:
+//!
+//! ```text
+//! UPDATE_CACHE_KEY_GOLDEN=1 cargo test -p campaign --test cache_key_snapshot
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use campaign::registry::{all_campaigns, Profile};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("cache_keys.txt")
+}
+
+fn render_snapshot() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Golden cache keys: <profile>/<campaign>/<scenario> = <fnv1a64 of the canonical spec>\n\
+         # Regenerate with UPDATE_CACHE_KEY_GOLDEN=1 cargo test -p campaign --test cache_key_snapshot\n",
+    );
+    for (label, profile) in [("quick", Profile::quick()), ("full", Profile::full())] {
+        for campaign in all_campaigns(&profile) {
+            for scenario in &campaign.scenarios {
+                writeln!(
+                    out,
+                    "{label}/{}/{} = {:016x}",
+                    campaign.name,
+                    scenario.name,
+                    scenario.key()
+                )
+                .expect("writing to a String is infallible");
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn registry_cache_keys_match_the_golden_snapshot() {
+    let rendered = render_snapshot();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_CACHE_KEY_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden file has a parent"))
+            .expect("create golden directory");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+        panic!(
+            "missing golden file {} ({error}); regenerate with \
+             UPDATE_CACHE_KEY_GOLDEN=1 cargo test -p campaign --test cache_key_snapshot",
+            path.display()
+        )
+    });
+    if golden != rendered {
+        let mut diff = String::new();
+        let mut differing = 0usize;
+        for (g, r) in golden.lines().zip(rendered.lines()) {
+            if g != r && differing < 10 {
+                let _ = writeln!(diff, "  golden:  {g}\n  current: {r}");
+                differing += 1;
+            } else if g != r {
+                differing += 1;
+            }
+        }
+        let (g_n, r_n) = (golden.lines().count(), rendered.lines().count());
+        panic!(
+            "cache keys drifted from the golden snapshot \
+             ({differing} differing lines, {g_n} golden vs {r_n} current):\n{diff}\n\
+             If this change is intentional, regenerate with \
+             UPDATE_CACHE_KEY_GOLDEN=1 and review the diff — every changed key \
+             invalidates (or re-homes) a cache entry under target/campaigns/cache/."
+        );
+    }
+}
+
+#[test]
+fn cache_keys_are_unique_across_the_whole_registry_per_profile() {
+    for profile in [Profile::quick(), Profile::full()] {
+        let mut seen = std::collections::HashMap::new();
+        for campaign in all_campaigns(&profile) {
+            for scenario in &campaign.scenarios {
+                if let Some(previous) = seen.insert(
+                    scenario.key(),
+                    (campaign.name.clone(), scenario.name.clone()),
+                ) {
+                    // Identical specs in different campaigns legitimately
+                    // share a key (that is what cache reuse is for), but the
+                    // spec JSON must then be identical too.
+                    let (prev_campaign, prev_name) = previous;
+                    let current = scenario.spec.to_json().to_string();
+                    let other = all_campaigns(&profile)
+                        .into_iter()
+                        .find(|c| c.name == prev_campaign)
+                        .and_then(|c| {
+                            c.scenarios
+                                .iter()
+                                .find(|s| s.name == prev_name)
+                                .map(|s| s.spec.to_json().to_string())
+                        })
+                        .expect("previous scenario exists");
+                    assert_eq!(
+                        current, other,
+                        "key collision between different specs: \
+                         {}/{} vs {prev_campaign}/{prev_name}",
+                        campaign.name, scenario.name
+                    );
+                }
+            }
+        }
+    }
+}

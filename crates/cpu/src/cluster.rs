@@ -132,6 +132,26 @@ impl CpuCluster {
         }
     }
 
+    /// Earliest tick strictly after `now` at which any core can make forward
+    /// progress without an external memory completion (see
+    /// [`Core::next_event_at`]); `None` when every unfinished core is
+    /// blocked on DRAM.
+    #[must_use]
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        self.cores
+            .iter()
+            .filter_map(|core| core.next_event_at(now))
+            .min()
+    }
+
+    /// Accounts `cycles` skipped stalled cycles to every unfinished core
+    /// (the event-driven engine's replacement for ticking through them).
+    pub fn credit_stalled_cycles(&mut self, cycles: u64) {
+        for core in &mut self.cores {
+            core.credit_stalled_cycles(cycles);
+        }
+    }
+
     /// Advances every unfinished core by one cycle and returns the DRAM
     /// traffic generated.
     pub fn tick(&mut self, now: u64) -> ClusterOutput {

@@ -150,6 +150,59 @@ impl Core {
         }
     }
 
+    /// Earliest tick strictly after `now` at which this core can make
+    /// forward progress *without* an external memory completion, or `None`
+    /// when only a completion (or nothing at all) can unblock it.
+    ///
+    /// Used by the event-driven engine to skip cycles in which
+    /// [`Core::tick`] would be a no-op.  The contract is conservative in the
+    /// safe direction: whenever a tick could retire or issue anything, the
+    /// returned wake-up is at or before that tick.  The three progress
+    /// sources are:
+    ///
+    /// * retirement — the ROB head becomes retirable at its ready tick;
+    /// * issue — the next trace op can enter the ROB on a fresh cycle, i.e.
+    ///   it is a compute/flush op, a memory op that hits the private caches,
+    ///   or a memory op with an MSHR available (a fresh cycle always starts
+    ///   with DRAM-queue slots, so `can_send` is not a next-cycle blocker);
+    /// * nothing, when the head waits on DRAM and issue is MSHR/miss-bound.
+    #[must_use]
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        if self.is_finished() {
+            return None;
+        }
+        let mut wake: Option<u64> = None;
+        if let Some(entry) = self.rob.front() {
+            if let RobEntryState::ReadyAt(t) = entry.state {
+                wake = Some(t.max(now + 1));
+            }
+        }
+        if self.rob.len() < self.config.rob_entries as usize && !self.trace.is_empty() {
+            let op = self.trace.ops()[self.trace_index];
+            let issuable = match op {
+                TraceOp::Compute(_) | TraceOp::Flush(_) => true,
+                TraceOp::Load(addr) | TraceOp::Store(addr) => {
+                    self.outstanding_misses < self.config.mshrs_per_core
+                        || self.l1d.probe(addr)
+                        || self.l2.probe(addr)
+                }
+            };
+            if issuable {
+                wake = Some(now + 1);
+            }
+        }
+        wake
+    }
+
+    /// Accounts `cycles` stalled cycles the event-driven engine skipped:
+    /// ticks in which [`Core::tick`] would only have incremented the cycle
+    /// counter.  Keeps IPC bit-identical between the two engines.
+    pub fn credit_stalled_cycles(&mut self, cycles: u64) {
+        if !self.is_finished() {
+            self.stats.cycles += cycles;
+        }
+    }
+
     fn next_trace_op(&mut self) -> Option<TraceOp> {
         if self.trace.is_empty() {
             return None;

@@ -97,6 +97,26 @@ impl Bank {
         self.next_act
     }
 
+    /// Earliest tick at which *any* command to this bank can change its
+    /// state — the bank state machine's next possible transition.
+    ///
+    /// * Bank precharged: the next transition is an ACT (gated by tRC/tRP).
+    /// * Row open: the earliest of a column access (tRCD/tCCD) or a
+    ///   precharge (tRAS / write recovery).
+    ///
+    /// The returned tick never moves backwards while the bank is idle, which
+    /// is what lets an event-driven scheduler sleep until it without
+    /// re-polling.  Note this is a *bank-local* bound; channel-wide
+    /// constraints (bus occupancy, rank ACT-to-ACT spacing, refresh
+    /// blocking) can push the real issue time later.
+    #[must_use]
+    pub fn next_transition_at(&self) -> u64 {
+        match self.open_row {
+            None => self.next_act,
+            Some(_) => self.next_column.min(self.next_pre),
+        }
+    }
+
     /// Checks whether activating `row` at `now` is legal.
     ///
     /// # Errors

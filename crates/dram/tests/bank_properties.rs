@@ -1,0 +1,189 @@
+//! Property tests for the per-bank DRAM state machine.
+//!
+//! Random command sequences — activates, precharges, reads and writes at
+//! randomly spaced ticks — are replayed against a [`Bank`] while a shadow
+//! model records when each successful command happened.  The properties:
+//!
+//! 1. **Timing ordering is never violated.**  Whenever the bank *accepts* a
+//!    command, the mandated gap to the commands that precede it has elapsed:
+//!    tRCD between ACT and a column access, tRAS between ACT and PRE, tRP
+//!    between PRE and the next ACT, tRC between ACTs, tCCD between column
+//!    accesses, and write recovery (tCL + tBL + tWR) between a write and
+//!    the precharge.
+//! 2. **Rejections name the future.**  A `TooEarly` rejection always carries
+//!    a `ready_at` strictly after the attempted tick.
+//! 3. **The next-transition bound moves forward.**  Immediately after the
+//!    bank accepts a command at tick `t`, `next_transition_at()` is strictly
+//!    greater than `t` — the event-driven engine relies on this to sleep
+//!    without re-polling.
+//!
+//! The proptest shim replays a fixed number of deterministically seeded
+//! cases, so failures reproduce bit-for-bit across runs and machines.
+
+use dram_sim::bank::Bank;
+use dram_sim::command::IssueError;
+use dram_sim::timing::DramTimingParams;
+use prac_core::queue::QueueKind;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Shadow record of the last accepted command of each class.
+#[derive(Debug, Default, Clone, Copy)]
+struct Shadow {
+    last_act: Option<u64>,
+    last_precharge: Option<u64>,
+    last_column: Option<u64>,
+    last_write: Option<u64>,
+}
+
+/// One randomised step: command selector, target row, tick delta.
+type Step = (u8, u32, u64);
+
+fn drive(timing: &DramTimingParams, steps: &[Step]) {
+    let mut bank = Bank::new(QueueKind::SingleEntryFrequency);
+    let mut shadow = Shadow::default();
+    let mut now = 0u64;
+    for &(cmd, row, delta) in steps {
+        now += delta;
+        let before_open = bank.open_row();
+        match cmd % 4 {
+            0 => match bank.activate(row, now, timing) {
+                Ok(_) => {
+                    assert_eq!(before_open, None, "ACT accepted while a row was open");
+                    if let Some(act) = shadow.last_act {
+                        assert!(now >= act + timing.t_rc, "tRC violated: {act} -> {now}");
+                    }
+                    if let Some(pre) = shadow.last_precharge {
+                        assert!(now >= pre + timing.t_rp, "tRP violated: {pre} -> {now}");
+                    }
+                    shadow.last_act = Some(now);
+                    assert!(bank.next_transition_at() > now);
+                }
+                Err(IssueError::TooEarly { ready_at }) => {
+                    assert!(ready_at > now, "TooEarly must name a future tick");
+                }
+                Err(IssueError::IllegalState { .. }) => {
+                    assert!(before_open.is_some(), "ACT is only illegal on an open bank");
+                }
+            },
+            1 => match bank.precharge(now, timing) {
+                Ok(()) => {
+                    if before_open.is_some() {
+                        let act = shadow.last_act.expect("open row implies an ACT");
+                        assert!(now >= act + timing.t_ras, "tRAS violated: {act} -> {now}");
+                        if let Some(write) = shadow.last_write {
+                            let recovery = timing.t_cl + timing.t_bl + timing.t_wr;
+                            assert!(
+                                now >= write + recovery,
+                                "write recovery violated: {write} -> {now}"
+                            );
+                        }
+                        shadow.last_precharge = Some(now);
+                        shadow.last_column = None;
+                        shadow.last_write = None;
+                        assert!(bank.next_transition_at() > now);
+                    }
+                    assert_eq!(bank.open_row(), None);
+                }
+                Err(IssueError::TooEarly { ready_at }) => assert!(ready_at > now),
+                Err(IssueError::IllegalState { reason }) => {
+                    panic!("precharge must never be an illegal state: {reason}")
+                }
+            },
+            col => {
+                let result = if col == 2 {
+                    bank.read(row, now, timing)
+                } else {
+                    bank.write(row, now, timing)
+                };
+                match result {
+                    Ok(done) => {
+                        assert_eq!(before_open, Some(row), "column access to a closed row");
+                        let act = shadow.last_act.expect("open row implies an ACT");
+                        assert!(now >= act + timing.t_rcd, "tRCD violated: {act} -> {now}");
+                        if let Some(column) = shadow.last_column {
+                            assert!(now >= column + timing.t_ccd, "tCCD violated");
+                        }
+                        assert!(done > now, "data/write-accept time must be in the future");
+                        shadow.last_column = Some(now);
+                        if col != 2 {
+                            shadow.last_write = Some(now);
+                        }
+                        assert!(bank.next_transition_at() > now);
+                    }
+                    Err(IssueError::TooEarly { ready_at }) => assert!(ready_at > now),
+                    Err(IssueError::IllegalState { .. }) => {
+                        assert_ne!(
+                            before_open,
+                            Some(row),
+                            "column access to the open row must not be an illegal state"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_sequences_respect_timing_under_paper_parameters(
+        steps in collection::vec((0u8..4, 0u32..8, 0u64..600), 1..250),
+    ) {
+        drive(&DramTimingParams::ddr5_8000b(), &steps);
+    }
+
+    #[test]
+    fn random_sequences_respect_timing_under_test_parameters(
+        steps in collection::vec((0u8..4, 0u32..8, 0u64..90), 1..250),
+    ) {
+        drive(&DramTimingParams::fast_for_tests(), &steps);
+    }
+
+    #[test]
+    fn fresh_activates_gate_the_immediate_followups(
+        row in 0u32..64,
+        delta in 0u64..32,
+    ) {
+        let timing = DramTimingParams::ddr5_8000b();
+        let mut bank = Bank::new(QueueKind::SingleEntryFrequency);
+        let start = 10 + delta;
+        bank.activate(row, start, &timing).unwrap();
+
+        // Column access strictly inside tRCD must be rejected with the exact
+        // release tick; the same for a precharge inside tRAS.
+        prop_assume!(timing.t_rcd > 0 && timing.t_ras > 0);
+        let too_early = bank.read(row, start + timing.t_rcd - 1, &timing).unwrap_err();
+        prop_assert!(
+            matches!(too_early, IssueError::TooEarly { ready_at } if ready_at == start + timing.t_rcd)
+        );
+        let too_early = bank.precharge(start + timing.t_ras - 1, &timing).unwrap_err();
+        prop_assert!(
+            matches!(too_early, IssueError::TooEarly { ready_at } if ready_at == start + timing.t_ras)
+        );
+
+        // And the bank's advertised next transition matches the earlier of
+        // the two windows.
+        prop_assert_eq!(
+            bank.next_transition_at(),
+            (start + timing.t_rcd).min(start + timing.t_ras)
+        );
+    }
+
+    #[test]
+    fn blocking_commands_push_the_next_transition_past_the_window(
+        row in 0u32..64,
+        duration in 1u64..5_000,
+    ) {
+        let timing = DramTimingParams::ddr5_8000b();
+        let mut bank = Bank::new(QueueKind::SingleEntryFrequency);
+        bank.activate(row, 0, &timing).unwrap();
+        bank.block_until(10, duration);
+        prop_assert_eq!(bank.open_row(), None, "blocking closes the row");
+        prop_assert!(bank.next_transition_at() >= 10 + duration);
+        prop_assert!(matches!(
+            bank.activate(row, 10 + duration - 1, &timing),
+            Err(IssueError::TooEarly { .. })
+        ));
+    }
+}

@@ -99,8 +99,9 @@ pub struct MemoryController {
     /// A TB-RFM whose deadline passed while the channel was busy; issued as
     /// soon as the device accepts it.
     pending_tb_rfm: bool,
-    /// History of issued RFMs as (tick, kind); bounded to the most recent
-    /// entries to keep memory use flat on long runs.
+    /// History of issued RFMs as (tick, kind).  Recording stops after
+    /// [`RFM_LOG_CAP`] entries (the *first* ~1 M RFMs are kept, later ones
+    /// are dropped) to keep memory use flat on pathological runs.
     rfm_log: Vec<(u64, RfmKind)>,
 }
 
@@ -168,8 +169,9 @@ impl MemoryController {
         &self.policy
     }
 
-    /// Chronological log of issued RFMs as `(tick, kind)` pairs
-    /// (bounded to the most recent ~1 M entries).
+    /// Chronological log of issued RFMs as `(tick, kind)` pairs.  Recording
+    /// stops after the first ~1 M RFMs (`RFM_LOG_CAP`); later RFMs are
+    /// counted in the statistics but not logged.
     #[must_use]
     pub fn rfm_log(&self) -> &[(u64, RfmKind)] {
         &self.rfm_log
@@ -352,11 +354,13 @@ impl MemoryController {
         false
     }
 
-    /// Picks a pending request with FR-FCFS and issues the next command it
-    /// needs (PRE, ACT, or RD/WR).
-    fn schedule_demand(&mut self, now: u64) {
+    /// The command the FR-FCFS demand scheduler would attempt right now, as
+    /// `(queue index, command)`.  Pure: both the per-tick scheduling path and
+    /// the event engine's wake-up computation derive from this one function,
+    /// which is what keeps the two engines cycle-exact.
+    fn chosen_demand_command(&self) -> Option<(usize, DramCommand)> {
         if self.pending.is_empty() {
-            return;
+            return None;
         }
         let org = self.device.config().organization;
         let candidates: Vec<SchedulerCandidate> = self
@@ -374,23 +378,37 @@ impl MemoryController {
                 }
             })
             .collect();
-        let Some(index) = self.scheduler.pick(&candidates, |a| a.flat_bank(&org)) else {
+        let index = self.scheduler.choose(&candidates)?.queue_index;
+        let pending = &self.pending[index];
+        let addr = pending.address;
+        let cmd = match self.device.bank(addr.flat_bank(&org)).open_row() {
+            Some(row) if row == addr.row => match pending.request.kind {
+                RequestKind::Read => DramCommand::Read(addr),
+                RequestKind::Write => DramCommand::Write(addr),
+            },
+            Some(_) => DramCommand::Precharge(addr),
+            None => DramCommand::Activate(addr),
+        };
+        Some((index, cmd))
+    }
+
+    /// Picks a pending request with FR-FCFS and issues the next command it
+    /// needs (PRE, ACT, or RD/WR).
+    fn schedule_demand(&mut self, now: u64) {
+        let Some((index, cmd)) = self.chosen_demand_command() else {
             return;
         };
-        let pending = self.pending[index];
-        let addr = pending.address;
-        let bank = self.device.bank(addr.flat_bank(&org));
-        let open = bank.open_row();
-
-        match open {
-            Some(row) if row == addr.row => {
+        let org = self.device.config().organization;
+        // The hit-streak update is committed only when the device accepts a
+        // command: rejected attempts leave the scheduler (and therefore the
+        // whole controller) untouched, so cycles in which nothing can issue
+        // are pure no-ops the event-driven engine may skip.
+        match cmd {
+            DramCommand::Read(addr) | DramCommand::Write(addr) => {
                 // Row open: issue the column command.
-                let cmd = match pending.request.kind {
-                    RequestKind::Read => DramCommand::Read(addr),
-                    RequestKind::Write => DramCommand::Write(addr),
-                };
                 match self.device.issue(cmd, now) {
                     Ok(done) => {
+                        self.scheduler.note_scheduled(addr.flat_bank(&org), true);
                         let entry = &mut self.pending[index];
                         entry.completion_tick = Some(done);
                         // Classify the whole request by what it needed.
@@ -415,19 +433,106 @@ impl MemoryController {
                     }
                 }
             }
-            Some(_other) => {
+            DramCommand::Precharge(addr) => {
                 // Row conflict: precharge first.
-                if self.device.issue(DramCommand::Precharge(addr), now).is_ok() {
+                if self.device.issue(cmd, now).is_ok() {
+                    self.scheduler.note_scheduled(addr.flat_bank(&org), false);
                     self.pending[index].had_conflict = true;
                 }
             }
-            None => {
+            DramCommand::Activate(addr) => {
                 // Row closed: activate.
-                if self.device.issue(DramCommand::Activate(addr), now).is_ok() {
+                if self.device.issue(cmd, now).is_ok() {
+                    self.scheduler.note_scheduled(addr.flat_bank(&org), false);
                     self.pending[index].needed_activate = true;
                 }
             }
+            _ => unreachable!("demand scheduling only produces RD/WR/PRE/ACT"),
         }
+    }
+
+    /// Earliest tick strictly after `now` at which [`MemoryController::tick`]
+    /// could do anything at all, or `None` when the controller is fully idle
+    /// (no pending work and no timer armed).
+    ///
+    /// This is the controller's wake-up registration for the event-driven
+    /// engine.  The contract mirrors [`cpu_sim::core_model::Core::next_event_at`]:
+    /// the returned tick may be conservative (waking early is harmless
+    /// because a tick in which nothing can happen mutates no state), but it
+    /// must never be later than the first tick with an effect.  Every timer
+    /// the per-tick path consults is covered:
+    ///
+    /// * in-flight request completions,
+    /// * periodic refresh (gated by the channel-blocking window),
+    /// * the ABO responder (a freshly asserted Alert, or an owed RFM),
+    /// * the proactive ACB-RFM engine,
+    /// * the TPRAC TB-RFM deadline and a deferred TB-RFM retry,
+    /// * the obfuscation injection check,
+    /// * the next command the FR-FCFS demand scheduler would attempt.
+    #[must_use]
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        fn earlier(wake: &mut Option<u64>, candidate: u64) {
+            *wake = Some(wake.map_or(candidate, |w| w.min(candidate)));
+        }
+        let soonest = now + 1;
+        let channel_ready = self.device.channel_ready_at();
+        let mut wake: Option<u64> = None;
+
+        for p in &self.pending {
+            if let Some(done) = p.completion_tick {
+                earlier(&mut wake, done.max(soonest));
+            }
+        }
+        if self.config.refresh_enabled {
+            earlier(&mut wake, self.next_refresh.max(channel_ready).max(soonest));
+        }
+        if self.device.alert_asserted() && self.abo.pending() == 0 {
+            // The responder has not seen this Alert yet; it reacts next tick.
+            earlier(&mut wake, soonest);
+        }
+        if self.abo.pending() > 0 {
+            earlier(
+                &mut wake,
+                self.abo.next_rfm_at().max(channel_ready).max(soonest),
+            );
+        }
+        if matches!(self.policy, MitigationPolicy::AboPlusAcbRfm) {
+            let device = &self.device;
+            let banks = device.bank_count();
+            let wants = self
+                .acb
+                .wants_rfm((0..banks).map(|b| device.bank(b).activations_since_rfm()));
+            if wants {
+                earlier(&mut wake, channel_ready.max(soonest));
+            }
+        }
+        if let Some(tprac) = &self.tprac {
+            earlier(&mut wake, tprac.next_deadline().max(soonest));
+        }
+        if self.pending_tb_rfm {
+            earlier(&mut wake, channel_ready.max(soonest));
+        }
+        if self.injection.is_some() {
+            earlier(&mut wake, self.next_injection_check.max(soonest));
+        }
+        // Deliberate recomputation: on a visited tick the demand choice was
+        // already made once inside `tick()`.  Caching it across the two
+        // calls would need invalidation on every mutation of the queue, the
+        // banks and the streak — cheap to get subtly wrong, and the scan is
+        // O(pending) with a 64-entry queue bound, so purity wins.
+        if let Some((_, cmd)) = self.chosen_demand_command() {
+            // When the attempted command is rejected for timing, the device
+            // names the first violated constraint's release tick; waking
+            // there re-runs the (pure) attempt against the next constraint,
+            // so the walk terminates at the true issue tick.
+            let demand_wake = match self.device.can_issue(&cmd, soonest) {
+                Ok(()) => soonest,
+                Err(IssueError::TooEarly { ready_at }) => ready_at.max(soonest),
+                Err(IssueError::IllegalState { .. }) => soonest,
+            };
+            earlier(&mut wake, demand_wake);
+        }
+        wake
     }
 
     /// Removes and returns requests whose completion tick has been reached.

@@ -102,6 +102,14 @@ impl AboResponder {
         self.pending_rfms
     }
 
+    /// Earliest tick at which the next owed RFM may be issued (meaningful
+    /// only while [`AboResponder::pending`] is non-zero).  Used by the
+    /// event-driven engine to schedule the responder's next wake-up.
+    #[must_use]
+    pub fn next_rfm_at(&self) -> u64 {
+        self.next_rfm_at
+    }
+
     /// Number of distinct Alert events responded to.
     #[must_use]
     pub fn alerts_handled(&self) -> u64 {

@@ -50,13 +50,20 @@ impl FrFcfsScheduler {
         Self::new(4)
     }
 
-    /// Picks the next request to service from `candidates`, returning its
-    /// `queue_index`.  Returns `None` when there are no candidates.
-    pub fn pick(
-        &mut self,
-        candidates: &[SchedulerCandidate],
-        flat_bank_of: impl Fn(&DramAddress) -> u32,
-    ) -> Option<usize> {
+    /// Chooses the next request to service from `candidates`, without
+    /// touching the hit-streak state.  Returns `None` when there are no
+    /// candidates.
+    ///
+    /// The choice is a pure function of the candidate list and the current
+    /// streak: the controller may call this speculatively every cycle (or ask
+    /// "what would be scheduled next?" when computing its next wake-up event)
+    /// and must call [`FrFcfsScheduler::note_scheduled`] only once a command
+    /// for the chosen request was actually accepted by the device.
+    #[must_use]
+    pub fn choose<'c>(
+        &self,
+        candidates: &'c [SchedulerCandidate],
+    ) -> Option<&'c SchedulerCandidate> {
         if candidates.is_empty() {
             return None;
         }
@@ -76,17 +83,23 @@ impl FrFcfsScheduler {
             // Cap reached: force the oldest request regardless of hit status.
             oldest
         };
-        let bank = flat_bank_of(&chosen.address);
-        if chosen.row_hit && self.last_hit_bank == Some(bank) {
+        Some(chosen)
+    }
+
+    /// Records that a command for the chosen candidate was accepted by the
+    /// device, updating the consecutive-hit streak.  The streak counts
+    /// *serviced* scheduling decisions, so attempts rejected by DRAM timing
+    /// must not be reported here.
+    pub fn note_scheduled(&mut self, bank: u32, row_hit: bool) {
+        if row_hit && self.last_hit_bank == Some(bank) {
             self.consecutive_hits += 1;
-        } else if chosen.row_hit {
+        } else if row_hit {
             self.consecutive_hits = 1;
             self.last_hit_bank = Some(bank);
         } else {
             self.consecutive_hits = 0;
             self.last_hit_bank = None;
         }
-        Some(chosen.queue_index)
     }
 
     /// Number of consecutive row hits scheduled to the same bank so far.
@@ -127,31 +140,42 @@ mod tests {
         DramOrganization::tiny_for_tests().flat_bank_index(addr.rank, addr.bank_group, addr.bank)
     }
 
+    /// Chooses and commits, the way the controller does when the device
+    /// accepts the command for the chosen candidate.
+    fn choose_and_commit(
+        s: &mut FrFcfsScheduler,
+        candidates: &[SchedulerCandidate],
+    ) -> Option<usize> {
+        let chosen = *s.choose(candidates)?;
+        s.note_scheduled(flat(&chosen.address), chosen.row_hit);
+        Some(chosen.queue_index)
+    }
+
     #[test]
     fn empty_candidates_yield_none() {
         let mut s = FrFcfsScheduler::paper_default();
-        assert_eq!(s.pick(&[], flat), None);
+        assert_eq!(choose_and_commit(&mut s, &[]), None);
     }
 
     #[test]
     fn row_hits_win_over_older_misses() {
         let mut s = FrFcfsScheduler::paper_default();
         let c = vec![candidate(0, 0, 1, false, 10), candidate(1, 1, 2, true, 20)];
-        assert_eq!(s.pick(&c, flat), Some(1));
+        assert_eq!(choose_and_commit(&mut s, &c), Some(1));
     }
 
     #[test]
     fn oldest_wins_among_misses() {
         let mut s = FrFcfsScheduler::paper_default();
         let c = vec![candidate(0, 0, 1, false, 30), candidate(1, 1, 2, false, 10)];
-        assert_eq!(s.pick(&c, flat), Some(1));
+        assert_eq!(choose_and_commit(&mut s, &c), Some(1));
     }
 
     #[test]
     fn oldest_wins_among_hits() {
         let mut s = FrFcfsScheduler::paper_default();
         let c = vec![candidate(0, 0, 1, true, 30), candidate(1, 0, 1, true, 10)];
-        assert_eq!(s.pick(&c, flat), Some(1));
+        assert_eq!(choose_and_commit(&mut s, &c), Some(1));
     }
 
     #[test]
@@ -159,12 +183,12 @@ mod tests {
         let mut s = FrFcfsScheduler::new(4);
         let hits = vec![candidate(0, 0, 1, true, 100)];
         for _ in 0..4 {
-            assert_eq!(s.pick(&hits, flat), Some(0));
+            assert_eq!(choose_and_commit(&mut s, &hits), Some(0));
         }
         assert_eq!(s.consecutive_hits(), 4);
         // Now an older miss must win even though a hit exists.
         let mixed = vec![candidate(0, 0, 1, true, 100), candidate(1, 1, 2, false, 50)];
-        assert_eq!(s.pick(&mixed, flat), Some(1));
+        assert_eq!(choose_and_commit(&mut s, &mixed), Some(1));
         // Counter resets after servicing a miss.
         assert_eq!(s.consecutive_hits(), 0);
     }
@@ -174,8 +198,32 @@ mod tests {
         let mut s = FrFcfsScheduler::new(0);
         let mixed = vec![candidate(0, 0, 1, true, 100), candidate(1, 1, 2, false, 50)];
         for _ in 0..16 {
-            assert_eq!(s.pick(&mixed, flat), Some(0));
+            assert_eq!(choose_and_commit(&mut s, &mixed), Some(0));
         }
+    }
+
+    #[test]
+    fn choose_is_pure_and_note_commits_the_streak() {
+        let mut s = FrFcfsScheduler::new(4);
+        let hits = vec![candidate(0, 0, 1, true, 100)];
+        // Choosing repeatedly (e.g. on cycles where the command is rejected
+        // by DRAM timing) must not advance the streak.
+        for _ in 0..10 {
+            assert_eq!(s.choose(&hits).map(|c| c.queue_index), Some(0));
+        }
+        assert_eq!(s.consecutive_hits(), 0);
+        // Only the committed decisions count toward the cap.
+        for serviced in 1..=4 {
+            assert_eq!(s.choose(&hits).map(|c| c.queue_index), Some(0));
+            s.note_scheduled(flat(&hits[0].address), true);
+            assert_eq!(s.consecutive_hits(), serviced);
+        }
+        let mixed = vec![candidate(0, 0, 1, true, 100), candidate(1, 1, 2, false, 50)];
+        assert_eq!(
+            s.choose(&mixed).map(|c| c.queue_index),
+            Some(1),
+            "cap forces the oldest"
+        );
     }
 
     #[test]
@@ -183,11 +231,11 @@ mod tests {
         let mut s = FrFcfsScheduler::new(4);
         let bank_a = vec![candidate(0, 0, 1, true, 1)];
         let bank_b = vec![candidate(0, 1, 1, true, 1)];
-        s.pick(&bank_a, flat);
-        s.pick(&bank_a, flat);
+        let _ = choose_and_commit(&mut s, &bank_a);
+        let _ = choose_and_commit(&mut s, &bank_a);
         assert_eq!(s.consecutive_hits(), 2);
         // Switching banks restarts the streak.
-        s.pick(&bank_b, flat);
+        let _ = choose_and_commit(&mut s, &bank_b);
         assert_eq!(s.consecutive_hits(), 1);
     }
 }

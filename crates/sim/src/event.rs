@@ -1,0 +1,248 @@
+//! The event-driven simulation engine and its event wheel.
+//!
+//! The legacy [`TickEngine`] advances the whole system one DRAM clock per
+//! iteration, even when every core is stalled on memory and every bank is
+//! waiting out a timing constraint.  The [`EventEngine`] eliminates those
+//! dead cycles: after settling a tick it asks each component for the next
+//! tick at which it could possibly act — the CPU cluster reports the
+//! earliest retire/issue opportunity, the memory controller the earliest
+//! completion, refresh, RFM-engine or demand-scheduling opportunity — and
+//! registers those wake-ups with a binary-heap [`EventWheel`], then jumps
+//! straight to the earliest one.
+//!
+//! # Cycle-exactness
+//!
+//! Both engines drive the *same* per-tick step function, so the event engine
+//! is not an approximation: it merely skips ticks that the tick engine would
+//! process as pure no-ops.  Three properties make that safe, and each is
+//! guarded by the differential test suite (`tests/engine_equivalence.rs`):
+//!
+//! 1. **No hidden per-tick mutation.**  A tick in which no command issues,
+//!    no request completes, and no core retires or issues leaves every
+//!    component bit-identical (the FR-FCFS scheduler's hit-streak update is
+//!    committed only when the device accepts a command for exactly this
+//!    reason).
+//! 2. **Complete wake-up sets.**  `Core::next_event_at` and
+//!    `MemoryController::next_event_at` return a tick at or before the first
+//!    tick with an effect.  Waking early is harmless (the extra tick is a
+//!    no-op); waking late would diverge.
+//! 3. **Explicit stall accounting.**  The only thing a skipped tick would
+//!    have changed is each unfinished core's cycle counter; the engine
+//!    credits those cycles in bulk, keeping IPC bit-identical.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::system::{SystemResult, SystemSimulation};
+
+/// Who registered a wake-up with the [`EventWheel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventSource {
+    /// The CPU cluster (earliest retire or issue opportunity).
+    Cluster = 0,
+    /// The memory controller (completions, refresh, RFM engines, demand).
+    Controller = 1,
+    /// The system glue: backlog requests waiting for controller queue space.
+    Forwarding = 2,
+}
+
+/// Number of distinct [`EventSource`]s.
+const SOURCES: usize = 3;
+
+/// A monotonic binary-heap event wheel holding one pending wake-up per
+/// source.
+///
+/// Re-registering a source replaces its previous wake-up (stale heap entries
+/// are invalidated by a per-source generation counter and discarded lazily),
+/// and time never moves backwards: the wheel panics in debug builds if a
+/// wake-up is registered at or before the last tick it handed out.
+#[derive(Debug, Default)]
+pub struct EventWheel {
+    /// Min-heap of `(tick, source, generation)` entries.
+    heap: BinaryHeap<Reverse<(u64, u8, u64)>>,
+    /// Current generation per source; heap entries with an older generation
+    /// are stale.
+    generation: [u64; SOURCES],
+    /// Whether each source currently has a wake-up armed.
+    armed: [bool; SOURCES],
+    /// The last tick returned by [`EventWheel::next_after`].
+    horizon: u64,
+}
+
+impl EventWheel {
+    /// Creates an empty wheel at tick 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the wake-up of `source`; `None` disarms it.
+    pub fn reregister(&mut self, source: EventSource, tick: Option<u64>) {
+        let slot = source as usize;
+        self.generation[slot] += 1;
+        self.armed[slot] = false;
+        if let Some(tick) = tick {
+            debug_assert!(
+                tick > self.horizon,
+                "wake-up for {source:?} at {tick} is not after the horizon {}",
+                self.horizon
+            );
+            self.armed[slot] = true;
+            self.heap
+                .push(Reverse((tick, source as u8, self.generation[slot])));
+        }
+    }
+
+    /// Returns the earliest armed wake-up strictly after `now`, or `None`
+    /// when every source is disarmed.  Advances the wheel's horizon.
+    pub fn next_after(&mut self, now: u64) -> Option<u64> {
+        while let Some(Reverse((tick, source, generation))) = self.heap.peek().copied() {
+            let slot = source as usize;
+            if generation != self.generation[slot] || !self.armed[slot] || tick <= now {
+                self.heap.pop();
+                continue;
+            }
+            self.horizon = tick;
+            return Some(tick);
+        }
+        None
+    }
+
+    /// Number of live (non-stale) wake-ups currently armed.
+    #[must_use]
+    pub fn armed_count(&self) -> usize {
+        self.armed.iter().filter(|&&a| a).count()
+    }
+}
+
+/// A strategy for driving a [`SystemSimulation`] to completion.
+///
+/// Both implementations execute the identical per-tick step; they differ
+/// only in which ticks they bother to visit.  That is what makes them safe
+/// to swap behind a configuration flag and to diff against each other.
+pub trait SimulationEngine: std::fmt::Debug {
+    /// Short engine name (`"tick"` / `"event"`), used in logs and the CLI.
+    fn name(&self) -> &'static str;
+
+    /// Consumes the simulation and runs it to completion (or the tick cap).
+    fn run(&self, sim: SystemSimulation) -> SystemResult;
+}
+
+/// The legacy engine: one DRAM clock per loop iteration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TickEngine;
+
+impl SimulationEngine for TickEngine {
+    fn name(&self) -> &'static str {
+        "tick"
+    }
+
+    fn run(&self, sim: SystemSimulation) -> SystemResult {
+        sim.run_ticked()
+    }
+}
+
+/// The event-driven engine: jumps straight to the earliest pending event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EventEngine;
+
+impl SimulationEngine for EventEngine {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn run(&self, sim: SystemSimulation) -> SystemResult {
+        sim.run_event_driven()
+    }
+}
+
+/// Which engine a [`crate::system::SystemConfig`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineKind {
+    /// The legacy per-tick main loop.
+    Tick,
+    /// The event-driven engine (default; bit-identical results, fewer
+    /// visited ticks).
+    #[default]
+    Event,
+}
+
+impl EngineKind {
+    /// The engine implementation this kind selects.
+    #[must_use]
+    pub fn instance(self) -> &'static dyn SimulationEngine {
+        match self {
+            EngineKind::Tick => &TickEngine,
+            EngineKind::Event => &EventEngine,
+        }
+    }
+
+    /// Parses a CLI spelling (`"tick"` / `"event"`).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "tick" => Some(EngineKind::Tick),
+            "event" => Some(EngineKind::Event),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this kind.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        self.instance().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_returns_earliest_armed_wakeup() {
+        let mut wheel = EventWheel::new();
+        wheel.reregister(EventSource::Cluster, Some(50));
+        wheel.reregister(EventSource::Controller, Some(20));
+        wheel.reregister(EventSource::Forwarding, None);
+        assert_eq!(wheel.armed_count(), 2);
+        assert_eq!(wheel.next_after(0), Some(20));
+    }
+
+    #[test]
+    fn reregistration_replaces_previous_wakeup() {
+        let mut wheel = EventWheel::new();
+        wheel.reregister(EventSource::Controller, Some(20));
+        wheel.reregister(EventSource::Controller, Some(400));
+        assert_eq!(wheel.next_after(0), Some(400), "stale entry must be gone");
+        wheel.reregister(EventSource::Controller, None);
+        assert_eq!(wheel.next_after(400), None);
+    }
+
+    #[test]
+    fn entries_at_or_before_now_are_consumed() {
+        let mut wheel = EventWheel::new();
+        wheel.reregister(EventSource::Cluster, Some(10));
+        wheel.reregister(EventSource::Controller, Some(30));
+        assert_eq!(wheel.next_after(10), Some(30));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not after the horizon")]
+    fn wheel_rejects_wakeups_behind_the_horizon() {
+        let mut wheel = EventWheel::new();
+        wheel.reregister(EventSource::Cluster, Some(100));
+        assert_eq!(wheel.next_after(0), Some(100));
+        wheel.reregister(EventSource::Controller, Some(99));
+    }
+
+    #[test]
+    fn engine_kind_round_trips_through_labels() {
+        for kind in [EngineKind::Tick, EngineKind::Event] {
+            assert_eq!(EngineKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("warp"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Event);
+    }
+}

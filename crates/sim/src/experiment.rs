@@ -18,6 +18,7 @@ use prac_core::tprac::{TpracConfig, TrefRate};
 use serde::{Deserialize, Serialize};
 use workloads::generator::SyntheticWorkload;
 
+use crate::event::EngineKind;
 use crate::system::{SystemConfig, SystemResult, SystemSimulation};
 
 /// Which mitigation configuration a run uses.
@@ -88,6 +89,10 @@ pub struct ExperimentConfig {
     pub instructions_per_core: u64,
     /// Number of cores (homogeneous workload copies).
     pub cores: u32,
+    /// Engine visiting the ticks.  Results are engine-independent (asserted
+    /// by the differential suite), so this is an execution knob, not part of
+    /// the experiment's identity.
+    pub engine: EngineKind,
 }
 
 impl ExperimentConfig {
@@ -101,7 +106,15 @@ impl ExperimentConfig {
             setup,
             instructions_per_core,
             cores: 4,
+            engine: EngineKind::default(),
         }
+    }
+
+    /// Selects the engine that visits the ticks.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the RowHammer threshold.
@@ -201,6 +214,7 @@ impl ExperimentConfig {
                 .instructions_per_core
                 .saturating_mul(600)
                 .max(20_000_000),
+            engine: self.engine,
         }
     }
 }

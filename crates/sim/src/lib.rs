@@ -5,27 +5,35 @@
 //! `dram-sim`), used to reproduce the paper's performance, energy and
 //! sensitivity studies (Figures 10–14 and Table 5).
 //!
-//! * [`system`] — the [`system::SystemSimulation`] tick loop wiring the CPU
-//!   cluster to the memory controller, and the per-run result record.
+//! * [`system`] — the [`system::SystemSimulation`] wiring the CPU cluster to
+//!   the memory controller, and the per-run result record.
+//! * [`event`] — the two interchangeable execution engines behind one trait:
+//!   the legacy per-tick loop ([`event::TickEngine`]) and the event-driven
+//!   engine ([`event::EventEngine`]) whose binary-heap [`event::EventWheel`]
+//!   jumps straight to each component's next wake-up while producing
+//!   bit-identical results (asserted by `tests/engine_equivalence.rs`).
 //! * [`experiment`] — mitigation-configuration descriptors (baseline without
 //!   ABO, ABO-Only, ABO+ACB-RFM, TPRAC with/without TREF and counter reset)
 //!   and helpers that run a workload under a configuration and report
 //!   normalised performance.
 //! * [`energy`] — converts run results into the Table 5 energy-overhead rows
 //!   via the `prac-core` energy model.
-//! * [`parallel`] — a small thread-pool helper (crossbeam-based) used by the
-//!   bench harness to sweep workloads and configurations concurrently.
+//! * [`parallel`] — a work-stealing thread pool used by the campaign runner
+//!   to sweep workloads and configurations concurrently, with a streaming
+//!   variant whose producer can keep feeding the pool while workers run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod energy;
+pub mod event;
 pub mod experiment;
 pub mod parallel;
 pub mod system;
 
 pub use energy::energy_overhead_for;
+pub use event::{EngineKind, EventEngine, SimulationEngine, TickEngine};
 pub use experiment::{run_workload, run_workload_normalized, ExperimentConfig, MitigationSetup};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_streaming};
 pub use system::{SystemConfig, SystemResult, SystemSimulation};

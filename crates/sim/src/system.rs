@@ -1,15 +1,25 @@
-//! The full-system tick loop: CPU cluster ⇄ memory controller ⇄ PRAC DRAM.
+//! The full-system simulation: CPU cluster ⇄ memory controller ⇄ PRAC DRAM.
+//!
+//! [`SystemSimulation`] owns the wiring and the per-tick step; *how* the
+//! ticks are visited is delegated to a [`SimulationEngine`] — the legacy
+//! [`crate::event::TickEngine`] that walks every DRAM clock, or the
+//! event-driven [`crate::event::EventEngine`] that jumps between component
+//! wake-ups.  Both produce bit-identical [`SystemResult`]s.
 
 use cpu_sim::cluster::CpuCluster;
 use cpu_sim::config::CpuConfig;
+use cpu_sim::core_model::CoreMemoryRequest;
 use cpu_sim::stats::CoreStats;
 use cpu_sim::trace::Trace;
 use dram_sim::device::DramDeviceConfig;
 use dram_sim::stats::DramStats;
 use memctrl::controller::{ControllerConfig, MemoryController};
 use memctrl::request::{MemoryRequest, RequestKind};
+use memctrl::rfm::RfmKind;
 use memctrl::stats::ControllerStats;
 use serde::{Deserialize, Serialize};
+
+use crate::event::{EngineKind, EventSource, EventWheel, SimulationEngine};
 
 /// Configuration of one full-system run.
 #[derive(Debug, Clone)]
@@ -24,6 +34,8 @@ pub struct SystemConfig {
     pub instructions_per_core: u64,
     /// Hard cap on simulated ticks (safety net against livelock).
     pub max_ticks: u64,
+    /// Which engine visits the ticks (results are engine-independent).
+    pub engine: EngineKind,
 }
 
 impl SystemConfig {
@@ -39,6 +51,7 @@ impl SystemConfig {
             controller: ControllerConfig::default(),
             instructions_per_core,
             max_ticks: instructions_per_core.saturating_mul(400).max(10_000_000),
+            engine: EngineKind::default(),
         }
     }
 }
@@ -52,6 +65,12 @@ pub struct SystemResult {
     pub controller_stats: ControllerStats,
     /// DRAM device statistics (activations, refreshes, mitigations, …).
     pub dram_stats: DramStats,
+    /// Chronological `(tick, kind)` log of the RFMs the controller issued
+    /// (recording stops after the first ~1 M; later RFMs are only counted).
+    /// Lets the differential test harness assert that the two engines issue
+    /// every ABO/ACB/TB RFM at the exact same cycle, and attack analyses
+    /// inspect RFM timing.
+    pub rfm_log: Vec<(u64, RfmKind)>,
     /// Number of ticks the run took (time for the slowest core to finish).
     pub elapsed_ticks: u64,
     /// Whether every core finished within the tick budget.
@@ -93,6 +112,7 @@ pub struct SystemSimulation {
     controller: MemoryController,
     instructions_per_core: u64,
     max_ticks: u64,
+    engine: EngineKind,
     /// Maps an in-flight controller request id to (core, core-local id).
     /// Controller ids are globally unique, so a flat Vec-backed map keyed by
     /// id modulo capacity would risk collisions; a HashMap stays simple and
@@ -117,6 +137,7 @@ impl SystemSimulation {
             controller,
             instructions_per_core: config.instructions_per_core,
             max_ticks: config.max_ticks,
+            engine: config.engine,
             inflight: std::collections::HashMap::new(),
             next_controller_id: 0,
         }
@@ -128,50 +149,126 @@ impl SystemSimulation {
         self.instructions_per_core
     }
 
-    /// Runs the simulation to completion (or the tick cap) and returns the
-    /// collected statistics.
-    pub fn run(mut self) -> SystemResult {
-        let mut now = 0u64;
-        let mut backlog: Vec<(u32, cpu_sim::core_model::CoreMemoryRequest)> = Vec::new();
-        while now < self.max_ticks && !self.cluster.all_finished() {
-            // 1. CPU side: collect new DRAM-bound requests.
-            let output = self.cluster.tick(now);
-            backlog.extend(output.requests);
+    /// The engine the configuration selected.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
 
-            // 2. Forward as many backlog requests as the controller accepts.
-            while !backlog.is_empty() && self.controller.can_accept() {
-                let (core, req) = backlog.swap_remove(0);
-                let id = self.next_controller_id;
-                self.next_controller_id += 1;
-                let request = if req.is_write {
-                    MemoryRequest::write(id, req.address, core, now)
-                } else {
-                    MemoryRequest::read(id, req.address, core, now)
-                };
-                let accepted = self.controller.enqueue(request);
-                debug_assert!(accepted);
-                if !req.is_write && core != u32::MAX {
-                    self.inflight.insert(id, (core, req.id));
-                }
-            }
+    /// Runs the simulation to completion (or the tick cap) with the engine
+    /// selected in the configuration and returns the collected statistics.
+    pub fn run(self) -> SystemResult {
+        self.engine.instance().run(self)
+    }
 
-            // 3. Memory side: advance one tick and route completions.
-            for completion in self.controller.tick(now) {
-                if completion.kind == RequestKind::Read {
-                    if let Some((core, core_req_id)) = self.inflight.remove(&completion.id) {
-                        self.cluster.on_memory_completion(core, core_req_id);
-                    }
-                }
+    /// Runs the simulation under an explicit engine (used by the
+    /// differential test harness to race the two engines head-to-head).
+    pub fn run_with(self, engine: &dyn SimulationEngine) -> SystemResult {
+        engine.run(self)
+    }
+
+    /// Settles one tick: CPU cluster first, then request forwarding, then
+    /// the memory controller with completion routing.  Both engines drive
+    /// this exact function — the tick engine for every tick, the event
+    /// engine only for ticks in which something can happen.
+    fn step(&mut self, now: u64, backlog: &mut Vec<(u32, CoreMemoryRequest)>) {
+        // 1. CPU side: collect new DRAM-bound requests.
+        let output = self.cluster.tick(now);
+        backlog.extend(output.requests);
+
+        // 2. Forward as many backlog requests as the controller accepts.
+        while !backlog.is_empty() && self.controller.can_accept() {
+            let (core, req) = backlog.swap_remove(0);
+            let id = self.next_controller_id;
+            self.next_controller_id += 1;
+            let request = if req.is_write {
+                MemoryRequest::write(id, req.address, core, now)
+            } else {
+                MemoryRequest::read(id, req.address, core, now)
+            };
+            let accepted = self.controller.enqueue(request);
+            debug_assert!(accepted);
+            if !req.is_write && core != u32::MAX {
+                self.inflight.insert(id, (core, req.id));
             }
-            now += 1;
         }
+
+        // 3. Memory side: advance one tick and route completions.
+        for completion in self.controller.tick(now) {
+            if completion.kind == RequestKind::Read {
+                if let Some((core, core_req_id)) = self.inflight.remove(&completion.id) {
+                    self.cluster.on_memory_completion(core, core_req_id);
+                }
+            }
+        }
+    }
+
+    /// Collects the final statistics after the last settled tick.
+    fn finish(self, elapsed_ticks: u64) -> SystemResult {
         SystemResult {
             core_stats: self.cluster.core_stats(),
             controller_stats: self.controller.stats().clone(),
             dram_stats: *self.controller.device().stats(),
-            elapsed_ticks: now,
+            rfm_log: self.controller.rfm_log().to_vec(),
+            elapsed_ticks,
             completed: self.cluster.all_finished(),
         }
+    }
+
+    /// The legacy main loop: one tick per iteration.
+    pub(crate) fn run_ticked(mut self) -> SystemResult {
+        let mut now = 0u64;
+        let mut backlog: Vec<(u32, CoreMemoryRequest)> = Vec::new();
+        while now < self.max_ticks && !self.cluster.all_finished() {
+            self.step(now, &mut backlog);
+            now += 1;
+        }
+        self.finish(now)
+    }
+
+    /// The event-driven main loop: settle a tick, ask every component for
+    /// its next wake-up, jump to the earliest one.
+    ///
+    /// Skipped ticks are exactly the ticks the tick engine would process as
+    /// no-ops, except that each of them would have aged every unfinished
+    /// core by one cycle — which [`CpuCluster::credit_stalled_cycles`]
+    /// accounts for in bulk, keeping the per-core cycle counts (and thus
+    /// IPC, slowdown and energy inputs) bit-identical.
+    pub(crate) fn run_event_driven(mut self) -> SystemResult {
+        let mut backlog: Vec<(u32, CoreMemoryRequest)> = Vec::new();
+        let mut wheel = EventWheel::new();
+        let mut now = 0u64;
+        if now >= self.max_ticks || self.cluster.all_finished() {
+            return self.finish(0);
+        }
+        loop {
+            // Invariant: now < max_ticks and at least one core is unfinished,
+            // mirroring the tick engine's loop condition.
+            self.step(now, &mut backlog);
+            if self.cluster.all_finished() {
+                now += 1;
+                break;
+            }
+            wheel.reregister(EventSource::Cluster, self.cluster.next_event_at(now));
+            wheel.reregister(EventSource::Controller, self.controller.next_event_at(now));
+            let forwarding =
+                (!backlog.is_empty() && self.controller.can_accept()).then_some(now + 1);
+            wheel.reregister(EventSource::Forwarding, forwarding);
+            // No wake-up means the system is dead in the water (e.g. every
+            // core waits on a completion that can never come); the tick
+            // engine would spin to the cap, so jump there directly.
+            let next = wheel
+                .next_after(now)
+                .unwrap_or(self.max_ticks)
+                .min(self.max_ticks);
+            self.cluster.credit_stalled_cycles(next - now - 1);
+            if next >= self.max_ticks {
+                now = self.max_ticks;
+                break;
+            }
+            now = next;
+        }
+        self.finish(now)
     }
 }
 
@@ -199,6 +296,7 @@ mod tests {
             controller: ControllerConfig::default(),
             instructions_per_core: instr,
             max_ticks: 50_000_000,
+            engine: EngineKind::default(),
         };
         SystemSimulation::new(config, traces)
     }
@@ -248,6 +346,22 @@ mod tests {
         if result.elapsed_ticks > 20_000 {
             assert!(result.controller_stats.refreshes_issued > 0);
         }
+    }
+
+    #[test]
+    fn engines_agree_on_a_memory_bound_system() {
+        use crate::event::{EventEngine, TickEngine};
+        let traces = || {
+            vec![
+                memory_trace(0x1_0000_0000, 2048),
+                memory_trace(0x2_0000_0000, 2048),
+            ]
+        };
+        let ticked = tiny_system(3_000, traces()).run_with(&TickEngine);
+        let evented = tiny_system(3_000, traces()).run_with(&EventEngine);
+        assert_eq!(ticked, evented, "engines must be cycle-exact");
+        assert!(ticked.completed);
+        assert!(!ticked.rfm_log.is_empty() || ticked.controller_stats.total_rfms() == 0);
     }
 
     #[test]

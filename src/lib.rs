@@ -20,7 +20,7 @@
 //! | CPU | [`cpu_sim`] | Trace-driven ROB-limited cores with an L1/L2/LLC hierarchy |
 //! | Workloads | [`workloads`] | Synthetic workload suite bucketed by memory intensity, seedable end-to-end |
 //! | Attacks | [`pracleak`] | PRACLeak covert channels and the AES T-table side channel |
-//! | Full system | [`system_sim`] | The tick-loop simulation harness and the work-stealing `parallel_map` |
+//! | Full system | [`system_sim`] | The simulation harness with twin tick/event engines and the work-stealing `parallel_map` |
 //! | Campaigns | [`campaign`] | Declarative scenario sweeps, result cache, artifacts and the `prac-bench` CLI |
 //! | Bench wrappers | `bench-harness` | The legacy `fig*`/`table*` binaries, now thin wrappers over the campaign registry |
 //!
@@ -42,6 +42,12 @@
 //! A second `run` of an unchanged campaign is served from the cache; any
 //! change to a scenario (threshold, seed, budget, workload) re-runs exactly
 //! the cells it touches.
+//!
+//! Full-system cells execute under one of two interchangeable engines
+//! (`--engine tick` or `--engine event`; the event-driven engine is the
+//! default).  They produce bit-identical results — enforced by the
+//! differential suite in `tests/engine_equivalence.rs` — so the choice only
+//! affects wall-clock time, and cached results stay valid across engines.
 //!
 //! ## Quickstart
 //!
@@ -87,7 +93,10 @@ pub mod prelude {
     pub use pracleak::{
         Aes128TTable, AttackSetup, CovertChannelKind, SideChannelExperiment, SpikeDetector,
     };
-    pub use system_sim::{ExperimentConfig, MitigationSetup, SystemResult};
+    pub use system_sim::{
+        EngineKind, EventEngine, ExperimentConfig, MitigationSetup, SimulationEngine, SystemResult,
+        TickEngine,
+    };
     pub use workloads::{AccessPattern, MemoryIntensity, SyntheticWorkload};
 }
 
