@@ -34,6 +34,7 @@ struct Options {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Command {
     List,
+    Mitigations,
     Run,
     Help,
 }
@@ -42,8 +43,14 @@ const USAGE: &str = "prac-bench — unified campaign runner for the PRACLeak/TPR
 
 USAGE:
     prac-bench list [--full]
+    prac-bench mitigations
     prac-bench run <name>... [options]
     prac-bench run --all [options]
+
+COMMANDS:
+    list              Enumerate the registered campaigns
+    mitigations       Enumerate the registered mitigation setups
+    run               Execute campaigns through the parallel runner
 
 OPTIONS:
     --all             Run every registered campaign
@@ -80,6 +87,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut iter = args.iter();
     match iter.next().map(String::as_str) {
         Some("list") => options.command = Command::List,
+        Some("mitigations") => options.command = Command::Mitigations,
         Some("run") => options.command = Command::Run,
         Some("help" | "--help" | "-h") | None => return Ok(options),
         Some(other) => return Err(format!("unknown command `{other}`")),
@@ -172,6 +180,25 @@ pub fn run_cli(args: &[String]) -> i32 {
                     campaign.name,
                     campaign.scenarios.len(),
                     campaign.title
+                );
+            }
+            0
+        }
+        Command::Mitigations => {
+            let registry = system_sim::mitigation_registry();
+            println!("{} registered mitigation setups:\n", registry.len());
+            println!("{:<14} {:<34} {:<9}  summary", "slug", "label", "timing");
+            for descriptor in registry {
+                println!(
+                    "{:<14} {:<34} {:<9}  {}",
+                    descriptor.slug,
+                    descriptor.label,
+                    if descriptor.is_activity_dependent() {
+                        "leaky"
+                    } else {
+                        "constant"
+                    },
+                    descriptor.summary
                 );
             }
             0
@@ -288,6 +315,31 @@ fn print_summary(name: &str, summary: &RunSummary) {
         summary.executed,
         summary.wall_ms / 1e3
     );
+    // Cells that could not be configured as specified (e.g. no safe
+    // TB-Window for the threshold) record a `config_error` metric instead
+    // of results; surface them so a sweep cannot silently lose a setup.
+    let broken: Vec<&ScenarioRecord> = summary
+        .records
+        .iter()
+        .filter(|r| r.metrics.contains_key("config_error"))
+        .collect();
+    if !broken.is_empty() {
+        println!(
+            "[{name}] WARNING: {} scenario(s) failed to configure:",
+            broken.len()
+        );
+        for record in broken {
+            println!(
+                "[{name}]   {}: {}",
+                record.scenario.name,
+                record
+                    .metrics
+                    .get("config_error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error")
+            );
+        }
+    }
     for (label, mean) in mean_normalized_by_setup(&summary.records) {
         println!("[{name}]   mean normalised performance, {label}: {mean:.3}");
     }
@@ -380,6 +432,7 @@ mod tests {
     #[test]
     fn listing_and_unknown_campaigns_exit_cleanly() {
         assert_eq!(run_cli(&args(&["list"])), 0);
+        assert_eq!(run_cli(&args(&["mitigations"])), 0);
         assert_eq!(run_cli(&args(&["help"])), 0);
         assert_eq!(run_cli(&args(&["run", "no-such-campaign"])), 2);
         assert_eq!(run_cli(&args(&["run"])), 2);

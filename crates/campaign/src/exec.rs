@@ -79,9 +79,27 @@ fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map
         engine,
     };
     let (normalized, protected, baseline) =
-        run_workload_normalized(&config, &perf.workload.workload, perf.seed);
+        match run_workload_normalized(&config, &perf.workload.workload, perf.seed) {
+            Ok(outcome) => outcome,
+            Err(error) => {
+                // The scenario cannot be configured as specified (e.g. no
+                // safe TB-Window for the threshold).  Record the failure as
+                // the cell's deterministic result instead of silently
+                // running a different configuration.
+                let mut m = Map::new();
+                m.insert("setup".into(), perf.setup.label().into());
+                m.insert("nrh".into(), perf.rowhammer_threshold.into());
+                m.insert("completed".into(), false.into());
+                m.insert("config_error".into(), error.to_string().into());
+                return m;
+            }
+        };
     let energy = energy_overhead_for(&baseline, &protected, BANKS_PER_RFM);
 
+    // Metric fields here are additive-only without a SIM_REVISION bump:
+    // entries cached by an older binary stay valid (same simulation, same
+    // key) but lack newer informational fields, so artifact consumers must
+    // treat absent fields as "not recorded", not zero.
     let mut m = Map::new();
     m.insert(
         "workload".into(),
@@ -106,6 +124,18 @@ fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map
     m.insert(
         "abo_rfms".into(),
         protected.controller_stats.abo_rfms.into(),
+    );
+    m.insert(
+        "acb_rfms".into(),
+        protected.controller_stats.acb_rfms.into(),
+    );
+    m.insert(
+        "periodic_rfms".into(),
+        protected.controller_stats.periodic_rfms.into(),
+    );
+    m.insert(
+        "para_rfms".into(),
+        protected.controller_stats.para_rfms.into(),
     );
     m.insert(
         "execution_time_protected_ns".into(),
@@ -326,6 +356,31 @@ mod tests {
             seed: 9,
         };
         assert_eq!(execute(&spec), execute(&spec));
+    }
+
+    #[test]
+    fn unconfigurable_perf_cells_record_the_error() {
+        // NRH = 1 has no safe TB-Window; the cell must record the failure
+        // deterministically instead of running a fallback configuration.
+        let spec = ScenarioSpec::Perf(Box::new(crate::scenario::PerfScenario {
+            setup: system_sim::MitigationSetup::Tprac {
+                tref_rate: prac_core::tprac::TrefRate::None,
+                counter_reset: true,
+            },
+            rowhammer_threshold: 1,
+            prac_level: prac_core::config::PracLevel::One,
+            workload: workloads::quick_suite().remove(0),
+            instructions_per_core: 1_000,
+            cores: 2,
+            seed: 1,
+        }));
+        let metrics = execute(&spec);
+        assert_eq!(metrics.get("completed"), Some(&Value::Bool(false)));
+        assert!(metrics
+            .get("config_error")
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains("no safe TB-Window")));
+        assert_eq!(execute(&spec), metrics, "error cells are deterministic");
     }
 
     #[test]

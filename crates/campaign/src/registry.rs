@@ -83,6 +83,7 @@ pub fn all_campaigns(profile: &Profile) -> Vec<Campaign> {
         table2(profile),
         table5(profile),
         storage(profile),
+        defenses(profile),
     ]
 }
 
@@ -92,26 +93,8 @@ pub fn find_campaign(name: &str, profile: &Profile) -> Option<Campaign> {
     all_campaigns(profile).into_iter().find(|c| c.name == name)
 }
 
-/// Short label for a mitigation setup, suitable for scenario names.
-fn setup_slug(setup: &MitigationSetup) -> String {
-    match setup {
-        MitigationSetup::BaselineNoAbo => "baseline".into(),
-        MitigationSetup::AboOnly => "abo-only".into(),
-        MitigationSetup::AboPlusAcbRfm => "abo-acb-rfm".into(),
-        MitigationSetup::Tprac {
-            tref_rate,
-            counter_reset,
-        } => {
-            let reset = if *counter_reset { "" } else { "-noreset" };
-            match tref_rate {
-                TrefRate::None => format!("tprac{reset}"),
-                TrefRate::EveryTrefi(n) => format!("tprac{reset}-tref{n}"),
-            }
-        }
-    }
-}
-
-/// Appends one performance cell per (workload × setup) pair.
+/// Appends one performance cell per (workload × setup) pair.  Scenario
+/// names embed the descriptor's stable slug.
 #[allow(clippy::too_many_arguments)]
 fn push_perf_matrix(
     campaign: &mut Campaign,
@@ -126,11 +109,7 @@ fn push_perf_matrix(
     for workload in suite {
         for setup in setups {
             campaign.push(Scenario::new(
-                format!(
-                    "{name_prefix}{}/{}",
-                    workload.workload.name,
-                    setup_slug(setup)
-                ),
+                format!("{name_prefix}{}/{}", workload.workload.name, setup.slug()),
                 ScenarioSpec::Perf(Box::new(PerfScenario {
                     setup: setup.clone(),
                     rowhammer_threshold: nrh,
@@ -509,6 +488,49 @@ fn storage(_profile: &Profile) -> Campaign {
             ScenarioSpec::Storage { queue, banks: 128 },
         ));
     }
+    campaign
+}
+
+/// Beyond-paper defense sweep: every registered mitigation engine (PRFM and
+/// PARA alongside the paper's set) at the headline threshold, so new engines
+/// added to `system_sim::mitigation_registry` get campaign coverage and a
+/// direct performance comparison against TPRAC.
+fn defenses(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "defenses",
+        "Defense comparison across every registered mitigation engine at NRH = 1024",
+        "TPRAC ~0.966 normalised; PRFM pays its fixed cadence regardless of activity; PARA scales with activation rate",
+    );
+    let setups: Vec<MitigationSetup> = system_sim::mitigation_registry()
+        .into_iter()
+        .map(|descriptor| descriptor.setup)
+        .filter(|setup| *setup != MitigationSetup::BaselineNoAbo)
+        .collect();
+    push_perf_matrix(
+        &mut campaign,
+        profile,
+        &profile.suite(),
+        &setups,
+        1024,
+        PracLevel::One,
+        0x000F_DEF5,
+        "",
+    );
+    // Cadence sweep for the periodic baseline: denser RFMs cost more.
+    let prfm_sweep: Vec<MitigationSetup> = [1u32, 4, 16]
+        .into_iter()
+        .map(|every_trefi| MitigationSetup::Prfm { every_trefi })
+        .collect();
+    push_perf_matrix(
+        &mut campaign,
+        profile,
+        &profile.suite(),
+        &prfm_sweep,
+        1024,
+        PracLevel::One,
+        0x000F_DEF5,
+        "cadence/",
+    );
     campaign
 }
 

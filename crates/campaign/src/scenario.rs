@@ -303,6 +303,15 @@ fn setup_to_json(setup: &MitigationSetup) -> Value {
             );
             map.insert("counter_reset".into(), (*counter_reset).into());
         }
+        MitigationSetup::Prfm { every_trefi } => {
+            map.insert("policy".into(), "prfm".into());
+            map.insert("every_trefi".into(), (*every_trefi).into());
+        }
+        MitigationSetup::Para { one_in, seed } => {
+            map.insert("policy".into(), "para".into());
+            map.insert("one_in".into(), (*one_in).into());
+            map.insert("para_seed".into(), (*seed).into());
+        }
     }
     Value::Object(map)
 }

@@ -11,6 +11,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ConfigError, Result};
+use crate::mitigation::{
+    AboOnlyEngine, AcbEngine, DisabledEngine, MitigationEngine, ParaEngine, PrfmEngine, TpracEngine,
+};
 use crate::tprac::TpracConfig;
 
 /// The PRAC level: number of RFM All-Bank commands the memory controller
@@ -54,8 +57,14 @@ impl std::fmt::Display for PracLevel {
 
 /// Which RFM-issuing policy the memory controller runs.
 ///
-/// The first two are the insecure baselines evaluated in the paper
-/// (Section 5, "Evaluated Design"); the third is the proposed defense.
+/// This enum is the *serialisable description* of a policy; its behaviour
+/// lives in the [`crate::mitigation::MitigationEngine`] built by
+/// [`MitigationPolicy::build_engine`].  The first two variants are the
+/// insecure baselines evaluated in the paper (Section 5, "Evaluated
+/// Design"); [`MitigationPolicy::Tprac`] is the proposed defense; the
+/// remaining variants are beyond-paper comparison points.  Downstream code
+/// with a policy that fits none of these can bypass the enum entirely and
+/// inject a custom engine into the controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum MitigationPolicy {
     /// Rely solely on the Alert Back-Off protocol: RFMs are only issued when
@@ -71,15 +80,49 @@ pub enum MitigationPolicy {
     /// The TPRAC defense: activity-independent Timing-Based RFMs issued every
     /// `TB-Window`, optionally co-designed with Targeted Refreshes.
     Tprac(TpracConfig),
+    /// No mitigation at all: the Alert signal is never asserted and no RFMs
+    /// are issued.  The normalisation baseline of the performance figures.
+    Disabled,
+    /// PRFM: one RFM every `every_trefi` tREFI on a fixed, activity-
+    /// independent cadence, with no per-row counters.
+    PeriodicRfm {
+        /// RFM period in tREFI intervals (>= 1).
+        every_trefi: u32,
+    },
+    /// PARA-style probabilistic mitigation: each row activation triggers an
+    /// RFM with probability `1 / one_in`, drawn from a stream seeded with
+    /// `seed` (deterministic per scenario).
+    Para {
+        /// Inverse issue probability per activation (>= 1).
+        one_in: u32,
+        /// Seed of the decision stream.
+        seed: u64,
+    },
 }
 
 impl MitigationPolicy {
     /// Returns `true` when this policy issues RFMs only as a function of the
     /// observed activation activity (and is therefore exploitable as a
-    /// timing channel).
+    /// timing channel).  [`MitigationPolicy::Disabled`] issues nothing, so
+    /// nothing observable depends on activity.
     #[must_use]
     pub fn is_activity_dependent(&self) -> bool {
-        !matches!(self, MitigationPolicy::Tprac(_))
+        match self {
+            MitigationPolicy::AboOnly
+            | MitigationPolicy::AboPlusAcbRfm
+            | MitigationPolicy::Para { .. } => true,
+            MitigationPolicy::Tprac(_)
+            | MitigationPolicy::Disabled
+            | MitigationPolicy::PeriodicRfm { .. } => false,
+        }
+    }
+
+    /// Whether the Alert Back-Off protocol is in force: the DRAM asserts
+    /// Alert at `NBO` and the controller answers with RFMs.  `false` only
+    /// for [`MitigationPolicy::Disabled`].
+    #[must_use]
+    pub fn uses_abo(&self) -> bool {
+        !matches!(self, MitigationPolicy::Disabled)
     }
 
     /// A short human-readable label used by the bench harness.
@@ -89,6 +132,55 @@ impl MitigationPolicy {
             MitigationPolicy::AboOnly => "ABO-Only",
             MitigationPolicy::AboPlusAcbRfm => "ABO+ACB-RFM",
             MitigationPolicy::Tprac(_) => "TPRAC",
+            MitigationPolicy::Disabled => "Disabled",
+            MitigationPolicy::PeriodicRfm { .. } => "PRFM",
+            MitigationPolicy::Para { .. } => "PARA",
+        }
+    }
+
+    /// Validates the policy's own parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] for a zero PRFM period or a
+    /// zero PARA inverse probability, and propagates
+    /// [`TpracConfig::validate`] errors.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            MitigationPolicy::Tprac(tprac) => tprac.validate(),
+            MitigationPolicy::PeriodicRfm { every_trefi: 0 } => {
+                Err(ConfigError::InvalidParameter {
+                    name: "every_trefi",
+                    reason: "the PRFM period must be at least one tREFI".to_string(),
+                })
+            }
+            MitigationPolicy::Para { one_in: 0, .. } => Err(ConfigError::InvalidParameter {
+                name: "one_in",
+                reason: "the PARA inverse probability must be at least 1".to_string(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds the cycle-exact engine implementing this policy.
+    ///
+    /// `prac` supplies the Bank-Activation threshold for
+    /// [`MitigationPolicy::AboPlusAcbRfm`], and `t_refi_ticks` the refresh
+    /// interval for [`MitigationPolicy::PeriodicRfm`].  Engines whose state
+    /// is clocked start at tick 0, matching controller construction.
+    #[must_use]
+    pub fn build_engine(&self, prac: &PracConfig, t_refi_ticks: u64) -> Box<dyn MitigationEngine> {
+        match self {
+            MitigationPolicy::AboOnly => Box::new(AboOnlyEngine),
+            MitigationPolicy::AboPlusAcbRfm => {
+                Box::new(AcbEngine::new(prac.bank_activation_threshold))
+            }
+            MitigationPolicy::Tprac(tprac) => Box::new(TpracEngine::new(tprac.clone(), 0)),
+            MitigationPolicy::Disabled => Box::new(DisabledEngine),
+            MitigationPolicy::PeriodicRfm { every_trefi } => {
+                Box::new(PrfmEngine::new(*every_trefi, t_refi_ticks, 0))
+            }
+            MitigationPolicy::Para { one_in, seed } => Box::new(ParaEngine::new(*one_in, *seed)),
         }
     }
 }
@@ -192,7 +284,7 @@ impl PracConfig {
                 ),
             });
         }
-        Ok(())
+        self.policy.validate()
     }
 
     /// Number of RFMab commands issued for a single Alert.
@@ -416,5 +508,83 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(MitigationPolicy::AboOnly.label(), "ABO-Only");
         assert_eq!(MitigationPolicy::AboPlusAcbRfm.label(), "ABO+ACB-RFM");
+        assert_eq!(MitigationPolicy::Disabled.label(), "Disabled");
+        assert_eq!(
+            MitigationPolicy::PeriodicRfm { every_trefi: 4 }.label(),
+            "PRFM"
+        );
+        assert_eq!(
+            MitigationPolicy::Para {
+                one_in: 128,
+                seed: 1
+            }
+            .label(),
+            "PARA"
+        );
+    }
+
+    #[test]
+    fn activity_dependence_of_the_new_policies() {
+        assert!(!MitigationPolicy::Disabled.is_activity_dependent());
+        assert!(!MitigationPolicy::PeriodicRfm { every_trefi: 2 }.is_activity_dependent());
+        assert!(MitigationPolicy::Para {
+            one_in: 64,
+            seed: 0
+        }
+        .is_activity_dependent());
+    }
+
+    #[test]
+    fn only_disabled_turns_off_abo() {
+        assert!(!MitigationPolicy::Disabled.uses_abo());
+        for policy in [
+            MitigationPolicy::AboOnly,
+            MitigationPolicy::AboPlusAcbRfm,
+            MitigationPolicy::Tprac(TpracConfig::default()),
+            MitigationPolicy::PeriodicRfm { every_trefi: 1 },
+            MitigationPolicy::Para {
+                one_in: 64,
+                seed: 0,
+            },
+        ] {
+            assert!(policy.uses_abo(), "{} must keep ABO armed", policy.label());
+        }
+    }
+
+    #[test]
+    fn degenerate_policy_parameters_are_rejected() {
+        let err = PracConfig::builder()
+            .policy(MitigationPolicy::PeriodicRfm { every_trefi: 0 })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidParameter { name, .. } if name == "every_trefi"));
+        let err = PracConfig::builder()
+            .policy(MitigationPolicy::Para { one_in: 0, seed: 3 })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidParameter { name, .. } if name == "one_in"));
+    }
+
+    #[test]
+    fn build_engine_matches_the_policy() {
+        let prac = PracConfig::paper_default();
+        for (policy, label) in [
+            (MitigationPolicy::AboOnly, "ABO-Only"),
+            (MitigationPolicy::AboPlusAcbRfm, "ABO+ACB-RFM"),
+            (MitigationPolicy::Tprac(TpracConfig::default()), "TPRAC"),
+            (MitigationPolicy::Disabled, "Disabled"),
+            (MitigationPolicy::PeriodicRfm { every_trefi: 4 }, "PRFM"),
+            (
+                MitigationPolicy::Para {
+                    one_in: 64,
+                    seed: 5,
+                },
+                "PARA",
+            ),
+        ] {
+            let engine = policy.build_engine(&prac, 15_600);
+            assert_eq!(engine.label(), label);
+            assert_eq!(engine.responds_to_alert(), policy.uses_abo());
+        }
     }
 }

@@ -19,6 +19,10 @@
 //! * [`queue`] — in-DRAM mitigation-queue designs: the paper's single-entry
 //!   frequency-based queue, a FIFO queue (shown insecure by prior work), and
 //!   an idealised full-priority queue (UPRAC).
+//! * [`mitigation`] — the pluggable [`mitigation::MitigationEngine`] trait the
+//!   memory controller drives at its decision points, plus the built-in
+//!   engines (ABO-only, ACB-RFM, TPRAC, periodic PRFM, probabilistic PARA and
+//!   the explicit no-mitigation baseline).
 //! * [`tprac`] — the TPRAC policy: Timing-Based RFMs issued every `TB-Window`,
 //!   Targeted-Refresh co-design, counter-reset handling.
 //! * [`security`] — the Feinting/Wave worst-case analysis (Equations 1–5 of
@@ -54,6 +58,7 @@
 pub mod config;
 pub mod energy;
 pub mod error;
+pub mod mitigation;
 pub mod obfuscation;
 pub mod overhead;
 pub mod queue;
@@ -63,6 +68,7 @@ pub mod tprac;
 
 pub use config::{MitigationPolicy, PracConfig, PracConfigBuilder, PracLevel};
 pub use error::{ConfigError, Result};
+pub use mitigation::{BankActivationView, MitigationDecision, MitigationEngine, ProactiveRfmKind};
 pub use queue::{FifoQueue, MitigationQueue, PriorityQueue, QueueKind, SingleEntryQueue};
 pub use security::{CounterResetPolicy, SecurityAnalysis, TbWindowSolution};
 pub use timing::DramTimingSummary;

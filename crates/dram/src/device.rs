@@ -269,8 +269,13 @@ impl DramDevice {
     }
 
     /// Handles the PRAC bookkeeping after an activation whose counter reached
-    /// `counter`.
+    /// `counter`.  Under [`prac_core::config::MitigationPolicy::Disabled`]
+    /// the Alert Back-Off protocol is off entirely: counters still count
+    /// (they are in-DRAM state), but Alert is never asserted.
     fn note_activation(&mut self, counter: u32) {
+        if !self.config.prac.policy.uses_abo() {
+            return;
+        }
         if self.alert_suppressed_for_acts > 0 {
             self.alert_suppressed_for_acts -= 1;
         }
@@ -511,6 +516,25 @@ mod tests {
         d.issue(DramCommand::Refresh, end).unwrap();
         assert!(d.stats().rows_mitigated_by_tref >= 1);
         assert_eq!(d.bank(0).counter(3), 0);
+    }
+
+    #[test]
+    fn disabled_policy_never_asserts_alert() {
+        use prac_core::config::MitigationPolicy;
+        let nbo = 8;
+        let prac = PracConfig::builder()
+            .rowhammer_threshold(nbo)
+            .back_off_threshold(nbo)
+            .policy(MitigationPolicy::Disabled)
+            .build();
+        let mut d = DramDevice::new(DramDeviceConfig::tiny_for_tests(prac));
+        let a = addr(&d, 0, 0, 5);
+        hammer(&mut d, a, nbo * 3, 0);
+        // Counters still count (in-DRAM state the reset clock owns) but the
+        // Alert Back-Off protocol is off entirely.
+        assert!(d.bank(0).counter(5) >= nbo);
+        assert!(!d.alert_asserted());
+        assert_eq!(d.stats().alerts_asserted, 0);
     }
 
     #[test]

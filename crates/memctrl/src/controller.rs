@@ -1,17 +1,17 @@
 //! The memory controller proper: request queues, command generation, refresh
-//! scheduling and the mitigation policies.
+//! scheduling and the pluggable mitigation engine.
 
 use dram_sim::command::{DramCommand, IssueError};
 use dram_sim::device::{DramDevice, DramDeviceConfig};
 use dram_sim::org::DramAddress;
 use prac_core::config::MitigationPolicy;
+use prac_core::mitigation::{BankActivationView, MitigationEngine};
 use prac_core::obfuscation::{InjectionSequence, ObfuscationConfig};
-use prac_core::tprac::{TpracEvent, TpracScheduler};
 use serde::{Deserialize, Serialize};
 
 use crate::mapping::{AddressMapping, MappingKind};
 use crate::request::{CompletedRequest, MemoryRequest, RequestKind};
-use crate::rfm::{AboResponder, AcbRfmEngine, RfmKind};
+use crate::rfm::{AboResponder, RfmKind};
 use crate::scheduler::{FrFcfsScheduler, SchedulerCandidate};
 use crate::stats::ControllerStats;
 
@@ -73,6 +73,11 @@ struct PendingRequest {
 
 /// The memory controller: accepts [`MemoryRequest`]s, drives the
 /// [`DramDevice`] one command per tick, and reports completions.
+///
+/// Proactive mitigation behaviour is delegated to a pluggable
+/// [`MitigationEngine`], normally built from the device's
+/// [`MitigationPolicy`]; [`MemoryController::with_mitigation_engine`] injects
+/// an arbitrary engine instead.
 #[derive(Debug)]
 pub struct MemoryController {
     device: DramDevice,
@@ -84,21 +89,17 @@ pub struct MemoryController {
     policy: MitigationPolicy,
     /// Next tick at which a periodic refresh is due.
     next_refresh: u64,
-    /// Alert Back-Off responder (always present; only consulted for policies
-    /// that rely on the ABO protocol, i.e. every policy — TPRAC should never
-    /// see it fire if the TB-Window is configured correctly).
+    /// Alert Back-Off responder: shared controller infrastructure, armed
+    /// unless the mitigation engine opts out (the explicit no-mitigation
+    /// baseline).  Under TPRAC it should never fire if the TB-Window is
+    /// configured correctly.
     abo: AboResponder,
-    /// Proactive ACB-RFM engine (only active under `AboPlusAcbRfm`).
-    acb: AcbRfmEngine,
-    /// TPRAC Timing-Based RFM scheduler (only present under `Tprac`).
-    tprac: Option<TpracScheduler>,
+    /// The pluggable proactive-mitigation engine.
+    mitigation: Box<dyn MitigationEngine>,
     /// Obfuscation injection sequence, evaluated once per tREFI.
     injection: Option<InjectionSequence>,
     /// Next tick at which the injection decision is made.
     next_injection_check: u64,
-    /// A TB-RFM whose deadline passed while the channel was busy; issued as
-    /// soon as the device accepts it.
-    pending_tb_rfm: bool,
     /// History of issued RFMs as (tick, kind).  Recording stops after
     /// [`RFM_LOG_CAP`] entries (the *first* ~1 M RFMs are kept, later ones
     /// are dropped) to keep memory use flat on pathological runs.
@@ -108,18 +109,55 @@ pub struct MemoryController {
 /// Maximum number of RFM-log entries retained.
 const RFM_LOG_CAP: usize = 1 << 20;
 
+/// [`BankActivationView`] over the live device, handed to the mitigation
+/// engine at every decision point.
+struct DeviceView<'a> {
+    device: &'a DramDevice,
+}
+
+impl BankActivationView for DeviceView<'_> {
+    fn bank_count(&self) -> usize {
+        self.device.bank_count() as usize
+    }
+
+    fn activations_since_rfm(&self, bank: usize) -> u32 {
+        self.device
+            .bank(u32::try_from(bank).expect("bank index fits u32"))
+            .activations_since_rfm()
+    }
+
+    fn total_activations(&self) -> u64 {
+        self.device.stats().activations
+    }
+}
+
 impl MemoryController {
-    /// Creates a controller in front of a freshly-initialised device.
+    /// Creates a controller in front of a freshly-initialised device, with
+    /// the mitigation engine built from the device's [`MitigationPolicy`].
     #[must_use]
     pub fn new(device_config: DramDeviceConfig, config: ControllerConfig) -> Self {
+        let engine = device_config
+            .prac
+            .policy
+            .build_engine(&device_config.prac, device_config.timing.t_refi);
+        Self::with_mitigation_engine(device_config, config, engine)
+    }
+
+    /// Creates a controller driving an explicitly supplied mitigation
+    /// engine.  This is the extension point for defenses that have no
+    /// [`MitigationPolicy`] variant: implement
+    /// [`prac_core::mitigation::MitigationEngine`] and inject it here.  The
+    /// device-side configuration (Back-Off threshold, counter reset, queue
+    /// design) still comes from `device_config`.
+    #[must_use]
+    pub fn with_mitigation_engine(
+        device_config: DramDeviceConfig,
+        config: ControllerConfig,
+        mitigation: Box<dyn MitigationEngine>,
+    ) -> Self {
         let policy = device_config.prac.policy.clone();
         let timing = device_config.timing;
         let abo = AboResponder::new(&device_config.prac, timing.t_abo_act);
-        let acb = AcbRfmEngine::new(&device_config.prac);
-        let tprac = match &policy {
-            MitigationPolicy::Tprac(tprac_cfg) => Some(TpracScheduler::new(tprac_cfg.clone(), 0)),
-            _ => None,
-        };
         let injection = config
             .obfuscation
             .map(|cfg| InjectionSequence::new(cfg, config.obfuscation_seed));
@@ -135,12 +173,10 @@ impl MemoryController {
             policy,
             next_refresh,
             abo,
-            acb,
-            tprac,
+            mitigation,
             injection,
             next_injection_check: timing.t_refi,
             config,
-            pending_tb_rfm: false,
             rfm_log: Vec::new(),
         }
     }
@@ -163,10 +199,17 @@ impl MemoryController {
         &self.stats
     }
 
-    /// The mitigation policy in force.
+    /// The mitigation policy in force (the declarative description; the
+    /// behaviour lives in [`MemoryController::mitigation_engine`]).
     #[must_use]
     pub fn policy(&self) -> &MitigationPolicy {
         &self.policy
+    }
+
+    /// The mitigation engine driving proactive RFMs.
+    #[must_use]
+    pub fn mitigation_engine(&self) -> &dyn MitigationEngine {
+        self.mitigation.as_ref()
     }
 
     /// Chronological log of issued RFMs as `(tick, kind)` pairs.  Recording
@@ -253,10 +296,9 @@ impl MemoryController {
             if self.device.issue(DramCommand::Refresh, now).is_ok() {
                 self.stats.refreshes_issued += 1;
                 self.next_refresh += self.device.config().timing.t_refi;
+                self.mitigation.note_refresh(now);
                 if performs_tref {
-                    if let Some(tprac) = &mut self.tprac {
-                        tprac.note_targeted_refresh();
-                    }
+                    self.mitigation.note_targeted_refresh(now);
                 }
                 return completed;
             }
@@ -275,69 +317,42 @@ impl MemoryController {
         completed
     }
 
-    /// Runs the RFM engines; returns `true` when an RFM was issued this tick
-    /// (consuming the command slot).
+    /// Runs the ABO responder and the mitigation engine; returns `true` when
+    /// an RFM was issued this tick (consuming the command slot).
     fn drive_rfm_engines(&mut self, now: u64) -> bool {
-        // Alert Back-Off: applies to every policy (under TPRAC it should
-        // never fire; if it does — e.g. a deliberately misconfigured window —
-        // the response is identical, which is what Figure 9(b) relies on).
-        if self.device.alert_asserted() {
-            self.abo.on_alert(now);
-        }
-        if self.abo.wants_rfm(now) {
-            if let Some(end) = self.try_issue_rfm(now, RfmKind::AboRfm) {
-                self.abo.rfm_issued(end);
-                return true;
+        // Alert Back-Off: shared infrastructure for every engine that keeps
+        // it armed (under TPRAC it should never fire; if it does — e.g. a
+        // deliberately misconfigured window — the response is identical,
+        // which is what Figure 9(b) relies on).
+        if self.mitigation.responds_to_alert() {
+            if self.device.alert_asserted() {
+                self.abo.on_alert(now);
             }
-            return false;
+            if self.abo.wants_rfm(now) {
+                if let Some(end) = self.try_issue_rfm(now, RfmKind::AboRfm) {
+                    self.abo.rfm_issued(end);
+                    return true;
+                }
+                return false;
+            }
         }
 
-        match &self.policy {
-            MitigationPolicy::AboOnly => {}
-            MitigationPolicy::AboPlusAcbRfm => {
-                let wants = {
-                    let device = &self.device;
-                    let banks = device.bank_count();
-                    self.acb
-                        .wants_rfm((0..banks).map(|b| device.bank(b).activations_since_rfm()))
-                };
-                if wants {
-                    if let Some(_end) = self.try_issue_rfm(now, RfmKind::AcbRfm) {
-                        self.acb.rfm_issued();
-                        return true;
-                    }
-                    return false;
-                }
+        // Proactive mitigation: one engine decision per visited tick.
+        let decision = self.mitigation.poll(
+            now,
+            &DeviceView {
+                device: &self.device,
+            },
+        );
+        self.stats.tb_rfms_skipped += u64::from(decision.skipped);
+        if let Some(kind) = decision.issue {
+            if let Some(end) = self.try_issue_rfm(now, RfmKind::from(kind)) {
+                self.mitigation.rfm_issued(now, end);
+                return true;
             }
-            MitigationPolicy::Tprac(_) => {
-                if let Some(tprac) = &mut self.tprac {
-                    match tprac.tick(now) {
-                        TpracEvent::IssueTbRfm => {
-                            // The TB-RFM must go out even if the channel is
-                            // momentarily busy; retry until the device accepts
-                            // it (the deadline already advanced inside the
-                            // scheduler, so timing stays activity independent).
-                            if self.try_issue_rfm(now, RfmKind::TbRfm).is_some() {
-                                return true;
-                            }
-                            // Re-arm: issue as soon as the device frees up.
-                            self.pending_tb_rfm = true;
-                            return false;
-                        }
-                        TpracEvent::SkippedByTref => {
-                            self.stats.tb_rfms_skipped += 1;
-                        }
-                        TpracEvent::Idle => {}
-                    }
-                }
-                if self.pending_tb_rfm {
-                    if self.try_issue_rfm(now, RfmKind::TbRfm).is_some() {
-                        self.pending_tb_rfm = false;
-                        return true;
-                    }
-                    return false;
-                }
-            }
+            // Channel busy: the engine decides whether to defer or drop.
+            self.mitigation.rfm_rejected(now);
+            return false;
         }
 
         // Obfuscation: one injection decision per tREFI.
@@ -456,7 +471,7 @@ impl MemoryController {
     /// (no pending work and no timer armed).
     ///
     /// This is the controller's wake-up registration for the event-driven
-    /// engine.  The contract mirrors [`cpu_sim::core_model::Core::next_event_at`]:
+    /// engine.  The contract mirrors `cpu_sim::core_model::Core::next_event_at`:
     /// the returned tick may be conservative (waking early is harmless
     /// because a tick in which nothing can happen mutates no state), but it
     /// must never be later than the first tick with an effect.  Every timer
@@ -465,8 +480,9 @@ impl MemoryController {
     /// * in-flight request completions,
     /// * periodic refresh (gated by the channel-blocking window),
     /// * the ABO responder (a freshly asserted Alert, or an owed RFM),
-    /// * the proactive ACB-RFM engine,
-    /// * the TPRAC TB-RFM deadline and a deferred TB-RFM retry,
+    /// * the mitigation engine's own registration
+    ///   ([`MitigationEngine::next_event_at`]: proactive-RFM eligibility,
+    ///   timing deadlines, deferred-RFM retries),
     /// * the obfuscation injection check,
     /// * the next command the FR-FCFS demand scheduler would attempt.
     #[must_use]
@@ -486,31 +502,27 @@ impl MemoryController {
         if self.config.refresh_enabled {
             earlier(&mut wake, self.next_refresh.max(channel_ready).max(soonest));
         }
-        if self.device.alert_asserted() && self.abo.pending() == 0 {
-            // The responder has not seen this Alert yet; it reacts next tick.
-            earlier(&mut wake, soonest);
-        }
-        if self.abo.pending() > 0 {
-            earlier(
-                &mut wake,
-                self.abo.next_rfm_at().max(channel_ready).max(soonest),
-            );
-        }
-        if matches!(self.policy, MitigationPolicy::AboPlusAcbRfm) {
-            let device = &self.device;
-            let banks = device.bank_count();
-            let wants = self
-                .acb
-                .wants_rfm((0..banks).map(|b| device.bank(b).activations_since_rfm()));
-            if wants {
-                earlier(&mut wake, channel_ready.max(soonest));
+        if self.mitigation.responds_to_alert() {
+            if self.device.alert_asserted() && self.abo.pending() == 0 {
+                // The responder has not seen this Alert yet; it reacts next
+                // tick.
+                earlier(&mut wake, soonest);
+            }
+            if self.abo.pending() > 0 {
+                earlier(
+                    &mut wake,
+                    self.abo.next_rfm_at().max(channel_ready).max(soonest),
+                );
             }
         }
-        if let Some(tprac) = &self.tprac {
-            earlier(&mut wake, tprac.next_deadline().max(soonest));
-        }
-        if self.pending_tb_rfm {
-            earlier(&mut wake, channel_ready.max(soonest));
+        if let Some(engine_wake) = self.mitigation.next_event_at(
+            now,
+            &DeviceView {
+                device: &self.device,
+            },
+            channel_ready,
+        ) {
+            earlier(&mut wake, engine_wake.max(soonest));
         }
         if self.injection.is_some() {
             earlier(&mut wake, self.next_injection_check.max(soonest));
@@ -565,10 +577,6 @@ impl MemoryController {
     }
 }
 
-// `pending_tb_rfm` is declared after the impl for readability of the main
-// structure; Rust requires it inside the struct, so re-open the definition via
-// a dedicated field added above. (Kept as a doc note; the actual field lives
-// in the struct.)
 impl MemoryController {
     /// Runs the controller until `deadline`, returning every completion in
     /// order.  Convenience wrapper used by tests and the attack drivers.
@@ -807,6 +815,103 @@ mod tests {
         assert_eq!(ctrl.stats().abo_rfms, 0, "TPRAC must eliminate ABO-RFMs");
         assert!(ctrl.stats().tb_rfms > 0);
         assert_eq!(ctrl.device().stats().alerts_asserted, 0);
+    }
+
+    #[test]
+    fn disabled_policy_issues_no_rfms_under_hammering() {
+        let mut ctrl = tiny_controller(MitigationPolicy::Disabled);
+        let pa_a = physical_for(&ctrl, 0, 0, 1, 0);
+        let pa_b = physical_for(&ctrl, 0, 0, 2, 0);
+        // NBO = 16: 40 serialized pairs would assert Alert many times over
+        // under ABO-Only; the explicit baseline must stay silent.
+        hammer_pairs(&mut ctrl, pa_a, pa_b, 40, 0);
+        assert_eq!(ctrl.stats().total_rfms(), 0);
+        assert_eq!(ctrl.device().stats().alerts_asserted, 0);
+        assert!(!ctrl.mitigation_engine().responds_to_alert());
+    }
+
+    #[test]
+    fn prfm_issues_rfms_on_the_trefi_cadence_without_traffic() {
+        let prac = PracConfig::builder()
+            .rowhammer_threshold(1024)
+            .policy(MitigationPolicy::PeriodicRfm { every_trefi: 2 })
+            .build();
+        let device_config = DramDeviceConfig::tiny_for_tests(prac);
+        let period = device_config.timing.t_refi * 2;
+        let config = ControllerConfig {
+            refresh_enabled: false,
+            ..ControllerConfig::default()
+        };
+        let mut ctrl = MemoryController::new(device_config, config);
+        let _ = ctrl.run_until(0, period * 4 + 10);
+        assert_eq!(ctrl.stats().periodic_rfms, 4);
+        for (i, (tick, kind)) in ctrl.rfm_log().iter().enumerate() {
+            assert_eq!(*kind, RfmKind::PeriodicRfm);
+            let expected = period * (i as u64 + 1);
+            assert!(
+                tick.abs_diff(expected) <= period / 10,
+                "periodic RFM {i} at {tick}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn para_issues_probabilistic_rfms_under_traffic_and_none_without() {
+        let build = || {
+            let prac = PracConfig::builder()
+                .rowhammer_threshold(1024)
+                .policy(MitigationPolicy::Para {
+                    one_in: 4,
+                    seed: 11,
+                })
+                .build();
+            let device_config = DramDeviceConfig::tiny_for_tests(prac);
+            let config = ControllerConfig {
+                mapping: MappingKind::RowInterleaved,
+                refresh_enabled: false,
+                ..ControllerConfig::default()
+            };
+            MemoryController::new(device_config, config)
+        };
+        // No activations → no draws → no RFMs.
+        let mut idle = build();
+        let _ = idle.run_until(0, 100_000);
+        assert_eq!(idle.stats().total_rfms(), 0);
+        // Hammering produces activations, each with a 1-in-4 issue chance.
+        let mut busy = build();
+        let pa_a = physical_for(&busy, 0, 0, 1, 0);
+        let pa_b = physical_for(&busy, 0, 0, 2, 0);
+        hammer_pairs(&mut busy, pa_a, pa_b, 20, 0);
+        assert!(
+            busy.stats().para_rfms > 0,
+            "expected PARA RFMs, stats: {:?}",
+            busy.stats()
+        );
+        // Determinism: an identical run replays the exact same RFM log.
+        let mut replay = build();
+        hammer_pairs(&mut replay, pa_a, pa_b, 20, 0);
+        assert_eq!(busy.rfm_log(), replay.rfm_log());
+    }
+
+    #[test]
+    fn custom_engines_can_be_injected_directly() {
+        use prac_core::mitigation::PrfmEngine;
+        let prac = PracConfig::builder().rowhammer_threshold(1024).build();
+        let device_config = DramDeviceConfig::tiny_for_tests(prac);
+        let t_refi = device_config.timing.t_refi;
+        let config = ControllerConfig {
+            refresh_enabled: false,
+            ..ControllerConfig::default()
+        };
+        // A downstream defense: PRFM wired in without any policy variant.
+        let engine = Box::new(PrfmEngine::new(1, t_refi, 0));
+        let mut ctrl = MemoryController::with_mitigation_engine(device_config, config, engine);
+        let _ = ctrl.run_until(0, t_refi * 3 + 10);
+        assert_eq!(ctrl.stats().periodic_rfms, 3);
+        assert_eq!(ctrl.mitigation_engine().label(), "PRFM");
+        // The declarative policy still reports what the device was built
+        // with; behaviour came from the injected engine.
+        assert_eq!(ctrl.policy(), &MitigationPolicy::AboOnly);
     }
 
     #[test]

@@ -12,11 +12,13 @@
 //! * **Scheduling**: First-Ready First-Come-First-Served (FR-FCFS) with a cap
 //!   on consecutive row-buffer hits, plus open/closed page policies.
 //! * **Refresh management**: periodic all-bank refresh every tREFI.
-//! * **RFM engines** for every mitigation policy evaluated by the paper:
-//!   the Alert Back-Off responder (ABO-RFM), proactive Activation-Based RFMs
-//!   driven by the Bank-Activation threshold (ACB-RFM), TPRAC's Timing-Based
-//!   RFMs (TB-RFM) with Targeted-Refresh co-design, and the obfuscation
-//!   defense's random RFM injection.
+//! * **RFM management**: the Alert Back-Off responder (ABO-RFM) as shared
+//!   controller infrastructure, the obfuscation defense's random RFM
+//!   injection, and a pluggable [`prac_core::mitigation::MitigationEngine`]
+//!   driving every proactive policy — ACB-RFMs, TPRAC's Timing-Based RFMs
+//!   with Targeted-Refresh co-design, periodic PRFM, probabilistic PARA, or
+//!   any engine injected via
+//!   [`controller::MemoryController::with_mitigation_engine`].
 //! * **Per-request latency recording**, the observable the PRACLeak attacks
 //!   monitor.
 

@@ -1,20 +1,20 @@
-//! Refresh-Management (RFM) engines: the pieces of the controller that decide
-//! *when* to issue RFM All-Bank commands, for every policy evaluated in the
-//! paper.
+//! RFM plumbing shared by every mitigation policy.
 //!
 //! * [`AboResponder`] — reacts to the DRAM's Alert signal: after allowing up
 //!   to `ABOACT` further activations (bounded by tABOACT), it issues the PRAC
 //!   level's worth of RFMab commands (1, 2 or 4).  These are the activity-
-//!   dependent **ABO-RFMs** PRACLeak exploits.
-//! * [`AcbRfmEngine`] — issues a proactive **ACB-RFM** whenever any bank has
-//!   accumulated `BAT` activations since its last RFM.  Still activity
-//!   dependent, still leaky.
-//! * TPRAC's **TB-RFMs** are produced by [`prac_core::tprac::TpracScheduler`]
-//!   and wired in by the controller.
+//!   dependent **ABO-RFMs** PRACLeak exploits.  The responder is controller
+//!   infrastructure (the JEDEC protocol applies under every policy that
+//!   keeps ABO armed), which is why it lives here rather than behind the
+//!   [`prac_core::mitigation::MitigationEngine`] trait.
+//! * Proactive RFMs (**ACB-RFMs**, TPRAC's **TB-RFMs**, periodic **PRFM**
+//!   and probabilistic **PARA** RFMs) are requested by the controller's
+//!   pluggable [`prac_core::mitigation::MitigationEngine`].
 //! * [`RfmKind`] labels every issued RFM so the statistics can distinguish
 //!   the sources (and the attacks can check which kind they observed).
 
 use prac_core::config::PracConfig;
+use prac_core::mitigation::ProactiveRfmKind;
 use serde::{Deserialize, Serialize};
 
 /// Why an RFM All-Bank command was issued.
@@ -27,6 +27,10 @@ pub enum RfmKind {
     AcbRfm,
     /// TPRAC Timing-Based RFM (activity independent).
     TbRfm,
+    /// Periodic RFM on a fixed tREFI cadence (activity independent).
+    PeriodicRfm,
+    /// PARA-style probabilistic per-activation RFM (activity dependent).
+    ParaRfm,
     /// Randomly injected RFM from the obfuscation defense.
     InjectedRfm,
 }
@@ -36,7 +40,18 @@ impl RfmKind {
     /// exploitable ones).
     #[must_use]
     pub fn is_activity_dependent(self) -> bool {
-        matches!(self, RfmKind::AboRfm | RfmKind::AcbRfm)
+        matches!(self, RfmKind::AboRfm | RfmKind::AcbRfm | RfmKind::ParaRfm)
+    }
+}
+
+impl From<ProactiveRfmKind> for RfmKind {
+    fn from(kind: ProactiveRfmKind) -> Self {
+        match kind {
+            ProactiveRfmKind::ActivationBased => RfmKind::AcbRfm,
+            ProactiveRfmKind::TimingBased => RfmKind::TbRfm,
+            ProactiveRfmKind::Periodic => RfmKind::PeriodicRfm,
+            ProactiveRfmKind::Probabilistic => RfmKind::ParaRfm,
+        }
     }
 }
 
@@ -117,52 +132,6 @@ impl AboResponder {
     }
 }
 
-/// Proactive Activation-Based RFM engine (the JEDEC Targeted-RFM mechanism):
-/// issues an RFM when any bank's activation count since its last RFM reaches
-/// the Bank-Activation threshold (BAT).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AcbRfmEngine {
-    bank_activation_threshold: u32,
-    rfms_requested: u64,
-}
-
-impl AcbRfmEngine {
-    /// Creates the engine with the configured BAT.
-    #[must_use]
-    pub fn new(prac: &PracConfig) -> Self {
-        Self {
-            bank_activation_threshold: prac.bank_activation_threshold,
-            rfms_requested: 0,
-        }
-    }
-
-    /// Given the per-bank activation counts since each bank's last RFM,
-    /// returns `true` when an ACB-RFM should be issued now.
-    #[must_use]
-    pub fn wants_rfm(&self, activations_since_rfm_per_bank: impl IntoIterator<Item = u32>) -> bool {
-        activations_since_rfm_per_bank
-            .into_iter()
-            .any(|acts| acts >= self.bank_activation_threshold)
-    }
-
-    /// Records that an ACB-RFM was issued.
-    pub fn rfm_issued(&mut self) {
-        self.rfms_requested += 1;
-    }
-
-    /// Number of ACB-RFMs requested so far.
-    #[must_use]
-    pub fn rfms_requested(&self) -> u64 {
-        self.rfms_requested
-    }
-
-    /// The configured Bank-Activation threshold.
-    #[must_use]
-    pub fn bank_activation_threshold(&self) -> u32 {
-        self.bank_activation_threshold
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,8 +141,27 @@ mod tests {
     fn rfm_kind_activity_dependence() {
         assert!(RfmKind::AboRfm.is_activity_dependent());
         assert!(RfmKind::AcbRfm.is_activity_dependent());
+        assert!(RfmKind::ParaRfm.is_activity_dependent());
         assert!(!RfmKind::TbRfm.is_activity_dependent());
+        assert!(!RfmKind::PeriodicRfm.is_activity_dependent());
         assert!(!RfmKind::InjectedRfm.is_activity_dependent());
+    }
+
+    #[test]
+    fn proactive_kinds_map_onto_rfm_kinds() {
+        assert_eq!(
+            RfmKind::from(ProactiveRfmKind::ActivationBased),
+            RfmKind::AcbRfm
+        );
+        assert_eq!(RfmKind::from(ProactiveRfmKind::TimingBased), RfmKind::TbRfm);
+        assert_eq!(
+            RfmKind::from(ProactiveRfmKind::Periodic),
+            RfmKind::PeriodicRfm
+        );
+        assert_eq!(
+            RfmKind::from(ProactiveRfmKind::Probabilistic),
+            RfmKind::ParaRfm
+        );
     }
 
     #[test]
@@ -223,16 +211,5 @@ mod tests {
         r.on_alert(10);
         assert_eq!(r.pending(), 4);
         assert_eq!(r.alerts_handled(), 1);
-    }
-
-    #[test]
-    fn acb_engine_triggers_at_bat() {
-        let prac = PracConfig::builder().bank_activation_threshold(16).build();
-        let mut e = AcbRfmEngine::new(&prac);
-        assert!(!e.wants_rfm([0, 5, 15]));
-        assert!(e.wants_rfm([0, 16, 2]));
-        e.rfm_issued();
-        assert_eq!(e.rfms_requested(), 1);
-        assert_eq!(e.bank_activation_threshold(), 16);
     }
 }

@@ -26,6 +26,10 @@ pub struct ControllerStats {
     pub acb_rfms: u64,
     /// TPRAC Timing-Based RFMs issued.
     pub tb_rfms: u64,
+    /// Periodic (PRFM) RFMs issued on the fixed tREFI cadence.
+    pub periodic_rfms: u64,
+    /// PARA-style probabilistic RFMs issued.
+    pub para_rfms: u64,
     /// Randomly injected (obfuscation) RFMs issued.
     pub injected_rfms: u64,
     /// TB-RFMs skipped thanks to Targeted Refreshes.
@@ -46,7 +50,12 @@ impl ControllerStats {
     /// Total RFMs issued, of any kind.
     #[must_use]
     pub fn total_rfms(&self) -> u64 {
-        self.abo_rfms + self.acb_rfms + self.tb_rfms + self.injected_rfms
+        self.abo_rfms
+            + self.acb_rfms
+            + self.tb_rfms
+            + self.periodic_rfms
+            + self.para_rfms
+            + self.injected_rfms
     }
 
     /// Average request latency in ticks (0 when nothing completed).
@@ -83,6 +92,8 @@ impl ControllerStats {
             RfmKind::AboRfm => self.abo_rfms += 1,
             RfmKind::AcbRfm => self.acb_rfms += 1,
             RfmKind::TbRfm => self.tb_rfms += 1,
+            RfmKind::PeriodicRfm => self.periodic_rfms += 1,
+            RfmKind::ParaRfm => self.para_rfms += 1,
             RfmKind::InjectedRfm => self.injected_rfms += 1,
         }
     }
@@ -114,11 +125,15 @@ mod tests {
         s.record_rfm(RfmKind::TbRfm);
         s.record_rfm(RfmKind::AcbRfm);
         s.record_rfm(RfmKind::InjectedRfm);
+        s.record_rfm(RfmKind::PeriodicRfm);
+        s.record_rfm(RfmKind::ParaRfm);
         assert_eq!(s.abo_rfms, 1);
         assert_eq!(s.tb_rfms, 2);
         assert_eq!(s.acb_rfms, 1);
         assert_eq!(s.injected_rfms, 1);
-        assert_eq!(s.total_rfms(), 5);
+        assert_eq!(s.periodic_rfms, 1);
+        assert_eq!(s.para_rfms, 1);
+        assert_eq!(s.total_rfms(), 7);
     }
 
     #[test]

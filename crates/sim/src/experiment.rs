@@ -1,17 +1,24 @@
-//! Mitigation-configuration descriptors and workload runners for the
-//! performance experiments (Figures 10–14).
+//! Mitigation descriptors and workload runners for the performance
+//! experiments (Figures 10–14).
 //!
 //! Every performance figure compares one or more *protected* configurations
-//! against the same baseline: a PRAC-enabled DDR5 system **without** the
-//! Alert Back-Off protocol (no mitigation RFMs of any kind).  The helpers
-//! here build the corresponding [`SystemConfig`]s from a RowHammer threshold
-//! and run a workload under them, returning normalised performance.
+//! against the same baseline: a PRAC-enabled DDR5 system with mitigation
+//! disabled outright (no Alert Back-Off, no proactive RFMs of any kind).
+//! The types here are the descriptor layer of the pluggable mitigation API:
+//! a [`MitigationSetup`] is the serialisable description of one
+//! configuration, its [`MitigationDescriptor`] carries the stable
+//! identifiers and the recipe that resolves it (plus a RowHammer threshold)
+//! into a full [`SystemConfig`], and [`mitigation_registry`] enumerates
+//! every built-in setup so callers — the campaign registry, the CLI, and the
+//! engine-equivalence differential harness — discover new defenses without
+//! code changes.
 
 use cpu_sim::config::CpuConfig;
 use cpu_sim::trace::Trace;
 use dram_sim::device::DramDeviceConfig;
 use memctrl::controller::ControllerConfig;
 use prac_core::config::{MitigationPolicy, PracConfig, PracLevel};
+use prac_core::error::Result;
 use prac_core::security::CounterResetPolicy;
 use prac_core::timing::DramTimingSummary;
 use prac_core::tprac::{TpracConfig, TrefRate};
@@ -22,10 +29,16 @@ use crate::event::EngineKind;
 use crate::system::{SystemConfig, SystemResult, SystemSimulation};
 
 /// Which mitigation configuration a run uses.
+///
+/// This is declarative *data* (serialisable, hashable into campaign cache
+/// keys); the runtime behaviour lives in the
+/// [`prac_core::mitigation::MitigationEngine`] the resolved
+/// [`MitigationPolicy`] builds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MitigationSetup {
-    /// PRAC-enabled DRAM without the ABO protocol: no mitigation RFMs at all.
-    /// This is the normalisation baseline of every performance figure.
+    /// PRAC-enabled DRAM with mitigation disabled outright: the Alert signal
+    /// is never asserted and no RFMs are issued.  This is the normalisation
+    /// baseline of every performance figure.
     BaselineNoAbo,
     /// Rely solely on the ABO protocol (insecure against timing channels).
     AboOnly,
@@ -39,6 +52,34 @@ pub enum MitigationSetup {
         /// Whether per-row counters reset every tREFW.
         counter_reset: bool,
     },
+    /// PRFM baseline: one RFM every `every_trefi` tREFI on a fixed,
+    /// activity-independent cadence, with no per-row counters.
+    Prfm {
+        /// RFM period in tREFI intervals (>= 1).
+        every_trefi: u32,
+    },
+    /// PARA-style probabilistic mitigation: each activation triggers an RFM
+    /// with probability `1 / one_in`, from a stream seeded with `seed`.
+    Para {
+        /// Inverse issue probability per activation (>= 1).
+        one_in: u32,
+        /// Seed of the decision stream (part of the scenario's identity).
+        seed: u64,
+    },
+}
+
+/// A [`MitigationSetup`] resolved against a RowHammer threshold: everything
+/// `build_system_config` needs to configure the device and controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedMitigation {
+    /// The mitigation policy the controller's engine is built from.
+    pub policy: MitigationPolicy,
+    /// Whether per-row counters reset every tREFW.
+    pub counter_reset: bool,
+    /// The Back-Off threshold `NBO` programmed into the device.
+    pub back_off_threshold: u32,
+    /// Targeted-Refresh cadence for the device (`None` disables TREF).
+    pub tref_every_n_refreshes: Option<u32>,
 }
 
 impl MitigationSetup {
@@ -59,7 +100,119 @@ impl MitigationSetup {
                     TrefRate::EveryTrefi(n) => format!("TPRAC{reset} w/ 1 Targeted per {n} tREFI"),
                 }
             }
+            MitigationSetup::Prfm { every_trefi } => {
+                format!("PRFM (1 RFM per {every_trefi} tREFI)")
+            }
+            MitigationSetup::Para { one_in, .. } => format!("PARA (p = 1/{one_in})"),
         }
+    }
+
+    /// Stable kebab-case slug used in scenario names and the CLI.  Must stay
+    /// byte-identical for existing setups: the campaign golden snapshot pins
+    /// scenario names built from it.
+    #[must_use]
+    pub fn slug(&self) -> String {
+        match self {
+            MitigationSetup::BaselineNoAbo => "baseline".into(),
+            MitigationSetup::AboOnly => "abo-only".into(),
+            MitigationSetup::AboPlusAcbRfm => "abo-acb-rfm".into(),
+            MitigationSetup::Tprac {
+                tref_rate,
+                counter_reset,
+            } => {
+                let reset = if *counter_reset { "" } else { "-noreset" };
+                match tref_rate {
+                    TrefRate::None => format!("tprac{reset}"),
+                    TrefRate::EveryTrefi(n) => format!("tprac{reset}-tref{n}"),
+                }
+            }
+            MitigationSetup::Prfm { every_trefi } => format!("prfm{every_trefi}"),
+            MitigationSetup::Para { one_in, .. } => format!("para{one_in}"),
+        }
+    }
+
+    /// The descriptor for this setup.
+    #[must_use]
+    pub fn descriptor(&self) -> MitigationDescriptor {
+        MitigationDescriptor::of(self.clone())
+    }
+
+    /// Resolves the declarative setup against a RowHammer threshold (`NBO`
+    /// is set equal to it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`prac_core::error::ConfigError::NoSafeWindow`] when the TPRAC security
+    /// solver cannot find a TB-Window protecting the threshold.  The failure
+    /// is *not* silently papered over with a default window: a scenario that
+    /// cannot be configured as specified must fail loudly rather than run a
+    /// different configuration.
+    pub fn resolve(
+        &self,
+        rowhammer_threshold: u32,
+        timing: &DramTimingSummary,
+    ) -> Result<ResolvedMitigation> {
+        let resolved = match self {
+            MitigationSetup::BaselineNoAbo => ResolvedMitigation {
+                policy: MitigationPolicy::Disabled,
+                counter_reset: true,
+                back_off_threshold: rowhammer_threshold,
+                tref_every_n_refreshes: None,
+            },
+            MitigationSetup::AboOnly => ResolvedMitigation {
+                policy: MitigationPolicy::AboOnly,
+                counter_reset: true,
+                back_off_threshold: rowhammer_threshold,
+                tref_every_n_refreshes: None,
+            },
+            MitigationSetup::AboPlusAcbRfm => ResolvedMitigation {
+                policy: MitigationPolicy::AboPlusAcbRfm,
+                counter_reset: true,
+                back_off_threshold: rowhammer_threshold,
+                tref_every_n_refreshes: None,
+            },
+            MitigationSetup::Tprac {
+                tref_rate,
+                counter_reset,
+            } => {
+                let reset_policy = if *counter_reset {
+                    CounterResetPolicy::ResetEveryTrefw
+                } else {
+                    CounterResetPolicy::NoReset
+                };
+                let tprac =
+                    TpracConfig::solve_for_threshold(rowhammer_threshold, timing, reset_policy)?
+                        .with_tref_rate(*tref_rate);
+                let tref_every_n_refreshes = match tref_rate {
+                    TrefRate::None => None,
+                    TrefRate::EveryTrefi(n) => Some(*n),
+                };
+                ResolvedMitigation {
+                    policy: MitigationPolicy::Tprac(tprac),
+                    counter_reset: *counter_reset,
+                    back_off_threshold: rowhammer_threshold,
+                    tref_every_n_refreshes,
+                }
+            }
+            MitigationSetup::Prfm { every_trefi } => ResolvedMitigation {
+                policy: MitigationPolicy::PeriodicRfm {
+                    every_trefi: *every_trefi,
+                },
+                counter_reset: true,
+                back_off_threshold: rowhammer_threshold,
+                tref_every_n_refreshes: None,
+            },
+            MitigationSetup::Para { one_in, seed } => ResolvedMitigation {
+                policy: MitigationPolicy::Para {
+                    one_in: *one_in,
+                    seed: *seed,
+                },
+                counter_reset: true,
+                back_off_threshold: rowhammer_threshold,
+                tref_every_n_refreshes: None,
+            },
+        };
+        Ok(resolved)
     }
 
     /// The four-way comparison used by Figure 10 and Figure 11.
@@ -74,6 +227,103 @@ impl MitigationSetup {
             },
         ]
     }
+}
+
+/// A registered mitigation configuration: the declarative
+/// [`MitigationSetup`] plus its stable identifiers and a one-line summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationDescriptor {
+    /// The declarative setup this descriptor describes.
+    pub setup: MitigationSetup,
+    /// Stable kebab-case slug (scenario names, CLI).
+    pub slug: String,
+    /// Human-readable label (reports, plots).
+    pub label: String,
+    /// One-line description for listings.
+    pub summary: &'static str,
+}
+
+impl MitigationDescriptor {
+    /// Builds the descriptor of a setup.
+    #[must_use]
+    pub fn of(setup: MitigationSetup) -> Self {
+        let summary = match &setup {
+            MitigationSetup::BaselineNoAbo => {
+                "no mitigation at all: the normalisation baseline of every figure"
+            }
+            MitigationSetup::AboOnly => {
+                "reactive Alert Back-Off only; leaks activity through RFM timing"
+            }
+            MitigationSetup::AboPlusAcbRfm => {
+                "ABO plus proactive Bank-Activation RFMs; still activity dependent"
+            }
+            MitigationSetup::Tprac { .. } => {
+                "activity-independent Timing-Based RFMs (the paper's defense)"
+            }
+            MitigationSetup::Prfm { .. } => {
+                "periodic RFM every N tREFI; activity independent, no counters"
+            }
+            MitigationSetup::Para { .. } => {
+                "probabilistic per-activation RFMs; seeded, activity dependent"
+            }
+        };
+        Self {
+            slug: setup.slug(),
+            label: setup.label(),
+            summary,
+            setup,
+        }
+    }
+
+    /// Whether the resolved policy's RFM timing depends on memory activity
+    /// (and is therefore exploitable as a timing channel).
+    #[must_use]
+    pub fn is_activity_dependent(&self) -> bool {
+        match &self.setup {
+            MitigationSetup::BaselineNoAbo => false,
+            MitigationSetup::AboOnly | MitigationSetup::AboPlusAcbRfm => true,
+            MitigationSetup::Tprac { .. } | MitigationSetup::Prfm { .. } => false,
+            MitigationSetup::Para { .. } => true,
+        }
+    }
+}
+
+/// Seed of the registry's default PARA decision stream.  Fixed so that the
+/// registered scenario is deterministic; sweeps that want other streams set
+/// the `seed` field of [`MitigationSetup::Para`] explicitly.
+pub const PARA_DEFAULT_SEED: u64 = 0x9A4A_5EED;
+
+/// Every built-in mitigation setup, in presentation order: the paper's four
+/// configurations (with the TPRAC ablations) followed by the beyond-paper
+/// defenses.  The engine-equivalence differential suite iterates this
+/// registry, so a setup added here is automatically raced tick-vs-event.
+#[must_use]
+pub fn mitigation_registry() -> Vec<MitigationDescriptor> {
+    [
+        MitigationSetup::BaselineNoAbo,
+        MitigationSetup::AboOnly,
+        MitigationSetup::AboPlusAcbRfm,
+        MitigationSetup::Tprac {
+            tref_rate: TrefRate::None,
+            counter_reset: true,
+        },
+        MitigationSetup::Tprac {
+            tref_rate: TrefRate::EveryTrefi(1),
+            counter_reset: true,
+        },
+        MitigationSetup::Tprac {
+            tref_rate: TrefRate::None,
+            counter_reset: false,
+        },
+        MitigationSetup::Prfm { every_trefi: 2 },
+        MitigationSetup::Para {
+            one_in: 128,
+            seed: PARA_DEFAULT_SEED,
+        },
+    ]
+    .into_iter()
+    .map(MitigationDescriptor::of)
+    .collect()
 }
 
 /// Full experiment configuration: mitigation setup + sweep parameters.
@@ -139,73 +389,31 @@ impl ExperimentConfig {
     }
 
     /// Derives the DRAM-device and controller configurations for this
-    /// experiment.
-    #[must_use]
-    pub fn build_system_config(&self) -> SystemConfig {
+    /// experiment by resolving the setup's descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MitigationSetup::resolve`] failures (e.g. no safe
+    /// TB-Window for the requested threshold) instead of silently running a
+    /// different configuration.
+    pub fn build_system_config(&self) -> Result<SystemConfig> {
         let timing = DramTimingSummary::ddr5_8000b();
-        let (policy, counter_reset, nbo, tref_refreshes) = match &self.setup {
-            MitigationSetup::BaselineNoAbo => {
-                // A Back-Off threshold nothing benign (or even adversarial,
-                // within the run length) can reach: ABO never fires and no
-                // RFMs are issued.
-                (MitigationPolicy::AboOnly, true, 1 << 30, None)
-            }
-            MitigationSetup::AboOnly => (
-                MitigationPolicy::AboOnly,
-                true,
-                self.rowhammer_threshold,
-                None,
-            ),
-            MitigationSetup::AboPlusAcbRfm => (
-                MitigationPolicy::AboPlusAcbRfm,
-                true,
-                self.rowhammer_threshold,
-                None,
-            ),
-            MitigationSetup::Tprac {
-                tref_rate,
-                counter_reset,
-            } => {
-                let reset_policy = if *counter_reset {
-                    CounterResetPolicy::ResetEveryTrefw
-                } else {
-                    CounterResetPolicy::NoReset
-                };
-                let tprac = TpracConfig::solve_for_threshold(
-                    self.rowhammer_threshold,
-                    &timing,
-                    reset_policy,
-                )
-                .unwrap_or_else(|_| TpracConfig::with_window_trefi(0.1, &timing))
-                .with_tref_rate(*tref_rate);
-                let tref_refreshes = match tref_rate {
-                    TrefRate::None => None,
-                    TrefRate::EveryTrefi(n) => Some(*n),
-                };
-                (
-                    MitigationPolicy::Tprac(tprac),
-                    *counter_reset,
-                    self.rowhammer_threshold,
-                    tref_refreshes,
-                )
-            }
-        };
-        let nrh_for_config = nbo.max(self.rowhammer_threshold);
+        let resolved = self.setup.resolve(self.rowhammer_threshold, &timing)?;
         let prac = PracConfig::builder()
-            .rowhammer_threshold(nrh_for_config)
-            .back_off_threshold(nbo)
+            .rowhammer_threshold(self.rowhammer_threshold)
+            .back_off_threshold(resolved.back_off_threshold)
             .prac_level(self.prac_level)
-            .counter_reset_every_trefw(counter_reset)
-            .policy(policy)
-            .build();
+            .counter_reset_every_trefw(resolved.counter_reset)
+            .policy(resolved.policy)
+            .try_build()?;
         let device = DramDeviceConfig {
             prac,
-            tref_every_n_refreshes: tref_refreshes,
+            tref_every_n_refreshes: resolved.tref_every_n_refreshes,
             ..DramDeviceConfig::paper_default()
         };
         let mut cpu = CpuConfig::paper_default();
         cpu.cores = self.cores;
-        SystemConfig {
+        Ok(SystemConfig {
             cpu,
             device,
             controller: ControllerConfig::default(),
@@ -215,19 +423,23 @@ impl ExperimentConfig {
                 .saturating_mul(600)
                 .max(20_000_000),
             engine: self.engine,
-        }
+        })
     }
 }
 
 /// Runs `workload` (one copy per core) under the given experiment
 /// configuration and returns the raw result.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates configuration-resolution failures from
+/// [`ExperimentConfig::build_system_config`].
 pub fn run_workload(
     config: &ExperimentConfig,
     workload: &SyntheticWorkload,
     seed: u64,
-) -> SystemResult {
-    let system_config = config.build_system_config();
+) -> Result<SystemResult> {
+    let system_config = config.build_system_config()?;
     let traces: Vec<Trace> = (0..config.cores)
         .map(|core| {
             // Give each core its own slice of the address space so four
@@ -238,34 +450,38 @@ pub fn run_workload(
             per_core.generate(config.instructions_per_core, seed ^ u64::from(core))
         })
         .collect();
-    SystemSimulation::new(system_config, traces).run()
+    Ok(SystemSimulation::new(system_config, traces).run())
 }
 
 /// Runs `workload` under `setup` and under the no-ABO baseline, returning
 /// `(normalised performance, protected result, baseline result)`.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates configuration-resolution failures from either run.
 pub fn run_workload_normalized(
     config: &ExperimentConfig,
     workload: &SyntheticWorkload,
     seed: u64,
-) -> (f64, SystemResult, SystemResult) {
-    let protected = run_workload(config, workload, seed);
+) -> Result<(f64, SystemResult, SystemResult)> {
+    let protected = run_workload(config, workload, seed)?;
     let baseline_config = ExperimentConfig {
         setup: MitigationSetup::BaselineNoAbo,
         ..config.clone()
     };
-    let baseline = run_workload(&baseline_config, workload, seed);
+    let baseline = run_workload(&baseline_config, workload, seed)?;
     let normalized = if baseline.total_ipc() > 0.0 {
         protected.total_ipc() / baseline.total_ipc()
     } else {
         0.0
     };
-    (normalized, protected, baseline)
+    Ok((normalized, protected, baseline))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prac_core::error::ConfigError;
     use workloads::generator::AccessPattern;
 
     const INSTR: u64 = 30_000;
@@ -293,14 +509,89 @@ mod tests {
         }
         .label()
         .contains("NoReset"));
+        assert!(MitigationSetup::Prfm { every_trefi: 4 }
+            .label()
+            .contains("per 4 tREFI"));
+        assert!(MitigationSetup::Para {
+            one_in: 128,
+            seed: 0
+        }
+        .label()
+        .contains("1/128"));
+    }
+
+    #[test]
+    fn registry_slugs_and_labels_are_unique() {
+        let registry = mitigation_registry();
+        assert!(registry.len() >= 8, "{} registered setups", registry.len());
+        let mut slugs = std::collections::HashSet::new();
+        for descriptor in &registry {
+            assert!(
+                slugs.insert(descriptor.slug.clone()),
+                "duplicate slug {}",
+                descriptor.slug
+            );
+            assert!(!descriptor.summary.is_empty());
+        }
+        // The registry starts with the normalisation baseline.
+        assert_eq!(registry[0].setup, MitigationSetup::BaselineNoAbo);
+    }
+
+    #[test]
+    fn registry_setups_all_resolve_at_the_paper_threshold() {
+        let timing = DramTimingSummary::ddr5_8000b();
+        for descriptor in mitigation_registry() {
+            let resolved = descriptor
+                .setup
+                .resolve(1024, &timing)
+                .unwrap_or_else(|e| panic!("{} failed to resolve: {e}", descriptor.slug));
+            assert_eq!(resolved.back_off_threshold, 1024);
+            assert_eq!(
+                resolved.policy.is_activity_dependent(),
+                descriptor.is_activity_dependent(),
+                "{}: descriptor and policy disagree on activity dependence",
+                descriptor.slug
+            );
+        }
+    }
+
+    #[test]
+    fn unsolvable_tprac_thresholds_propagate_an_error() {
+        // A threshold far below anything a TB-Window can protect must fail
+        // loudly instead of silently running a fallback window.
+        let config = ExperimentConfig::new(
+            MitigationSetup::Tprac {
+                tref_rate: TrefRate::None,
+                counter_reset: true,
+            },
+            INSTR,
+        )
+        .with_rowhammer_threshold(1);
+        let err = config.build_system_config().unwrap_err();
+        assert!(
+            matches!(err, ConfigError::NoSafeWindow { .. }),
+            "unexpected error {err:?}"
+        );
+        assert!(run_workload(&config, &low_intensity_workload(), 1).is_err());
     }
 
     #[test]
     fn baseline_config_never_issues_rfms() {
         let config = ExperimentConfig::new(MitigationSetup::BaselineNoAbo, INSTR).with_cores(2);
-        let result = run_workload(&config, &high_intensity_workload(), 1);
+        let result = run_workload(&config, &high_intensity_workload(), 1).unwrap();
         assert!(result.completed);
         assert_eq!(result.controller_stats.total_rfms(), 0);
+        assert_eq!(result.dram_stats.alerts_asserted, 0);
+    }
+
+    #[test]
+    fn baseline_uses_the_explicit_disabled_policy() {
+        let config = ExperimentConfig::new(MitigationSetup::BaselineNoAbo, INSTR);
+        let system = config.build_system_config().unwrap();
+        assert_eq!(system.device.prac.policy, MitigationPolicy::Disabled);
+        // The Back-Off threshold is the real one — "no mitigation" comes
+        // from the policy, not from an unreachable threshold.
+        assert_eq!(system.device.prac.back_off_threshold, 1024);
     }
 
     #[test]
@@ -314,7 +605,7 @@ mod tests {
         )
         .with_cores(2);
         let (normalized, protected, baseline) =
-            run_workload_normalized(&tprac, &high_intensity_workload(), 2);
+            run_workload_normalized(&tprac, &high_intensity_workload(), 2).unwrap();
         assert!(protected.completed && baseline.completed);
         assert!(
             protected.controller_stats.tb_rfms > 0,
@@ -346,7 +637,8 @@ mod tests {
             INSTR,
         )
         .with_cores(2);
-        let (normalized, _, _) = run_workload_normalized(&tprac, &low_intensity_workload(), 3);
+        let (normalized, _, _) =
+            run_workload_normalized(&tprac, &low_intensity_workload(), 3).unwrap();
         assert!(
             normalized > 0.97,
             "cache-resident workloads should see <3% slowdown, got {normalized}"
@@ -357,7 +649,7 @@ mod tests {
     fn abo_only_has_negligible_overhead_for_benign_workloads() {
         let abo = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_cores(2);
         let (normalized, protected, _) =
-            run_workload_normalized(&abo, &high_intensity_workload(), 4);
+            run_workload_normalized(&abo, &high_intensity_workload(), 4).unwrap();
         assert_eq!(
             protected.controller_stats.abo_rfms, 0,
             "benign workloads never hit NBO"
@@ -365,6 +657,40 @@ mod tests {
         assert!(
             normalized > 0.98,
             "ABO-Only should be near-baseline: {normalized}"
+        );
+    }
+
+    #[test]
+    fn prfm_issues_periodic_rfms_and_costs_bandwidth() {
+        let prfm =
+            ExperimentConfig::new(MitigationSetup::Prfm { every_trefi: 1 }, INSTR).with_cores(2);
+        let (normalized, protected, _) =
+            run_workload_normalized(&prfm, &high_intensity_workload(), 5).unwrap();
+        assert!(
+            protected.controller_stats.periodic_rfms > 0,
+            "{:?}",
+            protected.controller_stats
+        );
+        assert_eq!(protected.controller_stats.abo_rfms, 0);
+        assert!(
+            normalized < 1.02,
+            "an RFM every tREFI cannot be free: {normalized}"
+        );
+    }
+
+    #[test]
+    fn para_runs_are_deterministic_per_seed() {
+        let config = |seed| {
+            ExperimentConfig::new(MitigationSetup::Para { one_in: 32, seed }, INSTR).with_cores(2)
+        };
+        let a = run_workload(&config(7), &high_intensity_workload(), 6).unwrap();
+        let b = run_workload(&config(7), &high_intensity_workload(), 6).unwrap();
+        assert_eq!(a, b, "same PARA seed must replay bit-for-bit");
+        assert!(a.controller_stats.para_rfms > 0, "{:?}", a.controller_stats);
+        let c = run_workload(&config(8), &high_intensity_workload(), 6).unwrap();
+        assert_ne!(
+            a.rfm_log, c.rfm_log,
+            "different PARA seeds must draw different streams"
         );
     }
 

@@ -12,10 +12,13 @@
 //!   engine ([`event::EventEngine`]) whose binary-heap [`event::EventWheel`]
 //!   jumps straight to each component's next wake-up while producing
 //!   bit-identical results (asserted by `tests/engine_equivalence.rs`).
-//! * [`experiment`] — mitigation-configuration descriptors (baseline without
-//!   ABO, ABO-Only, ABO+ACB-RFM, TPRAC with/without TREF and counter reset)
-//!   and helpers that run a workload under a configuration and report
-//!   normalised performance.
+//! * [`experiment`] — the mitigation-descriptor layer of the pluggable
+//!   defense API: declarative [`experiment::MitigationSetup`]s (baseline,
+//!   ABO-Only, ABO+ACB-RFM, TPRAC with/without TREF and counter reset, and
+//!   the beyond-paper PRFM and PARA engines), the
+//!   [`experiment::mitigation_registry`] that enumerates them for the CLI,
+//!   the campaigns and the differential harness, and helpers that run a
+//!   workload under a configuration and report normalised performance.
 //! * [`energy`] — converts run results into the Table 5 energy-overhead rows
 //!   via the `prac-core` energy model.
 //! * [`parallel`] — a work-stealing thread pool used by the campaign runner
@@ -34,6 +37,9 @@ pub mod system;
 
 pub use energy::energy_overhead_for;
 pub use event::{EngineKind, EventEngine, SimulationEngine, TickEngine};
-pub use experiment::{run_workload, run_workload_normalized, ExperimentConfig, MitigationSetup};
+pub use experiment::{
+    mitigation_registry, run_workload, run_workload_normalized, ExperimentConfig,
+    MitigationDescriptor, MitigationSetup, ResolvedMitigation, PARA_DEFAULT_SEED,
+};
 pub use parallel::{parallel_map, parallel_map_streaming};
 pub use system::{SystemConfig, SystemResult, SystemSimulation};

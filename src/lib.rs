@@ -14,9 +14,9 @@
 //!
 //! | Component | Crate | What it provides |
 //! |---|---|---|
-//! | PRAC / TPRAC core | [`prac_core`] | PRAC parameters, mitigation queues, TB-Window security analysis, energy & storage models |
+//! | PRAC / TPRAC core | [`prac_core`] | PRAC parameters, the pluggable `MitigationEngine` API, mitigation queues, TB-Window security analysis, energy & storage models |
 //! | DRAM device | [`dram_sim`] | Cycle-accurate DDR5 model with per-row activation counters and Alert Back-Off |
-//! | Memory controller | [`memctrl`] | Address mapping, FR-FCFS scheduling, refresh, ABO/ACB/TB-RFM engines |
+//! | Memory controller | [`memctrl`] | Address mapping, FR-FCFS scheduling, refresh, the ABO responder driving the pluggable mitigation engine |
 //! | CPU | [`cpu_sim`] | Trace-driven ROB-limited cores with an L1/L2/LLC hierarchy |
 //! | Workloads | [`workloads`] | Synthetic workload suite bucketed by memory intensity, seedable end-to-end |
 //! | Attacks | [`pracleak`] | PRACLeak covert channels and the AES T-table side channel |
@@ -35,6 +35,7 @@
 //!
 //! ```text
 //! cargo run --release --bin prac-bench -- list
+//! cargo run --release --bin prac-bench -- mitigations
 //! cargo run --release --bin prac-bench -- run fig10 --quick
 //! cargo run --release --bin prac-bench -- run --all --full
 //! ```
@@ -86,6 +87,9 @@ pub mod prelude {
     pub use dram_sim::{DramDevice, DramDeviceConfig, DramOrganization, DramTimingParams};
     pub use memctrl::{ControllerConfig, MemoryController, MemoryRequest, PagePolicy};
     pub use prac_core::config::{MitigationPolicy, PracConfig, PracLevel};
+    pub use prac_core::mitigation::{
+        BankActivationView, MitigationDecision, MitigationEngine, ProactiveRfmKind,
+    };
     pub use prac_core::queue::{MitigationQueue, QueueKind, SingleEntryQueue};
     pub use prac_core::security::{CounterResetPolicy, SecurityAnalysis, TbWindowSolution};
     pub use prac_core::timing::DramTimingSummary;
@@ -94,8 +98,8 @@ pub mod prelude {
         Aes128TTable, AttackSetup, CovertChannelKind, SideChannelExperiment, SpikeDetector,
     };
     pub use system_sim::{
-        EngineKind, EventEngine, ExperimentConfig, MitigationSetup, SimulationEngine, SystemResult,
-        TickEngine,
+        mitigation_registry, EngineKind, EventEngine, ExperimentConfig, MitigationDescriptor,
+        MitigationSetup, SimulationEngine, SystemResult, TickEngine,
     };
     pub use workloads::{AccessPattern, MemoryIntensity, SyntheticWorkload};
 }

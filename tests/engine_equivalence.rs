@@ -11,30 +11,26 @@
 //! A broader sweep over the full quick suite is `#[ignore]`d here and run in
 //! release mode by the dedicated CI job.
 
-use prac_core::tprac::TrefRate;
-use system_sim::{run_workload, EngineKind, ExperimentConfig, MitigationSetup, SystemResult};
+use system_sim::{
+    mitigation_registry, run_workload, EngineKind, ExperimentConfig, MitigationSetup, SystemResult,
+};
 use system_sim::{EventEngine, SystemConfig, SystemSimulation, TickEngine};
 use workloads::{quick_suite, MemoryIntensity, WorkloadSpec};
 
-/// Every mitigation configuration the paper's performance studies sweep.
+/// Every registered mitigation configuration.  Iterating the registry (not a
+/// hand-written list) means an engine added to
+/// `system_sim::mitigation_registry` — present or future — is automatically
+/// raced tick-vs-event here; a registry entry can never ship without
+/// differential coverage.
 fn all_setups() -> Vec<MitigationSetup> {
-    vec![
-        MitigationSetup::BaselineNoAbo,
-        MitigationSetup::AboOnly,
-        MitigationSetup::AboPlusAcbRfm,
-        MitigationSetup::Tprac {
-            tref_rate: TrefRate::None,
-            counter_reset: true,
-        },
-        MitigationSetup::Tprac {
-            tref_rate: TrefRate::EveryTrefi(1),
-            counter_reset: true,
-        },
-        MitigationSetup::Tprac {
-            tref_rate: TrefRate::None,
-            counter_reset: false,
-        },
-    ]
+    let setups: Vec<MitigationSetup> = mitigation_registry()
+        .into_iter()
+        .map(|descriptor| descriptor.setup)
+        .collect();
+    // Guard against the registry accidentally shrinking below the paper's
+    // own sweep (baseline + 2 insecure + 3 TPRAC variants + PRFM + PARA).
+    assert!(setups.len() >= 8, "registry lost entries: {setups:?}");
+    setups
 }
 
 fn run_under(
@@ -47,7 +43,7 @@ fn run_under(
     let config = ExperimentConfig::new(setup.clone(), instructions)
         .with_cores(2)
         .with_engine(engine);
-    run_workload(&config, &workload.workload, seed)
+    run_workload(&config, &workload.workload, seed).expect("registered setups resolve at NRH 1024")
 }
 
 /// Asserts both engines produce the same result, with field-by-field

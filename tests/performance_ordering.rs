@@ -33,9 +33,9 @@ fn tprac_is_slower_than_insecure_baselines_but_not_catastrophic() {
     let acb = ExperimentConfig::new(MitigationSetup::AboPlusAcbRfm, INSTR).with_cores(2);
     let tprac = ExperimentConfig::new(tprac_setup(true), INSTR).with_cores(2);
 
-    let (abo_perf, _, _) = run_workload_normalized(&abo, &workload, 11);
-    let (acb_perf, _, _) = run_workload_normalized(&acb, &workload, 11);
-    let (tprac_perf, tprac_run, _) = run_workload_normalized(&tprac, &workload, 11);
+    let (abo_perf, _, _) = run_workload_normalized(&abo, &workload, 11).unwrap();
+    let (acb_perf, _, _) = run_workload_normalized(&acb, &workload, 11).unwrap();
+    let (tprac_perf, tprac_run, _) = run_workload_normalized(&tprac, &workload, 11).unwrap();
 
     // Paper ordering at NRH=1024: ABO-Only ≈ 1.0 ≥ ABO+ACB ≥ TPRAC ≥ ~0.9.
     assert!(
@@ -64,7 +64,7 @@ fn tprac_overhead_grows_as_the_rowhammer_threshold_drops() {
         let config = ExperimentConfig::new(tprac_setup(true), INSTR)
             .with_cores(2)
             .with_rowhammer_threshold(nrh);
-        run_workload_normalized(&config, &workload, 13).0
+        run_workload_normalized(&config, &workload, 13).unwrap().0
     };
     let high = perf_at(4096);
     let low = perf_at(256);
@@ -77,7 +77,7 @@ fn tprac_overhead_grows_as_the_rowhammer_threshold_drops() {
 #[test]
 fn low_intensity_workloads_see_negligible_tprac_overhead() {
     let config = ExperimentConfig::new(tprac_setup(true), INSTR).with_cores(2);
-    let (perf, _, _) = run_workload_normalized(&config, &cache_friendly(), 17);
+    let (perf, _, _) = run_workload_normalized(&config, &cache_friendly(), 17).unwrap();
     assert!(
         perf > 0.97,
         "cache-resident workloads should be nearly unaffected: {perf}"
@@ -96,8 +96,8 @@ fn targeted_refreshes_reduce_tb_rfm_count() {
         INSTR,
     )
     .with_cores(2);
-    let plain = run_workload(&without_tref, &workload, 23);
-    let tref = run_workload(&with_tref, &workload, 23);
+    let plain = run_workload(&without_tref, &workload, 23).unwrap();
+    let tref = run_workload(&with_tref, &workload, 23).unwrap();
     assert!(plain.controller_stats.tb_rfms > 0);
     assert!(
         tref.controller_stats.tb_rfms < plain.controller_stats.tb_rfms
@@ -116,7 +116,7 @@ fn energy_overhead_tracks_rfm_frequency() {
         let config = ExperimentConfig::new(tprac_setup(true), INSTR)
             .with_cores(2)
             .with_rowhammer_threshold(nrh);
-        let (_, protected, baseline) = run_workload_normalized(&config, &workload, 29);
+        let (_, protected, baseline) = run_workload_normalized(&config, &workload, 29).unwrap();
         system_sim::energy_overhead_for(&baseline, &protected, banks)
     };
     let high_threshold = overhead_at(4096);
