@@ -24,6 +24,7 @@ struct Options {
     full: bool,
     instructions_per_core: Option<u64>,
     cores: Option<u32>,
+    channels: Option<u32>,
     workers: Option<usize>,
     engine: EngineKind,
     no_cache: bool,
@@ -58,6 +59,9 @@ OPTIONS:
     --full            Paper-scale sweeps and budgets
     --instr <N>       Override instructions per core for performance cells
     --cores <N>       Override core count for performance cells
+    --channels <N>    Override memory-channel count for performance cells
+                      (power of two; the `scaling` campaign sweeps its own
+                      channel counts and ignores this knob)
     --workers <N>     Worker threads (default: all hardware threads)
     --engine <E>      Simulation engine: `event` (default) jumps between
                       component wake-ups; `tick` is the legacy per-cycle
@@ -78,6 +82,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         full: false,
         instructions_per_core: None,
         cores: None,
+        channels: None,
         workers: None,
         engine: EngineKind::default(),
         no_cache: false,
@@ -106,6 +111,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--no-cache" => options.no_cache = true,
             "--instr" => options.instructions_per_core = Some(numeric("--instr")?),
             "--cores" => options.cores = Some(numeric("--cores")? as u32),
+            "--channels" => {
+                let channels = numeric("--channels")? as u32;
+                if channels == 0 || !channels.is_power_of_two() {
+                    return Err(format!("--channels must be a power of two, got {channels}"));
+                }
+                options.channels = Some(channels);
+            }
             "--workers" => options.workers = Some(numeric("--workers")? as usize),
             "--engine" => {
                 let value = iter
@@ -146,6 +158,9 @@ fn profile_for(options: &Options) -> Profile {
     }
     if let Some(cores) = options.cores {
         profile.cores = cores;
+    }
+    if let Some(channels) = options.channels {
+        profile.channels = channels;
     }
     profile
 }
@@ -224,7 +239,7 @@ pub fn delegate(campaign_name: &str) -> i32 {
     while let Some(arg) = env.next() {
         match arg.as_str() {
             "--full" => args.push(arg),
-            "--instr" | "--workers" | "--engine" => {
+            "--instr" | "--workers" | "--engine" | "--channels" => {
                 if let Some(value) = env.next() {
                     args.push(arg);
                     args.push(value);
@@ -413,6 +428,20 @@ mod tests {
     fn rejects_unknown_options_and_commands() {
         assert!(parse(&args(&["run", "--bogus"])).is_err());
         assert!(parse(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_channels() {
+        let options = parse(&args(&["run", "scaling", "--channels", "4"])).unwrap();
+        assert_eq!(options.channels, Some(4));
+        assert_eq!(profile_for(&options).channels, 4);
+        assert!(parse(&args(&["run", "fig10", "--channels", "3"])).is_err());
+        assert!(parse(&args(&["run", "fig10", "--channels", "0"])).is_err());
+        assert!(parse(&args(&["run", "fig10", "--channels"])).is_err());
+        assert_eq!(
+            profile_for(&parse(&args(&["run", "fig10"])).unwrap()).channels,
+            1
+        );
     }
 
     #[test]

@@ -76,6 +76,7 @@ fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map
         setup: perf.setup.clone(),
         instructions_per_core: perf.instructions_per_core,
         cores: perf.cores,
+        channels: perf.channels.max(1),
         engine,
     };
     let (normalized, protected, baseline) =
@@ -158,6 +159,39 @@ fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map
         "completed".into(),
         (protected.completed && baseline.completed).into(),
     );
+    // Per-channel breakdown of the protected run, so multi-channel
+    // campaigns can see how demand traffic and mitigation budgets spread
+    // across controllers.  Emitted only for multi-channel cells: a
+    // single-channel cell keeps the exact metric set it had before the
+    // channel dimension existed, so cached and fresh results of the same
+    // (key-stable) scenario never disagree on their schema.
+    if perf.channels <= 1 {
+        return m;
+    }
+    m.insert("channels".into(), perf.channels.into());
+    for per_channel in &protected.channel_stats {
+        let prefix = format!("ch{}", per_channel.channel);
+        m.insert(
+            format!("{prefix}_reads"),
+            per_channel.controller.reads_completed.into(),
+        );
+        m.insert(
+            format!("{prefix}_writes"),
+            per_channel.controller.writes_completed.into(),
+        );
+        m.insert(
+            format!("{prefix}_rfms"),
+            per_channel.controller.total_rfms().into(),
+        );
+        m.insert(
+            format!("{prefix}_activations"),
+            per_channel.dram.activations.into(),
+        );
+        m.insert(
+            format!("{prefix}_row_hit_rate"),
+            per_channel.controller.row_hit_rate().into(),
+        );
+    }
     m
 }
 
@@ -372,6 +406,7 @@ mod tests {
             workload: workloads::quick_suite().remove(0),
             instructions_per_core: 1_000,
             cores: 2,
+            channels: 1,
             seed: 1,
         }));
         let metrics = execute(&spec);
@@ -384,6 +419,52 @@ mod tests {
     }
 
     #[test]
+    fn multi_channel_perf_cells_report_per_channel_stats() {
+        let spec = ScenarioSpec::Perf(Box::new(crate::scenario::PerfScenario {
+            setup: system_sim::MitigationSetup::AboOnly,
+            rowhammer_threshold: 1024,
+            prac_level: prac_core::config::PracLevel::One,
+            workload: workloads::quick_suite().remove(0),
+            instructions_per_core: 3_000,
+            cores: 2,
+            channels: 4,
+            seed: 77,
+        }));
+        let metrics = execute(&spec);
+        assert_eq!(metrics.get("channels").and_then(Value::as_u64), Some(4));
+        let mut reads_across_channels = 0u64;
+        for channel in 0..4 {
+            reads_across_channels += metrics
+                .get(&format!("ch{channel}_reads"))
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("missing ch{channel}_reads"));
+        }
+        // The high-intensity quick workload reaches DRAM on several
+        // channels; the per-channel reads must sum to something real.
+        assert!(reads_across_channels > 0);
+    }
+
+    #[test]
+    fn single_channel_perf_cells_keep_the_pre_channel_metric_schema() {
+        // Cached single-channel results (written before the channel
+        // dimension existed) and fresh ones must have identical metric
+        // sets, because their cache keys are identical.
+        let spec = ScenarioSpec::Perf(Box::new(crate::scenario::PerfScenario {
+            setup: system_sim::MitigationSetup::AboOnly,
+            rowhammer_threshold: 1024,
+            prac_level: prac_core::config::PracLevel::One,
+            workload: workloads::quick_suite().remove(0),
+            instructions_per_core: 2_000,
+            cores: 2,
+            channels: 1,
+            seed: 78,
+        }));
+        let metrics = execute(&spec);
+        assert!(!metrics.contains_key("channels"));
+        assert!(!metrics.contains_key("ch0_reads"));
+    }
+
+    #[test]
     fn perf_metrics_are_engine_independent() {
         let spec = ScenarioSpec::Perf(Box::new(crate::scenario::PerfScenario {
             setup: system_sim::MitigationSetup::AboOnly,
@@ -392,6 +473,7 @@ mod tests {
             workload: workloads::quick_suite().remove(0),
             instructions_per_core: 5_000,
             cores: 2,
+            channels: 1,
             seed: 41,
         }));
         assert_eq!(

@@ -12,7 +12,7 @@ use prac_core::queue::QueueKind;
 use prac_core::tprac::TrefRate;
 use pracleak::covert::CovertChannelKind;
 use system_sim::MitigationSetup;
-use workloads::{full_suite, quick_suite, WorkloadSpec};
+use workloads::{full_suite, quick_suite, MemoryIntensity, WorkloadSpec};
 
 use crate::scenario::{Campaign, PerfScenario, Scenario, ScenarioSpec};
 
@@ -26,6 +26,9 @@ pub struct Profile {
     pub instructions_per_core: u64,
     /// Cores for full-system performance runs.
     pub cores: u32,
+    /// Memory channels for full-system performance runs (the `scaling`
+    /// campaign sweeps its own channel counts and ignores this knob).
+    pub channels: u32,
 }
 
 impl Profile {
@@ -36,6 +39,7 @@ impl Profile {
             full: false,
             instructions_per_core: 20_000,
             cores: 2,
+            channels: 1,
         }
     }
 
@@ -46,6 +50,7 @@ impl Profile {
             full: true,
             instructions_per_core: 150_000,
             cores: 4,
+            channels: 1,
         }
     }
 
@@ -55,6 +60,19 @@ impl Profile {
         } else {
             quick_suite()
         }
+    }
+
+    /// One representative workload per memory-intensity bucket.
+    fn intensity_buckets(&self) -> Vec<WorkloadSpec> {
+        let suite = self.suite();
+        [
+            MemoryIntensity::High,
+            MemoryIntensity::Medium,
+            MemoryIntensity::Low,
+        ]
+        .into_iter()
+        .filter_map(|band| suite.iter().find(|w| w.intensity == band).cloned())
+        .collect()
     }
 
     fn nrh_sweep(&self) -> &'static [u32] {
@@ -84,6 +102,7 @@ pub fn all_campaigns(profile: &Profile) -> Vec<Campaign> {
         table5(profile),
         storage(profile),
         defenses(profile),
+        scaling(profile),
     ]
 }
 
@@ -117,6 +136,7 @@ fn push_perf_matrix(
                     workload: workload.clone(),
                     instructions_per_core: profile.instructions_per_core,
                     cores: profile.cores,
+                    channels: profile.channels,
                     seed,
                 })),
             ));
@@ -531,6 +551,44 @@ fn defenses(profile: &Profile) -> Campaign {
         0x000F_DEF5,
         "cadence/",
     );
+    campaign
+}
+
+/// Beyond-paper channel-scaling sweep: every registered mitigation engine
+/// across 1, 2 and 4 memory channels, one representative workload per
+/// memory-intensity bucket.  Each channel keeps its own mitigation engine
+/// and ABO responder (as in hardware), so this campaign answers questions
+/// the single-channel registry cannot: how per-channel RFM budgets, TB-RFM
+/// stalls and channel interleaving compose as the memory system grows.
+fn scaling(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "scaling",
+        "Channel scaling: every registered mitigation across 1/2/4 channels",
+        "Beyond-paper: mitigation slowdowns shrink with channel parallelism; per-channel RFM budgets multiply",
+    );
+    let buckets = profile.intensity_buckets();
+    for channels in [1u32, 2, 4] {
+        for descriptor in system_sim::mitigation_registry() {
+            for workload in &buckets {
+                campaign.push(Scenario::new(
+                    format!(
+                        "ch{channels}/{}/{}",
+                        workload.workload.name, descriptor.slug
+                    ),
+                    ScenarioSpec::Perf(Box::new(PerfScenario {
+                        setup: descriptor.setup.clone(),
+                        rowhammer_threshold: 1024,
+                        prac_level: PracLevel::One,
+                        workload: workload.clone(),
+                        instructions_per_core: profile.instructions_per_core,
+                        cores: profile.cores,
+                        channels,
+                        seed: 0x5CA_11E5,
+                    })),
+                ));
+            }
+        }
+    }
     campaign
 }
 

@@ -117,6 +117,8 @@ pub struct PerfScenario {
     pub instructions_per_core: u64,
     /// Number of cores running copies of the workload.
     pub cores: u32,
+    /// Number of memory channels (1 reproduces the paper's system).
+    pub channels: u32,
     /// Trace-generation seed: the entire run is a pure function of the
     /// scenario including this value.
     pub seed: u64,
@@ -207,6 +209,13 @@ impl ScenarioSpec {
                     perf.instructions_per_core.into(),
                 );
                 map.insert("cores".into(), perf.cores.into());
+                // Emitted only for multi-channel cells: single-channel specs
+                // keep the exact canonical JSON (and therefore cache key)
+                // they had before the channel dimension existed, so no
+                // cached result is orphaned by the field's introduction.
+                if perf.channels > 1 {
+                    map.insert("channels".into(), perf.channels.into());
+                }
                 map.insert("seed".into(), perf.seed.into());
             }
             ScenarioSpec::AboLatency {
@@ -391,6 +400,7 @@ mod tests {
                 workload: quick_suite().remove(0),
                 instructions_per_core: 10_000,
                 cores: 2,
+                channels: 1,
                 seed: 7,
             })),
         )
@@ -422,6 +432,28 @@ mod tests {
         let mut b = a.clone();
         b.name = "renamed".into();
         assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn single_channel_specs_omit_the_channel_field() {
+        // Key-stability guarantee: a channels = 1 cell serialises exactly as
+        // it did before the channel dimension existed.
+        let json = perf_scenario(1024).spec.to_json().to_string();
+        assert!(
+            !json.contains("channels"),
+            "unexpected channel field: {json}"
+        );
+    }
+
+    #[test]
+    fn changed_channel_count_changes_the_key() {
+        let a = perf_scenario(1024);
+        let mut b = a.clone();
+        if let ScenarioSpec::Perf(perf) = &mut b.spec {
+            perf.channels = 4;
+        }
+        assert_ne!(a.key(), b.key());
+        assert!(b.spec.to_json().to_string().contains("channels"));
     }
 
     #[test]

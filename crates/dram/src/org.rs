@@ -1,16 +1,24 @@
 //! DRAM organisation and device-level addressing.
 //!
-//! The organisation mirrors Table 3 of the paper: a single channel of
-//! quad-rank DDR5 with 8 bank groups × 4 banks per rank, 128 K rows per bank
-//! and 8 KB rows. [`DramAddress`] is the fully-decoded coordinate of a cache
-//! line inside the device; the physical→DRAM mapping policy that produces it
-//! lives in the `memctrl` crate.
+//! The organisation mirrors Table 3 of the paper — quad-rank DDR5 with
+//! 8 bank groups × 4 banks per rank, 128 K rows per bank and 8 KB rows —
+//! generalised to `channels` identical channels (the paper evaluates one).
+//! [`DramAddress`] is the fully-decoded coordinate of a cache line inside
+//! the memory subsystem, including the channel; the physical→DRAM mapping
+//! policy that produces it lives in the `memctrl` crate.  Every per-bank /
+//! per-rank accessor on [`DramOrganization`] remains *per channel*: a
+//! `DramDevice` models exactly one channel, and the `MemorySubsystem` in the
+//! `system-sim` crate owns one device (behind one controller) per channel.
 
 use serde::{Deserialize, Serialize};
 
-/// Geometry of one DRAM channel.
+/// Geometry of the memory subsystem: `channels` identical DDR5 channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DramOrganization {
+    /// Independent memory channels (each with its own controller and
+    /// command/data bus).  The per-channel geometry below is replicated per
+    /// channel; `1` reproduces the paper's Table 3 system exactly.
+    pub channels: u32,
     /// Ranks per channel.
     pub ranks: u32,
     /// Bank groups per rank.
@@ -31,6 +39,7 @@ impl DramOrganization {
     #[must_use]
     pub fn ddr5_32gb_quad_rank() -> Self {
         Self {
+            channels: 1,
             ranks: 4,
             bank_groups: 8,
             banks_per_group: 4,
@@ -44,6 +53,7 @@ impl DramOrganization {
     #[must_use]
     pub fn tiny_for_tests() -> Self {
         Self {
+            channels: 1,
             ranks: 1,
             bank_groups: 2,
             banks_per_group: 2,
@@ -53,13 +63,22 @@ impl DramOrganization {
         }
     }
 
+    /// Replaces the channel count (builder-style), leaving the per-channel
+    /// geometry untouched.
+    #[must_use]
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        self.channels = channels;
+        self
+    }
+
     /// Banks per rank.
     #[must_use]
     pub fn banks_per_rank(&self) -> u32 {
         self.bank_groups * self.banks_per_group
     }
 
-    /// Total banks in the channel.
+    /// Total banks in **one** channel (the bank array a single device /
+    /// controller manages).
     #[must_use]
     pub fn total_banks(&self) -> u32 {
         self.banks_per_rank() * self.ranks
@@ -71,10 +90,16 @@ impl DramOrganization {
         u64::from(self.columns_per_row) * u64::from(self.column_bytes)
     }
 
-    /// Total channel capacity in bytes.
+    /// Capacity of **one** channel in bytes.
+    #[must_use]
+    pub fn channel_capacity_bytes(&self) -> u64 {
+        self.row_bytes() * u64::from(self.rows_per_bank) * u64::from(self.total_banks())
+    }
+
+    /// Total subsystem capacity in bytes, across every channel.
     #[must_use]
     pub fn capacity_bytes(&self) -> u64 {
-        self.row_bytes() * u64::from(self.rows_per_bank) * u64::from(self.total_banks())
+        self.channel_capacity_bytes() * u64::from(self.channels)
     }
 
     /// Converts a (rank, bank-group, bank) triple into a flat bank index in
@@ -102,13 +127,15 @@ impl DramOrganization {
     /// where the address mapping requires it.
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        let nonzero = self.ranks > 0
+        let nonzero = self.channels > 0
+            && self.ranks > 0
             && self.bank_groups > 0
             && self.banks_per_group > 0
             && self.rows_per_bank > 0
             && self.columns_per_row > 0
             && self.column_bytes > 0;
-        let pow2 = self.ranks.is_power_of_two()
+        let pow2 = self.channels.is_power_of_two()
+            && self.ranks.is_power_of_two()
             && self.bank_groups.is_power_of_two()
             && self.banks_per_group.is_power_of_two()
             && self.rows_per_bank.is_power_of_two()
@@ -125,8 +152,13 @@ impl Default for DramOrganization {
 }
 
 /// Fully decoded DRAM coordinate of one cache line.
+///
+/// The `channel` field is listed first so the derived ordering sorts by
+/// channel before any within-channel coordinate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DramAddress {
+    /// Channel index (0 in single-channel systems).
+    pub channel: u32,
     /// Rank index.
     pub rank: u32,
     /// Bank-group index within the rank.
@@ -140,8 +172,9 @@ pub struct DramAddress {
 }
 
 impl DramAddress {
-    /// Creates an address, asserting (in debug builds) that it is within the
-    /// bounds of `org`.
+    /// Creates a channel-0 address, asserting (in debug builds) that it is
+    /// within the bounds of `org`.  Multi-channel coordinates are built with
+    /// [`DramAddress::with_channel`].
     #[must_use]
     pub fn new(
         org: &DramOrganization,
@@ -160,6 +193,7 @@ impl DramAddress {
         debug_assert!(row < org.rows_per_bank, "row {row} out of range");
         debug_assert!(column < org.columns_per_row, "column {column} out of range");
         Self {
+            channel: 0,
             rank,
             bank_group,
             bank,
@@ -168,7 +202,15 @@ impl DramAddress {
         }
     }
 
-    /// Flat bank index of this address.
+    /// Replaces the channel index (builder-style).
+    #[must_use]
+    pub fn with_channel(mut self, channel: u32) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Flat bank index of this address **within its channel** (the index a
+    /// single channel's device uses; the channel itself selects the device).
     #[must_use]
     pub fn flat_bank(&self, org: &DramOrganization) -> u32 {
         org.flat_bank_index(self.rank, self.bank_group, self.bank)
@@ -178,7 +220,10 @@ impl DramAddress {
     /// contend for the same row buffer).
     #[must_use]
     pub fn same_bank(&self, other: &DramAddress) -> bool {
-        self.rank == other.rank && self.bank_group == other.bank_group && self.bank == other.bank
+        self.channel == other.channel
+            && self.rank == other.rank
+            && self.bank_group == other.bank_group
+            && self.bank == other.bank
     }
 
     /// Returns `true` when two addresses target the same row of the same bank.
@@ -190,6 +235,11 @@ impl DramAddress {
 
 impl std::fmt::Display for DramAddress {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Channel 0 is elided so single-channel output stays compact (and
+        // byte-identical to the pre-multi-channel format).
+        if self.channel != 0 {
+            write!(f, "ch{}.", self.channel)?;
+        }
         write!(
             f,
             "r{}.bg{}.b{}.row{}.col{}",
@@ -236,6 +286,20 @@ mod tests {
         let mut org = DramOrganization::tiny_for_tests();
         org.columns_per_row = 3;
         assert!(!org.is_valid());
+        let org = DramOrganization::tiny_for_tests().with_channels(0);
+        assert!(!org.is_valid());
+        let org = DramOrganization::tiny_for_tests().with_channels(3);
+        assert!(!org.is_valid());
+    }
+
+    #[test]
+    fn channels_scale_capacity_not_per_channel_geometry() {
+        let one = DramOrganization::ddr5_32gb_quad_rank();
+        let four = one.with_channels(4);
+        assert!(four.is_valid());
+        assert_eq!(four.total_banks(), one.total_banks());
+        assert_eq!(four.channel_capacity_bytes(), one.capacity_bytes());
+        assert_eq!(four.capacity_bytes(), 4 * one.capacity_bytes());
     }
 
     #[test]
@@ -249,6 +313,11 @@ mod tests {
         assert!(a.same_bank(&c));
         assert!(!a.same_row(&c));
         assert!(!a.same_bank(&d));
+        // The same within-channel coordinates in another channel are a
+        // different bank (and a different row).
+        let e = a.with_channel(1);
+        assert!(!a.same_bank(&e));
+        assert!(!a.same_row(&e));
     }
 
     #[test]
@@ -256,6 +325,7 @@ mod tests {
         let org = DramOrganization::tiny_for_tests();
         let a = DramAddress::new(&org, 0, 1, 0, 9, 2);
         assert_eq!(a.to_string(), "r0.bg1.b0.row9.col2");
+        assert_eq!(a.with_channel(2).to_string(), "ch2.r0.bg1.b0.row9.col2");
     }
 }
 

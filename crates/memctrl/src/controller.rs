@@ -9,7 +9,7 @@ use prac_core::mitigation::{BankActivationView, MitigationEngine};
 use prac_core::obfuscation::{InjectionSequence, ObfuscationConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::mapping::{AddressMapping, MappingKind};
+use crate::mapping::{AddressMapping, ChannelInterleave, MappingKind};
 use crate::request::{CompletedRequest, MemoryRequest, RequestKind};
 use crate::rfm::{AboResponder, RfmKind};
 use crate::scheduler::{FrFcfsScheduler, SchedulerCandidate};
@@ -30,6 +30,9 @@ pub enum PagePolicy {
 pub struct ControllerConfig {
     /// Physical→DRAM mapping policy.
     pub mapping: MappingKind,
+    /// Which physical-address bits select the channel in multi-channel
+    /// organisations (no effect with one channel).
+    pub channel_interleave: ChannelInterleave,
     /// Row-buffer management policy.
     pub page_policy: PagePolicy,
     /// FR-FCFS consecutive-row-hit cap (0 disables the cap).
@@ -48,6 +51,7 @@ impl Default for ControllerConfig {
     fn default() -> Self {
         Self {
             mapping: MappingKind::Mop,
+            channel_interleave: ChannelInterleave::CacheLine,
             page_policy: PagePolicy::Open,
             frfcfs_cap: 4,
             queue_capacity: 64,
@@ -82,6 +86,9 @@ struct PendingRequest {
 pub struct MemoryController {
     device: DramDevice,
     config: ControllerConfig,
+    /// Which channel of the subsystem this controller drives (0 in
+    /// single-channel systems).  Requests routed here must decode to it.
+    channel_index: u32,
     mapping: Box<dyn AddressMapping>,
     scheduler: FrFcfsScheduler,
     pending: Vec<PendingRequest>,
@@ -161,11 +168,14 @@ impl MemoryController {
         let injection = config
             .obfuscation
             .map(|cfg| InjectionSequence::new(cfg, config.obfuscation_seed));
-        let mapping = config.mapping.instantiate(device_config.organization);
+        let mapping = config
+            .mapping
+            .instantiate_with(device_config.organization, config.channel_interleave);
         let scheduler = FrFcfsScheduler::new(config.frfcfs_cap);
         let next_refresh = timing.t_refi;
         Self {
             device: DramDevice::new(device_config),
+            channel_index: 0,
             mapping,
             scheduler,
             pending: Vec::with_capacity(config.queue_capacity),
@@ -179,6 +189,21 @@ impl MemoryController {
             config,
             rfm_log: Vec::new(),
         }
+    }
+
+    /// Assigns the channel of the subsystem this controller drives
+    /// (builder-style; 0 by default).  Enqueued requests are
+    /// `debug_assert`ed to decode to this channel.
+    #[must_use]
+    pub fn for_channel(mut self, channel_index: u32) -> Self {
+        self.channel_index = channel_index;
+        self
+    }
+
+    /// The channel of the subsystem this controller drives.
+    #[must_use]
+    pub fn channel_index(&self) -> u32 {
+        self.channel_index
     }
 
     /// The controller configuration.
@@ -253,6 +278,11 @@ impl MemoryController {
             return false;
         }
         let address = self.mapping.decode(request.physical_address);
+        debug_assert_eq!(
+            address.channel, self.channel_index,
+            "request {:#x} routed to the wrong channel",
+            request.physical_address
+        );
         self.pending.push(PendingRequest {
             request,
             address,

@@ -15,15 +15,41 @@
 //!   baseline in tests.
 //!
 //! All mappings are bijective on the cache-line index; property tests verify
-//! the round trip.
+//! the round trip (including the channel bits in multi-channel
+//! organisations).
+//!
+//! # Channel bits
+//!
+//! When the organisation has more than one channel, every mapping carves
+//! `log2(channels)` bits out of the cache-line index *before* applying its
+//! per-channel layout.  Where those bits sit is the
+//! [`ChannelInterleave`] granularity:
+//!
+//! * [`ChannelInterleave::CacheLine`] — the bits right above the cache-line
+//!   byte offset: consecutive cache lines rotate across channels (maximum
+//!   channel-level parallelism for streaming traffic).
+//! * [`ChannelInterleave::Row`] — the bits right above one row's worth of
+//!   physical address space: consecutive row-sized blocks rotate across
+//!   channels (a streaming access burst stays on one channel's open row).
+//!
+//! With one channel the channel field is zero bits wide and every mapping
+//! decodes bit-identically to the pre-multi-channel layout.
 
 use dram_sim::org::{DramAddress, DramOrganization};
 use serde::{Deserialize, Serialize};
 
 /// A physical→DRAM address translation policy.
 pub trait AddressMapping: std::fmt::Debug + Send + Sync {
-    /// Decodes a physical byte address into DRAM coordinates.
+    /// Decodes a physical byte address into DRAM coordinates (including the
+    /// channel in multi-channel organisations).
     fn decode(&self, physical_address: u64) -> DramAddress;
+
+    /// Decodes only the channel of a physical byte address.  Routers on the
+    /// per-request hot path use this instead of a full [`AddressMapping::decode`];
+    /// the provided implementations reduce it to a shift-and-mask.
+    fn decode_channel(&self, physical_address: u64) -> u32 {
+        self.decode(physical_address).channel
+    }
 
     /// Re-encodes DRAM coordinates into the physical byte address of the
     /// start of that cache line (inverse of [`AddressMapping::decode`]).
@@ -31,6 +57,48 @@ pub trait AddressMapping: std::fmt::Debug + Send + Sync {
 
     /// The organisation this mapping was built for.
     fn organization(&self) -> &DramOrganization;
+}
+
+/// Which physical-address bits select the channel in multi-channel
+/// organisations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ChannelInterleave {
+    /// Channel bits right above the cache-line offset: consecutive cache
+    /// lines rotate across channels.
+    #[default]
+    CacheLine,
+    /// Channel bits right above a row-sized block: consecutive rows' worth
+    /// of physical addresses rotate across channels.
+    Row,
+}
+
+impl ChannelInterleave {
+    /// Stable CLI / config spelling.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelInterleave::CacheLine => "cache-line",
+            ChannelInterleave::Row => "row",
+        }
+    }
+
+    /// Parses a CLI spelling (`"cache-line"` / `"row"`).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "cache-line" | "cacheline" | "line" => Some(ChannelInterleave::CacheLine),
+            "row" => Some(ChannelInterleave::Row),
+            _ => None,
+        }
+    }
+
+    /// Bit offset of the channel field within the cache-line index.
+    fn line_bit_offset(self, org: &DramOrganization) -> u32 {
+        match self {
+            ChannelInterleave::CacheLine => 0,
+            ChannelInterleave::Row => log2(org.columns_per_row),
+        }
+    }
 }
 
 /// Selector for the provided mapping policies.
@@ -46,13 +114,29 @@ pub enum MappingKind {
 }
 
 impl MappingKind {
-    /// Instantiates the mapping for `org`.
+    /// Instantiates the mapping for `org` with the default (cache-line)
+    /// channel interleave.
     #[must_use]
     pub fn instantiate(self, org: DramOrganization) -> Box<dyn AddressMapping> {
+        self.instantiate_with(org, ChannelInterleave::default())
+    }
+
+    /// Instantiates the mapping for `org` with an explicit channel-interleave
+    /// granularity.
+    #[must_use]
+    pub fn instantiate_with(
+        self,
+        org: DramOrganization,
+        interleave: ChannelInterleave,
+    ) -> Box<dyn AddressMapping> {
         match self {
-            MappingKind::Mop => Box::new(MopMapping::new(org)),
-            MappingKind::BankStriped => Box::new(BankStripedMapping::new(org)),
-            MappingKind::RowInterleaved => Box::new(RowInterleavedMapping::new(org)),
+            MappingKind::Mop => Box::new(MopMapping::new(org).with_interleave(interleave)),
+            MappingKind::BankStriped => {
+                Box::new(BankStripedMapping::new(org).with_interleave(interleave))
+            }
+            MappingKind::RowInterleaved => {
+                Box::new(RowInterleavedMapping::new(org).with_interleave(interleave))
+            }
         }
     }
 }
@@ -62,20 +146,28 @@ fn log2(value: u32) -> u32 {
     value.trailing_zeros()
 }
 
-/// Splits a cache-line index into fields of the given widths (low to high),
-/// returning the extracted fields.
-fn extract_fields(mut index: u64, widths: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(widths.len());
-    for &w in widths {
+/// Splits a cache-line index into fields of the given widths (low to high).
+///
+/// Monomorphised over the field count so the result lives on the stack:
+/// decode/encode sit on the per-request hot path of every controller and
+/// must not allocate.
+///
+/// `pub` but hidden: not API — exported only so the criterion harness
+/// benches the shipped kernel rather than a copy that could drift.
+#[doc(hidden)]
+pub fn extract_fields<const N: usize>(mut index: u64, widths: &[u32; N]) -> [u32; N] {
+    let mut out = [0u32; N];
+    for (slot, &w) in out.iter_mut().zip(widths) {
         let mask = (1u64 << w) - 1;
-        out.push((index & mask) as u32);
+        *slot = (index & mask) as u32;
         index >>= w;
     }
     out
 }
 
-fn pack_fields(fields: &[u32], widths: &[u32]) -> u64 {
-    debug_assert_eq!(fields.len(), widths.len());
+/// Inverse of [`extract_fields`]; `pub` but hidden for the same reason.
+#[doc(hidden)]
+pub fn pack_fields<const N: usize>(fields: &[u32; N], widths: &[u32; N]) -> u64 {
     let mut out = 0u64;
     let mut shift = 0u32;
     for (&f, &w) in fields.iter().zip(widths) {
@@ -84,6 +176,57 @@ fn pack_fields(fields: &[u32], widths: &[u32]) -> u64 {
         shift += w;
     }
     out
+}
+
+/// Reduces a physical byte address to a cache-line index within the whole
+/// (all-channel) subsystem capacity.
+fn subsystem_line(org: &DramOrganization, physical_address: u64) -> u64 {
+    (physical_address / u64::from(org.column_bytes))
+        % (org.capacity_bytes() / u64::from(org.column_bytes))
+}
+
+/// Extracts the channel bits from a subsystem cache-line index, returning
+/// `(channel, within-channel line index)`.  Zero-width (single-channel)
+/// splits are the identity.
+fn split_channel(line: u64, org: &DramOrganization, interleave: ChannelInterleave) -> (u32, u64) {
+    let width = log2(org.channels);
+    if width == 0 {
+        return (0, line);
+    }
+    let offset = interleave.line_bit_offset(org);
+    let low = line & ((1u64 << offset) - 1);
+    let channel = ((line >> offset) & ((1u64 << width) - 1)) as u32;
+    let high = line >> (offset + width);
+    (channel, low | (high << offset))
+}
+
+/// Channel bits of a physical address, without the full field extraction —
+/// the shared fast path behind every mapping's
+/// [`AddressMapping::decode_channel`].
+fn channel_of(org: &DramOrganization, interleave: ChannelInterleave, physical_address: u64) -> u32 {
+    if org.channels == 1 {
+        return 0;
+    }
+    split_channel(subsystem_line(org, physical_address), org, interleave).0
+}
+
+/// Inverse of [`split_channel`]: re-inserts the channel bits into a
+/// within-channel line index.
+fn join_channel(
+    channel: u32,
+    inner: u64,
+    org: &DramOrganization,
+    interleave: ChannelInterleave,
+) -> u64 {
+    let width = log2(org.channels);
+    if width == 0 {
+        return inner;
+    }
+    debug_assert!(channel < org.channels, "channel {channel} out of range");
+    let offset = interleave.line_bit_offset(org);
+    let low = inner & ((1u64 << offset) - 1);
+    let high = inner >> offset;
+    low | (u64::from(channel) << offset) | (high << (offset + width))
 }
 
 /// Minimalist Open-Page mapping.
@@ -96,6 +239,7 @@ fn pack_fields(fields: &[u32], widths: &[u32]) -> u64 {
 pub struct MopMapping {
     org: DramOrganization,
     mop_run: u32,
+    interleave: ChannelInterleave,
 }
 
 impl MopMapping {
@@ -108,7 +252,18 @@ impl MopMapping {
     pub fn new(org: DramOrganization) -> Self {
         assert!(org.is_valid(), "organisation must be power-of-two sized");
         let mop_run = 4.min(org.columns_per_row);
-        Self { org, mop_run }
+        Self {
+            org,
+            mop_run,
+            interleave: ChannelInterleave::default(),
+        }
+    }
+
+    /// Replaces the channel-interleave granularity (builder-style).
+    #[must_use]
+    pub fn with_interleave(mut self, interleave: ChannelInterleave) -> Self {
+        self.interleave = interleave;
+        self
     }
 
     fn widths(&self) -> [u32; 6] {
@@ -127,18 +282,23 @@ impl MopMapping {
 
 impl AddressMapping for MopMapping {
     fn decode(&self, physical_address: u64) -> DramAddress {
-        let line = (physical_address / u64::from(self.org.column_bytes))
-            % (self.org.capacity_bytes() / u64::from(self.org.column_bytes));
+        let line = subsystem_line(&self.org, physical_address);
+        let (channel, inner) = split_channel(line, &self.org, self.interleave);
         let widths = self.widths();
-        let f = extract_fields(line, &widths);
+        let f = extract_fields(inner, &widths);
         let column = f[0] | (f[4] << log2(self.mop_run));
         DramAddress {
+            channel,
             rank: f[3],
             bank_group: f[1],
             bank: f[2],
             row: f[5],
             column,
         }
+    }
+
+    fn decode_channel(&self, physical_address: u64) -> u32 {
+        channel_of(&self.org, self.interleave, physical_address)
     }
 
     fn encode(&self, address: &DramAddress) -> u64 {
@@ -154,7 +314,9 @@ impl AddressMapping for MopMapping {
             col_high,
             address.row,
         ];
-        pack_fields(&fields, &widths) * u64::from(self.org.column_bytes)
+        let inner = pack_fields(&fields, &widths);
+        join_channel(address.channel, inner, &self.org, self.interleave)
+            * u64::from(self.org.column_bytes)
     }
 
     fn organization(&self) -> &DramOrganization {
@@ -172,6 +334,7 @@ impl AddressMapping for MopMapping {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BankStripedMapping {
     org: DramOrganization,
+    interleave: ChannelInterleave,
 }
 
 impl BankStripedMapping {
@@ -183,7 +346,17 @@ impl BankStripedMapping {
     #[must_use]
     pub fn new(org: DramOrganization) -> Self {
         assert!(org.is_valid(), "organisation must be power-of-two sized");
-        Self { org }
+        Self {
+            org,
+            interleave: ChannelInterleave::default(),
+        }
+    }
+
+    /// Replaces the channel-interleave granularity (builder-style).
+    #[must_use]
+    pub fn with_interleave(mut self, interleave: ChannelInterleave) -> Self {
+        self.interleave = interleave;
+        self
     }
 
     fn widths(&self) -> [u32; 5] {
@@ -199,16 +372,21 @@ impl BankStripedMapping {
 
 impl AddressMapping for BankStripedMapping {
     fn decode(&self, physical_address: u64) -> DramAddress {
-        let line = (physical_address / u64::from(self.org.column_bytes))
-            % (self.org.capacity_bytes() / u64::from(self.org.column_bytes));
-        let f = extract_fields(line, &self.widths());
+        let line = subsystem_line(&self.org, physical_address);
+        let (channel, inner) = split_channel(line, &self.org, self.interleave);
+        let f = extract_fields(inner, &self.widths());
         DramAddress {
+            channel,
             bank_group: f[0],
             bank: f[1],
             rank: f[2],
             column: f[3],
             row: f[4],
         }
+    }
+
+    fn decode_channel(&self, physical_address: u64) -> u32 {
+        channel_of(&self.org, self.interleave, physical_address)
     }
 
     fn encode(&self, address: &DramAddress) -> u64 {
@@ -219,7 +397,9 @@ impl AddressMapping for BankStripedMapping {
             address.column,
             address.row,
         ];
-        pack_fields(&fields, &self.widths()) * u64::from(self.org.column_bytes)
+        let inner = pack_fields(&fields, &self.widths());
+        join_channel(address.channel, inner, &self.org, self.interleave)
+            * u64::from(self.org.column_bytes)
     }
 
     fn organization(&self) -> &DramOrganization {
@@ -232,6 +412,7 @@ impl AddressMapping for BankStripedMapping {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RowInterleavedMapping {
     org: DramOrganization,
+    interleave: ChannelInterleave,
 }
 
 impl RowInterleavedMapping {
@@ -243,7 +424,17 @@ impl RowInterleavedMapping {
     #[must_use]
     pub fn new(org: DramOrganization) -> Self {
         assert!(org.is_valid(), "organisation must be power-of-two sized");
-        Self { org }
+        Self {
+            org,
+            interleave: ChannelInterleave::default(),
+        }
+    }
+
+    /// Replaces the channel-interleave granularity (builder-style).
+    #[must_use]
+    pub fn with_interleave(mut self, interleave: ChannelInterleave) -> Self {
+        self.interleave = interleave;
+        self
     }
 
     fn widths(&self) -> [u32; 5] {
@@ -259,16 +450,21 @@ impl RowInterleavedMapping {
 
 impl AddressMapping for RowInterleavedMapping {
     fn decode(&self, physical_address: u64) -> DramAddress {
-        let line = (physical_address / u64::from(self.org.column_bytes))
-            % (self.org.capacity_bytes() / u64::from(self.org.column_bytes));
-        let f = extract_fields(line, &self.widths());
+        let line = subsystem_line(&self.org, physical_address);
+        let (channel, inner) = split_channel(line, &self.org, self.interleave);
+        let f = extract_fields(inner, &self.widths());
         DramAddress {
+            channel,
             column: f[0],
             bank: f[1],
             bank_group: f[2],
             rank: f[3],
             row: f[4],
         }
+    }
+
+    fn decode_channel(&self, physical_address: u64) -> u32 {
+        channel_of(&self.org, self.interleave, physical_address)
     }
 
     fn encode(&self, address: &DramAddress) -> u64 {
@@ -279,7 +475,9 @@ impl AddressMapping for RowInterleavedMapping {
             address.rank,
             address.row,
         ];
-        pack_fields(&fields, &self.widths()) * u64::from(self.org.column_bytes)
+        let inner = pack_fields(&fields, &self.widths());
+        join_channel(address.channel, inner, &self.org, self.interleave)
+            * u64::from(self.org.column_bytes)
     }
 
     fn organization(&self) -> &DramOrganization {
@@ -327,6 +525,7 @@ mod tests {
         // find the encode of the same (bank, row) with different columns.
         let m = BankStripedMapping::new(org());
         let row_addr = DramAddress {
+            channel: 0,
             rank: 0,
             bank_group: 0,
             bank: 0,
@@ -399,6 +598,112 @@ mod tests {
         o.columns_per_row = 3;
         let _ = MopMapping::new(o);
     }
+
+    #[test]
+    fn cache_line_interleave_rotates_consecutive_lines_across_channels() {
+        let o = org().with_channels(4);
+        for kind in [
+            MappingKind::Mop,
+            MappingKind::BankStriped,
+            MappingKind::RowInterleaved,
+        ] {
+            let m = kind.instantiate_with(o, ChannelInterleave::CacheLine);
+            let channels: Vec<u32> = (0..8u64).map(|i| m.decode(i * 64).channel).collect();
+            assert_eq!(
+                channels,
+                vec![0, 1, 2, 3, 0, 1, 2, 3],
+                "{kind:?} must rotate channels per cache line"
+            );
+        }
+    }
+
+    #[test]
+    fn row_interleave_keeps_a_row_block_on_one_channel() {
+        let o = org().with_channels(4);
+        let row_bytes = o.row_bytes();
+        for kind in [
+            MappingKind::Mop,
+            MappingKind::BankStriped,
+            MappingKind::RowInterleaved,
+        ] {
+            let m = kind.instantiate_with(o, ChannelInterleave::Row);
+            // Every cache line of the first row-sized block shares channel 0;
+            // the next block moves to channel 1.
+            for i in 0..(row_bytes / 64) {
+                assert_eq!(m.decode(i * 64).channel, 0, "{kind:?} line {i}");
+            }
+            assert_eq!(m.decode(row_bytes).channel, 1, "{kind:?} next block");
+        }
+    }
+
+    #[test]
+    fn single_channel_decode_is_unchanged_by_the_channel_field() {
+        // A 1-channel organisation must decode exactly as before the
+        // multi-channel refactor regardless of the interleave knob.
+        for interleave in [ChannelInterleave::CacheLine, ChannelInterleave::Row] {
+            let m = MopMapping::new(org()).with_interleave(interleave);
+            for pa in [0u64, 64, 4096, 1 << 20, (1 << 30) + 64 * 7] {
+                let d = m.decode(pa);
+                assert_eq!(d.channel, 0);
+                assert_eq!(m.encode(&d), pa);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_channel_agrees_with_the_full_decode() {
+        for channels in [1u32, 2, 4] {
+            let o = org().with_channels(channels);
+            for kind in [
+                MappingKind::Mop,
+                MappingKind::BankStriped,
+                MappingKind::RowInterleaved,
+            ] {
+                for interleave in [ChannelInterleave::CacheLine, ChannelInterleave::Row] {
+                    let m = kind.instantiate_with(o, interleave);
+                    for pa in [0u64, 64, 8192, 1 << 21, (1 << 34) + 192] {
+                        assert_eq!(
+                            m.decode_channel(pa),
+                            m.decode(pa).channel,
+                            "{kind:?}/{interleave:?}/{channels}ch at {pa:#x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_labels_round_trip() {
+        for interleave in [ChannelInterleave::CacheLine, ChannelInterleave::Row] {
+            assert_eq!(
+                ChannelInterleave::parse(interleave.label()),
+                Some(interleave)
+            );
+        }
+        assert_eq!(ChannelInterleave::parse("diagonal"), None);
+    }
+
+    #[test]
+    fn multi_channel_decode_stays_within_bounds() {
+        let o = org().with_channels(2);
+        for kind in [
+            MappingKind::Mop,
+            MappingKind::BankStriped,
+            MappingKind::RowInterleaved,
+        ] {
+            let m = kind.instantiate(o);
+            for pa in [0u64, 64, 1 << 21, (1 << 34) + 128, o.capacity_bytes() - 64] {
+                let d = m.decode(pa);
+                assert!(d.channel < o.channels);
+                assert!(d.rank < o.ranks);
+                assert!(d.bank_group < o.bank_groups);
+                assert!(d.bank < o.banks_per_group);
+                assert!(d.row < o.rows_per_bank);
+                assert!(d.column < o.columns_per_row);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +745,46 @@ mod proptests {
         fn decode_is_injective(a in 0u64..(1u64 << 28), b in 0u64..(1u64 << 28)) {
             prop_assume!(a != b);
             let m = MopMapping::new(org());
+            prop_assert_ne!(m.decode(a * 64), m.decode(b * 64));
+        }
+
+        /// Every mapping × interleave × channel count round-trips including
+        /// the channel bits.
+        #[test]
+        fn multi_channel_bijective(
+            line in 0u64..(1u64 << 31),
+            channels in 1u32..4u32,
+            kind_index in 0usize..3,
+            row_interleave in 0u32..2,
+        ) {
+            let o = org().with_channels(1 << channels);
+            let kind = [
+                MappingKind::Mop,
+                MappingKind::BankStriped,
+                MappingKind::RowInterleaved,
+            ][kind_index];
+            let interleave = if row_interleave == 1 {
+                ChannelInterleave::Row
+            } else {
+                ChannelInterleave::CacheLine
+            };
+            let m = kind.instantiate_with(o, interleave);
+            let pa = line * 64;
+            let decoded = m.decode(pa);
+            prop_assert!(decoded.channel < o.channels);
+            prop_assert_eq!(m.encode(&decoded), pa);
+        }
+
+        /// The channel bits really partition the line space: distinct lines
+        /// that decode to the same channel stay distinct within the channel.
+        #[test]
+        fn multi_channel_decode_is_injective(
+            a in 0u64..(1u64 << 26),
+            b in 0u64..(1u64 << 26),
+        ) {
+            prop_assume!(a != b);
+            let o = org().with_channels(4);
+            let m = BankStripedMapping::new(o).with_interleave(ChannelInterleave::Row);
             prop_assert_ne!(m.decode(a * 64), m.decode(b * 64));
         }
     }

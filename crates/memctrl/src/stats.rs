@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use crate::rfm::RfmKind;
 
 /// Counters accumulated by the memory controller.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ControllerStats {
     /// Read requests completed.
     pub reads_completed: u64,
@@ -103,6 +103,47 @@ impl ControllerStats {
         self.total_latency_ticks += latency_ticks;
         self.max_latency_ticks = self.max_latency_ticks.max(latency_ticks);
     }
+
+    /// Merges another statistics block into this one (used when aggregating
+    /// across the channels of a memory subsystem): counters add, the
+    /// maximum latency takes the max.
+    ///
+    /// The exhaustive destructuring makes adding a field to
+    /// [`ControllerStats`] without aggregating it here a compile error.
+    pub fn merge(&mut self, other: &ControllerStats) {
+        let ControllerStats {
+            reads_completed,
+            writes_completed,
+            row_hits,
+            row_misses,
+            row_conflicts,
+            refreshes_issued,
+            abo_rfms,
+            acb_rfms,
+            tb_rfms,
+            periodic_rfms,
+            para_rfms,
+            injected_rfms,
+            tb_rfms_skipped,
+            total_latency_ticks,
+            max_latency_ticks,
+        } = *other;
+        self.reads_completed += reads_completed;
+        self.writes_completed += writes_completed;
+        self.row_hits += row_hits;
+        self.row_misses += row_misses;
+        self.row_conflicts += row_conflicts;
+        self.refreshes_issued += refreshes_issued;
+        self.abo_rfms += abo_rfms;
+        self.acb_rfms += acb_rfms;
+        self.tb_rfms += tb_rfms;
+        self.periodic_rfms += periodic_rfms;
+        self.para_rfms += para_rfms;
+        self.injected_rfms += injected_rfms;
+        self.tb_rfms_skipped += tb_rfms_skipped;
+        self.total_latency_ticks += total_latency_ticks;
+        self.max_latency_ticks = self.max_latency_ticks.max(max_latency_ticks);
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +189,33 @@ mod tests {
         assert_eq!(s.max_latency_ticks, 300);
         assert!((s.average_latency_ticks() - 200.0).abs() < 1e-9);
         assert!((s.average_latency_ns() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_latency() {
+        let mut a = ControllerStats {
+            reads_completed: 3,
+            row_hits: 2,
+            tb_rfms: 1,
+            total_latency_ticks: 500,
+            max_latency_ticks: 400,
+            ..Default::default()
+        };
+        let b = ControllerStats {
+            reads_completed: 1,
+            row_hits: 4,
+            abo_rfms: 2,
+            total_latency_ticks: 100,
+            max_latency_ticks: 90,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reads_completed, 4);
+        assert_eq!(a.row_hits, 6);
+        assert_eq!(a.tb_rfms, 1);
+        assert_eq!(a.abo_rfms, 2);
+        assert_eq!(a.total_latency_ticks, 600);
+        assert_eq!(a.max_latency_ticks, 400);
     }
 
     #[test]

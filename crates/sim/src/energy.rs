@@ -60,6 +60,7 @@ mod tests {
                 rows_mitigated_by_rfm: rows_mitigated,
                 ..DramStats::default()
             },
+            channel_stats: Vec::new(),
             rfm_log: Vec::new(),
             elapsed_ticks: ticks,
             completed: true,

@@ -18,7 +18,7 @@ use cpu_sim::trace::Trace;
 use dram_sim::device::DramDeviceConfig;
 use memctrl::controller::ControllerConfig;
 use prac_core::config::{MitigationPolicy, PracConfig, PracLevel};
-use prac_core::error::Result;
+use prac_core::error::{ConfigError, Result};
 use prac_core::security::CounterResetPolicy;
 use prac_core::timing::DramTimingSummary;
 use prac_core::tprac::{TpracConfig, TrefRate};
@@ -339,6 +339,8 @@ pub struct ExperimentConfig {
     pub instructions_per_core: u64,
     /// Number of cores (homogeneous workload copies).
     pub cores: u32,
+    /// Number of memory channels (1 reproduces the paper's Table 3 system).
+    pub channels: u32,
     /// Engine visiting the ticks.  Results are engine-independent (asserted
     /// by the differential suite), so this is an execution knob, not part of
     /// the experiment's identity.
@@ -346,8 +348,8 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// The paper's default operating point (NRH = 1024, PRAC-1, 4 cores) with
-    /// a configurable instruction budget.
+    /// The paper's default operating point (NRH = 1024, PRAC-1, 4 cores,
+    /// one channel) with a configurable instruction budget.
     #[must_use]
     pub fn new(setup: MitigationSetup, instructions_per_core: u64) -> Self {
         Self {
@@ -356,6 +358,7 @@ impl ExperimentConfig {
             setup,
             instructions_per_core,
             cores: 4,
+            channels: 1,
             engine: EngineKind::default(),
         }
     }
@@ -388,6 +391,16 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the memory-channel count.  Must be a power of two;
+    /// [`ExperimentConfig::build_system_config`] reports a violation as a
+    /// [`ConfigError::InvalidParameter`] rather than panicking deep inside
+    /// the address mapping.
+    #[must_use]
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        self.channels = channels;
+        self
+    }
+
     /// Derives the DRAM-device and controller configurations for this
     /// experiment by resolving the setup's descriptor.
     ///
@@ -395,8 +408,16 @@ impl ExperimentConfig {
     ///
     /// Propagates [`MitigationSetup::resolve`] failures (e.g. no safe
     /// TB-Window for the requested threshold) instead of silently running a
-    /// different configuration.
+    /// different configuration, and rejects a channel count that is zero or
+    /// not a power of two (the address mappings require power-of-two
+    /// dimensions).
     pub fn build_system_config(&self) -> Result<SystemConfig> {
+        if self.channels == 0 || !self.channels.is_power_of_two() {
+            return Err(ConfigError::InvalidParameter {
+                name: "channels",
+                reason: format!("must be a power of two, got {}", self.channels),
+            });
+        }
         let timing = DramTimingSummary::ddr5_8000b();
         let resolved = self.setup.resolve(self.rowhammer_threshold, &timing)?;
         let prac = PracConfig::builder()
@@ -406,11 +427,12 @@ impl ExperimentConfig {
             .counter_reset_every_trefw(resolved.counter_reset)
             .policy(resolved.policy)
             .try_build()?;
-        let device = DramDeviceConfig {
+        let mut device = DramDeviceConfig {
             prac,
             tref_every_n_refreshes: resolved.tref_every_n_refreshes,
             ..DramDeviceConfig::paper_default()
         };
+        device.organization = device.organization.with_channels(self.channels);
         let mut cpu = CpuConfig::paper_default();
         cpu.cores = self.cores;
         Ok(SystemConfig {
@@ -418,6 +440,11 @@ impl ExperimentConfig {
             device,
             controller: ControllerConfig::default(),
             instructions_per_core: self.instructions_per_core,
+            // The livelock cap budgets one channel's bandwidth (the worst
+            // case).  Extra channels only retire instructions faster, so the
+            // cap is deliberately independent of `self.channels`: scaling it
+            // down would truncate legitimate runs that momentarily serialise
+            // on one hot channel.
             max_ticks: self
                 .instructions_per_core
                 .saturating_mul(600)
@@ -573,6 +600,31 @@ mod tests {
             "unexpected error {err:?}"
         );
         assert!(run_workload(&config, &low_intensity_workload(), 1).is_err());
+    }
+
+    #[test]
+    fn invalid_channel_counts_are_rejected_as_config_errors() {
+        for channels in [0u32, 3, 6] {
+            let config =
+                ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_channels(channels);
+            let err = config.build_system_config().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ConfigError::InvalidParameter {
+                        name: "channels",
+                        ..
+                    }
+                ),
+                "channels = {channels}: unexpected error {err:?}"
+            );
+        }
+        // Powers of two are accepted.
+        for channels in [1u32, 2, 8] {
+            let config =
+                ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_channels(channels);
+            assert_eq!(config.build_system_config().unwrap().channels(), channels);
+        }
     }
 
     #[test]

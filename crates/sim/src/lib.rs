@@ -6,7 +6,12 @@
 //! sensitivity studies (Figures 10–14 and Table 5).
 //!
 //! * [`system`] — the [`system::SystemSimulation`] wiring the CPU cluster to
-//!   the memory controller, and the per-run result record.
+//!   the memory subsystem, and the per-run result record (aggregate and
+//!   per-channel statistics).
+//! * [`subsystem`] — the multi-channel [`subsystem::MemorySubsystem`]: one
+//!   memory controller (with its own PRAC device and mitigation engine) per
+//!   channel behind a channel-bit address router; one channel reproduces
+//!   the paper's single-channel system bit-identically.
 //! * [`event`] — the two interchangeable execution engines behind one trait:
 //!   the legacy per-tick loop ([`event::TickEngine`]) and the event-driven
 //!   engine ([`event::EventEngine`]) whose binary-heap [`event::EventWheel`]
@@ -33,6 +38,7 @@ pub mod energy;
 pub mod event;
 pub mod experiment;
 pub mod parallel;
+pub mod subsystem;
 pub mod system;
 
 pub use energy::energy_overhead_for;
@@ -42,4 +48,5 @@ pub use experiment::{
     MitigationDescriptor, MitigationSetup, ResolvedMitigation, PARA_DEFAULT_SEED,
 };
 pub use parallel::{parallel_map, parallel_map_streaming};
+pub use subsystem::{ChannelStats, MemorySubsystem};
 pub use system::{SystemConfig, SystemResult, SystemSimulation};

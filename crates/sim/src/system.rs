@@ -1,10 +1,17 @@
-//! The full-system simulation: CPU cluster ⇄ memory controller ⇄ PRAC DRAM.
+//! The full-system simulation: CPU cluster ⇄ memory subsystem ⇄ PRAC DRAM.
 //!
 //! [`SystemSimulation`] owns the wiring and the per-tick step; *how* the
 //! ticks are visited is delegated to a [`SimulationEngine`] — the legacy
 //! [`crate::event::TickEngine`] that walks every DRAM clock, or the
 //! event-driven [`crate::event::EventEngine`] that jumps between component
 //! wake-ups.  Both produce bit-identical [`SystemResult`]s.
+//!
+//! The memory side is a [`MemorySubsystem`]: one controller (and device, and
+//! mitigation engine) per channel of the configured
+//! [`dram_sim::org::DramOrganization`].  CPU requests fan out to channels by
+//! their decoded channel bits and completions merge back into the shared
+//! in-flight map; with one channel the wiring is bit-identical to the
+//! original single-controller system.
 
 use cpu_sim::cluster::CpuCluster;
 use cpu_sim::config::CpuConfig;
@@ -13,13 +20,14 @@ use cpu_sim::stats::CoreStats;
 use cpu_sim::trace::Trace;
 use dram_sim::device::DramDeviceConfig;
 use dram_sim::stats::DramStats;
-use memctrl::controller::{ControllerConfig, MemoryController};
+use memctrl::controller::ControllerConfig;
 use memctrl::request::{MemoryRequest, RequestKind};
 use memctrl::rfm::RfmKind;
 use memctrl::stats::ControllerStats;
 use serde::{Deserialize, Serialize};
 
 use crate::event::{EngineKind, EventSource, EventWheel, SimulationEngine};
+use crate::subsystem::{ChannelStats, MemorySubsystem};
 
 /// Configuration of one full-system run.
 #[derive(Debug, Clone)]
@@ -45,14 +53,36 @@ impl SystemConfig {
     /// workloads).
     #[must_use]
     pub fn paper_default(instructions_per_core: u64) -> Self {
+        Self::paper_default_with_channels(instructions_per_core, 1)
+    }
+
+    /// [`SystemConfig::paper_default`] with an explicit channel count.
+    ///
+    /// The `max_ticks` livelock cap budgets **one** channel's bandwidth as
+    /// the worst case: extra channels only add bandwidth, so a multi-channel
+    /// run can legitimately retire instructions *faster* and never needs a
+    /// larger cap — and the cap deliberately does **not** scale down with
+    /// the channel count either (a run that momentarily serialises on one
+    /// hot channel must not be truncated early just because other channels
+    /// are idle).
+    #[must_use]
+    pub fn paper_default_with_channels(instructions_per_core: u64, channels: u32) -> Self {
+        let mut device = DramDeviceConfig::paper_default();
+        device.organization = device.organization.with_channels(channels);
         Self {
             cpu: CpuConfig::paper_default(),
-            device: DramDeviceConfig::paper_default(),
+            device,
             controller: ControllerConfig::default(),
             instructions_per_core,
             max_ticks: instructions_per_core.saturating_mul(400).max(10_000_000),
             engine: EngineKind::default(),
         }
+    }
+
+    /// The configured channel count.
+    #[must_use]
+    pub fn channels(&self) -> u32 {
+        self.device.organization.channels.max(1)
     }
 }
 
@@ -61,12 +91,17 @@ impl SystemConfig {
 pub struct SystemResult {
     /// Per-core statistics (IPC, misses, …).
     pub core_stats: Vec<CoreStats>,
-    /// Memory-controller statistics (RFM counts, latencies, …).
+    /// Memory-controller statistics summed across every channel (equal to
+    /// the single controller's statistics in one-channel systems).
     pub controller_stats: ControllerStats,
-    /// DRAM device statistics (activations, refreshes, mitigations, …).
+    /// DRAM device statistics summed across every channel.
     pub dram_stats: DramStats,
-    /// Chronological `(tick, kind)` log of the RFMs the controller issued
-    /// (recording stops after the first ~1 M; later RFMs are only counted).
+    /// Per-channel statistics blocks, in channel order (one entry for
+    /// single-channel systems).
+    pub channel_stats: Vec<ChannelStats>,
+    /// Chronological `(tick, kind)` log of the RFMs the controllers issued,
+    /// merged across channels (ties break by channel index; recording stops
+    /// after the first ~1 M per channel, later RFMs are only counted).
     /// Lets the differential test harness assert that the two engines issue
     /// every ABO/ACB/TB RFM at the exact same cycle, and attack analyses
     /// inspect RFM timing.
@@ -105,11 +140,20 @@ impl SystemResult {
     }
 }
 
+/// A backlog entry: a core's request waiting for queue space on its channel
+/// (decoded once, on arrival).
+#[derive(Debug)]
+struct BacklogEntry {
+    core: u32,
+    request: CoreMemoryRequest,
+    channel: u32,
+}
+
 /// A full-system simulation instance.
 #[derive(Debug)]
 pub struct SystemSimulation {
     cluster: CpuCluster,
-    controller: MemoryController,
+    memory: MemorySubsystem,
     instructions_per_core: u64,
     max_ticks: u64,
     engine: EngineKind,
@@ -131,10 +175,10 @@ impl SystemSimulation {
     #[must_use]
     pub fn new(config: SystemConfig, traces: Vec<Trace>) -> Self {
         let cluster = CpuCluster::new(config.cpu.clone(), traces, config.instructions_per_core);
-        let controller = MemoryController::new(config.device.clone(), config.controller.clone());
+        let memory = MemorySubsystem::new(config.device.clone(), config.controller.clone());
         Self {
             cluster,
-            controller,
+            memory,
             instructions_per_core: config.instructions_per_core,
             max_ticks: config.max_ticks,
             engine: config.engine,
@@ -147,6 +191,12 @@ impl SystemSimulation {
     #[must_use]
     pub fn instructions_per_core(&self) -> u64 {
         self.instructions_per_core
+    }
+
+    /// The memory subsystem (read-only).
+    #[must_use]
+    pub fn memory(&self) -> &MemorySubsystem {
+        &self.memory
     }
 
     /// The engine the configuration selected.
@@ -167,34 +217,54 @@ impl SystemSimulation {
         engine.run(self)
     }
 
-    /// Settles one tick: CPU cluster first, then request forwarding, then
-    /// the memory controller with completion routing.  Both engines drive
-    /// this exact function — the tick engine for every tick, the event
-    /// engine only for ticks in which something can happen.
-    fn step(&mut self, now: u64, backlog: &mut Vec<(u32, CoreMemoryRequest)>) {
-        // 1. CPU side: collect new DRAM-bound requests.
+    /// Settles one tick: CPU cluster first, then request fan-out to the
+    /// per-channel controllers, then the memory subsystem with completion
+    /// routing.  Both engines drive this exact function — the tick engine
+    /// for every tick, the event engine only for ticks in which something
+    /// can happen.
+    fn step(&mut self, now: u64, backlog: &mut Vec<BacklogEntry>) {
+        // 1. CPU side: collect new DRAM-bound requests, routing each to its
+        //    channel once on arrival.
         let output = self.cluster.tick(now);
-        backlog.extend(output.requests);
+        backlog.extend(output.requests.into_iter().map(|(core, request)| {
+            let channel = self.memory.route(request.address);
+            BacklogEntry {
+                core,
+                request,
+                channel,
+            }
+        }));
 
-        // 2. Forward as many backlog requests as the controller accepts.
-        while !backlog.is_empty() && self.controller.can_accept() {
-            let (core, req) = backlog.swap_remove(0);
+        // 2. Fan out as many backlog requests as their channels accept.  A
+        //    full channel never blocks requests bound for other channels.
+        //    The scan order (front to back, with `swap_remove` compaction)
+        //    reproduces the single-controller forwarding order exactly when
+        //    there is one channel, which keeps request ids — and therefore
+        //    whole runs — bit-identical to the pre-subsystem wiring.
+        let mut index = 0;
+        while index < backlog.len() {
+            if !self.memory.can_accept(backlog[index].channel) {
+                index += 1;
+                continue;
+            }
+            let entry = backlog.swap_remove(index);
             let id = self.next_controller_id;
             self.next_controller_id += 1;
-            let request = if req.is_write {
-                MemoryRequest::write(id, req.address, core, now)
+            let request = if entry.request.is_write {
+                MemoryRequest::write(id, entry.request.address, entry.core, now)
             } else {
-                MemoryRequest::read(id, req.address, core, now)
+                MemoryRequest::read(id, entry.request.address, entry.core, now)
             };
-            let accepted = self.controller.enqueue(request);
+            let accepted = self.memory.enqueue(entry.channel, request);
             debug_assert!(accepted);
-            if !req.is_write && core != u32::MAX {
-                self.inflight.insert(id, (core, req.id));
+            if !entry.request.is_write && entry.core != u32::MAX {
+                self.inflight.insert(id, (entry.core, entry.request.id));
             }
         }
 
-        // 3. Memory side: advance one tick and route completions.
-        for completion in self.controller.tick(now) {
+        // 3. Memory side: advance every channel one tick and merge the
+        //    per-channel completions back into the in-flight map.
+        for completion in self.memory.tick(now) {
             if completion.kind == RequestKind::Read {
                 if let Some((core, core_req_id)) = self.inflight.remove(&completion.id) {
                     self.cluster.on_memory_completion(core, core_req_id);
@@ -207,9 +277,10 @@ impl SystemSimulation {
     fn finish(self, elapsed_ticks: u64) -> SystemResult {
         SystemResult {
             core_stats: self.cluster.core_stats(),
-            controller_stats: self.controller.stats().clone(),
-            dram_stats: *self.controller.device().stats(),
-            rfm_log: self.controller.rfm_log().to_vec(),
+            controller_stats: self.memory.aggregated_controller_stats(),
+            dram_stats: self.memory.aggregated_dram_stats(),
+            channel_stats: self.memory.channel_stats(),
+            rfm_log: self.memory.merged_rfm_log(),
             elapsed_ticks,
             completed: self.cluster.all_finished(),
         }
@@ -218,7 +289,7 @@ impl SystemSimulation {
     /// The legacy main loop: one tick per iteration.
     pub(crate) fn run_ticked(mut self) -> SystemResult {
         let mut now = 0u64;
-        let mut backlog: Vec<(u32, CoreMemoryRequest)> = Vec::new();
+        let mut backlog: Vec<BacklogEntry> = Vec::new();
         while now < self.max_ticks && !self.cluster.all_finished() {
             self.step(now, &mut backlog);
             now += 1;
@@ -235,7 +306,7 @@ impl SystemSimulation {
     /// accounts for in bulk, keeping the per-core cycle counts (and thus
     /// IPC, slowdown and energy inputs) bit-identical.
     pub(crate) fn run_event_driven(mut self) -> SystemResult {
-        let mut backlog: Vec<(u32, CoreMemoryRequest)> = Vec::new();
+        let mut backlog: Vec<BacklogEntry> = Vec::new();
         let mut wheel = EventWheel::new();
         let mut now = 0u64;
         if now >= self.max_ticks || self.cluster.all_finished() {
@@ -250,9 +321,15 @@ impl SystemSimulation {
                 break;
             }
             wheel.reregister(EventSource::Cluster, self.cluster.next_event_at(now));
-            wheel.reregister(EventSource::Controller, self.controller.next_event_at(now));
-            let forwarding =
-                (!backlog.is_empty() && self.controller.can_accept()).then_some(now + 1);
+            // The memory wake-up is the min across every channel controller.
+            wheel.reregister(EventSource::Controller, self.memory.next_event_at(now));
+            // Forwarding is pending when any backlog entry's own channel has
+            // queue space (a full channel must not mask another channel's
+            // waiting request).
+            let forwarding = backlog
+                .iter()
+                .any(|entry| self.memory.can_accept(entry.channel))
+                .then_some(now + 1);
             wheel.reregister(EventSource::Forwarding, forwarding);
             // No wake-up means the system is dead in the water (e.g. every
             // core waits on a completion that can never come); the tick
@@ -362,6 +439,153 @@ mod tests {
         assert_eq!(ticked, evented, "engines must be cycle-exact");
         assert!(ticked.completed);
         assert!(!ticked.rfm_log.is_empty() || ticked.controller_stats.total_rfms() == 0);
+    }
+
+    #[test]
+    fn max_ticks_cap_does_not_scale_down_with_channels() {
+        // The livelock cap budgets one channel's bandwidth; a 4-channel
+        // system retires instructions at least as fast, so the cap must be
+        // exactly the single-channel cap — never smaller.
+        for instr in [1_000u64, 1_000_000] {
+            let one = SystemConfig::paper_default_with_channels(instr, 1);
+            let four = SystemConfig::paper_default_with_channels(instr, 4);
+            assert_eq!(one.max_ticks, four.max_ticks);
+            assert_eq!(one.channels(), 1);
+            assert_eq!(four.channels(), 4);
+            assert_eq!(four.device.organization.channels, 4);
+        }
+        // And the plain constructor is the 1-channel case.
+        assert_eq!(
+            SystemConfig::paper_default(5_000).max_ticks,
+            SystemConfig::paper_default_with_channels(5_000, 4).max_ticks
+        );
+    }
+
+    fn tiny_multi_channel_system(
+        channels: u32,
+        instr: u64,
+        traces: Vec<Trace>,
+    ) -> SystemSimulation {
+        let mut sim_config = {
+            let cores = traces.len() as u32;
+            let mut cpu = CpuConfig::tiny_for_tests();
+            cpu.cores = cores;
+            let prac = PracConfig::builder().rowhammer_threshold(1024).build();
+            let device = DramDeviceConfig {
+                organization: dram_sim::org::DramOrganization::ddr5_32gb_quad_rank()
+                    .with_channels(channels),
+                timing: dram_sim::timing::DramTimingParams::ddr5_8000b(),
+                prac,
+                queue_kind: prac_core::queue::QueueKind::SingleEntryFrequency,
+                tref_every_n_refreshes: None,
+            };
+            SystemConfig {
+                cpu,
+                device,
+                controller: ControllerConfig::default(),
+                instructions_per_core: instr,
+                max_ticks: 50_000_000,
+                engine: EngineKind::default(),
+            }
+        };
+        sim_config.cpu.cores = traces.len() as u32;
+        SystemSimulation::new(sim_config, traces)
+    }
+
+    #[test]
+    fn multi_channel_system_completes_with_per_channel_stats() {
+        let traces = vec![
+            memory_trace(0x1_0000_0000, 4096),
+            memory_trace(0x2_0000_0000, 4096),
+        ];
+        let result = tiny_multi_channel_system(4, 5_000, traces).run();
+        assert!(result.completed, "run hit the tick cap: {result:?}");
+        assert_eq!(result.channel_stats.len(), 4);
+        // The aggregate equals the sum of the per-channel blocks.
+        let reads: u64 = result
+            .channel_stats
+            .iter()
+            .map(|c| c.controller.reads_completed)
+            .sum();
+        assert_eq!(reads, result.controller_stats.reads_completed);
+        let activations: u64 = result
+            .channel_stats
+            .iter()
+            .map(|c| c.dram.activations)
+            .sum();
+        assert_eq!(activations, result.dram_stats.activations);
+        // With cache-line interleave, a streaming workload exercises more
+        // than one channel.
+        let busy_channels = result
+            .channel_stats
+            .iter()
+            .filter(|c| c.controller.reads_completed > 0)
+            .count();
+        assert!(busy_channels > 1, "traffic never spread across channels");
+    }
+
+    /// Streaming-load system with the paper's CPU (deep MSHRs) so DRAM
+    /// bandwidth, not dependent-load latency, is the bottleneck.
+    fn streaming_system(
+        channels: u32,
+        interleave: memctrl::mapping::ChannelInterleave,
+    ) -> SystemSimulation {
+        let traces: Vec<Trace> = [0x1_0000_0000u64, 0x2_0000_0000]
+            .into_iter()
+            .map(|base| {
+                let ops = (0..4096u64).map(|i| TraceOp::Load(base + i * 64)).collect();
+                Trace::new("stream", ops)
+            })
+            .collect();
+        let mut cpu = CpuConfig::paper_default();
+        cpu.cores = 2;
+        let prac = PracConfig::builder().rowhammer_threshold(1024).build();
+        let device = DramDeviceConfig {
+            organization: dram_sim::org::DramOrganization::ddr5_32gb_quad_rank()
+                .with_channels(channels),
+            timing: dram_sim::timing::DramTimingParams::ddr5_8000b(),
+            prac,
+            queue_kind: prac_core::queue::QueueKind::SingleEntryFrequency,
+            tref_every_n_refreshes: None,
+        };
+        let config = SystemConfig {
+            cpu,
+            device,
+            controller: ControllerConfig {
+                channel_interleave: interleave,
+                ..ControllerConfig::default()
+            },
+            instructions_per_core: 4_000,
+            max_ticks: 50_000_000,
+            engine: EngineKind::default(),
+        };
+        SystemSimulation::new(config, traces)
+    }
+
+    #[test]
+    fn extra_channels_speed_up_bandwidth_bound_runs() {
+        use memctrl::mapping::ChannelInterleave;
+        // Row-granularity interleave preserves each stream's row locality
+        // per channel, so bandwidth-bound runs speed up monotonically with
+        // the channel count.  (Cache-line interleave can interact with the
+        // stride prefetcher and is exercised by the scaling campaign
+        // instead.)
+        let mut previous = u64::MAX;
+        for channels in [1u32, 2, 4] {
+            let result = streaming_system(channels, ChannelInterleave::Row).run();
+            assert!(result.completed, "ch={channels} hit the tick cap");
+            assert!(
+                result.elapsed_ticks < previous,
+                "{channels} channels ({} ticks) should beat the previous \
+                 config ({previous} ticks) on streaming traffic",
+                result.elapsed_ticks
+            );
+            previous = result.elapsed_ticks;
+        }
+        // Cache-line interleave also beats the single channel at 2 channels.
+        let one = streaming_system(1, ChannelInterleave::CacheLine).run();
+        let two = streaming_system(2, ChannelInterleave::CacheLine).run();
+        assert!(two.elapsed_ticks < one.elapsed_ticks);
     }
 
     #[test]

@@ -16,11 +16,11 @@
 //! |---|---|---|
 //! | PRAC / TPRAC core | [`prac_core`] | PRAC parameters, the pluggable `MitigationEngine` API, mitigation queues, TB-Window security analysis, energy & storage models |
 //! | DRAM device | [`dram_sim`] | Cycle-accurate DDR5 model with per-row activation counters and Alert Back-Off |
-//! | Memory controller | [`memctrl`] | Address mapping, FR-FCFS scheduling, refresh, the ABO responder driving the pluggable mitigation engine |
+//! | Memory controller | [`memctrl`] | Channel-aware address mapping, FR-FCFS scheduling, refresh, the ABO responder driving the pluggable mitigation engine |
 //! | CPU | [`cpu_sim`] | Trace-driven ROB-limited cores with an L1/L2/LLC hierarchy |
 //! | Workloads | [`workloads`] | Synthetic workload suite bucketed by memory intensity, seedable end-to-end |
 //! | Attacks | [`pracleak`] | PRACLeak covert channels and the AES T-table side channel |
-//! | Full system | [`system_sim`] | The simulation harness with twin tick/event engines and the work-stealing `parallel_map` |
+//! | Full system | [`system_sim`] | The simulation harness: multi-channel `MemorySubsystem`, twin tick/event engines, the work-stealing `parallel_map` |
 //! | Campaigns | [`campaign`] | Declarative scenario sweeps, result cache, artifacts and the `prac-bench` CLI |
 //! | Bench wrappers | `bench-harness` | The legacy `fig*`/`table*` binaries, now thin wrappers over the campaign registry |
 //!
@@ -85,7 +85,9 @@ pub mod prelude {
     pub use campaign::{Campaign, CampaignRunner, Profile, Scenario, ScenarioSpec};
     pub use cpu_sim::{CpuConfig, Trace, TraceOp};
     pub use dram_sim::{DramDevice, DramDeviceConfig, DramOrganization, DramTimingParams};
-    pub use memctrl::{ControllerConfig, MemoryController, MemoryRequest, PagePolicy};
+    pub use memctrl::{
+        ChannelInterleave, ControllerConfig, MemoryController, MemoryRequest, PagePolicy,
+    };
     pub use prac_core::config::{MitigationPolicy, PracConfig, PracLevel};
     pub use prac_core::mitigation::{
         BankActivationView, MitigationDecision, MitigationEngine, ProactiveRfmKind,
@@ -98,8 +100,9 @@ pub mod prelude {
         Aes128TTable, AttackSetup, CovertChannelKind, SideChannelExperiment, SpikeDetector,
     };
     pub use system_sim::{
-        mitigation_registry, EngineKind, EventEngine, ExperimentConfig, MitigationDescriptor,
-        MitigationSetup, SimulationEngine, SystemResult, TickEngine,
+        mitigation_registry, ChannelStats, EngineKind, EventEngine, ExperimentConfig,
+        MemorySubsystem, MitigationDescriptor, MitigationSetup, SimulationEngine, SystemResult,
+        TickEngine,
     };
     pub use workloads::{AccessPattern, MemoryIntensity, SyntheticWorkload};
 }

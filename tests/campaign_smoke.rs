@@ -30,6 +30,7 @@ fn tiny_campaign() -> Campaign {
             workload: quick_suite().remove(0),
             instructions_per_core: 3_000,
             cores: 1,
+            channels: 1,
             seed: 42,
         })),
     ));

@@ -38,10 +38,12 @@ fn run_under(
     setup: &MitigationSetup,
     workload: &WorkloadSpec,
     instructions: u64,
+    channels: u32,
     seed: u64,
 ) -> SystemResult {
     let config = ExperimentConfig::new(setup.clone(), instructions)
         .with_cores(2)
+        .with_channels(channels)
         .with_engine(engine);
     run_workload(&config, &workload.workload, seed).expect("registered setups resolve at NRH 1024")
 }
@@ -50,11 +52,38 @@ fn run_under(
 /// messages before the final whole-struct comparison so a divergence names
 /// the statistic that drifted.
 fn assert_engines_agree(setup: &MitigationSetup, workload: &WorkloadSpec, instructions: u64) {
+    assert_engines_agree_on_channels(setup, workload, instructions, 1);
+}
+
+/// [`assert_engines_agree`] on a multi-channel memory subsystem: the race
+/// covers the per-channel fan-out, the min-across-channels wake-up
+/// computation, and the per-channel statistics blocks (compared by the final
+/// whole-struct equality).
+fn assert_engines_agree_on_channels(
+    setup: &MitigationSetup,
+    workload: &WorkloadSpec,
+    instructions: u64,
+    channels: u32,
+) {
     let seed = 0xD1FF ^ instructions;
-    let ticked = run_under(EngineKind::Tick, setup, workload, instructions, seed);
-    let evented = run_under(EngineKind::Event, setup, workload, instructions, seed);
+    let ticked = run_under(
+        EngineKind::Tick,
+        setup,
+        workload,
+        instructions,
+        channels,
+        seed,
+    );
+    let evented = run_under(
+        EngineKind::Event,
+        setup,
+        workload,
+        instructions,
+        channels,
+        seed,
+    );
     let context = format!(
-        "setup {:?} workload {}",
+        "setup {:?} workload {} channels {channels}",
         setup.label(),
         workload.workload.name
     );
@@ -86,6 +115,10 @@ fn assert_engines_agree(setup: &MitigationSetup, workload: &WorkloadSpec, instru
     assert_eq!(
         ticked.dram_stats, evented.dram_stats,
         "DRAM stats diverged: {context}"
+    );
+    assert_eq!(
+        ticked.channel_stats, evented.channel_stats,
+        "per-channel stats diverged: {context}"
     );
     assert_eq!(
         ticked.rfm_log, evented.rfm_log,
@@ -120,6 +153,22 @@ fn engines_agree_across_all_mitigation_setups() {
     for setup in all_setups() {
         for workload in &workloads {
             assert_engines_agree(&setup, workload, 8_000);
+        }
+    }
+}
+
+/// Races the engines across multi-channel memory subsystems for every
+/// registered mitigation: the event engine's min-across-channels wake-up and
+/// the per-channel completion merge must stay cycle-exact as the channel
+/// count grows.  The memory-bound workload keeps every channel busy.
+#[test]
+fn engines_agree_across_channel_counts() {
+    let workloads = representative_workloads();
+    let memory_bound = &workloads[0];
+    assert_eq!(memory_bound.intensity, workloads::MemoryIntensity::High);
+    for setup in all_setups() {
+        for channels in [1u32, 2, 4] {
+            assert_engines_agree_on_channels(&setup, memory_bound, 8_000, channels);
         }
     }
 }
@@ -259,7 +308,8 @@ fn engines_agree_when_hitting_the_tick_cap() {
     }
 }
 
-/// The full quick suite under every setup, at the quick campaign budget.
+/// The full quick suite under every setup, at the quick campaign budget,
+/// on both the single-channel and a four-channel subsystem.
 /// Heavy: meant for the release-mode CI job
 /// (`cargo test --release --test engine_equivalence -- --include-ignored`).
 #[test]
@@ -267,7 +317,9 @@ fn engines_agree_when_hitting_the_tick_cap() {
 fn engines_agree_on_the_full_quick_suite() {
     for setup in all_setups() {
         for workload in quick_suite() {
-            assert_engines_agree(&setup, &workload, 20_000);
+            for channels in [1u32, 4] {
+                assert_engines_agree_on_channels(&setup, &workload, 20_000, channels);
+            }
         }
     }
 }
