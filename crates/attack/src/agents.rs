@@ -12,8 +12,10 @@
 //! latencies) back to the owning agent.
 
 use memctrl::controller::MemoryController;
+use memctrl::mapping::AddressMapping;
 use memctrl::request::MemoryRequest;
 use serde::{Deserialize, Serialize};
+use workloads::attack::{AttackAccess, AttackPattern};
 
 /// Identifier of an agent within a [`MultiAgentRunner`].
 pub type AgentId = u32;
@@ -136,6 +138,109 @@ impl MemoryAgent for SerializedAccessAgent {
     fn on_completion(&mut self, access: RecordedAccess) {
         self.earliest_next_issue = access.completion_tick + self.think_time;
         self.history.push(access);
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining_accesses == 0
+    }
+}
+
+/// A memory agent driving a pluggable [`AttackPattern`]: the bridge between
+/// the declarative adversary API in `workloads::attack` and the serialized
+/// access model of the [`MultiAgentRunner`].  The pattern emits DRAM
+/// coordinates; the agent encodes them through the experiment's address
+/// mapping, honours the pattern's burst gating
+/// ([`AttackAccess::not_before`]), and tracks which aggressor rows were
+/// actually reached so harnesses can report aggressor coverage.
+#[derive(Debug)]
+pub struct PatternAgent {
+    pattern: Box<dyn AttackPattern>,
+    mapping: Box<dyn AddressMapping>,
+    remaining_accesses: u64,
+    /// An access pulled from the pattern but gated into the future.
+    pending: Option<AttackAccess>,
+    completed: u64,
+    hot_rows: std::collections::HashSet<(u32, u32, u32, u32, u32)>,
+    touched_rows: std::collections::HashSet<(u32, u32, u32, u32, u32)>,
+}
+
+fn row_key(address: &dram_sim::org::DramAddress) -> (u32, u32, u32, u32, u32) {
+    (
+        address.channel,
+        address.rank,
+        address.bank_group,
+        address.bank,
+        address.row,
+    )
+}
+
+impl PatternAgent {
+    /// Creates an agent performing `total_accesses` accesses of `pattern`,
+    /// encoded through `mapping`.
+    #[must_use]
+    pub fn new(
+        pattern: Box<dyn AttackPattern>,
+        mapping: Box<dyn AddressMapping>,
+        total_accesses: u64,
+    ) -> Self {
+        let hot_rows = pattern.hot_rows().iter().map(row_key).collect();
+        Self {
+            pattern,
+            mapping,
+            remaining_accesses: total_accesses,
+            pending: None,
+            completed: 0,
+            hot_rows,
+            touched_rows: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Accesses completed so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of aggressor rows the pattern declares.
+    #[must_use]
+    pub fn aggressor_rows(&self) -> usize {
+        self.hot_rows.len()
+    }
+
+    /// Fraction of the pattern's aggressor rows the agent has issued at
+    /// least one access to (`0.0` for a pattern with no hot rows).
+    #[must_use]
+    pub fn aggressor_coverage(&self) -> f64 {
+        if self.hot_rows.is_empty() {
+            return 0.0;
+        }
+        let touched = self.touched_rows.intersection(&self.hot_rows).count();
+        touched as f64 / self.hot_rows.len() as f64
+    }
+}
+
+impl MemoryAgent for PatternAgent {
+    fn next_action(&mut self, now: u64) -> AgentAction {
+        if self.remaining_accesses == 0 {
+            return AgentAction::Done;
+        }
+        let access = match self.pending.take() {
+            Some(access) => access,
+            None => self.pattern.next_access(now),
+        };
+        if access.not_before > now {
+            self.pending = Some(access);
+            return AgentAction::Idle;
+        }
+        self.remaining_accesses -= 1;
+        if access.aggressor {
+            self.touched_rows.insert(row_key(&access.address));
+        }
+        AgentAction::Access(self.mapping.encode(&access.address))
+    }
+
+    fn on_completion(&mut self, _access: RecordedAccess) {
+        self.completed += 1;
     }
 
     fn is_done(&self) -> bool {

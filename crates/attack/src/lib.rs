@@ -10,7 +10,13 @@
 //!   access indices that the attack observes.
 //! * [`agents`] — memory "agents" (attacker, victim, trojan, spy) that issue
 //!   serialized dependent requests to the [`memctrl::MemoryController`] and
-//!   record per-access latencies, plus the lock-step multi-agent runner.
+//!   record per-access latencies, plus the lock-step multi-agent runner and
+//!   the [`agents::PatternAgent`] bridge driving any pluggable
+//!   [`workloads::attack::AttackPattern`].
+//! * [`adversary`] — the attack-vs-mitigation experiment driver behind the
+//!   `attacks` campaign: runs a registered pattern against a mitigated
+//!   system and reports the per-cell security metrics (peak per-row
+//!   activations vs `NRH`, aggressor coverage, RFM pressure).
 //! * [`latency`] — latency-spike detection used by every receiver.
 //! * [`characterize`] — the Figure 3 experiment: attacker-observed latency
 //!   timelines with and without a concurrent ABO, across PRAC levels.
@@ -24,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 pub mod aes;
 pub mod agents;
 pub mod characterize;
@@ -32,8 +39,9 @@ pub mod latency;
 pub mod setup;
 pub mod side_channel;
 
+pub use adversary::{run_adversary, AdversaryOutcome};
 pub use aes::{first_round_t0_lines, Aes128TTable};
-pub use agents::{AgentId, MultiAgentRunner, SerializedAccessAgent};
+pub use agents::{AgentId, MultiAgentRunner, PatternAgent, SerializedAccessAgent};
 pub use characterize::{AboCharacterization, LatencySample};
 pub use covert::{run_covert_channel, CovertChannelKind, CovertChannelResult};
 pub use latency::SpikeDetector;

@@ -27,6 +27,11 @@ pub struct AttackSetup {
     /// Address-mapping policy (bank-striped by default so that victim and
     /// attacker pages can share a DRAM row).
     pub mapping: MappingKind,
+    /// Whether per-row PRAC counters reset every tREFW.
+    pub counter_reset: bool,
+    /// Targeted-Refresh cadence of the device (`None` disables TREF).  Only
+    /// observable when refresh is enabled.
+    pub tref_every_n_refreshes: Option<u32>,
 }
 
 impl AttackSetup {
@@ -40,6 +45,8 @@ impl AttackSetup {
             policy: MitigationPolicy::AboOnly,
             refresh_enabled: false,
             mapping: MappingKind::BankStriped,
+            counter_reset: true,
+            tref_every_n_refreshes: None,
         }
     }
 
@@ -64,6 +71,20 @@ impl AttackSetup {
         self
     }
 
+    /// Selects whether per-row PRAC counters reset every tREFW.
+    #[must_use]
+    pub fn with_counter_reset(mut self, reset: bool) -> Self {
+        self.counter_reset = reset;
+        self
+    }
+
+    /// Selects the Targeted-Refresh cadence (`None` disables TREF).
+    #[must_use]
+    pub fn with_tref_every(mut self, every_n_refreshes: Option<u32>) -> Self {
+        self.tref_every_n_refreshes = every_n_refreshes;
+        self
+    }
+
     /// Builds the memory controller (full DDR5 organisation, closed-page
     /// policy so every serialized access is an activation).
     #[must_use]
@@ -72,10 +93,12 @@ impl AttackSetup {
             .rowhammer_threshold(self.nbo)
             .back_off_threshold(self.nbo)
             .prac_level(self.prac_level)
+            .counter_reset_every_trefw(self.counter_reset)
             .policy(self.policy.clone())
             .build();
         let device = DramDeviceConfig {
             prac,
+            tref_every_n_refreshes: self.tref_every_n_refreshes,
             ..DramDeviceConfig::paper_default()
         };
         let controller_config = ControllerConfig {

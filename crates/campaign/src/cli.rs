@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 
 use serde_json::Value;
-use system_sim::EngineKind;
+use system_sim::{AttackKind, EngineKind};
 
 use crate::artifact::ArtifactStore;
 use crate::cache::ResultCache;
@@ -25,6 +25,7 @@ struct Options {
     instructions_per_core: Option<u64>,
     cores: Option<u32>,
     channels: Option<u32>,
+    attack: Option<AttackKind>,
     workers: Option<usize>,
     engine: EngineKind,
     no_cache: bool,
@@ -36,6 +37,7 @@ struct Options {
 enum Command {
     List,
     Mitigations,
+    Attacks,
     Run,
     Help,
 }
@@ -45,12 +47,14 @@ const USAGE: &str = "prac-bench — unified campaign runner for the PRACLeak/TPR
 USAGE:
     prac-bench list [--full]
     prac-bench mitigations
+    prac-bench attacks
     prac-bench run <name>... [options]
     prac-bench run --all [options]
 
 COMMANDS:
     list              Enumerate the registered campaigns
     mitigations       Enumerate the registered mitigation setups
+    attacks           Enumerate the registered attack patterns
     run               Execute campaigns through the parallel runner
 
 OPTIONS:
@@ -62,6 +66,10 @@ OPTIONS:
     --channels <N>    Override memory-channel count for performance cells
                       (power of two; the `scaling` campaign sweeps its own
                       channel counts and ignores this knob)
+    --attack <SLUG>   Run performance cells with an adversarial co-runner on
+                      one extra core (see `prac-bench attacks` for slugs;
+                      the `attacks` campaign sweeps its own patterns and
+                      ignores this knob)
     --workers <N>     Worker threads (default: all hardware threads)
     --engine <E>      Simulation engine: `event` (default) jumps between
                       component wake-ups; `tick` is the legacy per-cycle
@@ -83,6 +91,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         instructions_per_core: None,
         cores: None,
         channels: None,
+        attack: None,
         workers: None,
         engine: EngineKind::default(),
         no_cache: false,
@@ -93,6 +102,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     match iter.next().map(String::as_str) {
         Some("list") => options.command = Command::List,
         Some("mitigations") => options.command = Command::Mitigations,
+        Some("attacks") => options.command = Command::Attacks,
         Some("run") => options.command = Command::Run,
         Some("help" | "--help" | "-h") | None => return Ok(options),
         Some(other) => return Err(format!("unknown command `{other}`")),
@@ -117,6 +127,21 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     return Err(format!("--channels must be a power of two, got {channels}"));
                 }
                 options.channels = Some(channels);
+            }
+            "--attack" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--attack requires a pattern slug".to_string())?;
+                options.attack = Some(AttackKind::parse_slug(value).ok_or_else(|| {
+                    let known: Vec<String> = workloads::attack_registry()
+                        .into_iter()
+                        .map(|descriptor| descriptor.slug)
+                        .collect();
+                    format!(
+                        "unknown attack pattern `{value}` (known: {})",
+                        known.join(", ")
+                    )
+                })?);
             }
             "--workers" => options.workers = Some(numeric("--workers")? as usize),
             "--engine" => {
@@ -161,6 +186,9 @@ fn profile_for(options: &Options) -> Profile {
     }
     if let Some(channels) = options.channels {
         profile.channels = channels;
+    }
+    if let Some(attack) = options.attack {
+        profile.attack = Some(attack);
     }
     profile
 }
@@ -218,6 +246,18 @@ pub fn run_cli(args: &[String]) -> i32 {
             }
             0
         }
+        Command::Attacks => {
+            let registry = workloads::attack_registry();
+            println!("{} registered attack patterns:\n", registry.len());
+            println!("{:<16} {:<24} summary", "slug", "label");
+            for descriptor in registry {
+                println!(
+                    "{:<16} {:<24} {}",
+                    descriptor.slug, descriptor.label, descriptor.summary
+                );
+            }
+            0
+        }
         Command::Run => run_command(&options),
     }
 }
@@ -239,7 +279,7 @@ pub fn delegate(campaign_name: &str) -> i32 {
     while let Some(arg) = env.next() {
         match arg.as_str() {
             "--full" => args.push(arg),
-            "--instr" | "--workers" | "--engine" | "--channels" => {
+            "--instr" | "--workers" | "--engine" | "--channels" | "--attack" => {
                 if let Some(value) = env.next() {
                     args.push(arg);
                     args.push(value);
@@ -462,8 +502,25 @@ mod tests {
     fn listing_and_unknown_campaigns_exit_cleanly() {
         assert_eq!(run_cli(&args(&["list"])), 0);
         assert_eq!(run_cli(&args(&["mitigations"])), 0);
+        assert_eq!(run_cli(&args(&["attacks"])), 0);
         assert_eq!(run_cli(&args(&["help"])), 0);
         assert_eq!(run_cli(&args(&["run", "no-such-campaign"])), 2);
         assert_eq!(run_cli(&args(&["run"])), 2);
+    }
+
+    #[test]
+    fn parses_and_validates_attack_slugs() {
+        let options = parse(&args(&["run", "fig10", "--attack", "nsided8"])).unwrap();
+        assert_eq!(options.attack, Some(AttackKind::ManySided { sides: 8 }));
+        assert_eq!(
+            profile_for(&options).attack,
+            Some(AttackKind::ManySided { sides: 8 })
+        );
+        assert!(parse(&args(&["run", "fig10", "--attack", "bogus"])).is_err());
+        assert!(parse(&args(&["run", "fig10", "--attack"])).is_err());
+        assert_eq!(
+            profile_for(&parse(&args(&["run", "fig10"])).unwrap()).attack,
+            None
+        );
     }
 }

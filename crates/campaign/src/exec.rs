@@ -10,12 +10,17 @@ use prac_core::overhead::{rfm_interval_register_bits, StorageModel};
 use prac_core::security::{figure7_windows, CounterResetPolicy, SecurityAnalysis};
 use prac_core::timing::DramTimingSummary;
 use prac_core::tprac::TpracConfig;
+use pracleak::adversary::run_adversary;
 use pracleak::characterize::run_characterization;
 use pracleak::covert::run_covert_channel;
 use pracleak::latency::SpikeDetector;
+use pracleak::setup::AttackSetup;
 use pracleak::side_channel::SideChannelExperiment;
 use serde_json::{Map, Value};
-use system_sim::{energy_overhead_for, run_workload_normalized, EngineKind, ExperimentConfig};
+use system_sim::{
+    energy_overhead_for, run_workload_normalized, AttackKind, EngineKind, ExperimentConfig,
+    MitigationSetup,
+};
 use workloads::MemoryIntensity;
 
 use crate::scenario::ScenarioSpec;
@@ -66,6 +71,13 @@ pub fn execute_with(spec: &ScenarioSpec, engine: EngineKind) -> Map {
             seed,
         } => execute_covert(*kind, *nbo, *symbols, *seed),
         ScenarioSpec::Storage { queue, banks } => execute_storage(*queue, *banks),
+        ScenarioSpec::Attack {
+            attack,
+            setup,
+            nrh,
+            accesses,
+            seed,
+        } => execute_attack(attack, setup, *nrh, *accesses, *seed),
     }
 }
 
@@ -77,6 +89,7 @@ fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map
         instructions_per_core: perf.instructions_per_core,
         cores: perf.cores,
         channels: perf.channels.max(1),
+        attack: perf.attack,
         engine,
     };
     let (normalized, protected, baseline) =
@@ -165,33 +178,128 @@ fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map
     // single-channel cell keeps the exact metric set it had before the
     // channel dimension existed, so cached and fresh results of the same
     // (key-stable) scenario never disagree on their schema.
-    if perf.channels <= 1 {
-        return m;
+    if perf.channels > 1 {
+        m.insert("channels".into(), perf.channels.into());
+        for per_channel in &protected.channel_stats {
+            let prefix = format!("ch{}", per_channel.channel);
+            m.insert(
+                format!("{prefix}_reads"),
+                per_channel.controller.reads_completed.into(),
+            );
+            m.insert(
+                format!("{prefix}_writes"),
+                per_channel.controller.writes_completed.into(),
+            );
+            m.insert(
+                format!("{prefix}_rfms"),
+                per_channel.controller.total_rfms().into(),
+            );
+            m.insert(
+                format!("{prefix}_activations"),
+                per_channel.dram.activations.into(),
+            );
+            m.insert(
+                format!("{prefix}_row_hit_rate"),
+                per_channel.controller.row_hit_rate().into(),
+            );
+        }
     }
-    m.insert("channels".into(), perf.channels.into());
-    for per_channel in &protected.channel_stats {
-        let prefix = format!("ch{}", per_channel.channel);
+    // Adversarial co-runner cells add their security headline.  Emitted
+    // only when the attack knob is set, for the same schema-stability
+    // reason as the per-channel block above.
+    if let Some(attack) = &perf.attack {
+        m.insert("attack".into(), attack.slug().into());
         m.insert(
-            format!("{prefix}_reads"),
-            per_channel.controller.reads_completed.into(),
+            "max_row_activations".into(),
+            protected.dram_stats.max_row_counter.into(),
         );
         m.insert(
-            format!("{prefix}_writes"),
-            per_channel.controller.writes_completed.into(),
-        );
-        m.insert(
-            format!("{prefix}_rfms"),
-            per_channel.controller.total_rfms().into(),
-        );
-        m.insert(
-            format!("{prefix}_activations"),
-            per_channel.dram.activations.into(),
-        );
-        m.insert(
-            format!("{prefix}_row_hit_rate"),
-            per_channel.controller.row_hit_rate().into(),
+            "nrh_breached".into(),
+            (protected.dram_stats.max_row_counter >= perf.rowhammer_threshold).into(),
         );
     }
+    m
+}
+
+/// Ticks an `attacks` cell may spend per attacker access before the run is
+/// cut off: generous enough that even a fully RFM-stalled serialized
+/// attacker finishes, tight enough that a livelocked cell cannot hang a
+/// sweep.
+const ATTACK_TICKS_PER_ACCESS: u64 = 4_000;
+
+fn execute_attack(
+    attack: &AttackKind,
+    setup: &MitigationSetup,
+    nrh: u32,
+    accesses: u64,
+    seed: u64,
+) -> Map {
+    let mut m = Map::new();
+    m.insert("attack".into(), attack.slug().into());
+    m.insert("setup".into(), setup.label().into());
+    m.insert("nrh".into(), nrh.into());
+    m.insert("accesses".into(), accesses.into());
+
+    let timing = DramTimingSummary::ddr5_8000b();
+    let resolved = match setup.resolve(nrh, &timing) {
+        Ok(resolved) => resolved,
+        Err(error) => {
+            // Same contract as perf cells: a setup that cannot be
+            // configured as specified records the failure deterministically.
+            m.insert("completed".into(), false.into());
+            m.insert("config_error".into(), error.to_string().into());
+            return m;
+        }
+    };
+    let defended = AttackSetup::new(nrh)
+        .with_policy(resolved.policy)
+        .with_counter_reset(resolved.counter_reset)
+        .with_tref_every(resolved.tref_every_n_refreshes)
+        .with_refresh(true);
+    let max_ticks = accesses.saturating_mul(ATTACK_TICKS_PER_ACCESS);
+    let mitigated = run_adversary(attack, &defended, accesses, max_ticks, seed);
+    // The attacker-throughput baseline: the same pattern against the same
+    // device with mitigation disabled outright.
+    let undefended = AttackSetup::new(nrh)
+        .with_policy(MitigationPolicy::Disabled)
+        .with_refresh(true);
+    let baseline = run_adversary(attack, &undefended, accesses, max_ticks, seed);
+
+    m.insert(
+        "max_row_activations".into(),
+        mitigated.max_row_activations.into(),
+    );
+    m.insert("nrh_breached".into(), mitigated.breached(nrh).into());
+    m.insert("aggressor_rows".into(), mitigated.aggressor_rows.into());
+    m.insert(
+        "aggressor_coverage".into(),
+        mitigated.aggressor_coverage.into(),
+    );
+    m.insert("rfms_triggered".into(), mitigated.rfms_triggered.into());
+    m.insert("abo_events".into(), mitigated.abo_events.into());
+    m.insert("activations".into(), mitigated.activations.into());
+    m.insert("elapsed_ticks".into(), mitigated.elapsed_ticks.into());
+    m.insert(
+        "baseline_elapsed_ticks".into(),
+        baseline.elapsed_ticks.into(),
+    );
+    m.insert(
+        "baseline_max_row_activations".into(),
+        baseline.max_row_activations.into(),
+    );
+    // How much the defense costs the *attacker*: mitigated runtime per
+    // access over undefended runtime per access (>= 1 when RFMs stall the
+    // hammering).
+    let slowdown = if baseline.accesses_per_kilotick() > 0.0 {
+        baseline.accesses_per_kilotick() / mitigated.accesses_per_kilotick().max(f64::MIN_POSITIVE)
+    } else {
+        0.0
+    };
+    m.insert("attacker_slowdown".into(), slowdown.into());
+    m.insert(
+        "completed".into(),
+        (mitigated.completed && baseline.completed).into(),
+    );
     m
 }
 
@@ -407,6 +515,7 @@ mod tests {
             instructions_per_core: 1_000,
             cores: 2,
             channels: 1,
+            attack: None,
             seed: 1,
         }));
         let metrics = execute(&spec);
@@ -428,6 +537,7 @@ mod tests {
             instructions_per_core: 3_000,
             cores: 2,
             channels: 4,
+            attack: None,
             seed: 77,
         }));
         let metrics = execute(&spec);
@@ -457,11 +567,107 @@ mod tests {
             instructions_per_core: 2_000,
             cores: 2,
             channels: 1,
+            attack: None,
             seed: 78,
         }));
         let metrics = execute(&spec);
         assert!(!metrics.contains_key("channels"));
         assert!(!metrics.contains_key("ch0_reads"));
+    }
+
+    #[test]
+    fn attack_cells_report_security_metrics() {
+        let spec = |setup: MitigationSetup| ScenarioSpec::Attack {
+            attack: AttackKind::SingleSided,
+            setup,
+            nrh: 512,
+            accesses: 700,
+            seed: 1,
+        };
+        // Undefended: the single-sided hammer must breach the threshold.
+        let baseline = execute(&spec(MitigationSetup::BaselineNoAbo));
+        assert_eq!(baseline.get("nrh_breached"), Some(&Value::Bool(true)));
+        assert!(
+            baseline
+                .get("max_row_activations")
+                .and_then(Value::as_u64)
+                .unwrap()
+                >= 512
+        );
+        // TPRAC: the peak stays below NRH and the attacker pays a slowdown.
+        let defended = execute(&spec(MitigationSetup::Tprac {
+            tref_rate: prac_core::tprac::TrefRate::None,
+            counter_reset: true,
+        }));
+        assert_eq!(defended.get("nrh_breached"), Some(&Value::Bool(false)));
+        assert!(
+            defended
+                .get("rfms_triggered")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert!(
+            defended
+                .get("attacker_slowdown")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 1.0
+        );
+        assert_eq!(
+            defended.get("aggressor_coverage").and_then(Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(defended.get("completed"), Some(&Value::Bool(true)));
+        // Deterministic, like every other kind.
+        assert_eq!(
+            execute(&spec(MitigationSetup::AboOnly)),
+            execute(&spec(MitigationSetup::AboOnly))
+        );
+    }
+
+    #[test]
+    fn unconfigurable_attack_cells_record_the_error() {
+        let spec = ScenarioSpec::Attack {
+            attack: AttackKind::DoubleSided,
+            setup: MitigationSetup::Tprac {
+                tref_rate: prac_core::tprac::TrefRate::None,
+                counter_reset: true,
+            },
+            nrh: 1, // no safe TB-Window exists
+            accesses: 100,
+            seed: 0,
+        };
+        let metrics = execute(&spec);
+        assert_eq!(metrics.get("completed"), Some(&Value::Bool(false)));
+        assert!(metrics.contains_key("config_error"));
+    }
+
+    #[test]
+    fn attacked_perf_cells_add_the_security_headline() {
+        let cell = |attack| {
+            ScenarioSpec::Perf(Box::new(crate::scenario::PerfScenario {
+                setup: system_sim::MitigationSetup::AboOnly,
+                rowhammer_threshold: 1024,
+                prac_level: prac_core::config::PracLevel::One,
+                workload: workloads::quick_suite().remove(0),
+                instructions_per_core: 2_000,
+                cores: 1,
+                channels: 1,
+                attack,
+                seed: 5,
+            }))
+        };
+        let benign = execute(&cell(None));
+        assert!(!benign.contains_key("attack"));
+        assert!(!benign.contains_key("max_row_activations"));
+        let attacked = execute(&cell(Some(AttackKind::ManySided { sides: 4 })));
+        assert_eq!(
+            attacked.get("attack").and_then(Value::as_str),
+            Some("nsided4")
+        );
+        assert!(attacked.contains_key("max_row_activations"));
+        assert!(attacked.contains_key("nrh_breached"));
     }
 
     #[test]
@@ -474,6 +680,7 @@ mod tests {
             instructions_per_core: 5_000,
             cores: 2,
             channels: 1,
+            attack: None,
             seed: 41,
         }));
         assert_eq!(

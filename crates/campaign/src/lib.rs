@@ -19,9 +19,11 @@
 //! * [`runner`] — the [`CampaignRunner`] fanning cache misses out over the
 //!   work-stealing pool with per-scenario timing and progress,
 //! * [`registry`] — every paper figure/table as a registered campaign
-//!   (`fig03` … `fig14`, `table2`, `table5`, `storage`),
-//! * [`cli`] — the `prac-bench` command line (`list`, `run <name>`,
-//!   `run --all`).
+//!   (`fig03` … `fig14`, `table2`, `table5`, `storage`) plus the
+//!   beyond-paper sweeps (`defenses`, `scaling`, and the adversarial
+//!   `attacks` matrix crossing the attack and mitigation registries),
+//! * [`cli`] — the `prac-bench` command line (`list`, `mitigations`,
+//!   `attacks`, `run <name>`, `run --all`).
 //!
 //! ```no_run
 //! use campaign::registry::{find_campaign, Profile};

@@ -12,6 +12,7 @@ use prac_core::queue::QueueKind;
 use prac_core::tprac::TrefRate;
 use pracleak::covert::CovertChannelKind;
 use system_sim::MitigationSetup;
+use workloads::attack::{attack_registry, AttackKind};
 use workloads::{full_suite, quick_suite, MemoryIntensity, WorkloadSpec};
 
 use crate::scenario::{Campaign, PerfScenario, Scenario, ScenarioSpec};
@@ -29,6 +30,11 @@ pub struct Profile {
     /// Memory channels for full-system performance runs (the `scaling`
     /// campaign sweeps its own channel counts and ignores this knob).
     pub channels: u32,
+    /// Adversarial co-runner for full-system performance runs (the
+    /// `attacks` campaign sweeps its own attack patterns and ignores this
+    /// knob).  `None` — the default — keeps every cell benign and every
+    /// pre-existing cache key byte-identical.
+    pub attack: Option<AttackKind>,
 }
 
 impl Profile {
@@ -40,6 +46,7 @@ impl Profile {
             instructions_per_core: 20_000,
             cores: 2,
             channels: 1,
+            attack: None,
         }
     }
 
@@ -51,6 +58,7 @@ impl Profile {
             instructions_per_core: 150_000,
             cores: 4,
             channels: 1,
+            attack: None,
         }
     }
 
@@ -103,6 +111,7 @@ pub fn all_campaigns(profile: &Profile) -> Vec<Campaign> {
         storage(profile),
         defenses(profile),
         scaling(profile),
+        attacks(profile),
     ]
 }
 
@@ -137,6 +146,7 @@ fn push_perf_matrix(
                     instructions_per_core: profile.instructions_per_core,
                     cores: profile.cores,
                     channels: profile.channels,
+                    attack: profile.attack,
                     seed,
                 })),
             ));
@@ -583,8 +593,55 @@ fn scaling(profile: &Profile) -> Campaign {
                         instructions_per_core: profile.instructions_per_core,
                         cores: profile.cores,
                         channels,
+                        attack: profile.attack,
                         seed: 0x5CA_11E5,
                     })),
+                ));
+            }
+        }
+    }
+    campaign
+}
+
+/// Beyond-paper adversarial sweep: every registered attack pattern against
+/// every registered mitigation engine across the NRH sweep, through the
+/// serialized flush+access attacker model.  Each cell reports the per-run
+/// security metrics (peak per-row activation count vs `NRH`, aggressor
+/// coverage, RFM pressure and the slowdown the defense imposes on the
+/// attacker), so "which access pattern defeats which mitigation at which
+/// threshold" is one `prac-bench run attacks` away.
+fn attacks(profile: &Profile) -> Campaign {
+    let mut campaign = Campaign::new(
+        "attacks",
+        "Adversarial sweep: every registered attack pattern vs every registered mitigation per NRH",
+        "Beyond-paper: undefended cells breach NRH; TPRAC holds the peak per-row activation count below every threshold",
+    );
+    // The quick profile trims the threshold sweep: access budgets scale
+    // with NRH × pattern fan-out (see below), so the NRH = 4096 column
+    // belongs to the paper-scale profile.
+    let thresholds: Vec<u32> = if profile.full {
+        profile.nrh_sweep().to_vec()
+    } else {
+        vec![256, 1024]
+    };
+    for &nrh in &thresholds {
+        for attack in attack_registry() {
+            // A breached-or-defended verdict is only meaningful when an
+            // *undefended* run of the same budget reaches NRH: grant each
+            // cell the pattern's own breach budget plus 25% slack (RFM
+            // stalls never consume accesses, so slack only buys margin on
+            // the per-row dilution estimate).
+            let accesses = attack.kind.accesses_to_breach(nrh) * 5 / 4;
+            for mitigation in system_sim::mitigation_registry() {
+                campaign.push(Scenario::new(
+                    format!("nrh{nrh}/{}/{}", attack.slug, mitigation.slug),
+                    ScenarioSpec::Attack {
+                        attack: attack.kind,
+                        setup: mitigation.setup.clone(),
+                        nrh,
+                        accesses,
+                        seed: 0x00A7_7ACC ^ u64::from(nrh),
+                    },
                 ));
             }
         }
@@ -647,5 +704,61 @@ mod tests {
     fn fig10_covers_the_quick_suite_times_three_setups() {
         let campaign = find_campaign("fig10", &Profile::quick()).unwrap();
         assert_eq!(campaign.scenarios.len(), 9 * 3);
+    }
+
+    #[test]
+    fn attacks_campaign_crosses_both_registries_per_threshold() {
+        let attacks = attack_registry().len();
+        let mitigations = system_sim::mitigation_registry().len();
+        let campaign = find_campaign("attacks", &Profile::quick()).unwrap();
+        assert_eq!(campaign.scenarios.len(), attacks * mitigations * 2);
+        let full = find_campaign("attacks", &Profile::full()).unwrap();
+        assert_eq!(
+            full.scenarios.len(),
+            attacks * mitigations * Profile::full().nrh_sweep().len()
+        );
+        assert!(attacks >= 6, "{attacks} registered attack patterns");
+        // Every cell's budget is at least the pattern's breach budget, so
+        // an undefended run can genuinely reach NRH.
+        for scenario in &campaign.scenarios {
+            let ScenarioSpec::Attack {
+                attack,
+                nrh,
+                accesses,
+                ..
+            } = &scenario.spec
+            else {
+                panic!("{} is not an attack cell", scenario.name);
+            };
+            assert!(
+                *accesses >= attack.accesses_to_breach(*nrh),
+                "{}: starved budget",
+                scenario.name
+            );
+        }
+        // Every cell is an Attack spec naming both sides.
+        for scenario in &campaign.scenarios {
+            assert!(
+                matches!(scenario.spec, ScenarioSpec::Attack { .. }),
+                "{} is not an attack cell",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn profile_attack_knob_threads_into_perf_cells() {
+        let mut profile = Profile::quick();
+        profile.attack = Some(AttackKind::HalfDouble);
+        let campaign = find_campaign("fig10", &profile).unwrap();
+        for scenario in &campaign.scenarios {
+            let ScenarioSpec::Perf(perf) = &scenario.spec else {
+                panic!("fig10 holds perf cells");
+            };
+            assert_eq!(perf.attack, Some(AttackKind::HalfDouble));
+        }
+        // And the keys differ from the benign profile's.
+        let benign = find_campaign("fig10", &Profile::quick()).unwrap();
+        assert_ne!(campaign.scenarios[0].key(), benign.scenarios[0].key());
     }
 }

@@ -20,6 +20,7 @@ use prac_core::tprac::TrefRate;
 use pracleak::covert::CovertChannelKind;
 use serde_json::{Map, Value};
 use system_sim::MitigationSetup;
+use workloads::attack::AttackKind;
 use workloads::{MemoryIntensity, WorkloadGroup, WorkloadSpec};
 
 /// Simulation-semantics revision mixed into every cache key.
@@ -119,6 +120,9 @@ pub struct PerfScenario {
     pub cores: u32,
     /// Number of memory channels (1 reproduces the paper's system).
     pub channels: u32,
+    /// Optional adversarial co-runner on one extra core (`None` reproduces
+    /// the paper's benign runs and their exact cache keys).
+    pub attack: Option<AttackKind>,
     /// Trace-generation seed: the entire run is a pure function of the
     /// scenario including this value.
     pub seed: u64,
@@ -187,6 +191,21 @@ pub enum ScenarioSpec {
         /// Banks per channel.
         banks: u32,
     },
+    /// `attacks` campaign cell: one registered attack pattern raced against
+    /// one registered mitigation at a RowHammer threshold, through the
+    /// serialized flush+access attacker model of `pracleak::adversary`.
+    Attack {
+        /// The attack pattern under test.
+        attack: AttackKind,
+        /// The defending mitigation configuration.
+        setup: MitigationSetup,
+        /// RowHammer threshold (`NBO` set equal to it).
+        nrh: u32,
+        /// Serialized attacker accesses per run.
+        accesses: u64,
+        /// Seed mixed into the pattern's own seeded streams.
+        seed: u64,
+    },
 }
 
 impl ScenarioSpec {
@@ -215,6 +234,12 @@ impl ScenarioSpec {
                 // cached result is orphaned by the field's introduction.
                 if perf.channels > 1 {
                     map.insert("channels".into(), perf.channels.into());
+                }
+                // Same key-stability rule as `channels`: benign cells keep
+                // the exact canonical JSON they had before the attacker
+                // dimension existed, so no cached result is orphaned.
+                if let Some(attack) = &perf.attack {
+                    map.insert("attack".into(), attack_to_json(attack));
                 }
                 map.insert("seed".into(), perf.seed.into());
             }
@@ -281,9 +306,55 @@ impl ScenarioSpec {
                 map.insert("queue".into(), queue_kind_to_json(queue));
                 map.insert("banks".into(), (*banks).into());
             }
+            ScenarioSpec::Attack {
+                attack,
+                setup,
+                nrh,
+                accesses,
+                seed,
+            } => {
+                map.insert("kind".into(), "attack".into());
+                map.insert("attack".into(), attack_to_json(attack));
+                map.insert("setup".into(), setup_to_json(setup));
+                map.insert("nrh".into(), (*nrh).into());
+                map.insert("accesses".into(), (*accesses).into());
+                map.insert("seed".into(), (*seed).into());
+            }
         }
         Value::Object(map)
     }
+}
+
+/// Canonical JSON form of an attack kind (the attacker-side mirror of
+/// [`setup_to_json`]).  Field spellings are pinned by the cache-key golden
+/// snapshot — additive changes only.
+fn attack_to_json(attack: &AttackKind) -> Value {
+    let mut map = Map::new();
+    match attack {
+        AttackKind::SingleSided => {
+            map.insert("pattern".into(), "single_sided".into());
+        }
+        AttackKind::DoubleSided => {
+            map.insert("pattern".into(), "double_sided".into());
+        }
+        AttackKind::ManySided { sides } => {
+            map.insert("pattern".into(), "many_sided".into());
+            map.insert("sides".into(), (*sides).into());
+        }
+        AttackKind::HalfDouble => {
+            map.insert("pattern".into(), "half_double".into());
+        }
+        AttackKind::DecoyBlast { decoys, seed } => {
+            map.insert("pattern".into(), "decoy_blast".into());
+            map.insert("decoys".into(), (*decoys).into());
+            map.insert("decoy_seed".into(), (*seed).into());
+        }
+        AttackKind::RfmPressure { duty_percent } => {
+            map.insert("pattern".into(), "rfm_pressure".into());
+            map.insert("duty_percent".into(), (*duty_percent).into());
+        }
+    }
+    Value::Object(map)
 }
 
 fn setup_to_json(setup: &MitigationSetup) -> Value {
@@ -401,6 +472,7 @@ mod tests {
                 instructions_per_core: 10_000,
                 cores: 2,
                 channels: 1,
+                attack: None,
                 seed: 7,
             })),
         )
@@ -443,6 +515,58 @@ mod tests {
             !json.contains("channels"),
             "unexpected channel field: {json}"
         );
+    }
+
+    #[test]
+    fn benign_specs_omit_the_attack_field() {
+        // Same key-stability guarantee for the attacker dimension.
+        let json = perf_scenario(1024).spec.to_json().to_string();
+        assert!(!json.contains("attack"), "unexpected attack field: {json}");
+    }
+
+    #[test]
+    fn attacked_perf_cells_change_the_key() {
+        let benign = perf_scenario(1024);
+        let mut attacked = benign.clone();
+        if let ScenarioSpec::Perf(perf) = &mut attacked.spec {
+            perf.attack = Some(AttackKind::ManySided { sides: 8 });
+        }
+        assert_ne!(benign.key(), attacked.key());
+        let json = attacked.spec.to_json().to_string();
+        assert!(json.contains("\"attack\""), "{json}");
+        assert!(json.contains("many_sided"), "{json}");
+    }
+
+    #[test]
+    fn attack_cells_serialise_canonically_per_kind() {
+        let mut keys = std::collections::HashSet::new();
+        for descriptor in workloads::attack::attack_registry() {
+            let scenario = Scenario::new(
+                "cell",
+                ScenarioSpec::Attack {
+                    attack: descriptor.kind,
+                    setup: MitigationSetup::AboOnly,
+                    nrh: 1024,
+                    accesses: 1_000,
+                    seed: 3,
+                },
+            );
+            let json = scenario.spec.to_json();
+            assert_eq!(
+                json.get("kind").and_then(Value::as_str),
+                Some("attack"),
+                "{json}"
+            );
+            assert!(
+                keys.insert(scenario.key()),
+                "key collision for {}",
+                descriptor.slug
+            );
+            // Canonical round trip, like every other kind.
+            let text = json.to_string();
+            let reparsed: Value = serde_json::from_str(&text).unwrap();
+            assert_eq!(reparsed.to_string(), text);
+        }
     }
 
     #[test]

@@ -233,6 +233,7 @@ impl DramDevice {
                 let counter = self.banks[idx].activate(addr.row, now, &self.config.timing)?;
                 self.rank_next_act[addr.rank as usize] = now + self.config.timing.t_rrd;
                 self.stats.activations += 1;
+                self.stats.max_row_counter = self.stats.max_row_counter.max(counter);
                 self.note_activation(counter);
                 Ok(now)
             }

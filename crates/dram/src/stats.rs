@@ -26,6 +26,13 @@ pub struct DramStats {
     /// Number of per-row counter resets performed at tREFW boundaries
     /// (counted once per reset event, not per row).
     pub counter_resets: u64,
+    /// Highest per-row PRAC counter value *observed at activate time* over
+    /// the whole run — the security headline of an attack run: a value at or
+    /// above the RowHammer threshold means some row was hammered past `NRH`
+    /// before any mitigation reset it.  (The live counters reset on RFM /
+    /// TREF / tREFW, so this peak is tracked here rather than recovered from
+    /// the final bank state.)
+    pub max_row_counter: u32,
 }
 
 impl DramStats {
@@ -48,6 +55,9 @@ impl DramStats {
         self.rows_mitigated_by_tref += other.rows_mitigated_by_tref;
         self.alerts_asserted += other.alerts_asserted;
         self.counter_resets += other.counter_resets;
+        // A peak, not a flow: the subsystem-wide maximum is the max of the
+        // per-channel maxima.
+        self.max_row_counter = self.max_row_counter.max(other.max_row_counter);
     }
 }
 
@@ -68,12 +78,14 @@ mod tests {
             rows_mitigated_by_tref: 8,
             alerts_asserted: 9,
             counter_resets: 10,
+            max_row_counter: 11,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.activations, 2);
         assert_eq!(a.counter_resets, 20);
         assert_eq!(a.total_mitigations(), 30);
+        assert_eq!(a.max_row_counter, 11, "peaks merge by max, not by sum");
     }
 
     #[test]

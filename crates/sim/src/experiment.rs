@@ -14,7 +14,7 @@
 //! code changes.
 
 use cpu_sim::config::CpuConfig;
-use cpu_sim::trace::Trace;
+use cpu_sim::trace::{Trace, TraceOp};
 use dram_sim::device::DramDeviceConfig;
 use memctrl::controller::ControllerConfig;
 use prac_core::config::{MitigationPolicy, PracConfig, PracLevel};
@@ -23,6 +23,7 @@ use prac_core::security::CounterResetPolicy;
 use prac_core::timing::DramTimingSummary;
 use prac_core::tprac::{TpracConfig, TrefRate};
 use serde::{Deserialize, Serialize};
+use workloads::attack::AttackKind;
 use workloads::generator::SyntheticWorkload;
 
 use crate::event::EngineKind;
@@ -341,6 +342,13 @@ pub struct ExperimentConfig {
     pub cores: u32,
     /// Number of memory channels (1 reproduces the paper's Table 3 system).
     pub channels: u32,
+    /// Optional adversarial co-runner: when set, one extra core runs the
+    /// attack pattern's access stream (encoded through the configured
+    /// address mapping) alongside the benign workload copies, so the run
+    /// measures victim performance *and* security metrics
+    /// ([`dram_sim::stats::DramStats::max_row_counter`]) under attack.
+    /// `None` reproduces the paper's benign runs exactly.
+    pub attack: Option<AttackKind>,
     /// Engine visiting the ticks.  Results are engine-independent (asserted
     /// by the differential suite), so this is an execution knob, not part of
     /// the experiment's identity.
@@ -359,6 +367,7 @@ impl ExperimentConfig {
             instructions_per_core,
             cores: 4,
             channels: 1,
+            attack: None,
             engine: EngineKind::default(),
         }
     }
@@ -401,6 +410,13 @@ impl ExperimentConfig {
         self
     }
 
+    /// Adds (or clears) the adversarial co-runner.
+    #[must_use]
+    pub fn with_attack(mut self, attack: Option<AttackKind>) -> Self {
+        self.attack = attack;
+        self
+    }
+
     /// Derives the DRAM-device and controller configurations for this
     /// experiment by resolving the setup's descriptor.
     ///
@@ -434,7 +450,9 @@ impl ExperimentConfig {
         };
         device.organization = device.organization.with_channels(self.channels);
         let mut cpu = CpuConfig::paper_default();
-        cpu.cores = self.cores;
+        // The adversarial co-runner occupies one extra core slot, so the
+        // benign workload keeps its configured core count.
+        cpu.cores = self.cores + u32::from(self.attack.is_some());
         Ok(SystemConfig {
             cpu,
             device,
@@ -467,7 +485,7 @@ pub fn run_workload(
     seed: u64,
 ) -> Result<SystemResult> {
     let system_config = config.build_system_config()?;
-    let traces: Vec<Trace> = (0..config.cores)
+    let mut traces: Vec<Trace> = (0..config.cores)
         .map(|core| {
             // Give each core its own slice of the address space so four
             // copies do not trivially share cache lines, mirroring the
@@ -477,7 +495,42 @@ pub fn run_workload(
             per_core.generate(config.instructions_per_core, seed ^ u64::from(core))
         })
         .collect();
+    if let Some(attack) = &config.attack {
+        traces.push(attacker_trace(attack, &system_config, seed));
+    }
     Ok(SystemSimulation::new(system_config, traces).run())
+}
+
+/// Generates the adversarial co-runner's trace: flush+reload pairs
+/// following the attack pattern's address stream, encoded through the
+/// system's address mapping.  The flush after every load forces the next
+/// access to the same line back to DRAM — the `clflush`-armed attacker of
+/// the RowHammer literature — so even single-row patterns hammer through
+/// the cache hierarchy they share with the benign cores.
+///
+/// Trace mode flattens the pattern's burst timing
+/// ([`workloads::attack::AttackAccess::not_before`] advances the pattern's
+/// internal clock but cannot stall the core model) — the determinism
+/// contract guarantees the *addresses* are identical either way.  The
+/// cycle-exact burst-honouring attacker model lives in
+/// `pracleak::adversary` instead.
+fn attacker_trace(attack: &AttackKind, system: &SystemConfig, seed: u64) -> Trace {
+    let org = system.device.organization;
+    let mapping = system
+        .controller
+        .mapping
+        .instantiate_with(org, system.controller.channel_interleave);
+    let mut pattern = attack.build(&org, system.device.timing.t_refi, seed);
+    let mut now = 0u64;
+    let ops = (0..system.instructions_per_core.div_ceil(2))
+        .flat_map(|_| {
+            let access = pattern.next_access(now);
+            now = now.max(access.not_before) + 1;
+            let address = mapping.encode(&access.address);
+            [TraceOp::Load(address), TraceOp::Flush(address)]
+        })
+        .collect();
+    Trace::new("attacker", ops)
 }
 
 /// Runs `workload` under `setup` and under the no-ABO baseline, returning
@@ -749,5 +802,38 @@ mod tests {
     #[test]
     fn figure10_set_contains_three_configurations() {
         assert_eq!(MitigationSetup::figure10_set().len(), 3);
+    }
+
+    #[test]
+    fn attack_knob_adds_one_attacker_core() {
+        use workloads::attack::AttackKind;
+        let benign = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_cores(2);
+        let attacked = benign.clone().with_attack(Some(AttackKind::SingleSided));
+        assert_eq!(benign.build_system_config().unwrap().cpu.cores, 2);
+        assert_eq!(attacked.build_system_config().unwrap().cpu.cores, 3);
+        let result = run_workload(&attacked, &low_intensity_workload(), 1).unwrap();
+        assert!(result.completed, "{result:?}");
+        assert_eq!(result.core_stats.len(), 3);
+        // The attacker hammers one row stream through the caches; whatever
+        // reaches DRAM is tracked by the peak-counter stat.
+        assert!(result.dram_stats.activations > 0);
+    }
+
+    #[test]
+    fn attacked_runs_are_deterministic_and_attack_free_runs_unchanged() {
+        use workloads::attack::AttackKind;
+        let attacked = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR)
+            .with_cores(2)
+            .with_attack(Some(AttackKind::ManySided { sides: 4 }));
+        let a = run_workload(&attacked, &low_intensity_workload(), 2).unwrap();
+        let b = run_workload(&attacked, &low_intensity_workload(), 2).unwrap();
+        assert_eq!(a, b, "attacked runs must replay bit-for-bit");
+        // Clearing the knob restores the benign configuration entirely.
+        let cleared = attacked.with_attack(None);
+        let benign = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_cores(2);
+        assert_eq!(
+            run_workload(&cleared, &low_intensity_workload(), 2).unwrap(),
+            run_workload(&benign, &low_intensity_workload(), 2).unwrap()
+        );
     }
 }

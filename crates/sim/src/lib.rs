@@ -24,6 +24,9 @@
 //!   [`experiment::mitigation_registry`] that enumerates them for the CLI,
 //!   the campaigns and the differential harness, and helpers that run a
 //!   workload under a configuration and report normalised performance.
+//!   [`experiment::ExperimentConfig`] also carries the adversarial
+//!   co-runner knob (`attack`): when set, one extra core replays a
+//!   registered `workloads::attack` pattern next to the benign workload.
 //! * [`energy`] — converts run results into the Table 5 energy-overhead rows
 //!   via the `prac-core` energy model.
 //! * [`parallel`] — a work-stealing thread pool used by the campaign runner
@@ -50,3 +53,7 @@ pub use experiment::{
 pub use parallel::{parallel_map, parallel_map_streaming};
 pub use subsystem::{ChannelStats, MemorySubsystem};
 pub use system::{SystemConfig, SystemResult, SystemSimulation};
+// The attacker-side registry mirrors `mitigation_registry` and is consumed
+// by the same layers (campaigns, CLI, differential tests), so re-export it
+// from the simulation facade alongside the defender-side descriptors.
+pub use workloads::attack::{attack_registry, AttackDescriptor, AttackKind, AttackPattern};

@@ -117,7 +117,7 @@ impl SyntheticWorkload {
     pub fn generate(&self, instructions: u64, seed: u64) -> Trace {
         let mut ops = Vec::new();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-        let mut addresses = self.address_pattern(seed).iter();
+        let mut addresses = self.address_pattern(seed).stream();
         let mem_per_kilo = u64::from(self.mem_ops_per_kilo_instr.max(1));
         // Compute-instruction gap between consecutive memory operations.
         let gap = (1000 / mem_per_kilo).max(1) as u32;

@@ -11,7 +11,7 @@
 //! TB-RFMs, by roughly how much) are preserved even though the absolute
 //! instruction streams differ from the proprietary traces.
 //!
-//! Three building blocks are provided:
+//! Four building blocks are provided:
 //!
 //! * [`generator::SyntheticWorkload`] — a parameterised generator
 //!   (memory operations per kilo-instruction, footprint, access pattern,
@@ -20,15 +20,21 @@
 //!   into SPEC2K6-like, SPEC2K17-like and CloudSuite-like entries, plus a
 //!   reduced "quick" suite for fast runs,
 //! * [`patterns`] — low-level address-pattern iterators (streaming,
-//!   strided, random-over-footprint, hot-set).
+//!   strided, random-over-footprint, hot-set),
+//! * [`attack`] — the pluggable adversary API: the [`attack::AttackPattern`]
+//!   trait, the built-in RowHammer access patterns (single-sided through
+//!   decoy-blast and RFM-pressure), and the [`attack::attack_registry`] the
+//!   campaigns and the CLI enumerate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attack;
 pub mod generator;
 pub mod patterns;
 pub mod suite;
 
+pub use attack::{attack_registry, AttackAccess, AttackDescriptor, AttackKind, AttackPattern};
 pub use generator::{AccessPattern, SyntheticWorkload};
 pub use suite::{full_suite, quick_suite, MemoryIntensity, WorkloadGroup, WorkloadSpec};

@@ -1,11 +1,16 @@
 //! Low-level address-pattern iterators used by the workload generators.
 //!
 //! All patterns produce cache-line-aligned physical addresses inside a
-//! contiguous region `[base, base + footprint)`.
+//! contiguous region `[base, base + footprint)`.  The slot-cycling
+//! arithmetic is shared with the adversarial patterns and owned by
+//! [`crate::attack`] ([`attack::cycle_slot`] / [`attack::strided_slots`]);
+//! this module only maps slots to physical byte addresses.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+use crate::attack;
 
 /// Cache-line size assumed by all patterns.
 pub const LINE_BYTES: u64 = 64;
@@ -48,68 +53,79 @@ pub enum AddressPattern {
 }
 
 impl AddressPattern {
-    /// Creates an iterator over the pattern's addresses.
+    /// Creates the stream of the pattern's addresses.
     #[must_use]
-    pub fn iter(&self) -> PatternIter {
+    pub fn stream(&self) -> AddressStream {
         let rng = match self {
             AddressPattern::Random { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
             _ => None,
         };
-        PatternIter {
+        AddressStream {
             pattern: self.clone(),
             position: 0,
             rng,
         }
     }
 
-    /// The number of distinct cache lines the pattern can touch.
+    /// Creates an iterator over the pattern's addresses.
+    #[deprecated(note = "renamed to `AddressPattern::stream`")]
     #[must_use]
-    pub fn distinct_lines(&self) -> u64 {
+    pub fn iter(&self) -> AddressStream {
+        self.stream()
+    }
+
+    /// The number of distinct address slots the pattern cycles over (the
+    /// stride between slots is [`LINE_BYTES`] except for `Strided`, where it
+    /// is the configured stride).
+    #[must_use]
+    pub fn distinct_slots(&self) -> u64 {
         match self {
             AddressPattern::Streaming { footprint, .. }
-            | AddressPattern::Random { footprint, .. } => (footprint / LINE_BYTES).max(1),
+            | AddressPattern::Random { footprint, .. } => {
+                attack::line_slots(*footprint, LINE_BYTES)
+            }
             AddressPattern::Strided {
                 footprint, stride, ..
-            } => (footprint / stride.max(&LINE_BYTES)).max(1),
+            } => attack::strided_slots(*footprint, (*stride).max(LINE_BYTES)),
             AddressPattern::HotSet { lines, .. } => (*lines).max(1),
         }
     }
+
+    /// The number of distinct cache lines the pattern can touch.
+    #[deprecated(note = "renamed to `AddressPattern::distinct_slots`")]
+    #[must_use]
+    pub fn distinct_lines(&self) -> u64 {
+        self.distinct_slots()
+    }
 }
 
-/// Iterator over an [`AddressPattern`].
+/// Infinite stream over an [`AddressPattern`]'s cache-line addresses.
 #[derive(Debug, Clone)]
-pub struct PatternIter {
+pub struct AddressStream {
     pattern: AddressPattern,
     position: u64,
     rng: Option<StdRng>,
 }
 
-impl PatternIter {
+/// Legacy name of [`AddressStream`].
+#[deprecated(note = "renamed to `AddressStream`")]
+pub type PatternIter = AddressStream;
+
+impl AddressStream {
     /// Next cache-line-aligned address (infinite stream).
     pub fn next_address(&mut self) -> u64 {
         let addr = match &self.pattern {
-            AddressPattern::Streaming { base, footprint } => {
-                let lines = (footprint / LINE_BYTES).max(1);
-                base + (self.position % lines) * LINE_BYTES
+            AddressPattern::Streaming { base, .. } | AddressPattern::HotSet { base, .. } => {
+                base + attack::cycle_slot(self.position, self.pattern.distinct_slots()) * LINE_BYTES
             }
-            AddressPattern::Strided {
-                base,
-                footprint,
-                stride,
-            } => {
-                let stride = (*stride).max(LINE_BYTES);
-                let slots = (footprint / stride).max(1);
-                base + (self.position % slots) * stride
+            AddressPattern::Strided { base, stride, .. } => {
+                base + attack::cycle_slot(self.position, self.pattern.distinct_slots())
+                    * (*stride).max(LINE_BYTES)
             }
-            AddressPattern::Random {
-                base, footprint, ..
-            } => {
-                let lines = (footprint / LINE_BYTES).max(1);
+            AddressPattern::Random { base, .. } => {
+                let slots = self.pattern.distinct_slots();
                 let rng = self.rng.as_mut().expect("random pattern carries an RNG");
-                base + rng.gen_range(0..lines) * LINE_BYTES
-            }
-            AddressPattern::HotSet { base, lines } => {
-                base + (self.position % (*lines).max(1)) * LINE_BYTES
+                base + rng.gen_range(0..slots) * LINE_BYTES
             }
         };
         self.position += 1;
@@ -127,10 +143,10 @@ mod tests {
             base: 0x1000,
             footprint: 256,
         };
-        let mut it = p.iter();
+        let mut it = p.stream();
         let addrs: Vec<u64> = (0..6).map(|_| it.next_address()).collect();
         assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000, 0x1040]);
-        assert_eq!(p.distinct_lines(), 4);
+        assert_eq!(p.distinct_slots(), 4);
     }
 
     #[test]
@@ -140,11 +156,11 @@ mod tests {
             footprint: 4096,
             stride: 1024,
         };
-        let mut it = p.iter();
+        let mut it = p.stream();
         assert_eq!(it.next_address(), 0);
         assert_eq!(it.next_address(), 1024);
         assert_eq!(it.next_address(), 2048);
-        assert_eq!(p.distinct_lines(), 4);
+        assert_eq!(p.distinct_slots(), 4);
     }
 
     #[test]
@@ -155,11 +171,11 @@ mod tests {
             seed: 7,
         };
         let a: Vec<u64> = {
-            let mut it = p.iter();
+            let mut it = p.stream();
             (0..100).map(|_| it.next_address()).collect()
         };
         let b: Vec<u64> = {
-            let mut it = p.iter();
+            let mut it = p.stream();
             (0..100).map(|_| it.next_address()).collect()
         };
         assert_eq!(a, b, "same seed must reproduce the same stream");
@@ -172,7 +188,7 @@ mod tests {
     #[test]
     fn hot_set_cycles_over_small_working_set() {
         let p = AddressPattern::HotSet { base: 0, lines: 3 };
-        let mut it = p.iter();
+        let mut it = p.stream();
         let addrs: Vec<u64> = (0..6).map(|_| it.next_address()).collect();
         assert_eq!(addrs, vec![0, 64, 128, 0, 64, 128]);
     }
@@ -183,9 +199,20 @@ mod tests {
             base: 0x1001, // deliberately misaligned base
             footprint: 4096,
         };
-        let mut it = p.iter();
+        let mut it = p.stream();
         for _ in 0..50 {
             assert_eq!(it.next_address() % LINE_BYTES, 0);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_work() {
+        let p = AddressPattern::HotSet { base: 0, lines: 2 };
+        let mut it: PatternIter = p.iter();
+        assert_eq!(it.next_address(), 0);
+        assert_eq!(it.next_address(), 64);
+        assert_eq!(p.distinct_lines(), 2);
+        assert_eq!(p.distinct_lines(), p.distinct_slots());
     }
 }

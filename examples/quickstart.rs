@@ -2,7 +2,10 @@
 //! Back-Off protocol fire under a hammering pattern, then size and apply the
 //! TPRAC defense and confirm the ABO events disappear.
 //!
-//! Run with `cargo run --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart`.  The condensed,
+//! assertion-checked form of this walkthrough lives as a runnable rustdoc
+//! example on the umbrella crate ("Hammering a PRAC device and applying the
+//! defense" in `src/lib.rs`), so `cargo test --doc` keeps it working.
 
 use prac_timing::prelude::*;
 use pracleak::agents::{MultiAgentRunner, SerializedAccessAgent};

@@ -18,8 +18,8 @@
 //! | DRAM device | [`dram_sim`] | Cycle-accurate DDR5 model with per-row activation counters and Alert Back-Off |
 //! | Memory controller | [`memctrl`] | Channel-aware address mapping, FR-FCFS scheduling, refresh, the ABO responder driving the pluggable mitigation engine |
 //! | CPU | [`cpu_sim`] | Trace-driven ROB-limited cores with an L1/L2/LLC hierarchy |
-//! | Workloads | [`workloads`] | Synthetic workload suite bucketed by memory intensity, seedable end-to-end |
-//! | Attacks | [`pracleak`] | PRACLeak covert channels and the AES T-table side channel |
+//! | Workloads | [`workloads`] | Synthetic workload suite bucketed by memory intensity, seedable end-to-end, plus the pluggable `AttackPattern` adversary API and its registry |
+//! | Attacks | [`pracleak`] | PRACLeak covert channels, the AES T-table side channel, and the attack-vs-mitigation adversary driver |
 //! | Full system | [`system_sim`] | The simulation harness: multi-channel `MemorySubsystem`, twin tick/event engines, the work-stealing `parallel_map` |
 //! | Campaigns | [`campaign`] | Declarative scenario sweeps, result cache, artifacts and the `prac-bench` CLI |
 //! | Bench wrappers | `bench-harness` | The legacy `fig*`/`table*` binaries, now thin wrappers over the campaign registry |
@@ -36,7 +36,9 @@
 //! ```text
 //! cargo run --release --bin prac-bench -- list
 //! cargo run --release --bin prac-bench -- mitigations
+//! cargo run --release --bin prac-bench -- attacks
 //! cargo run --release --bin prac-bench -- run fig10 --quick
+//! cargo run --release --bin prac-bench -- run attacks --quick
 //! cargo run --release --bin prac-bench -- run --all --full
 //! ```
 //!
@@ -66,6 +68,62 @@
 //! let window = analysis.solve_tb_window().expect("safe window exists");
 //! assert!(window.tmax < 1024);
 //! assert!(window.bandwidth_loss < 0.10);
+//! ```
+//!
+//! ## Hammering a PRAC device and applying the defense
+//!
+//! The condensed form of `examples/quickstart.rs`: build a PRAC-enabled
+//! DDR5 memory system, drive a registered RowHammer pattern against it, and
+//! watch TPRAC keep the peak per-row activation count below the threshold
+//! while the undefended device is breached.
+//!
+//! ```
+//! use prac_timing::prelude::*;
+//! use prac_timing::pracleak::adversary::run_adversary;
+//! use prac_timing::pracleak::AttackSetup;
+//!
+//! let nbo = 512;
+//!
+//! // Undefended (mitigation disabled outright): the double-sided hammer
+//! // pushes some row's PRAC counter past the threshold.
+//! let undefended = AttackSetup::new(nbo).with_policy(MitigationPolicy::Disabled);
+//! let breached = run_adversary(&AttackKind::DoubleSided, &undefended, 1_400, 10_000_000, 0);
+//! assert!(breached.breached(nbo));
+//!
+//! // TPRAC: solve the largest safe TB-Window for the same threshold and
+//! // hammer again — the peak stays below NBO and the attacker pays a
+//! // slowdown for every Timing-Based RFM.
+//! let timing = DramTimingSummary::ddr5_8000b();
+//! let tprac = TpracConfig::solve_for_threshold(
+//!     nbo,
+//!     &timing,
+//!     CounterResetPolicy::ResetEveryTrefw,
+//! )
+//! .expect("safe window exists");
+//! let defended = AttackSetup::new(nbo).with_policy(MitigationPolicy::Tprac(tprac));
+//! let held = run_adversary(&AttackKind::DoubleSided, &defended, 1_400, 10_000_000, 0);
+//! assert!(!held.breached(nbo));
+//! assert!(held.rfms_triggered > 0);
+//! assert!(held.elapsed_ticks > breached.elapsed_ticks);
+//! ```
+//!
+//! ## The covert channel
+//!
+//! The condensed form of `examples/covert_channel.rs`: a trojan and a spy
+//! with no architectural channel transmit bits through PRAC's Alert
+//! Back-Off timing channel (Section 3.2 / Table 2 of the paper).  The
+//! activity-based variant signals one bit per window through the presence
+//! or absence of an ABO-RFM latency spike; the activation-count variant
+//! encodes `log2(NBO)` bits in the shared row's activation counter.
+//!
+//! ```
+//! use prac_timing::prelude::*;
+//! use prac_timing::pracleak::covert::run_covert_channel;
+//!
+//! let result = run_covert_channel(CovertChannelKind::ActivityBased, 256, 4, 0xC0FFEE);
+//! assert_eq!(result.bits_transmitted, 4);
+//! assert_eq!(result.bit_errors, 0, "the quick configuration is noise-free");
+//! assert!(result.bitrate_kbps > 1.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -104,7 +162,10 @@ pub mod prelude {
         MemorySubsystem, MitigationDescriptor, MitigationSetup, SimulationEngine, SystemResult,
         TickEngine,
     };
-    pub use workloads::{AccessPattern, MemoryIntensity, SyntheticWorkload};
+    pub use workloads::{
+        attack_registry, AccessPattern, AttackAccess, AttackDescriptor, AttackKind, AttackPattern,
+        MemoryIntensity, SyntheticWorkload,
+    };
 }
 
 #[cfg(test)]

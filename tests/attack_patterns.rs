@@ -1,0 +1,92 @@
+//! Property suite for the pluggable attack patterns: every registered
+//! pattern must emit only addresses that decode to valid [`DramAddress`]es
+//! under **every** address mapping and channel count.
+//!
+//! Concretely, for each `attack_registry()` entry × mapping policy
+//! (MOP / bank-striped / row-interleaved) × channels ∈ {1, 2, 4}:
+//!
+//! * every emitted coordinate is within the organisation's bounds,
+//! * encoding the coordinate to a physical address and decoding it back is
+//!   the identity (the pattern never produces an address the mapping cannot
+//!   represent), and
+//! * the physical address lies inside the subsystem's capacity.
+//!
+//! The proptest shim replays a fixed number of cases from a constant seed,
+//! so this suite is reproducible bit-for-bit (see `crates/compat/proptest`).
+
+use prac_timing::dram_sim::org::DramOrganization;
+use prac_timing::memctrl::mapping::{ChannelInterleave, MappingKind};
+use prac_timing::workloads::attack::attack_registry;
+use proptest::prelude::*;
+
+const T_REFI_TICKS: u64 = 15_600;
+
+fn mapping_kinds() -> [MappingKind; 3] {
+    [
+        MappingKind::Mop,
+        MappingKind::BankStriped,
+        MappingKind::RowInterleaved,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_pattern_decodes_validly_across_mappings_and_channels(
+        pattern_index in 0usize..6,
+        mapping_index in 0usize..3,
+        channel_exp in 0u32..3,
+        interleave_index in 0u32..2,
+        seed in 0u64..1 << 16,
+    ) {
+        let registry = attack_registry();
+        prop_assert!(registry.len() >= 6);
+        let descriptor = &registry[pattern_index % registry.len()];
+        let channels = 1u32 << channel_exp; // 1, 2, 4
+        let org = DramOrganization::ddr5_32gb_quad_rank().with_channels(channels);
+        prop_assert!(org.is_valid());
+        let interleave = if interleave_index == 1 {
+            ChannelInterleave::Row
+        } else {
+            ChannelInterleave::CacheLine
+        };
+        let mapping = mapping_kinds()[mapping_index % 3].instantiate_with(org, interleave);
+        let mut pattern = descriptor.kind.build(&org, T_REFI_TICKS, seed);
+
+        // The declared hot rows are themselves valid, encodable coordinates.
+        let hot = pattern.hot_rows();
+        prop_assert!(!hot.is_empty(), "{}: empty hot-row set", descriptor.slug);
+        for row in &hot {
+            let physical = mapping.encode(row);
+            prop_assert_eq!(mapping.decode(physical), *row, "{}: hot row", &descriptor.slug);
+        }
+
+        let mut now = 0u64;
+        for _ in 0..512 {
+            let access = pattern.next_access(now);
+            now = now.max(access.not_before) + 1;
+            let address = access.address;
+
+            // In bounds for the organisation.
+            prop_assert!(address.channel < org.channels, "{}: channel", &descriptor.slug);
+            prop_assert!(address.rank < org.ranks, "{}: rank", &descriptor.slug);
+            prop_assert!(address.bank_group < org.bank_groups, "{}: bank group", &descriptor.slug);
+            prop_assert!(address.bank < org.banks_per_group, "{}: bank", &descriptor.slug);
+            prop_assert!(address.row < org.rows_per_bank, "{}: row", &descriptor.slug);
+            prop_assert!(address.column < org.columns_per_row, "{}: column", &descriptor.slug);
+
+            // Encode → decode is the identity and stays inside the capacity.
+            let physical = mapping.encode(&address);
+            prop_assert!(
+                physical < org.capacity_bytes(),
+                "{}: physical {physical:#x} outside capacity",
+                &descriptor.slug
+            );
+            prop_assert_eq!(
+                mapping.decode(physical),
+                address,
+                "{}: encode/decode round trip",
+                &descriptor.slug
+            );
+        }
+    }
+}

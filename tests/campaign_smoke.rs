@@ -31,6 +31,7 @@ fn tiny_campaign() -> Campaign {
             instructions_per_core: 3_000,
             cores: 1,
             channels: 1,
+            attack: None,
             seed: 42,
         })),
     ));
@@ -99,7 +100,7 @@ fn registry_covers_the_paper() {
     assert!(campaigns.len() >= 10, "{} campaigns", campaigns.len());
     for expected in [
         "fig03", "fig04", "fig05", "fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-        "table2", "table5", "storage",
+        "table2", "table5", "storage", "defenses", "scaling", "attacks",
     ] {
         assert!(
             find_campaign(expected, &Profile::quick()).is_some(),

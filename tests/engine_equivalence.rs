@@ -173,6 +173,35 @@ fn engines_agree_across_channel_counts() {
     }
 }
 
+/// The adversarial co-runner knob: every registered attack pattern riding
+/// one extra core next to a benign workload must stay cycle-exact across
+/// the two engines — the attacker's flush+reload trace exercises demand
+/// traffic, Alert assertion and mitigation wake-ups concurrently with
+/// ordinary cache-filtered loads.
+#[test]
+fn engines_agree_with_an_adversarial_corunner() {
+    let workloads = representative_workloads();
+    let low_intensity = &workloads[workloads.len() - 1];
+    for descriptor in workloads::attack_registry() {
+        let run = |engine: EngineKind| {
+            let config = ExperimentConfig::new(MitigationSetup::AboOnly, 6_000)
+                .with_cores(1)
+                .with_attack(Some(descriptor.kind))
+                .with_engine(engine);
+            run_workload(&config, &low_intensity.workload, 0xA77)
+                .expect("ABO-only resolves at NRH 1024")
+        };
+        let ticked = run(EngineKind::Tick);
+        let evented = run(EngineKind::Event);
+        assert_eq!(
+            ticked, evented,
+            "attack {} diverged between engines",
+            descriptor.slug
+        );
+        assert_eq!(ticked.core_stats.len(), 2, "benign core + attacker core");
+    }
+}
+
 /// Adversarial traffic on a tiny device: flush-reload hammering across rows
 /// of one bank drives the PRAC counters over a small Back-Off threshold, so
 /// this differential run exercises the paths benign workloads never reach —
