@@ -12,6 +12,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use result_store::write_atomic;
 use serde_json::{Map, Value};
 
 use crate::runner::ScenarioRecord;
@@ -61,8 +62,10 @@ impl ArtifactStore {
             json: dir.join("results.json"),
             csv: dir.join("results.csv"),
         };
-        fs::write(&paths.json, render_json(campaign, records))?;
-        fs::write(&paths.csv, render_csv(records))?;
+        // Atomic (temp + rename) so a crash mid-write can never leave a
+        // torn artifact that poisons later consumers.
+        write_atomic(&paths.json, render_json(campaign, records).as_bytes())?;
+        write_atomic(&paths.csv, render_csv(records).as_bytes())?;
         Ok(paths)
     }
 }

@@ -1,23 +1,36 @@
-//! Incremental result cache.
+//! Incremental result cache — a thin adapter over the content-addressed
+//! [`result_store::ResultStore`].
 //!
-//! Each executed scenario is persisted as one JSON file named by its stable
-//! [`Scenario::key`] hash.  A later run with the same configuration finds the
-//! file, verifies the embedded spec matches (guarding against hash collisions
-//! and stale formats), and skips the simulation.  Any change to the scenario
-//! — threshold, seed, budget, workload — changes the key and misses.
+//! Each executed scenario is persisted as one store record whose identity is
+//! the scenario's cache-key preimage (`sim-r<REV>:{canonical spec JSON}`), so
+//! the store key *is* the pre-existing [`Scenario::key`] hash: every cache
+//! entry written before the store existed maps to the same key after it.  A
+//! later run with the same configuration finds the record, verifies the
+//! embedded spec matches (guarding against hash collisions and stale
+//! formats), and skips the simulation.  Any change to the scenario —
+//! threshold, seed, budget, workload — changes the key and misses.
+//!
+//! Opening a cache at a directory that still holds the legacy layout (one
+//! `<16-hex-key>.json` file per cell) migrates those cells into the store:
+//! parseable cells whose content re-hashes to their file name are imported
+//! and the legacy file removed; unparseable files are quarantined into
+//! `quarantine/` (never a crash); cells whose key no longer matches (stale
+//! `SIM_REVISION`) are left alone — they were already unreachable.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use result_store::{ResultStore, StoreRecord};
 use serde_json::{Map, Value};
 
-use crate::scenario::Scenario;
+use crate::scenario::{key_preimage, Scenario};
 
-/// A directory of per-scenario result files.
+/// The campaign-facing result cache, backed by a shared [`ResultStore`].
 #[derive(Debug, Clone)]
 pub struct ResultCache {
-    root: PathBuf,
+    store: Arc<ResultStore>,
 }
 
 /// A cached (or freshly executed) scenario result.
@@ -30,15 +43,31 @@ pub struct CachedResult {
 }
 
 impl ResultCache {
-    /// Opens (and creates if needed) a cache rooted at `root`.
+    /// Opens (and creates if needed) a cache rooted at `root`, migrating any
+    /// legacy per-cell JSON files found there into the store.
     ///
     /// # Errors
     ///
-    /// Propagates the error if the directory cannot be created.
+    /// Propagates the error if the store cannot be opened.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(Self { root })
+        let store = ResultStore::open(&root)?;
+        migrate_legacy_cells(&store, &root)?;
+        Ok(Self {
+            store: Arc::new(store),
+        })
+    }
+
+    /// Wraps an already-open store (shared with e.g. the serve loop).
+    #[must_use]
+    pub fn from_store(store: Arc<ResultStore>) -> Self {
+        Self { store }
+    }
+
+    /// The backing store.
+    #[must_use]
+    pub fn store_handle(&self) -> Arc<ResultStore> {
+        Arc::clone(&self.store)
     }
 
     /// The default on-disk location, `target/campaigns/cache`.
@@ -47,41 +76,117 @@ impl ResultCache {
         Path::new("target").join("campaigns").join("cache")
     }
 
-    /// Path of the result file for `scenario`.
-    #[must_use]
-    pub fn entry_path(&self, scenario: &Scenario) -> PathBuf {
-        self.root.join(format!("{:016x}.json", scenario.key()))
-    }
-
     /// Looks the scenario up; `None` on miss, format mismatch, or a (wildly
     /// unlikely) hash collision.
     #[must_use]
     pub fn lookup(&self, scenario: &Scenario) -> Option<CachedResult> {
-        let text = fs::read_to_string(self.entry_path(scenario)).ok()?;
-        let value = serde_json::from_str(&text).ok()?;
-        if value.get("spec") != Some(&scenario.spec.to_json()) {
-            return None;
-        }
-        Some(CachedResult {
-            metrics: value.get("metrics")?.as_object()?.clone(),
-            wall_ms: value.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
-        })
+        let record = self.store.get(scenario.key())?;
+        decode_payload(&record.payload, scenario)
     }
 
     /// Persists a freshly executed result.
     ///
     /// # Errors
     ///
-    /// Propagates the error if the file cannot be written.
+    /// Propagates the error if the record cannot be appended.
     pub fn store(&self, scenario: &Scenario, result: &CachedResult) -> io::Result<()> {
-        let mut entry = Map::new();
-        entry.insert("spec".into(), scenario.spec.to_json());
-        entry.insert("metrics".into(), Value::Object(result.metrics.clone()));
-        entry.insert("wall_ms".into(), result.wall_ms.into());
-        let text = serde_json::to_string_pretty(&Value::Object(entry))
-            .expect("JSON serialisation is infallible");
-        fs::write(self.entry_path(scenario), text)
+        self.store
+            .insert(&record_for(scenario, result))
+            .map(|_key| ())
     }
+
+    /// Durably flushes the backing store's index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from the store flush.
+    pub fn flush(&self) -> io::Result<()> {
+        self.store.flush()
+    }
+}
+
+/// Builds the store record for a scenario result.  The payload keeps the
+/// exact object shape of the legacy per-cell files (`spec` / `metrics` /
+/// `wall_ms`), so migrated and freshly written records are indistinguishable.
+fn record_for(scenario: &Scenario, result: &CachedResult) -> StoreRecord {
+    let mut entry = Map::new();
+    entry.insert("spec".into(), scenario.spec.to_json());
+    entry.insert("metrics".into(), Value::Object(result.metrics.clone()));
+    entry.insert("wall_ms".into(), result.wall_ms.into());
+    StoreRecord::new(key_preimage(&scenario.spec), Value::Object(entry))
+}
+
+/// Decodes a store payload, applying the collision/staleness guard: the
+/// embedded spec must match the scenario asking.
+fn decode_payload(payload: &Value, scenario: &Scenario) -> Option<CachedResult> {
+    if payload.get("spec") != Some(&scenario.spec.to_json()) {
+        return None;
+    }
+    Some(CachedResult {
+        metrics: payload.get("metrics")?.as_object()?.clone(),
+        wall_ms: payload
+            .get("wall_ms")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+    })
+}
+
+/// Migrates legacy `<16-hex-key>.json` cells sitting next to the store.
+fn migrate_legacy_cells(store: &ResultStore, root: &Path) -> io::Result<()> {
+    let mut migrated = false;
+    for entry in fs::read_dir(root)?.filter_map(Result::ok) {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name.strip_suffix(".json") else {
+            continue;
+        };
+        if stem.len() != 16 || u64::from_str_radix(stem, 16).is_err() {
+            continue; // index.json and anything else that is not a cell
+        }
+        let key = u64::from_str_radix(stem, 16).expect("checked above");
+        match read_legacy_cell(&path, key) {
+            Ok(Some(record)) => {
+                if !store.contains(key) {
+                    store.insert(&record)?;
+                }
+                migrated = true;
+                fs::remove_file(&path)?;
+            }
+            Ok(None) => {
+                // Parseable but its key no longer matches its content — a
+                // stale SIM_REVISION cell.  It was already unreachable under
+                // the old layout; leave it for the archaeologists.
+            }
+            Err(_) => {
+                // Unparseable: quarantine instead of crashing the run.
+                let quarantine = root.join("quarantine");
+                fs::create_dir_all(&quarantine)?;
+                let _ = fs::rename(&path, quarantine.join(name));
+            }
+        }
+    }
+    if migrated {
+        store.flush()?;
+    }
+    Ok(())
+}
+
+/// Reads one legacy cell.  `Ok(Some)` when the embedded spec re-hashes to
+/// the file's key (so the record is current), `Ok(None)` when it is
+/// parseable but stale, `Err` when unreadable.
+fn read_legacy_cell(path: &Path, key: u64) -> io::Result<Option<StoreRecord>> {
+    let text = fs::read_to_string(path)?;
+    let payload: Value = serde_json::from_str(&text)
+        .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))?;
+    let spec = payload
+        .get("spec")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "cell missing `spec`"))?;
+    let mut identity = format!("sim-r{}:", crate::scenario::SIM_REVISION);
+    identity.push_str(&spec.to_string());
+    let record = StoreRecord::new(identity, payload);
+    Ok((record.key() == key).then_some(record))
 }
 
 #[cfg(test)]
@@ -89,11 +194,11 @@ mod tests {
     use super::*;
     use crate::scenario::ScenarioSpec;
 
-    fn temp_cache(tag: &str) -> ResultCache {
+    fn temp_root(tag: &str) -> PathBuf {
         let root =
             std::env::temp_dir().join(format!("prac-campaign-cache-{}-{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
-        ResultCache::open(root).unwrap()
+        root
     }
 
     fn scenario(nrh: u32) -> Scenario {
@@ -106,20 +211,23 @@ mod tests {
         )
     }
 
+    fn result(tmax: u64) -> CachedResult {
+        let mut metrics = Map::new();
+        metrics.insert("tmax".into(), tmax.into());
+        CachedResult {
+            metrics,
+            wall_ms: 1.5,
+        }
+    }
+
     #[test]
     fn miss_then_hit_then_miss_on_change() {
-        let cache = temp_cache("hit-miss");
+        let cache = ResultCache::open(temp_root("hit-miss")).unwrap();
         let s = scenario(1024);
         assert!(cache.lookup(&s).is_none(), "cold cache must miss");
 
-        let mut metrics = Map::new();
-        metrics.insert("tmax".into(), 572u64.into());
-        let result = CachedResult {
-            metrics,
-            wall_ms: 1.5,
-        };
-        cache.store(&s, &result).unwrap();
-        assert_eq!(cache.lookup(&s), Some(result), "same config must hit");
+        cache.store(&s, &result(572)).unwrap();
+        assert_eq!(cache.lookup(&s), Some(result(572)), "same config must hit");
 
         assert!(
             cache.lookup(&scenario(2048)).is_none(),
@@ -129,20 +237,62 @@ mod tests {
 
     #[test]
     fn collision_guard_rejects_mismatched_spec() {
-        let cache = temp_cache("collision");
+        let cache = ResultCache::open(temp_root("collision")).unwrap();
         let s = scenario(512);
-        cache
-            .store(
-                &s,
-                &CachedResult {
-                    metrics: Map::new(),
-                    wall_ms: 0.0,
-                },
-            )
-            .unwrap();
-        // Corrupt the entry so the stored spec no longer matches.
-        let path = cache.entry_path(&s);
-        fs::write(&path, r#"{"spec":{"kind":"other"},"metrics":{}}"#).unwrap();
+        // Insert a record under s's key whose embedded spec is different —
+        // the store-level analogue of the old corrupted-file test.
+        let mut payload = Map::new();
+        payload.insert(
+            "spec".into(),
+            serde_json::from_str(r#"{"kind":"other"}"#).unwrap(),
+        );
+        payload.insert("metrics".into(), Value::Object(Map::new()));
+        let record = StoreRecord::new(key_preimage(&s.spec), Value::Object(payload));
+        cache.store_handle().insert(&record).unwrap();
         assert!(cache.lookup(&s).is_none());
+    }
+
+    #[test]
+    fn legacy_cells_migrate_into_the_store() {
+        let root = temp_root("migrate");
+        // Write a legacy-format cell the way the pre-store cache did.
+        {
+            let cache = ResultCache::open(&root).unwrap();
+            cache.store(&scenario(1024), &result(7)).unwrap();
+        }
+        let legacy_key = scenario(1024).key();
+        let store = ResultStore::open(&root).unwrap();
+        let record = store.get(legacy_key).unwrap();
+        let legacy_path = root.join(format!("{legacy_key:016x}.json"));
+        fs::write(&legacy_path, record.payload.to_string()).unwrap();
+        fs::remove_dir_all(root.join("segments")).unwrap();
+        fs::remove_file(root.join("index.json")).unwrap();
+        drop(store);
+        // Also drop an unparseable cell next to it.
+        let junk_path = root.join("00000000deadbeef.json");
+        fs::write(&junk_path, "not json {").unwrap();
+
+        let cache = ResultCache::open(&root).unwrap();
+        assert_eq!(
+            cache.lookup(&scenario(1024)),
+            Some(result(7)),
+            "legacy cell must hit through the store"
+        );
+        assert!(!legacy_path.exists(), "migrated cell file is removed");
+        assert!(!junk_path.exists(), "junk cell is moved out of the way");
+        assert!(
+            root.join("quarantine")
+                .join("00000000deadbeef.json")
+                .exists(),
+            "junk cell is quarantined, not deleted"
+        );
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let cache = ResultCache::open(temp_root("clone")).unwrap();
+        let other = cache.clone();
+        cache.store(&scenario(64), &result(1)).unwrap();
+        assert_eq!(other.lookup(&scenario(64)), Some(result(1)));
     }
 }

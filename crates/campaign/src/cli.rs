@@ -3,17 +3,23 @@
 //! * `prac-bench list` — enumerate the registered campaigns,
 //! * `prac-bench run <name>... | --all` — run campaigns through the parallel
 //!   runner with the incremental cache and JSON/CSV artifacts,
+//! * `prac-bench serve` / `query` — the result store as a long-running
+//!   NDJSON query service and its scripting client,
+//! * `prac-bench store <stats|verify|compact|export|import|bench>` — direct
+//!   store maintenance,
 //! * the former `fig*`/`table*` binaries delegate here via [`delegate`].
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use serde_json::Value;
+use result_store::{write_atomic, Bundle, ResultStore};
+use serde_json::{Map, Value};
 use system_sim::{AttackKind, EngineKind};
 
 use crate::artifact::ArtifactStore;
 use crate::cache::ResultCache;
 use crate::registry::{all_campaigns, find_campaign, Profile};
 use crate::runner::{CampaignRunner, RunSummary, ScenarioRecord};
+use crate::serve::{client, Server};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +37,13 @@ struct Options {
     no_cache: bool,
     out_dir: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
+    addr: Option<String>,
+    socket: Option<PathBuf>,
+    spec_json: Option<String>,
+    key: Option<String>,
+    protocol_op: Option<&'static str>,
+    append: Option<PathBuf>,
+    lookups: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,8 +52,14 @@ enum Command {
     Mitigations,
     Attacks,
     Run,
+    Serve,
+    Query,
+    Store,
     Help,
 }
+
+/// Default TCP endpoint of `prac-bench serve`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 const USAGE: &str = "prac-bench — unified campaign runner for the PRACLeak/TPRAC evaluation
 
@@ -50,12 +69,23 @@ USAGE:
     prac-bench attacks
     prac-bench run <name>... [options]
     prac-bench run --all [options]
+    prac-bench serve [--addr H:P | --socket PATH] [--cache-dir DIR] [--engine E]
+    prac-bench query [--addr H:P | --socket PATH] <what>
+    prac-bench store <stats|verify|compact> [--cache-dir DIR]
+    prac-bench store <export|import> <FILE> [--cache-dir DIR]
+    prac-bench store bench [--lookups N] [--append FILE]
 
 COMMANDS:
     list              Enumerate the registered campaigns
     mitigations       Enumerate the registered mitigation setups
     attacks           Enumerate the registered attack patterns
     run               Execute campaigns through the parallel runner
+    serve             Answer scenario queries from the result store over
+                      newline-delimited JSON (run-on-miss, persist, reply)
+    query             One-shot client for a running `serve`; <what> is a
+                      <campaign> <scenario> pair, --spec-json JSON,
+                      --key HEX, --ping, --stats or --shutdown
+    store             Inspect or maintain the result store directly
 
 OPTIONS:
     --all             Run every registered campaign
@@ -76,7 +106,17 @@ OPTIONS:
                       loop.  Results are bit-identical either way.
     --no-cache        Ignore and do not update the incremental result cache
     --out <DIR>       Artifact root (default: target/campaigns)
-    --cache-dir <DIR> Cache root (default: target/campaigns/cache)
+    --cache-dir <DIR> Result store root (default: target/campaigns/cache)
+    --addr <H:P>      serve/query TCP endpoint (default: 127.0.0.1:7117)
+    --socket <PATH>   serve/query Unix domain socket instead of TCP
+    --spec-json <J>   query: canonical scenario spec JSON to look up / run
+    --key <HEX>       query: fetch a stored record by 16-hex-digit key
+    --ping            query: liveness check
+    --stats           query: store statistics from the server
+    --shutdown        query: ask the server to stop cleanly
+    --lookups <N>     store bench: lookups to time (default: 10000)
+    --append <FILE>   store bench: append the measurement to a JSON
+                      trajectory file (e.g. BENCH_store.json)
 
 Artifacts are written to <out>/<campaign>/results.{json,csv}; cached cells
 are reused when the scenario configuration (including seeds and budgets) is
@@ -97,6 +137,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
         no_cache: false,
         out_dir: None,
         cache_dir: None,
+        addr: None,
+        socket: None,
+        spec_json: None,
+        key: None,
+        protocol_op: None,
+        append: None,
+        lookups: None,
     };
     let mut iter = args.iter();
     match iter.next().map(String::as_str) {
@@ -104,6 +151,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         Some("mitigations") => options.command = Command::Mitigations,
         Some("attacks") => options.command = Command::Attacks,
         Some("run") => options.command = Command::Run,
+        Some("serve") => options.command = Command::Serve,
+        Some("query") => options.command = Command::Query,
+        Some("store") => options.command = Command::Store,
         Some("help" | "--help" | "-h") | None => return Ok(options),
         Some(other) => return Err(format!("unknown command `{other}`")),
     }
@@ -163,6 +213,45 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     iter.next()
                         .map(PathBuf::from)
                         .ok_or_else(|| "--cache-dir requires a directory".to_string())?,
+                );
+            }
+            "--addr" => {
+                options.addr = Some(
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| "--addr requires host:port".to_string())?,
+                );
+            }
+            "--socket" => {
+                options.socket = Some(
+                    iter.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| "--socket requires a path".to_string())?,
+                );
+            }
+            "--spec-json" => {
+                options.spec_json = Some(
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| "--spec-json requires a JSON object".to_string())?,
+                );
+            }
+            "--key" => {
+                options.key = Some(
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| "--key requires a 16-hex-digit key".to_string())?,
+                );
+            }
+            "--ping" => options.protocol_op = Some("ping"),
+            "--stats" => options.protocol_op = Some("stats"),
+            "--shutdown" => options.protocol_op = Some("shutdown"),
+            "--lookups" => options.lookups = Some(numeric("--lookups")?),
+            "--append" => {
+                options.append = Some(
+                    iter.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| "--append requires a file".to_string())?,
                 );
             }
             name if name.starts_with("--") => return Err(format!("unknown option `{name}`")),
@@ -259,6 +348,9 @@ pub fn run_cli(args: &[String]) -> i32 {
             0
         }
         Command::Run => run_command(&options),
+        Command::Serve => serve_command(&options),
+        Command::Query => query_command(&options),
+        Command::Store => store_command(&options),
     }
 }
 
@@ -328,6 +420,23 @@ fn run_command(options: &Options) -> i32 {
         .clone()
         .unwrap_or_else(ResultCache::default_root);
 
+    // One store handle for the whole invocation: campaigns share the index
+    // (and its single writer) instead of re-opening the store per campaign.
+    let cache = if options.no_cache {
+        None
+    } else {
+        match ResultCache::open(&cache_root) {
+            Ok(cache) => Some(cache),
+            Err(error) => {
+                eprintln!(
+                    "error: cannot open cache at {}: {error}",
+                    cache_root.display()
+                );
+                return 1;
+            }
+        }
+    };
+
     for campaign in &campaigns {
         let mut runner = CampaignRunner::new()
             .with_progress(true)
@@ -336,17 +445,8 @@ fn run_command(options: &Options) -> i32 {
         if let Some(workers) = options.workers {
             runner = runner.with_workers(workers);
         }
-        if !options.no_cache {
-            match ResultCache::open(&cache_root) {
-                Ok(cache) => runner = runner.with_cache(cache),
-                Err(error) => {
-                    eprintln!(
-                        "error: cannot open cache at {}: {error}",
-                        cache_root.display()
-                    );
-                    return 1;
-                }
-            }
+        if let Some(cache) = &cache {
+            runner = runner.with_cache(cache.clone());
         }
 
         println!("== {} — {}", campaign.name, campaign.title);
@@ -359,7 +459,374 @@ fn run_command(options: &Options) -> i32 {
         }
         println!();
     }
+    if let Some(cache) = &cache {
+        if let Err(error) = cache.flush() {
+            eprintln!("warning: cache flush failed: {error}");
+        }
+    }
     0
+}
+
+fn serve_command(options: &Options) -> i32 {
+    let store_root = options
+        .cache_dir
+        .clone()
+        .unwrap_or_else(ResultCache::default_root);
+    let cache = match ResultCache::open(&store_root) {
+        Ok(cache) => cache,
+        Err(error) => {
+            eprintln!(
+                "error: cannot open store at {}: {error}",
+                store_root.display()
+            );
+            return 1;
+        }
+    };
+    let server = Server::new(cache, options.engine);
+
+    if let Some(socket) = &options.socket {
+        #[cfg(unix)]
+        {
+            let _ = std::fs::remove_file(socket);
+            let listener = match std::os::unix::net::UnixListener::bind(socket) {
+                Ok(listener) => listener,
+                Err(error) => {
+                    eprintln!("error: cannot bind {}: {error}", socket.display());
+                    return 1;
+                }
+            };
+            println!(
+                "serving result store {} on unix socket {}",
+                store_root.display(),
+                socket.display()
+            );
+            let outcome = server.serve_unix(&listener);
+            let _ = std::fs::remove_file(socket);
+            return finish_serve(outcome);
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("error: --socket is only available on Unix platforms");
+            return 1;
+        }
+    }
+
+    let addr = options.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.into());
+    let listener = match std::net::TcpListener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(error) => {
+            eprintln!("error: cannot bind {addr}: {error}");
+            return 1;
+        }
+    };
+    let resolved = listener
+        .local_addr()
+        .map_or(addr.clone(), |a| a.to_string());
+    println!(
+        "serving result store {} on {resolved}",
+        store_root.display()
+    );
+    finish_serve(server.serve_tcp(&listener))
+}
+
+fn finish_serve(outcome: std::io::Result<()>) -> i32 {
+    match outcome {
+        Ok(()) => {
+            println!("serve: clean shutdown, store flushed");
+            0
+        }
+        Err(error) => {
+            eprintln!("error: serve loop failed: {error}");
+            1
+        }
+    }
+}
+
+fn query_command(options: &Options) -> i32 {
+    let request = match build_query_request(options) {
+        Ok(request) => request,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    let response = if let Some(socket) = &options.socket {
+        #[cfg(unix)]
+        {
+            client::request_unix(socket, &request)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = socket;
+            Err(std::io::Error::other(
+                "--socket is only available on Unix platforms",
+            ))
+        }
+    } else {
+        let addr = options.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.into());
+        client::request_tcp(addr.as_str(), &request)
+    };
+    match response {
+        Ok(reply) => {
+            println!("{reply}");
+            i32::from(reply.get("ok") != Some(&Value::Bool(true)))
+        }
+        Err(error) => {
+            eprintln!("error: query failed: {error}");
+            1
+        }
+    }
+}
+
+/// Builds the protocol request for `prac-bench query` from the flags (or a
+/// `<campaign> <scenario>` pair resolved through the registry).
+fn build_query_request(options: &Options) -> Result<Value, String> {
+    let mut request = Map::new();
+    if let Some(op) = options.protocol_op {
+        request.insert("op".into(), op.into());
+        return Ok(Value::Object(request));
+    }
+    if let Some(key) = &options.key {
+        request.insert("op".into(), "get".into());
+        request.insert("key".into(), key.as_str().into());
+        return Ok(Value::Object(request));
+    }
+    if let Some(text) = &options.spec_json {
+        let spec =
+            serde_json::from_str(text).map_err(|error| format!("bad --spec-json: {error}"))?;
+        request.insert("op".into(), "query".into());
+        request.insert("spec".into(), spec);
+        return Ok(Value::Object(request));
+    }
+    if let [campaign_name, scenario_name] = options.names.as_slice() {
+        let profile = profile_for(options);
+        let campaign = find_campaign(campaign_name, &profile)
+            .ok_or_else(|| format!("unknown campaign `{campaign_name}`"))?;
+        let scenario = campaign
+            .scenarios
+            .iter()
+            .find(|scenario| &scenario.name == scenario_name)
+            .ok_or_else(|| {
+                format!("campaign `{campaign_name}` has no scenario `{scenario_name}`")
+            })?;
+        request.insert("op".into(), "query".into());
+        request.insert("spec".into(), scenario.spec.to_json());
+        return Ok(Value::Object(request));
+    }
+    Err(
+        "`query` needs <campaign> <scenario>, --spec-json, --key, --ping, --stats or --shutdown"
+            .into(),
+    )
+}
+
+fn store_command(options: &Options) -> i32 {
+    let store_root = options
+        .cache_dir
+        .clone()
+        .unwrap_or_else(ResultCache::default_root);
+    let action = options.names.first().map(String::as_str);
+    if action == Some("bench") {
+        return store_bench(options);
+    }
+    let store = match ResultStore::open(&store_root) {
+        Ok(store) => store,
+        Err(error) => {
+            eprintln!(
+                "error: cannot open store at {}: {error}",
+                store_root.display()
+            );
+            return 1;
+        }
+    };
+    match action {
+        Some("stats") => {
+            let stats = store.stats();
+            println!("store:              {}", store_root.display());
+            println!("live records:       {}", stats.live_records);
+            println!("total records:      {}", stats.total_records);
+            println!("superseded records: {}", stats.superseded_records);
+            println!("corrupt lines:      {}", stats.corrupt_lines);
+            println!("segments:           {}", stats.segments);
+            println!("bytes:              {}", stats.bytes);
+            println!("dedup ratio:        {:.3}", stats.dedup_ratio());
+            0
+        }
+        Some("verify") => match store.verify() {
+            Ok(report) => {
+                println!("records verified:   {}", report.records_verified);
+                println!("corrupt lines:      {}", report.corrupt_lines);
+                println!("key mismatches:     {}", report.key_mismatches);
+                println!("missing from index: {}", report.missing_from_index);
+                if report.is_clean() {
+                    println!("store verifies clean");
+                    0
+                } else {
+                    eprintln!("error: store verification FAILED");
+                    1
+                }
+            }
+            Err(error) => {
+                eprintln!("error: verify failed: {error}");
+                1
+            }
+        },
+        Some("compact") => match store.compact() {
+            Ok(report) => {
+                println!(
+                    "compacted {} records ({} bytes) -> {} records ({} bytes)",
+                    report.records_before,
+                    report.bytes_before,
+                    report.records_after,
+                    report.bytes_after
+                );
+                0
+            }
+            Err(error) => {
+                eprintln!("error: compact failed: {error}");
+                1
+            }
+        },
+        Some(verb @ ("export" | "import")) => {
+            let Some(file) = options.names.get(1).map(PathBuf::from) else {
+                eprintln!("error: `store {verb}` needs a bundle file\n\n{USAGE}");
+                return 2;
+            };
+            let outcome = if verb == "export" {
+                Bundle::export(&store, &file)
+            } else {
+                Bundle::import(&store, &file)
+            };
+            match outcome {
+                Ok(report) if verb == "export" => {
+                    println!("exported {} records to {}", report.records, file.display());
+                    0
+                }
+                Ok(report) => {
+                    println!(
+                        "imported {} of {} records from {} ({} already present)",
+                        report.imported,
+                        report.records,
+                        file.display(),
+                        report.skipped
+                    );
+                    0
+                }
+                Err(error) => {
+                    eprintln!("error: {verb} failed: {error}");
+                    1
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "error: `store` needs stats, verify, compact, export, import or bench\n\n{USAGE}"
+            );
+            2
+        }
+    }
+}
+
+/// `prac-bench store bench`: measures store lookup latency on a synthetic
+/// store plus the no-cache fig10-quick wall-clock, and optionally appends
+/// the measurement to a JSON trajectory file (ROADMAP item 3's tracked
+/// baseline).
+fn store_bench(options: &Options) -> i32 {
+    use std::time::Instant;
+
+    const BENCH_RECORDS: u64 = 1_000;
+    let lookups = options.lookups.unwrap_or(10_000).max(1);
+
+    // A throwaway store with a known population.
+    let root = std::env::temp_dir().join(format!("prac-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = match ResultStore::open(&root) {
+        Ok(store) => store,
+        Err(error) => {
+            eprintln!("error: cannot open bench store: {error}");
+            return 1;
+        }
+    };
+    for n in 0..BENCH_RECORDS {
+        let mut payload = Map::new();
+        payload.insert("value".into(), n.into());
+        let record = result_store::StoreRecord::new(format!("bench-{n}"), Value::Object(payload));
+        if let Err(error) = store.insert(&record) {
+            eprintln!("error: bench insert failed: {error}");
+            return 1;
+        }
+    }
+    let keys = store.keys();
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(lookups as usize);
+    for n in 0..lookups {
+        let key = keys[(n % BENCH_RECORDS) as usize];
+        let started = Instant::now();
+        let hit = store.get(key).is_some();
+        samples_ns.push(started.elapsed().as_nanos() as u64);
+        assert!(hit, "bench store lookup must hit");
+    }
+    samples_ns.sort_unstable();
+    let mean_ns = samples_ns.iter().sum::<u64>() as f64 / samples_ns.len() as f64;
+    let p50_ns = samples_ns[samples_ns.len() / 2];
+    let _ = std::fs::remove_dir_all(&root);
+
+    // The end-to-end yardstick: fig10 quick, no cache.
+    let campaign = find_campaign("fig10", &Profile::quick()).expect("fig10 is registered");
+    let runner = CampaignRunner::new().with_engine(options.engine);
+    let fig10_wall_ms = match runner.run(&campaign) {
+        Ok(summary) => summary.wall_ms,
+        Err(error) => {
+            eprintln!("error: fig10 bench run failed: {error}");
+            return 1;
+        }
+    };
+
+    println!("store lookups:        {lookups} over {BENCH_RECORDS} records");
+    println!("lookup latency mean:  {mean_ns:.0} ns");
+    println!("lookup latency p50:   {p50_ns} ns");
+    println!("fig10 quick no-cache: {fig10_wall_ms:.1} ms");
+
+    if let Some(path) = &options.append {
+        let mut entry = Map::new();
+        entry.insert(
+            "unix_time".into(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs())
+                .into(),
+        );
+        entry.insert("records".into(), BENCH_RECORDS.into());
+        entry.insert("lookups".into(), lookups.into());
+        entry.insert("store_lookup_ns_mean".into(), mean_ns.into());
+        entry.insert("store_lookup_ns_p50".into(), p50_ns.into());
+        entry.insert("fig10_quick_wall_ms".into(), fig10_wall_ms.into());
+        if let Err(error) = append_trajectory(path, Value::Object(entry)) {
+            eprintln!("error: cannot append to {}: {error}", path.display());
+            return 1;
+        }
+        println!("appended measurement to {}", path.display());
+    }
+    0
+}
+
+/// Appends one entry to a JSON-array trajectory file, atomically.
+fn append_trajectory(path: &Path, entry: Value) -> std::io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str(&text) {
+            Ok(Value::Array(entries)) => entries,
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{} is not a JSON array", path.display()),
+                ))
+            }
+        },
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(error) => return Err(error),
+    };
+    entries.push(entry);
+    let text = serde_json::to_string_pretty(&Value::Array(entries))
+        .expect("JSON serialisation is infallible");
+    write_atomic(path, text.as_bytes())
 }
 
 fn print_summary(name: &str, summary: &RunSummary) {

@@ -62,10 +62,19 @@ impl Scenario {
     /// of being silently mixed with fresh ones.
     #[must_use]
     pub fn key(&self) -> u64 {
-        let mut bytes = format!("sim-r{SIM_REVISION}:").into_bytes();
-        bytes.extend_from_slice(self.spec.to_json().to_string().as_bytes());
-        fnv1a64(&bytes)
+        fnv1a64(key_preimage(&self.spec).as_bytes())
     }
+}
+
+/// The cache-key preimage: the revision prefix plus the canonical spec JSON.
+/// [`Scenario::key`] is the FNV-1a hash of exactly these bytes, and the
+/// result store uses the same string as the record *identity* — which is
+/// what makes store keys and pre-existing cache keys the same keys.
+#[must_use]
+pub fn key_preimage(spec: &ScenarioSpec) -> String {
+    let mut preimage = format!("sim-r{SIM_REVISION}:");
+    preimage.push_str(&spec.to_json().to_string());
+    preimage
 }
 
 /// A named, ordered scenario matrix — typically one paper figure or table.
@@ -323,6 +332,214 @@ impl ScenarioSpec {
         }
         Value::Object(map)
     }
+
+    /// Parses a spec back from its canonical JSON form — the inverse of
+    /// [`ScenarioSpec::to_json`], used by the serve protocol to turn a query
+    /// payload into a runnable cell.  Round-tripping any registry scenario
+    /// through `to_json` → `from_json` reproduces the spec (and therefore
+    /// the cache key) exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a field is missing, has the
+    /// wrong type, or names an unknown kind/policy/pattern.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("spec missing string `kind`")?;
+        match kind {
+            "perf" => Ok(ScenarioSpec::Perf(Box::new(PerfScenario {
+                setup: setup_from_json(field(value, "setup")?)?,
+                rowhammer_threshold: u64_field(value, "nrh")? as u32,
+                prac_level: prac_level_from_rfms(u64_field(value, "prac_level")?)?,
+                workload: workload_spec_from_json(field(value, "workload")?)?,
+                instructions_per_core: u64_field(value, "instructions_per_core")?,
+                cores: u64_field(value, "cores")? as u32,
+                // Omitted in canonical JSON when 1 (key stability).
+                channels: value.get("channels").and_then(Value::as_u64).unwrap_or(1) as u32,
+                // Omitted in canonical JSON when benign (key stability).
+                attack: match value.get("attack") {
+                    None | Some(Value::Null) => None,
+                    Some(attack) => Some(attack_from_json(attack)?),
+                },
+                seed: u64_field(value, "seed")?,
+            }))),
+            "abo_latency" => Ok(ScenarioSpec::AboLatency {
+                prac_level: match field(value, "prac_level")? {
+                    Value::Null => None,
+                    rfms => Some(prac_level_from_rfms(
+                        rfms.as_u64().ok_or("non-integer `prac_level`")?,
+                    )?),
+                },
+                nbo: u64_field(value, "nbo")? as u32,
+                window_ns: f64_field(value, "window_ns")?,
+            }),
+            "side_channel" => Ok(ScenarioSpec::SideChannel {
+                nbo: u64_field(value, "nbo")? as u32,
+                encryptions: u64_field(value, "encryptions")? as u32,
+                k0: u64_field(value, "k0")? as u8,
+                p0: u64_field(value, "p0")? as u8,
+                defended: bool_field(value, "defended")?,
+                seed: u64_field(value, "seed")?,
+            }),
+            "tmax_series" => Ok(ScenarioSpec::TmaxSeries {
+                nbo: u64_field(value, "nbo")? as u32,
+                counter_reset: bool_field(value, "counter_reset")?,
+            }),
+            "solve_window" => Ok(ScenarioSpec::SolveWindow {
+                nrh: u64_field(value, "nrh")? as u32,
+                counter_reset: bool_field(value, "counter_reset")?,
+            }),
+            "covert" => Ok(ScenarioSpec::Covert {
+                kind: match str_field(value, "channel")? {
+                    "activity" => CovertChannelKind::ActivityBased,
+                    "activation_count" => CovertChannelKind::ActivationCountBased,
+                    other => return Err(format!("unknown covert channel `{other}`")),
+                },
+                nbo: u64_field(value, "nbo")? as u32,
+                symbols: u64_field(value, "symbols")? as usize,
+                seed: u64_field(value, "seed")?,
+            }),
+            "storage" => Ok(ScenarioSpec::Storage {
+                queue: queue_kind_from_json(str_field(value, "queue")?)?,
+                banks: u64_field(value, "banks")? as u32,
+            }),
+            "attack" => Ok(ScenarioSpec::Attack {
+                attack: attack_from_json(field(value, "attack")?)?,
+                setup: setup_from_json(field(value, "setup")?)?,
+                nrh: u64_field(value, "nrh")? as u32,
+                accesses: u64_field(value, "accesses")?,
+                seed: u64_field(value, "seed")?,
+            }),
+            other => Err(format!("unknown scenario kind `{other}`")),
+        }
+    }
+}
+
+fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, String> {
+    value.get(name).ok_or_else(|| format!("missing `{name}`"))
+}
+
+fn u64_field(value: &Value, name: &str) -> Result<u64, String> {
+    field(value, name)?
+        .as_u64()
+        .ok_or_else(|| format!("missing or non-integer `{name}`"))
+}
+
+fn f64_field(value: &Value, name: &str) -> Result<f64, String> {
+    field(value, name)?
+        .as_f64()
+        .ok_or_else(|| format!("missing or non-numeric `{name}`"))
+}
+
+fn bool_field(value: &Value, name: &str) -> Result<bool, String> {
+    field(value, name)?
+        .as_bool()
+        .ok_or_else(|| format!("missing or non-boolean `{name}`"))
+}
+
+fn str_field<'v>(value: &'v Value, name: &str) -> Result<&'v str, String> {
+    field(value, name)?
+        .as_str()
+        .ok_or_else(|| format!("missing or non-string `{name}`"))
+}
+
+fn prac_level_from_rfms(rfms: u64) -> Result<PracLevel, String> {
+    match rfms {
+        1 => Ok(PracLevel::One),
+        2 => Ok(PracLevel::Two),
+        4 => Ok(PracLevel::Four),
+        other => Err(format!("no PRAC level issues {other} RFMs per Alert")),
+    }
+}
+
+fn setup_from_json(value: &Value) -> Result<MitigationSetup, String> {
+    match str_field(value, "policy")? {
+        "baseline_no_abo" => Ok(MitigationSetup::BaselineNoAbo),
+        "abo_only" => Ok(MitigationSetup::AboOnly),
+        "abo_plus_acb_rfm" => Ok(MitigationSetup::AboPlusAcbRfm),
+        "tprac" => Ok(MitigationSetup::Tprac {
+            tref_rate: match field(value, "tref_per_trefi")? {
+                Value::Null => TrefRate::None,
+                n => TrefRate::EveryTrefi(n.as_u64().ok_or("non-integer `tref_per_trefi`")? as u32),
+            },
+            counter_reset: bool_field(value, "counter_reset")?,
+        }),
+        "prfm" => Ok(MitigationSetup::Prfm {
+            every_trefi: u64_field(value, "every_trefi")? as u32,
+        }),
+        "para" => Ok(MitigationSetup::Para {
+            one_in: u64_field(value, "one_in")? as u32,
+            seed: u64_field(value, "para_seed")?,
+        }),
+        other => Err(format!("unknown mitigation policy `{other}`")),
+    }
+}
+
+fn attack_from_json(value: &Value) -> Result<AttackKind, String> {
+    match str_field(value, "pattern")? {
+        "single_sided" => Ok(AttackKind::SingleSided),
+        "double_sided" => Ok(AttackKind::DoubleSided),
+        "many_sided" => Ok(AttackKind::ManySided {
+            sides: u64_field(value, "sides")? as u32,
+        }),
+        "half_double" => Ok(AttackKind::HalfDouble),
+        "decoy_blast" => Ok(AttackKind::DecoyBlast {
+            decoys: u64_field(value, "decoys")? as u32,
+            seed: u64_field(value, "decoy_seed")?,
+        }),
+        "rfm_pressure" => Ok(AttackKind::RfmPressure {
+            duty_percent: u64_field(value, "duty_percent")? as u32,
+        }),
+        other => Err(format!("unknown attack pattern `{other}`")),
+    }
+}
+
+fn workload_spec_from_json(value: &Value) -> Result<WorkloadSpec, String> {
+    Ok(WorkloadSpec {
+        workload: workloads::SyntheticWorkload {
+            name: str_field(value, "name")?.to_string(),
+            mem_ops_per_kilo_instr: u64_field(value, "mem_ops_per_kilo_instr")? as u32,
+            store_fraction: f64_field(value, "store_fraction")?,
+            pattern: match str_field(value, "pattern")? {
+                "streaming" => workloads::AccessPattern::Streaming,
+                "randomlarge" => workloads::AccessPattern::RandomLarge,
+                "cacheresident" => workloads::AccessPattern::CacheResident,
+                "rowstrided" => workloads::AccessPattern::RowStrided,
+                other => return Err(format!("unknown access pattern `{other}`")),
+            },
+            footprint_bytes: u64_field(value, "footprint_bytes")?,
+            base_address: u64_field(value, "base_address")?,
+        },
+        intensity: match str_field(value, "intensity")? {
+            "high" => MemoryIntensity::High,
+            "medium" => MemoryIntensity::Medium,
+            "low" => MemoryIntensity::Low,
+            other => return Err(format!("unknown intensity `{other}`")),
+        },
+        group: match str_field(value, "group")? {
+            "spec2006" => WorkloadGroup::Spec2006Like,
+            "spec2017" => WorkloadGroup::Spec2017Like,
+            "cloudsuite" => WorkloadGroup::CloudSuiteLike,
+            other => return Err(format!("unknown workload group `{other}`")),
+        },
+    })
+}
+
+fn queue_kind_from_json(text: &str) -> Result<QueueKind, String> {
+    if let Some(capacity) = text.strip_prefix("fifo_") {
+        return Ok(QueueKind::Fifo {
+            capacity: capacity
+                .parse()
+                .map_err(|_| format!("bad FIFO capacity in `{text}`"))?,
+        });
+    }
+    match text {
+        "single_entry_frequency" => Ok(QueueKind::SingleEntryFrequency),
+        "priority" => Ok(QueueKind::Priority),
+        other => Err(format!("unknown queue kind `{other}`")),
+    }
 }
 
 /// Canonical JSON form of an attack kind (the attacker-side mirror of
@@ -442,14 +659,11 @@ fn queue_kind_to_json(kind: &QueueKind) -> Value {
 
 /// 64-bit FNV-1a: simple, dependency-free and stable across platforms and
 /// compiler versions (unlike `DefaultHasher`, whose algorithm is unspecified).
+/// Delegates to the result store's hash so the campaign layer and the store
+/// provably address content with the same function.
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    result_store::fnv1a64(bytes)
 }
 
 #[cfg(test)]
@@ -578,6 +792,42 @@ mod tests {
         }
         assert_ne!(a.key(), b.key());
         assert!(b.spec.to_json().to_string().contains("channels"));
+    }
+
+    #[test]
+    fn every_registry_scenario_roundtrips_through_from_json() {
+        // `from_json` must be an exact inverse of `to_json` for every cell
+        // the registry can produce — specs, and therefore cache keys, must
+        // survive the serve protocol's JSON hop bit-for-bit.
+        for profile in [
+            crate::registry::Profile::quick(),
+            crate::registry::Profile::full(),
+        ] {
+            for campaign in crate::registry::all_campaigns(&profile) {
+                for scenario in &campaign.scenarios {
+                    let json = scenario.spec.to_json();
+                    let parsed = ScenarioSpec::from_json(&json).unwrap_or_else(|error| {
+                        panic!("{}/{}: {error}", campaign.name, scenario.name)
+                    });
+                    assert_eq!(parsed, scenario.spec, "{}/{}", campaign.name, scenario.name);
+                    assert_eq!(parsed.to_json().to_string(), json.to_string());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_kinds_and_bad_fields() {
+        let bad = serde_json::from_str(r#"{"kind":"warp_drive"}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&bad)
+            .unwrap_err()
+            .contains("warp_drive"));
+        let missing = serde_json::from_str(r#"{"kind":"solve_window","nrh":512}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&missing)
+            .unwrap_err()
+            .contains("counter_reset"));
+        let not_an_object = serde_json::from_str("42").unwrap();
+        assert!(ScenarioSpec::from_json(&not_an_object).is_err());
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! The tentpole acceptance test: a repeated scenario query against the
+//! serve loop is answered from the store with *zero* simulation work — the
+//! hit path never constructs a `SystemSimulation`.
+//!
+//! This file holds exactly one test because it asserts on the process-wide
+//! simulation-construction counter: a sibling test running full-system
+//! cells in parallel would make the exact-equality check racy.
+
+use std::net::TcpListener;
+
+use campaign::serve::client;
+use campaign::{ResultCache, Scenario, ScenarioSpec, Server};
+use serde_json::{Map, Value};
+use system_sim::{simulations_built, EngineKind, MitigationSetup};
+
+#[test]
+fn serve_hit_path_never_constructs_a_simulation() {
+    let root = std::env::temp_dir().join(format!("prac-serve-hit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = Server::new(ResultCache::open(&root).unwrap(), EngineKind::default());
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let serving = {
+        let server = server.clone();
+        std::thread::spawn(move || server.serve_tcp(&listener))
+    };
+
+    // A real full-system performance cell: the miss path must simulate,
+    // which is what gives the counter its baseline movement.
+    let spec = ScenarioSpec::Perf(Box::new(campaign::PerfScenario {
+        setup: MitigationSetup::AboOnly,
+        rowhammer_threshold: 1024,
+        prac_level: prac_core::config::PracLevel::One,
+        workload: workloads::quick_suite().remove(0),
+        instructions_per_core: 2_000,
+        cores: 1,
+        channels: 1,
+        attack: None,
+        seed: 99,
+    }));
+    let expected_key = format!("{:016x}", Scenario::new("probe", spec.clone()).key());
+    let mut request = Map::new();
+    request.insert("op".into(), "query".into());
+    request.insert("spec".into(), spec.to_json());
+    let request = Value::Object(request);
+
+    let before_miss = simulations_built();
+    let miss = client::request_tcp(addr, &request).unwrap();
+    assert_eq!(miss.get("ok"), Some(&Value::Bool(true)), "{miss}");
+    assert_eq!(miss.get("hit"), Some(&Value::Bool(false)), "{miss}");
+    assert_eq!(
+        miss.get("key").and_then(Value::as_str),
+        Some(expected_key.as_str())
+    );
+    let after_miss = simulations_built();
+    assert!(
+        after_miss > before_miss,
+        "the miss path must run the simulation (built {before_miss} -> {after_miss})"
+    );
+
+    // The tentpole assertion: the repeated query hits the store and the
+    // construction counter does not move at all.
+    let hit = client::request_tcp(addr, &request).unwrap();
+    assert_eq!(hit.get("hit"), Some(&Value::Bool(true)), "{hit}");
+    assert_eq!(
+        simulations_built(),
+        after_miss,
+        "the hit path constructed a SystemSimulation"
+    );
+    assert_eq!(
+        hit.get("metrics"),
+        miss.get("metrics"),
+        "served metrics must be byte-identical to the executed ones"
+    );
+
+    // Clean shutdown, and the persisted record survives a fresh open.
+    let mut shutdown = Map::new();
+    shutdown.insert("op".into(), "shutdown".into());
+    client::request_tcp(addr, &Value::Object(shutdown)).unwrap();
+    serving.join().unwrap().unwrap();
+    let reopened = ResultCache::open(&root).unwrap();
+    assert!(reopened.lookup(&Scenario::new("probe", spec)).is_some());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -52,7 +52,7 @@ pub use experiment::{
 };
 pub use parallel::{parallel_map, parallel_map_streaming};
 pub use subsystem::{ChannelStats, MemorySubsystem};
-pub use system::{SystemConfig, SystemResult, SystemSimulation};
+pub use system::{simulations_built, SystemConfig, SystemResult, SystemSimulation};
 // The attacker-side registry mirrors `mitigation_registry` and is consumed
 // by the same layers (campaigns, CLI, differential tests), so re-export it
 // from the simulation facade alongside the defender-side descriptors.

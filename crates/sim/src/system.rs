@@ -149,6 +149,18 @@ struct BacklogEntry {
     channel: u32,
 }
 
+/// Process-wide count of [`SystemSimulation`] instances ever constructed.
+static SIMULATIONS_BUILT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many [`SystemSimulation`] instances this process has constructed so
+/// far.  A cache/store *hit* path must answer without simulating, which
+/// tests assert by sampling this counter around the lookup: if it moved, a
+/// simulation was built.
+#[must_use]
+pub fn simulations_built() -> u64 {
+    SIMULATIONS_BUILT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A full-system simulation instance.
 #[derive(Debug)]
 pub struct SystemSimulation {
@@ -174,6 +186,7 @@ impl SystemSimulation {
     /// count (propagated from [`CpuCluster::new`]).
     #[must_use]
     pub fn new(config: SystemConfig, traces: Vec<Trace>) -> Self {
+        SIMULATIONS_BUILT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let cluster = CpuCluster::new(config.cpu.clone(), traces, config.instructions_per_core);
         let memory = MemorySubsystem::new(config.device.clone(), config.controller.clone());
         Self {

@@ -1,0 +1,214 @@
+//! Portable single-file bundles: export a store's live records, import them
+//! into another store.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde_json::{Map, Value};
+
+use crate::record::StoreRecord;
+use crate::store::ResultStore;
+use crate::write_atomic;
+
+/// Magic string on a bundle's header line.
+const BUNDLE_MAGIC: &str = "prac-result-store";
+
+/// Bundle format version.
+const BUNDLE_VERSION: u64 = 1;
+
+/// Import/export of portable result bundles.
+///
+/// A bundle is a single text file: a JSON header line followed by one
+/// checksummed record line per live record, sorted by key — so exporting
+/// the same store twice yields byte-identical bundles, and a bundle moves
+/// between machines as a plain file copy.
+pub struct Bundle;
+
+/// Outcome of a bundle export or import.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BundleReport {
+    /// Records in the bundle.
+    pub records: u64,
+    /// Records newly inserted by an import (0 for exports).
+    pub imported: u64,
+    /// Records skipped by an import because the key already existed
+    /// (first write wins; 0 for exports).
+    pub skipped: u64,
+}
+
+impl Bundle {
+    /// Exports the store's live records to `path`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading records or writing the bundle.
+    pub fn export(store: &ResultStore, path: &Path) -> io::Result<BundleReport> {
+        let snapshot = store.snapshot();
+        let mut keys = store.keys();
+        keys.sort_unstable();
+        let mut text = String::new();
+        let mut header = Map::new();
+        header.insert("bundle".into(), BUNDLE_MAGIC.into());
+        header.insert("records".into(), (keys.len() as u64).into());
+        header.insert("version".into(), BUNDLE_VERSION.into());
+        text.push_str(&Value::Object(header).to_string());
+        text.push('\n');
+        for key in &keys {
+            let record = snapshot.get(*key).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("record {key:016x} unreadable during export"),
+                )
+            })?;
+            text.push_str(&record.to_line());
+            text.push('\n');
+        }
+        write_atomic(path, text.as_bytes())?;
+        Ok(BundleReport {
+            records: keys.len() as u64,
+            ..BundleReport::default()
+        })
+    }
+
+    /// Imports a bundle into the store.  Keys already present are skipped
+    /// (first write wins — payloads for the same key may legitimately differ
+    /// in incidental fields like wall-clock timings, and the local result is
+    /// just as valid).  A corrupt bundle line fails the whole import loudly
+    /// rather than silently importing a subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a missing/of-the-wrong-kind header, a
+    /// version mismatch, a record-count mismatch, or any line that fails the
+    /// record checksum; propagates I/O errors from reading or inserting.
+    pub fn import(store: &ResultStore, path: &Path) -> io::Result<BundleReport> {
+        let text = fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| invalid_data("empty bundle file"))?;
+        let header =
+            serde_json::from_str(header_line).map_err(|error| invalid_data(&error.to_string()))?;
+        if header.get("bundle").and_then(Value::as_str) != Some(BUNDLE_MAGIC) {
+            return Err(invalid_data("not a result-store bundle"));
+        }
+        if header.get("version").and_then(Value::as_u64) != Some(BUNDLE_VERSION) {
+            return Err(invalid_data("unsupported bundle version"));
+        }
+        let declared = header
+            .get("records")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| invalid_data("header missing record count"))?;
+
+        let mut report = BundleReport::default();
+        for (number, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let record = StoreRecord::from_line(line)
+                .map_err(|error| invalid_data(&format!("bundle line {}: {error}", number + 2)))?;
+            report.records += 1;
+            if store.contains(record.key()) {
+                report.skipped += 1;
+            } else {
+                store.insert(&record)?;
+                report.imported += 1;
+            }
+        }
+        if report.records != declared {
+            return Err(invalid_data(&format!(
+                "bundle truncated: header declares {declared} records, found {}",
+                report.records
+            )));
+        }
+        store.flush()?;
+        Ok(report)
+    }
+}
+
+fn invalid_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("store-bundle-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    fn record(n: u64) -> StoreRecord {
+        let mut payload = Map::new();
+        payload.insert("value".into(), n.into());
+        StoreRecord::new(format!("id-{n}"), Value::Object(payload))
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_records() {
+        let root = temp_root("roundtrip");
+        let store = ResultStore::open(root.join("a")).unwrap();
+        for n in 0..5 {
+            store.insert(&record(n)).unwrap();
+        }
+        let bundle = root.join("results.bundle");
+        let exported = Bundle::export(&store, &bundle).unwrap();
+        assert_eq!(exported.records, 5);
+
+        let fresh = ResultStore::open(root.join("b")).unwrap();
+        let imported = Bundle::import(&fresh, &bundle).unwrap();
+        assert_eq!(imported.records, 5);
+        assert_eq!(imported.imported, 5);
+        assert_eq!(imported.skipped, 0);
+        for n in 0..5 {
+            assert_eq!(fresh.get(record(n).key()), Some(record(n)));
+        }
+
+        // Re-import is a no-op: first write wins.
+        let again = Bundle::import(&fresh, &bundle).unwrap();
+        assert_eq!(again.imported, 0);
+        assert_eq!(again.skipped, 5);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let root = temp_root("deterministic");
+        let store = ResultStore::open(root.join("store")).unwrap();
+        for n in (0..5).rev() {
+            store.insert(&record(n)).unwrap();
+        }
+        let first = root.join("first.bundle");
+        let second = root.join("second.bundle");
+        Bundle::export(&store, &first).unwrap();
+        Bundle::export(&store, &second).unwrap();
+        assert_eq!(fs::read(&first).unwrap(), fs::read(&second).unwrap());
+    }
+
+    #[test]
+    fn corrupt_bundle_fails_loudly() {
+        let root = temp_root("corrupt");
+        let store = ResultStore::open(root.join("store")).unwrap();
+        store.insert(&record(1)).unwrap();
+        let bundle = root.join("results.bundle");
+        Bundle::export(&store, &bundle).unwrap();
+
+        let mut text = fs::read_to_string(&bundle).unwrap();
+        text = text.replace("\"value\":1", "\"value\":9");
+        fs::write(&bundle, &text).unwrap();
+        let fresh = ResultStore::open(root.join("fresh")).unwrap();
+        let error = Bundle::import(&fresh, &bundle).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(fresh.is_empty(), "nothing imported from a corrupt bundle");
+
+        // A truncated bundle (header promises more) also fails.
+        let valid = fs::read_to_string(&bundle).unwrap();
+        let header_only = valid.lines().next().unwrap().to_string() + "\n";
+        fs::write(&bundle, header_only).unwrap();
+        let error = Bundle::import(&fresh, &bundle).unwrap_err();
+        assert!(error.to_string().contains("truncated"), "{error}");
+    }
+}

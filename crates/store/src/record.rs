@@ -1,0 +1,181 @@
+//! The checksummed record and its on-disk line framing.
+
+use std::fmt;
+
+use serde_json::{Map, Value};
+
+/// 64-bit FNV-1a: simple, dependency-free and stable across platforms and
+/// compiler versions (unlike `DefaultHasher`, whose algorithm is
+/// unspecified).  This is the store's content-hash function; the campaign
+/// layer's scenario cache keys are the same hash of the same preimage.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One content-addressed record: an identity (the content-hash preimage)
+/// plus a JSON payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// The content-hash preimage.  [`StoreRecord::key`] is the FNV-1a hash
+    /// of exactly these bytes, so two records with the same identity are the
+    /// same logical result (latest write wins).
+    pub identity: String,
+    /// The stored result.
+    pub payload: Value,
+}
+
+/// Why a record line could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The line is not valid JSON or lacks the record fields.
+    Malformed(String),
+    /// The line parsed but its embedded checksum does not match its content.
+    ChecksumMismatch {
+        /// Checksum stored on the line.
+        stored: u64,
+        /// Checksum recomputed from the line's identity and payload.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Malformed(reason) => write!(f, "malformed record line: {reason}"),
+            RecordError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "record checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl StoreRecord {
+    /// Creates a record.
+    pub fn new(identity: impl Into<String>, payload: Value) -> Self {
+        Self {
+            identity: identity.into(),
+            payload,
+        }
+    }
+
+    /// The record's content-address: the FNV-1a hash of the identity bytes.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        fnv1a64(self.identity.as_bytes())
+    }
+
+    /// The record's key in the canonical 16-hex-digit spelling used by
+    /// index files, bundles and the serve protocol.
+    #[must_use]
+    pub fn key_hex(&self) -> String {
+        format!("{:016x}", self.key())
+    }
+
+    /// Checksum over identity and canonical payload, stored on every line so
+    /// torn or bit-rotted records are detected instead of trusted.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        let mut bytes = self.identity.clone().into_bytes();
+        bytes.push(0);
+        bytes.extend_from_slice(self.payload.to_string().as_bytes());
+        fnv1a64(&bytes)
+    }
+
+    /// Encodes the record as its canonical one-line on-disk form (no
+    /// trailing newline).  Canonical means byte-stable: the JSON object
+    /// members are sorted, so the same record always encodes to the same
+    /// bytes — which is what lets bundles round-trip byte-identically.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut map = Map::new();
+        map.insert("identity".into(), self.identity.as_str().into());
+        map.insert("payload".into(), self.payload.clone());
+        map.insert("sum".into(), format!("{:016x}", self.checksum()).into());
+        Value::Object(map).to_string()
+    }
+
+    /// Decodes one line previously produced by [`StoreRecord::to_line`],
+    /// verifying the embedded checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecordError`] when the line is not a record object or the
+    /// checksum does not match.
+    pub fn from_line(line: &str) -> Result<Self, RecordError> {
+        let value = serde_json::from_str(line.trim_end_matches(['\n', '\r']))
+            .map_err(|error| RecordError::Malformed(error.to_string()))?;
+        let identity = value
+            .get("identity")
+            .and_then(Value::as_str)
+            .ok_or_else(|| RecordError::Malformed("missing `identity`".into()))?
+            .to_string();
+        let payload = value
+            .get("payload")
+            .ok_or_else(|| RecordError::Malformed("missing `payload`".into()))?
+            .clone();
+        let stored = value
+            .get("sum")
+            .and_then(Value::as_str)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| RecordError::Malformed("missing `sum`".into()))?;
+        let record = Self { identity, payload };
+        let computed = record.checksum();
+        if stored != computed {
+            return Err(RecordError::ChecksumMismatch { stored, computed });
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> StoreRecord {
+        let mut payload = Map::new();
+        payload.insert("metric".into(), 42u64.into());
+        payload.insert("note".into(), "line\nbreak, comma".into());
+        StoreRecord::new("sim-r2:{\"kind\":\"x\"}", Value::Object(payload))
+    }
+
+    #[test]
+    fn line_roundtrip_is_byte_identical() {
+        let line = record().to_line();
+        assert!(!line.contains('\n'), "framing must stay one line: {line}");
+        let decoded = StoreRecord::from_line(&line).unwrap();
+        assert_eq!(decoded, record());
+        assert_eq!(decoded.to_line(), line);
+    }
+
+    #[test]
+    fn key_is_the_fnv_hash_of_the_identity() {
+        let r = record();
+        assert_eq!(r.key(), fnv1a64(r.identity.as_bytes()));
+        assert_eq!(r.key_hex().len(), 16);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let line = record().to_line();
+        // Flip a payload byte without breaking the JSON framing.
+        let tampered = line.replace("42", "43");
+        assert!(matches!(
+            StoreRecord::from_line(&tampered),
+            Err(RecordError::ChecksumMismatch { .. })
+        ));
+        // A torn prefix is malformed, not silently accepted.
+        assert!(matches!(
+            StoreRecord::from_line(&line[..line.len() / 2]),
+            Err(RecordError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,902 @@
+//! The on-disk store: append-only segments, rebuildable index, compaction.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+use serde_json::{Map, Value};
+
+use crate::record::StoreRecord;
+use crate::write_atomic;
+
+/// A new segment is started once the active one crosses this size, so
+/// compaction and bundle transfers work on bounded files.
+const SEGMENT_ROLL_BYTES: u64 = 8 << 20;
+
+/// The index file is rewritten after this many inserts (and on flush/drop);
+/// anything newer is recovered by the segment scan on the next open.
+const INDEX_FLUSH_EVERY: u64 = 64;
+
+/// On-disk index format version.
+const INDEX_VERSION: u64 = 1;
+
+/// Where a record lives on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryLocation {
+    /// Segment file name (relative to the store's `segments/` directory).
+    pub segment: String,
+    /// Byte offset of the record line within the segment.
+    pub offset: u64,
+    /// Byte length of the record line (excluding the trailing newline).
+    pub len: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    name: String,
+    bytes: u64,
+    records: u64,
+}
+
+#[derive(Debug, Default)]
+struct IndexState {
+    entries: HashMap<u64, EntryLocation>,
+    segments: Vec<SegmentMeta>,
+    /// Records written and later replaced by a newer write of the same key
+    /// (still occupying segment bytes until compaction).
+    superseded: u64,
+    /// Unparseable or checksum-failing lines quarantined in place.
+    corrupt: u64,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    file: File,
+    active: String,
+    bytes: u64,
+    since_flush: u64,
+}
+
+/// Aggregate store counters, as reported by `prac-bench store stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct keys currently resolvable.
+    pub live_records: u64,
+    /// Record lines across all segments, including superseded ones.
+    pub total_records: u64,
+    /// Superseded (duplicate-key) record lines awaiting compaction.
+    pub superseded_records: u64,
+    /// Quarantined corrupt lines awaiting compaction.
+    pub corrupt_lines: u64,
+    /// Number of segment files.
+    pub segments: u64,
+    /// Total segment bytes on disk.
+    pub bytes: u64,
+}
+
+impl StoreStats {
+    /// Live records per stored record line: 1.0 for a fully compacted store,
+    /// lower when superseded duplicates are still occupying segment bytes.
+    #[must_use]
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.total_records == 0 {
+            1.0
+        } else {
+            self.live_records as f64 / self.total_records as f64
+        }
+    }
+}
+
+/// Outcome of a full [`ResultStore::verify`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Record lines whose checksum and framing verified.
+    pub records_verified: u64,
+    /// Lines that failed to parse or checksum during the scan.
+    pub corrupt_lines: u64,
+    /// Index entries whose on-disk record re-hashes to a different key (or
+    /// is unreadable at the indexed location).
+    pub key_mismatches: u64,
+    /// Live keys found in the segments but absent from the in-memory index.
+    pub missing_from_index: u64,
+}
+
+impl VerifyReport {
+    /// Whether the store verified clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_lines == 0 && self.key_mismatches == 0 && self.missing_from_index == 0
+    }
+}
+
+/// Outcome of a [`ResultStore::compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Record lines before compaction (live + superseded + corrupt).
+    pub records_before: u64,
+    /// Live records rewritten into the compacted segment.
+    pub records_after: u64,
+    /// Segment bytes before compaction.
+    pub bytes_before: u64,
+    /// Segment bytes after compaction.
+    pub bytes_after: u64,
+}
+
+/// A content-addressed result store rooted at a directory.
+///
+/// See the crate docs for the on-disk format and the crash-safety and
+/// concurrency model.
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    index: RwLock<IndexState>,
+    writer: Mutex<WriterState>,
+}
+
+/// An immutable view of the store for lock-free readers.
+///
+/// Lookups on a snapshot touch no lock: the entry table is a frozen
+/// [`Arc`]ed map and every read opens its own file handle.  Records inserted
+/// after the snapshot was taken are not visible — take a fresh snapshot to
+/// observe them.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    root: PathBuf,
+    entries: Arc<HashMap<u64, EntryLocation>>,
+}
+
+impl StoreSnapshot {
+    /// Number of live records visible to this snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot sees no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a record up by key; `None` on miss or unreadable record.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<StoreRecord> {
+        let location = self.entries.get(&key)?;
+        read_record(&self.root, location).ok()
+    }
+}
+
+impl ResultStore {
+    /// Opens (and creates if needed) a store rooted at `root`.
+    ///
+    /// If a valid `index.json` matching the segment files exists it is
+    /// loaded directly; otherwise the segments are scanned and the index
+    /// rebuilt.  A torn tail on the last segment (the crash-mid-append case)
+    /// is truncated away; corrupt lines elsewhere are quarantined in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating directories or reading segments.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        let segments_dir = root.join("segments");
+        fs::create_dir_all(&segments_dir)?;
+
+        let state = match load_index(&root) {
+            Some(state) => state,
+            None => scan_segments(&segments_dir)?,
+        };
+        let mut state = state;
+        if state.segments.is_empty() {
+            let name = "seg-000001.jsonl".to_string();
+            File::create(segments_dir.join(&name))?;
+            state.segments.push(SegmentMeta {
+                name,
+                bytes: 0,
+                records: 0,
+            });
+        }
+        let active = state
+            .segments
+            .last()
+            .expect("at least one segment exists")
+            .clone();
+        let file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(segments_dir.join(&active.name))?;
+
+        let store = Self {
+            root,
+            index: RwLock::new(state),
+            writer: Mutex::new(WriterState {
+                file,
+                active: active.name,
+                bytes: active.bytes,
+                since_flush: 0,
+            }),
+        };
+        store.flush_index()?;
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of live records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.read().expect("store index lock").entries.len()
+    }
+
+    /// Whether the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a record with this key is present.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.index
+            .read()
+            .expect("store index lock")
+            .entries
+            .contains_key(&key)
+    }
+
+    /// The live keys, sorted (deterministic iteration for exports/tests).
+    #[must_use]
+    pub fn keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .index
+            .read()
+            .expect("store index lock")
+            .entries
+            .keys()
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Looks a record up by key; `None` on miss or unreadable record.  The
+    /// index probe takes a brief read lock (never blocked by writer I/O);
+    /// the segment read takes no lock at all.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<StoreRecord> {
+        let location = self
+            .index
+            .read()
+            .expect("store index lock")
+            .entries
+            .get(&key)
+            .cloned()?;
+        read_record(&self.root, &location).ok()
+    }
+
+    /// Takes an immutable snapshot for lock-free readers.
+    #[must_use]
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            root: self.root.clone(),
+            entries: Arc::new(self.index.read().expect("store index lock").entries.clone()),
+        }
+    }
+
+    /// Appends a record and returns its key.  A record with the same key
+    /// supersedes the previous one (latest write wins); the superseded line
+    /// stays on disk until [`ResultStore::compact`].
+    ///
+    /// The record bytes are fully written to the segment *before* the index
+    /// is updated, so a concurrent reader can never resolve a key to
+    /// not-yet-written bytes, and a crash between the two leaves a record
+    /// the next open's scan recovers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the segment append or index flush.
+    pub fn insert(&self, record: &StoreRecord) -> io::Result<u64> {
+        let key = record.key();
+        let line = record.to_line();
+        let line_len = line.len() as u64;
+
+        let mut writer = self.writer.lock().expect("store writer lock");
+        // Roll to a fresh segment when the active one is full.
+        if writer.bytes > 0 && writer.bytes + line_len + 1 > SEGMENT_ROLL_BYTES {
+            let next = next_segment_name(&writer.active);
+            let file = OpenOptions::new()
+                .append(true)
+                .create_new(true)
+                .open(self.root.join("segments").join(&next))?;
+            writer.file = file;
+            writer.active = next.clone();
+            writer.bytes = 0;
+            self.index
+                .write()
+                .expect("store index lock")
+                .segments
+                .push(SegmentMeta {
+                    name: next,
+                    bytes: 0,
+                    records: 0,
+                });
+        }
+
+        let offset = writer.bytes;
+        let mut bytes = line.into_bytes();
+        bytes.push(b'\n');
+        writer.file.write_all(&bytes)?;
+        writer.bytes += bytes.len() as u64;
+
+        {
+            let mut index = self.index.write().expect("store index lock");
+            let location = EntryLocation {
+                segment: writer.active.clone(),
+                offset,
+                len: line_len,
+            };
+            if index.entries.insert(key, location).is_some() {
+                index.superseded += 1;
+            }
+            let meta = index
+                .segments
+                .iter_mut()
+                .rev()
+                .find(|meta| meta.name == writer.active)
+                .expect("active segment is tracked");
+            meta.bytes = writer.bytes;
+            meta.records += 1;
+        }
+
+        writer.since_flush += 1;
+        if writer.since_flush >= INDEX_FLUSH_EVERY {
+            writer.since_flush = 0;
+            drop(writer);
+            self.flush_index()?;
+        }
+        Ok(key)
+    }
+
+    /// Durably persists the index and syncs the active segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sync or the atomic index write.
+    pub fn flush(&self) -> io::Result<()> {
+        {
+            let mut writer = self.writer.lock().expect("store writer lock");
+            writer.file.sync_data()?;
+            writer.since_flush = 0;
+        }
+        self.flush_index()
+    }
+
+    fn flush_index(&self) -> io::Result<()> {
+        let rendered = {
+            let index = self.index.read().expect("store index lock");
+            render_index(&index)
+        };
+        write_atomic(&self.root.join("index.json"), rendered.as_bytes())
+    }
+
+    /// Aggregate counters (live/total records, bytes, dedup ratio inputs).
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let index = self.index.read().expect("store index lock");
+        StoreStats {
+            live_records: index.entries.len() as u64,
+            total_records: index.segments.iter().map(|meta| meta.records).sum(),
+            superseded_records: index.superseded,
+            corrupt_lines: index.corrupt,
+            segments: index.segments.len() as u64,
+            bytes: index.segments.iter().map(|meta| meta.bytes).sum(),
+        }
+    }
+
+    /// Re-reads every segment line, re-hashes every record, and cross-checks
+    /// the index, reporting (instead of crashing on) any mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading segment files; integrity problems
+    /// are counted in the report, not raised as errors.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        // Pass 1: scan the segments independently of the index.
+        let mut scanned: HashMap<(String, u64), u64> = HashMap::new();
+        let mut live: HashMap<u64, (String, u64)> = HashMap::new();
+        let index = self.index.read().expect("store index lock");
+        for meta in &index.segments {
+            let path = self.root.join("segments").join(&meta.name);
+            let data = fs::read(&path)?;
+            for (offset, line) in segment_lines(&data[..meta.bytes.min(data.len() as u64) as usize])
+            {
+                match StoreRecord::from_line(line) {
+                    Ok(record) => {
+                        report.records_verified += 1;
+                        scanned.insert((meta.name.clone(), offset), record.key());
+                        live.insert(record.key(), (meta.name.clone(), offset));
+                    }
+                    Err(_) => report.corrupt_lines += 1,
+                }
+            }
+        }
+        // Pass 2: every index entry must resolve to a record hashing to its
+        // own key, and every live on-disk key must be indexed.
+        for (key, location) in &index.entries {
+            match scanned.get(&(location.segment.clone(), location.offset)) {
+                Some(computed) if computed == key => {}
+                _ => report.key_mismatches += 1,
+            }
+        }
+        for key in live.keys() {
+            if !index.entries.contains_key(key) {
+                report.missing_from_index += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Rewrites the live records into one fresh segment (sorted by key, so
+    /// the result is deterministic), dropping superseded and corrupt lines,
+    /// then removes the old segments.
+    ///
+    /// Crash-safe ordering: the compacted segment is fully written and
+    /// renamed into place *before* the old segments are deleted; a crash in
+    /// between leaves duplicate records that latest-wins replay resolves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading, writing or deleting segments.
+    pub fn compact(&self) -> io::Result<CompactReport> {
+        let mut writer = self.writer.lock().expect("store writer lock");
+        let before = self.stats();
+
+        // Gather the live records in key order.
+        let mut keys: Vec<u64> = {
+            let index = self.index.read().expect("store index lock");
+            index.entries.keys().copied().collect()
+        };
+        keys.sort_unstable();
+        let mut compacted = String::new();
+        let mut entries: HashMap<u64, EntryLocation> = HashMap::new();
+        let next = next_segment_name(&writer.active);
+        for key in keys {
+            let location = self
+                .index
+                .read()
+                .expect("store index lock")
+                .entries
+                .get(&key)
+                .cloned()
+                .expect("key listed above");
+            let record = read_record(&self.root, &location)?;
+            let line = record.to_line();
+            entries.insert(
+                key,
+                EntryLocation {
+                    segment: next.clone(),
+                    offset: compacted.len() as u64,
+                    len: line.len() as u64,
+                },
+            );
+            compacted.push_str(&line);
+            compacted.push('\n');
+        }
+
+        // Write the new segment, swap the in-memory state, then delete the
+        // old segments.
+        let segments_dir = self.root.join("segments");
+        write_atomic(&segments_dir.join(&next), compacted.as_bytes())?;
+        let old_segments: Vec<String> = {
+            let mut index = self.index.write().expect("store index lock");
+            let old = index
+                .segments
+                .iter()
+                .map(|meta| meta.name.clone())
+                .collect();
+            index.entries = entries;
+            index.segments = vec![SegmentMeta {
+                name: next.clone(),
+                bytes: compacted.len() as u64,
+                records: index.entries.len() as u64,
+            }];
+            index.superseded = 0;
+            index.corrupt = 0;
+            old
+        };
+        for name in old_segments {
+            if name != next {
+                let _ = fs::remove_file(segments_dir.join(name));
+            }
+        }
+        writer.file = OpenOptions::new()
+            .append(true)
+            .open(segments_dir.join(&next))?;
+        writer.active = next;
+        writer.bytes = compacted.len() as u64;
+        writer.since_flush = 0;
+        drop(writer);
+        self.flush_index()?;
+
+        let after = self.stats();
+        Ok(CompactReport {
+            records_before: before.total_records,
+            records_after: after.total_records,
+            bytes_before: before.bytes,
+            bytes_after: after.bytes,
+        })
+    }
+}
+
+impl Drop for ResultStore {
+    fn drop(&mut self) {
+        // Best-effort index persistence; the index is rebuildable, so a
+        // failure here only costs a segment scan on the next open.
+        let _ = self.flush_index();
+    }
+}
+
+/// Splits segment bytes into `(offset, line)` pairs at newline boundaries.
+/// A final chunk without a trailing newline is *not* yielded — that is the
+/// torn-tail shape, which the open-time scan truncates away.
+fn segment_lines(data: &[u8]) -> impl Iterator<Item = (u64, &str)> {
+    let mut offset = 0usize;
+    std::iter::from_fn(move || {
+        while offset < data.len() {
+            let rest = &data[offset..];
+            let end = rest.iter().position(|&b| b == b'\n')?;
+            let start = offset;
+            offset += end + 1;
+            let line = std::str::from_utf8(&rest[..end]).unwrap_or("");
+            if line.is_empty() {
+                continue;
+            }
+            return Some((start as u64, line));
+        }
+        None
+    })
+}
+
+/// Scans every segment file, rebuilding the index from scratch.  Truncates
+/// a torn tail on the final segment; counts (and skips) corrupt lines
+/// elsewhere.
+fn scan_segments(segments_dir: &Path) -> io::Result<IndexState> {
+    let mut names: Vec<String> = fs::read_dir(segments_dir)?
+        .filter_map(Result::ok)
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| segment_number(name).is_some())
+        .collect();
+    names.sort();
+
+    let mut state = IndexState::default();
+    let last_index = names.len().saturating_sub(1);
+    for (segment_index, name) in names.iter().enumerate() {
+        let path = segments_dir.join(name);
+        let data = fs::read(&path)?;
+        // A final chunk with no trailing newline is a torn append.  On the
+        // last (active) segment, truncate it so later appends start at a
+        // clean record boundary; on earlier segments it is quarantined by
+        // simply not being indexed.
+        let valid_bytes = match data.iter().rposition(|&b| b == b'\n') {
+            Some(last_newline) => last_newline + 1,
+            None => 0,
+        };
+        if valid_bytes < data.len() {
+            state.corrupt += 1;
+            if segment_index == last_index {
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(valid_bytes as u64)?;
+                file.sync_data()?;
+            }
+        }
+        let mut meta = SegmentMeta {
+            name: name.clone(),
+            bytes: valid_bytes as u64,
+            records: 0,
+        };
+        for (offset, line) in segment_lines(&data[..valid_bytes]) {
+            match StoreRecord::from_line(line) {
+                Ok(record) => {
+                    meta.records += 1;
+                    let location = EntryLocation {
+                        segment: name.clone(),
+                        offset,
+                        len: line.len() as u64,
+                    };
+                    if state.entries.insert(record.key(), location).is_some() {
+                        state.superseded += 1;
+                    }
+                }
+                Err(_) => state.corrupt += 1,
+            }
+        }
+        state.segments.push(meta);
+    }
+    Ok(state)
+}
+
+fn read_record(root: &Path, location: &EntryLocation) -> io::Result<StoreRecord> {
+    let mut file = File::open(root.join("segments").join(&location.segment))?;
+    file.seek(SeekFrom::Start(location.offset))?;
+    let mut bytes = vec![0u8; location.len as usize];
+    file.read_exact(&mut bytes)?;
+    let line = std::str::from_utf8(&bytes)
+        .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))?;
+    StoreRecord::from_line(line)
+        .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))
+}
+
+fn render_index(index: &IndexState) -> String {
+    let mut doc = Map::new();
+    doc.insert("version".into(), INDEX_VERSION.into());
+    doc.insert("superseded".into(), index.superseded.into());
+    doc.insert("corrupt".into(), index.corrupt.into());
+    doc.insert(
+        "segments".into(),
+        Value::Array(
+            index
+                .segments
+                .iter()
+                .map(|meta| {
+                    let mut m = Map::new();
+                    m.insert("name".into(), meta.name.as_str().into());
+                    m.insert("bytes".into(), meta.bytes.into());
+                    m.insert("records".into(), meta.records.into());
+                    Value::Object(m)
+                })
+                .collect(),
+        ),
+    );
+    let mut entries = Map::new();
+    for (key, location) in &index.entries {
+        let mut m = Map::new();
+        m.insert("segment".into(), location.segment.as_str().into());
+        m.insert("offset".into(), location.offset.into());
+        m.insert("len".into(), location.len.into());
+        entries.insert(format!("{key:016x}"), Value::Object(m));
+    }
+    doc.insert("entries".into(), Value::Object(entries));
+    Value::Object(doc).to_string()
+}
+
+/// Loads `index.json` if it exists, parses, and exactly matches the segment
+/// files on disk (same set, same sizes).  Any discrepancy — missing file,
+/// size drift, unknown extra segment, parse failure — returns `None` and
+/// the caller falls back to a full scan.
+fn load_index(root: &Path) -> Option<IndexState> {
+    let text = fs::read_to_string(root.join("index.json")).ok()?;
+    let value = serde_json::from_str(&text).ok()?;
+    if value.get("version").and_then(Value::as_u64) != Some(INDEX_VERSION) {
+        return None;
+    }
+    let mut state = IndexState {
+        superseded: value.get("superseded").and_then(Value::as_u64)?,
+        corrupt: value.get("corrupt").and_then(Value::as_u64)?,
+        ..IndexState::default()
+    };
+    for meta in value.get("segments").and_then(Value::as_array)? {
+        let name = meta.get("name").and_then(Value::as_str)?.to_string();
+        let bytes = meta.get("bytes").and_then(Value::as_u64)?;
+        let on_disk = fs::metadata(root.join("segments").join(&name)).ok()?;
+        if on_disk.len() != bytes {
+            return None;
+        }
+        state.segments.push(SegmentMeta {
+            name,
+            bytes,
+            records: meta.get("records").and_then(Value::as_u64)?,
+        });
+    }
+    // An on-disk segment the index does not know about means the index is
+    // stale (e.g. written by an older process than the last writer).
+    let known: Vec<&str> = state
+        .segments
+        .iter()
+        .map(|meta| meta.name.as_str())
+        .collect();
+    for entry in fs::read_dir(root.join("segments")).ok()?.flatten() {
+        if let Ok(name) = entry.file_name().into_string() {
+            if segment_number(&name).is_some() && !known.contains(&name.as_str()) {
+                return None;
+            }
+        }
+    }
+    for (key_hex, location) in value.get("entries").and_then(Value::as_object)? {
+        let key = u64::from_str_radix(key_hex, 16).ok()?;
+        let segment = location.get("segment").and_then(Value::as_str)?.to_string();
+        if !known.contains(&segment.as_str()) {
+            return None;
+        }
+        state.entries.insert(
+            key,
+            EntryLocation {
+                segment,
+                offset: location.get("offset").and_then(Value::as_u64)?,
+                len: location.get("len").and_then(Value::as_u64)?,
+            },
+        );
+    }
+    Some(state)
+}
+
+fn segment_number(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".jsonl")?
+        .parse()
+        .ok()
+}
+
+fn next_segment_name(current: &str) -> String {
+    let next = segment_number(current).map_or(1, |n| n + 1);
+    format!("seg-{next:06}.jsonl")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("result-store-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    fn record(n: u64) -> StoreRecord {
+        let mut payload = Map::new();
+        payload.insert("value".into(), n.into());
+        StoreRecord::new(format!("id-{n}"), Value::Object(payload))
+    }
+
+    #[test]
+    fn insert_get_roundtrip_and_reopen() {
+        let root = temp_root("roundtrip");
+        let store = ResultStore::open(&root).unwrap();
+        let key = store.insert(&record(1)).unwrap();
+        store.insert(&record(2)).unwrap();
+        assert_eq!(store.get(key), Some(record(1)));
+        assert_eq!(store.len(), 2);
+        store.flush().unwrap();
+        drop(store);
+
+        let reopened = ResultStore::open(&root).unwrap();
+        assert_eq!(reopened.get(key), Some(record(1)));
+        assert_eq!(reopened.len(), 2);
+        assert!(reopened.get(0xdead_beef).is_none());
+    }
+
+    #[test]
+    fn latest_write_wins_and_counts_superseded() {
+        let root = temp_root("supersede");
+        let store = ResultStore::open(&root).unwrap();
+        let updated = StoreRecord::new("id-1", Value::Bool(true));
+        store.insert(&record(1)).unwrap();
+        let key = store.insert(&updated).unwrap();
+        assert_eq!(store.get(key), Some(updated.clone()));
+        let stats = store.stats();
+        assert_eq!(stats.live_records, 1);
+        assert_eq!(stats.total_records, 2);
+        assert_eq!(stats.superseded_records, 1);
+        assert!(stats.dedup_ratio() < 1.0);
+
+        // Compaction drops the superseded line and keeps the latest.
+        let report = store.compact().unwrap();
+        assert_eq!(report.records_before, 2);
+        assert_eq!(report.records_after, 1);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(store.get(key), Some(updated));
+        assert!((store.stats().dedup_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn missing_index_is_rebuilt_by_scanning() {
+        let root = temp_root("rebuild");
+        let store = ResultStore::open(&root).unwrap();
+        for n in 0..10 {
+            store.insert(&record(n)).unwrap();
+        }
+        drop(store);
+        fs::remove_file(root.join("index.json")).unwrap();
+        let reopened = ResultStore::open(&root).unwrap();
+        assert_eq!(reopened.len(), 10);
+        for n in 0..10 {
+            assert_eq!(reopened.get(record(n).key()), Some(record(n)));
+        }
+    }
+
+    #[test]
+    fn stale_index_falls_back_to_scan() {
+        let root = temp_root("stale-index");
+        let store = ResultStore::open(&root).unwrap();
+        store.insert(&record(1)).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        // Append a record behind the index's back (simulates an index that
+        // was not flushed before a crash).
+        let line = record(2).to_line();
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(root.join("segments").join("seg-000001.jsonl"))
+            .unwrap();
+        file.write_all(line.as_bytes()).unwrap();
+        file.write_all(b"\n").unwrap();
+        drop(file);
+        let reopened = ResultStore::open(&root).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get(record(2).key()), Some(record(2)));
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_quarantined_not_fatal() {
+        let root = temp_root("quarantine");
+        let store = ResultStore::open(&root).unwrap();
+        store.insert(&record(1)).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let path = root.join("segments").join("seg-000001.jsonl");
+        let mut data = fs::read(&path).unwrap();
+        data.extend_from_slice(b"{\"not\":\"a record\"}\n");
+        fs::write(&path, &data).unwrap();
+        let line = record(3).to_line();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(line.as_bytes()).unwrap();
+        file.write_all(b"\n").unwrap();
+        drop(file);
+
+        let reopened = ResultStore::open(&root).unwrap();
+        assert_eq!(reopened.len(), 2, "good records on both sides survive");
+        assert_eq!(reopened.stats().corrupt_lines, 1);
+        let verify = reopened.verify().unwrap();
+        assert_eq!(verify.corrupt_lines, 1);
+        assert_eq!(verify.key_mismatches, 0);
+        // Compaction drops the quarantined line.
+        reopened.compact().unwrap();
+        assert!(reopened.verify().unwrap().is_clean());
+        assert_eq!(reopened.len(), 2);
+    }
+
+    #[test]
+    fn verify_reports_key_content_mismatches() {
+        let root = temp_root("verify-mismatch");
+        let store = ResultStore::open(&root).unwrap();
+        store.insert(&record(1)).unwrap();
+        store.flush().unwrap();
+        assert!(store.verify().unwrap().is_clean());
+        // Re-point the index entry at a bogus offset.
+        {
+            let mut index = store.index.write().unwrap();
+            let location = index.entries.values_mut().next().unwrap();
+            location.offset += 1;
+        }
+        let report = store.verify().unwrap();
+        assert_eq!(report.key_mismatches, 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn segments_roll_over_and_names_increment() {
+        assert_eq!(next_segment_name("seg-000001.jsonl"), "seg-000002.jsonl");
+        assert_eq!(next_segment_name("garbage"), "seg-000001.jsonl");
+        assert_eq!(segment_number("seg-000042.jsonl"), Some(42));
+        assert_eq!(segment_number("index.json"), None);
+    }
+
+    #[test]
+    fn snapshot_is_stable_under_later_writes() {
+        let root = temp_root("snapshot");
+        let store = ResultStore::open(&root).unwrap();
+        store.insert(&record(1)).unwrap();
+        let snapshot = store.snapshot();
+        store.insert(&record(2)).unwrap();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot.get(record(1).key()), Some(record(1)));
+        assert!(snapshot.get(record(2).key()).is_none());
+        assert_eq!(store.snapshot().len(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Store-level integration and property tests: bundle round-trips over
+//! arbitrary record sets, index rebuild after a simulated crash, and
+//! readers racing a writer.
+
+use std::fs::{self, OpenOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use result_store::{Bundle, ResultStore, StoreRecord};
+use serde_json::{Map, Value};
+
+/// Per-test-case scratch directory (unique even across the proptest shim's
+/// 64 deterministic cases).
+fn scratch(tag: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let root =
+        std::env::temp_dir().join(format!("store-props-{}-{tag}-{case}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn record(id: u64, value: u64) -> StoreRecord {
+    let mut payload = Map::new();
+    payload.insert("value".into(), value.into());
+    payload.insert("label".into(), format!("cell-{id}").into());
+    StoreRecord::new(format!("sim-r2:{{\"id\":{id}}}"), Value::Object(payload))
+}
+
+proptest! {
+    #[test]
+    fn insert_export_import_is_byte_identical(cells in proptest::collection::vec((0u64..500, 0u64..1000), 1..40)) {
+        let root = scratch("roundtrip");
+        let original = ResultStore::open(root.join("original")).unwrap();
+        for (id, value) in &cells {
+            original.insert(&record(*id, *value)).unwrap();
+        }
+
+        let bundle = root.join("results.bundle");
+        Bundle::export(&original, &bundle).unwrap();
+        let imported = ResultStore::open(root.join("imported")).unwrap();
+        Bundle::import(&imported, &bundle).unwrap();
+
+        // Same keys, and every record re-encodes to the same bytes.
+        prop_assert_eq!(original.keys(), imported.keys());
+        for key in original.keys() {
+            let a = original.get(key).unwrap();
+            let b = imported.get(key).unwrap();
+            prop_assert_eq!(a.to_line(), b.to_line());
+        }
+        // And a re-export of the imported store is the same file, byte for
+        // byte — the bundle is a fixed point.
+        let second = root.join("second.bundle");
+        Bundle::export(&imported, &second).unwrap();
+        prop_assert_eq!(fs::read(&bundle).unwrap(), fs::read(&second).unwrap());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn index_rebuild_survives_torn_tail(keep in 1u64..30, torn_bytes in 1u64..40) {
+        // Write keep+1 records, then simulate a crash mid-append of the
+        // last one by truncating the segment inside its final line.
+        let root = scratch("crash");
+        {
+            let store = ResultStore::open(&root).unwrap();
+            for n in 0..=keep {
+                store.insert(&record(n, n * 7)).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let segment = root.join("segments").join("seg-000001.jsonl");
+        let data = fs::read(&segment).unwrap();
+        let last_line_start = data[..data.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        let tear_at = (last_line_start as u64 + torn_bytes.min((data.len() - last_line_start) as u64 - 1)) as u64;
+        OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap()
+            .set_len(tear_at)
+            .unwrap();
+
+        // The index on disk is now stale (wrong segment size), so the open
+        // falls back to a scan, truncates the torn tail, and recovers every
+        // record before it.
+        let reopened = ResultStore::open(&root).unwrap();
+        prop_assert_eq!(reopened.len() as u64, keep);
+        for n in 0..keep {
+            prop_assert_eq!(reopened.get(record(n, n * 7).key()), Some(record(n, n * 7)));
+        }
+        prop_assert!(reopened.get(record(keep, keep * 7).key()).is_none());
+        prop_assert!(reopened.verify().unwrap().is_clean());
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn concurrent_readers_during_writes_see_consistent_records() {
+    let root = scratch("concurrent");
+    let store = Arc::new(ResultStore::open(&root).unwrap());
+
+    // Pre-populate half the keyspace so readers always have hits available.
+    const PREPOPULATED: u64 = 200;
+    const WRITTEN_DURING: u64 = 200;
+    for n in 0..PREPOPULATED {
+        store.insert(&record(n, n)).unwrap();
+    }
+
+    let writer = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            for n in PREPOPULATED..PREPOPULATED + WRITTEN_DURING {
+                store.insert(&record(n, n)).unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|reader| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                // Lock-free snapshot reads plus direct reads, interleaved
+                // with the writer appending to the same active segment.
+                let snapshot = store.snapshot();
+                for round in 0..2_000u64 {
+                    let n = (round * 7 + reader) % PREPOPULATED;
+                    let expected = record(n, n);
+                    assert_eq!(snapshot.get(expected.key()), Some(expected.clone()));
+                    assert_eq!(store.get(expected.key()), Some(expected));
+                    // Keys the writer may or may not have written yet must
+                    // either miss or decode cleanly — never tear.
+                    let racing = record(PREPOPULATED + n % WRITTEN_DURING, 0).key();
+                    if let Some(found) = store.get(racing) {
+                        assert_eq!(found.key(), racing);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    assert_eq!(store.len() as u64, PREPOPULATED + WRITTEN_DURING);
+    assert!(store.verify().unwrap().is_clean());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn compaction_preserves_reads_and_shrinks_bytes() {
+    let root = scratch("compact");
+    let store = ResultStore::open(&root).unwrap();
+    // Two generations of every record: half the lines are superseded.
+    for n in 0..50 {
+        store.insert(&record(n, n)).unwrap();
+    }
+    for n in 0..50 {
+        store.insert(&record(n, n + 1)).unwrap();
+    }
+    let before = store.stats();
+    assert_eq!(before.total_records, 100);
+    let report = store.compact().unwrap();
+    assert_eq!(report.records_after, 50);
+    assert!(report.bytes_after < report.bytes_before);
+    for n in 0..50 {
+        assert_eq!(store.get(record(n, 0).key()), Some(record(n, n + 1)));
+    }
+    // Reopen after compaction: the rewritten segment replays cleanly.
+    drop(store);
+    let reopened = ResultStore::open(&root).unwrap();
+    assert_eq!(reopened.len(), 50);
+    assert!(reopened.verify().unwrap().is_clean());
+    let _ = fs::remove_dir_all(&root);
+}
