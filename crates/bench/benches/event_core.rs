@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks for the event-core hot paths reshaped by the
+//! data-layout pass: slab-backed event-wheel churn, the branchless
+//! per-device bank min-reduce and the allocation-free FR-FCFS candidate
+//! scan.  These are the CI smoke set behind the `BENCH_sim.json`
+//! trajectory — `prac-bench bench sim` measures the same three kernels
+//! (plus the fig10-quick wall clock) with plain wall-clock loops so the
+//! appended numbers stay comparable across machines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_sim::command::DramCommand;
+use dram_sim::device::{DramDevice, DramDeviceConfig};
+use dram_sim::org::DramAddress;
+use memctrl::scheduler::{FrFcfsScheduler, SchedulerCandidate};
+use system_sim::event::{EventSource, EventWheel};
+
+/// The engine's steady state: re-register the three sources, pop the next
+/// wake-up.  The engine-sized wheel stays on the linear slab path and must
+/// never build a heap index.
+fn bench_wheel_push_pop(c: &mut Criterion) {
+    c.bench_function("event_wheel_push_pop_x1000", |b| {
+        let mut wheel = EventWheel::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                wheel.reregister(EventSource::Cluster, Some(now + 3));
+                wheel.reregister(EventSource::Controller, Some(now + 1));
+                wheel.reregister(EventSource::Forwarding, Some(now + 2));
+                now = wheel.next_after(black_box(now)).unwrap();
+            }
+            black_box(now)
+        });
+    });
+    // A wheel wide enough for per-bank slots exercises the lazy-deletion
+    // heap path and its compaction bound.
+    c.bench_function("event_wheel_64slot_churn_x1000", |b| {
+        let mut wheel = EventWheel::with_slots(64);
+        let mut now = 0u64;
+        b.iter(|| {
+            for round in 0..1000u64 {
+                let slot = (round % 64) as usize;
+                wheel.reregister_slot(slot, Some(now + 1_000));
+                wheel.reregister_slot(slot, Some(now + 1));
+                now = wheel.next_after(black_box(now)).unwrap();
+            }
+            black_box(now)
+        });
+    });
+}
+
+/// The device-wide `next_transition_at` min-reduce over the full paper
+/// geometry (128 banks), with half the banks open so both sides of the
+/// branchless open/precharged select stay live.
+fn bench_bank_min_reduce(c: &mut Criterion) {
+    let mut device = DramDevice::new(DramDeviceConfig::paper_default());
+    let org = device.config().organization;
+    for bank in (0..org.total_banks()).step_by(2) {
+        let addr = DramAddress {
+            channel: 0,
+            rank: bank / org.banks_per_rank(),
+            bank_group: (bank / org.banks_per_group) % org.bank_groups,
+            bank: bank % org.banks_per_group,
+            row: bank,
+            column: 0,
+        };
+        device
+            .issue(DramCommand::Activate(addr), u64::from(bank) * 1_000)
+            .unwrap();
+    }
+    c.bench_function("bank_min_reduce_128banks_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(black_box(device.next_bank_transition_at()));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// One FR-FCFS `choose_from` pass over a queue-sized candidate iterator —
+/// the per-poll cost the controller pays, with no per-call allocation.
+fn bench_scheduler_scan(c: &mut Criterion) {
+    let org = dram_sim::org::DramOrganization::ddr5_32gb_quad_rank();
+    let template: Vec<SchedulerCandidate> = (0..64usize)
+        .map(|index| SchedulerCandidate {
+            queue_index: index,
+            address: DramAddress {
+                channel: 0,
+                rank: (index as u32) % org.ranks,
+                bank_group: (index as u32) % org.bank_groups,
+                bank: (index as u32) % org.banks_per_group,
+                row: index as u32,
+                column: 0,
+            },
+            row_hit: index % 3 == 0,
+            arrival_tick: (97 * index as u64) % 1_024,
+        })
+        .collect();
+    let scheduler = FrFcfsScheduler::paper_default();
+    c.bench_function("scheduler_scan_64cand_x100", |b| {
+        b.iter(|| {
+            let mut picked = 0usize;
+            for _ in 0..100 {
+                let chosen = scheduler
+                    .choose_from(black_box(template.iter().copied()))
+                    .unwrap();
+                picked = picked.wrapping_add(chosen.queue_index);
+            }
+            black_box(picked)
+        });
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_wheel_push_pop,
+              bench_bank_min_reduce,
+              bench_scheduler_scan
+}
+criterion_main!(benches);

@@ -9,9 +9,9 @@
 //!   store maintenance,
 //! * the former `fig*`/`table*` binaries delegate here via [`delegate`].
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
-use result_store::{write_atomic, Bundle, ResultStore};
+use result_store::{Bundle, ResultStore};
 use serde_json::{Map, Value};
 use system_sim::{AttackKind, EngineKind};
 
@@ -20,6 +20,7 @@ use crate::cache::ResultCache;
 use crate::registry::{all_campaigns, find_campaign, Profile};
 use crate::runner::{CampaignRunner, RunSummary, ScenarioRecord};
 use crate::serve::{client, Server};
+use crate::trajectory;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +45,7 @@ struct Options {
     protocol_op: Option<&'static str>,
     append: Option<PathBuf>,
     lookups: Option<u64>,
+    commit: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,7 @@ enum Command {
     Serve,
     Query,
     Store,
+    Bench,
     Help,
 }
 
@@ -73,7 +76,9 @@ USAGE:
     prac-bench query [--addr H:P | --socket PATH] <what>
     prac-bench store <stats|verify|compact> [--cache-dir DIR]
     prac-bench store <export|import> <FILE> [--cache-dir DIR]
-    prac-bench store bench [--lookups N] [--append FILE]
+    prac-bench store bench [--lookups N] [--append FILE] [--commit HASH]
+    prac-bench bench sim [--engine E] [--append FILE] [--commit HASH]
+    prac-bench bench trajectory [SIM_FILE] [STORE_FILE]
 
 COMMANDS:
     list              Enumerate the registered campaigns
@@ -86,6 +91,12 @@ COMMANDS:
                       <campaign> <scenario> pair, --spec-json JSON,
                       --key HEX, --ping, --stats or --shutdown
     store             Inspect or maintain the result store directly
+    bench             Perf-trajectory tooling: `bench sim` micro-benchmarks
+                      the event-core kernels (wheel churn, bank min-reduce,
+                      scheduler scan) plus the fig10-quick wall clock;
+                      `bench trajectory` renders the recorded trajectories
+                      (default BENCH_sim.json + BENCH_store.json) as
+                      markdown tables
 
 OPTIONS:
     --all             Run every registered campaign
@@ -115,8 +126,12 @@ OPTIONS:
     --stats           query: store statistics from the server
     --shutdown        query: ask the server to stop cleanly
     --lookups <N>     store bench: lookups to time (default: 10000)
-    --append <FILE>   store bench: append the measurement to a JSON
-                      trajectory file (e.g. BENCH_store.json)
+    --append <FILE>   store/sim bench: append the measurement to a JSON
+                      trajectory file (e.g. BENCH_store.json / BENCH_sim.json);
+                      fails loudly if the existing file is malformed
+    --commit <HASH>   store/sim bench: record this short git commit hash in
+                      the appended entry (CI passes `git rev-parse --short
+                      HEAD`; the bench never shells out to git itself)
 
 Artifacts are written to <out>/<campaign>/results.{json,csv}; cached cells
 are reused when the scenario configuration (including seeds and budgets) is
@@ -144,6 +159,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         protocol_op: None,
         append: None,
         lookups: None,
+        commit: None,
     };
     let mut iter = args.iter();
     match iter.next().map(String::as_str) {
@@ -154,6 +170,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         Some("serve") => options.command = Command::Serve,
         Some("query") => options.command = Command::Query,
         Some("store") => options.command = Command::Store,
+        Some("bench") => options.command = Command::Bench,
         Some("help" | "--help" | "-h") | None => return Ok(options),
         Some(other) => return Err(format!("unknown command `{other}`")),
     }
@@ -254,6 +271,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                         .ok_or_else(|| "--append requires a file".to_string())?,
                 );
             }
+            "--commit" => {
+                options.commit = Some(
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| "--commit requires a hash".to_string())?,
+                );
+            }
             name if name.starts_with("--") => return Err(format!("unknown option `{name}`")),
             name => options.names.push(name.to_string()),
         }
@@ -351,6 +375,7 @@ pub fn run_cli(args: &[String]) -> i32 {
         Command::Serve => serve_command(&options),
         Command::Query => query_command(&options),
         Command::Store => store_command(&options),
+        Command::Bench => bench_command(&options),
     }
 }
 
@@ -786,20 +811,13 @@ fn store_bench(options: &Options) -> i32 {
     println!("fig10 quick no-cache: {fig10_wall_ms:.1} ms");
 
     if let Some(path) = &options.append {
-        let mut entry = Map::new();
-        entry.insert(
-            "unix_time".into(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map_or(0, |d| d.as_secs())
-                .into(),
-        );
+        let mut entry = trajectory::base_entry(options.commit.as_deref());
         entry.insert("records".into(), BENCH_RECORDS.into());
         entry.insert("lookups".into(), lookups.into());
         entry.insert("store_lookup_ns_mean".into(), mean_ns.into());
         entry.insert("store_lookup_ns_p50".into(), p50_ns.into());
         entry.insert("fig10_quick_wall_ms".into(), fig10_wall_ms.into());
-        if let Err(error) = append_trajectory(path, Value::Object(entry)) {
+        if let Err(error) = trajectory::append(path, entry) {
             eprintln!("error: cannot append to {}: {error}", path.display());
             return 1;
         }
@@ -808,25 +826,174 @@ fn store_bench(options: &Options) -> i32 {
     0
 }
 
-/// Appends one entry to a JSON-array trajectory file, atomically.
-fn append_trajectory(path: &Path, entry: Value) -> std::io::Result<()> {
-    let mut entries = match std::fs::read_to_string(path) {
-        Ok(text) => match serde_json::from_str(&text) {
-            Ok(Value::Array(entries)) => entries,
-            _ => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("{} is not a JSON array", path.display()),
-                ))
-            }
-        },
-        Err(error) if error.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(error) => return Err(error),
+fn bench_command(options: &Options) -> i32 {
+    match options.names.first().map(String::as_str) {
+        Some("sim") => sim_bench(options),
+        Some("trajectory") => trajectory_report(options),
+        _ => {
+            eprintln!("error: `bench` needs sim or trajectory\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+/// `prac-bench bench sim`: micro-benchmarks the three event-core hot paths
+/// reshaped by the data-layout pass — event-wheel churn, the branchless
+/// per-device bank min-reduce and the allocation-free FR-FCFS candidate
+/// scan — plus the end-to-end fig10-quick wall clock, and optionally
+/// appends the measurement to the `BENCH_sim.json` trajectory.
+fn sim_bench(options: &Options) -> i32 {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    use dram_sim::command::DramCommand;
+    use dram_sim::device::{DramDevice, DramDeviceConfig};
+    use dram_sim::org::DramAddress;
+    use memctrl::scheduler::{FrFcfsScheduler, SchedulerCandidate};
+    use system_sim::event::{EventSource, EventWheel};
+
+    const WHEEL_ROUNDS: u64 = 1_000_000;
+    const REDUCE_ROUNDS: u64 = 100_000;
+    const SCAN_ROUNDS: u64 = 100_000;
+    const SCAN_CANDIDATES: usize = 64;
+
+    // Event-wheel churn: the engine's steady state is "re-register a few
+    // sources, pop the next wake-up" — three pushes and one pop per round.
+    let mut wheel = EventWheel::new();
+    let started = Instant::now();
+    let mut now = 0u64;
+    for _ in 0..WHEEL_ROUNDS {
+        wheel.reregister(EventSource::Cluster, Some(now + 3));
+        wheel.reregister(EventSource::Controller, Some(now + 1));
+        wheel.reregister(EventSource::Forwarding, Some(now + 2));
+        now = wheel
+            .next_after(now)
+            .expect("an armed wheel yields a wake-up");
+    }
+    black_box(now);
+    let wheel_push_pop_ns = started.elapsed().as_nanos() as f64 / WHEEL_ROUNDS as f64;
+
+    // Bank min-reduce over the full paper geometry with half the banks
+    // open, so both sides of the branchless open/precharged select stay
+    // live.
+    let config = DramDeviceConfig::paper_default();
+    let org = config.organization;
+    let mut device = DramDevice::new(config);
+    for bank in 0..org.total_banks() {
+        if bank % 2 != 0 {
+            continue;
+        }
+        let addr = DramAddress {
+            channel: 0,
+            rank: bank / org.banks_per_rank(),
+            bank_group: (bank / org.banks_per_group) % org.bank_groups,
+            bank: bank % org.banks_per_group,
+            row: bank,
+            column: 0,
+        };
+        let _ = device.issue(DramCommand::Activate(addr), u64::from(bank) * 1_000);
+    }
+    let started = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..REDUCE_ROUNDS {
+        acc = acc.wrapping_add(black_box(device.next_bank_transition_at()));
+    }
+    black_box(acc);
+    let bank_min_reduce_ns = started.elapsed().as_nanos() as f64 / REDUCE_ROUNDS as f64;
+
+    // FR-FCFS candidate scan: one `choose_from` pass over a queue-sized
+    // candidate iterator, no per-call allocation.
+    let template: Vec<SchedulerCandidate> = (0..SCAN_CANDIDATES)
+        .map(|index| SchedulerCandidate {
+            queue_index: index,
+            address: DramAddress {
+                channel: 0,
+                rank: (index as u32) % org.ranks,
+                bank_group: (index as u32) % org.bank_groups,
+                bank: (index as u32) % org.banks_per_group,
+                row: index as u32,
+                column: 0,
+            },
+            row_hit: index % 3 == 0,
+            arrival_tick: (97 * index as u64) % 1_024,
+        })
+        .collect();
+    let scheduler = FrFcfsScheduler::paper_default();
+    let started = Instant::now();
+    let mut picked = 0usize;
+    for _ in 0..SCAN_ROUNDS {
+        let chosen = scheduler
+            .choose_from(black_box(template.iter().copied()))
+            .expect("a non-empty candidate set schedules something");
+        picked = picked.wrapping_add(chosen.queue_index);
+    }
+    black_box(picked);
+    let scheduler_scan_ns = started.elapsed().as_nanos() as f64 / SCAN_ROUNDS as f64;
+
+    // The end-to-end yardstick: fig10 quick, no cache.
+    let campaign = find_campaign("fig10", &Profile::quick()).expect("fig10 is registered");
+    let runner = CampaignRunner::new().with_engine(options.engine);
+    let fig10_wall_ms = match runner.run(&campaign) {
+        Ok(summary) => summary.wall_ms,
+        Err(error) => {
+            eprintln!("error: fig10 bench run failed: {error}");
+            return 1;
+        }
     };
-    entries.push(entry);
-    let text = serde_json::to_string_pretty(&Value::Array(entries))
-        .expect("JSON serialisation is infallible");
-    write_atomic(path, text.as_bytes())
+
+    println!("wheel push/pop:       {wheel_push_pop_ns:.1} ns/round ({WHEEL_ROUNDS} rounds)");
+    println!(
+        "bank min-reduce:      {bank_min_reduce_ns:.1} ns/call over {} banks",
+        org.total_banks()
+    );
+    println!(
+        "scheduler scan:       {scheduler_scan_ns:.1} ns/call over {SCAN_CANDIDATES} candidates"
+    );
+    println!("fig10 quick no-cache: {fig10_wall_ms:.1} ms");
+
+    if let Some(path) = &options.append {
+        let mut entry = trajectory::base_entry(options.commit.as_deref());
+        entry.insert("wheel_push_pop_ns".into(), wheel_push_pop_ns.into());
+        entry.insert("bank_min_reduce_ns".into(), bank_min_reduce_ns.into());
+        entry.insert("scheduler_scan_ns".into(), scheduler_scan_ns.into());
+        entry.insert("fig10_quick_wall_ms".into(), fig10_wall_ms.into());
+        if let Err(error) = trajectory::append(path, entry) {
+            eprintln!("error: cannot append to {}: {error}", path.display());
+            return 1;
+        }
+        println!("appended measurement to {}", path.display());
+    }
+    0
+}
+
+/// `prac-bench bench trajectory`: renders the recorded perf trajectories
+/// (default `BENCH_sim.json` + `BENCH_store.json`) as the markdown tables
+/// embedded in the README's "Perf trajectory" section.
+fn trajectory_report(options: &Options) -> i32 {
+    let sim_path = options
+        .names
+        .get(1)
+        .map_or_else(|| PathBuf::from("BENCH_sim.json"), PathBuf::from);
+    let store_path = options
+        .names
+        .get(2)
+        .map_or_else(|| PathBuf::from("BENCH_store.json"), PathBuf::from);
+    let sim = match trajectory::load(&sim_path) {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("error: cannot read {}: {error}", sim_path.display());
+            return 1;
+        }
+    };
+    let store = match trajectory::load(&store_path) {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("error: cannot read {}: {error}", store_path.display());
+            return 1;
+        }
+    };
+    print!("{}", trajectory::render_markdown(&sim, &store));
+    0
 }
 
 fn print_summary(name: &str, summary: &RunSummary) {
@@ -973,6 +1140,30 @@ mod tests {
         assert_eq!(run_cli(&args(&["help"])), 0);
         assert_eq!(run_cli(&args(&["run", "no-such-campaign"])), 2);
         assert_eq!(run_cli(&args(&["run"])), 2);
+    }
+
+    #[test]
+    fn parses_bench_subcommands_and_commit() {
+        let options = parse(&args(&[
+            "bench",
+            "sim",
+            "--append",
+            "BENCH_sim.json",
+            "--commit",
+            "abc1234",
+        ]))
+        .unwrap();
+        assert_eq!(options.command, Command::Bench);
+        assert_eq!(options.names, vec!["sim".to_string()]);
+        assert_eq!(options.append, Some(PathBuf::from("BENCH_sim.json")));
+        assert_eq!(options.commit, Some("abc1234".to_string()));
+        let options = parse(&args(&["bench", "trajectory", "a.json", "b.json"])).unwrap();
+        assert_eq!(options.command, Command::Bench);
+        assert_eq!(options.names, args(&["trajectory", "a.json", "b.json"]));
+        assert!(parse(&args(&["store", "bench", "--commit"])).is_err());
+        // `bench` without a recognised action is a usage error, not a panic.
+        assert_eq!(run_cli(&args(&["bench"])), 2);
+        assert_eq!(run_cli(&args(&["bench", "frobnicate"])), 2);
     }
 
     #[test]

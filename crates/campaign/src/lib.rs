@@ -49,6 +49,7 @@ pub mod registry;
 pub mod runner;
 pub mod scenario;
 pub mod serve;
+pub mod trajectory;
 
 pub use artifact::{ArtifactPaths, ArtifactStore};
 pub use cache::{CachedResult, ResultCache};

@@ -25,7 +25,8 @@
 use std::io::{self, BufRead, BufReader};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde_json::{Map, Value};
@@ -38,15 +39,26 @@ use crate::scenario::{Scenario, ScenarioSpec};
 /// How long the accept loop sleeps between polls of a quiet listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
+/// Read timeout on connection streams: an idle handler wakes this often to
+/// check the shutdown flag, so joining in-flight handlers at shutdown never
+/// blocks on a silent client.
+const READ_POLL: Duration = Duration::from_millis(50);
+
 /// The query service: a [`ResultCache`] plus the engine used to run misses.
 ///
-/// Cloning is cheap (the cache and the shutdown flag are shared), which is
-/// how per-connection threads get their handle.
+/// Cloning is cheap (the cache, the shutdown flag and the handler registry
+/// are shared), which is how per-connection threads get their handle.
 #[derive(Debug, Clone)]
 pub struct Server {
     cache: ResultCache,
     engine: EngineKind,
     shutdown: Arc<AtomicBool>,
+    /// Join handles of spawned connection threads.  The serve loop joins
+    /// every live handler before the shutdown flush so an in-flight miss
+    /// run is persisted (and its reply delivered) rather than lost.
+    handlers: Arc<Mutex<Vec<JoinHandle<io::Result<()>>>>>,
+    /// Test hook: artificial delay inserted before a miss run.
+    miss_delay: Option<Duration>,
 }
 
 impl Server {
@@ -58,7 +70,19 @@ impl Server {
             cache,
             engine,
             shutdown: Arc::new(AtomicBool::new(false)),
+            handlers: Arc::new(Mutex::new(Vec::new())),
+            miss_delay: None,
         }
+    }
+
+    /// Test hook: sleeps for `delay` before executing a query miss, making
+    /// shutdown-vs-in-flight-miss races reproducible.  Not part of the
+    /// public protocol surface.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_miss_delay(mut self, delay: Duration) -> Self {
+        self.miss_delay = Some(delay);
+        self
     }
 
     /// The shared shutdown flag: setting it stops the serve loop at its next
@@ -68,9 +92,10 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
-    /// Serves connections from `listener` until shutdown, then flushes the
-    /// store.  Bind the listener yourself so `127.0.0.1:0` tests can learn
-    /// the resolved port before serving.
+    /// Serves connections from `listener` until shutdown, joins every
+    /// in-flight connection handler, then flushes the store.  Bind the
+    /// listener yourself so `127.0.0.1:0` tests can learn the resolved port
+    /// before serving.
     ///
     /// # Errors
     ///
@@ -80,18 +105,24 @@ impl Server {
         listener.set_nonblocking(true)?;
         while !self.shutdown.load(Ordering::SeqCst) {
             match listener.accept() {
-                Ok((stream, _peer)) => self.spawn_connection(stream)?,
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(READ_POLL))?;
+                    let server = self.clone();
+                    self.track(std::thread::spawn(move || server.handle_connection(stream)));
+                }
                 Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
                 }
                 Err(error) => return Err(error),
             }
         }
+        self.join_handlers();
         self.cache.flush()
     }
 
     /// Serves connections from a Unix domain socket listener until shutdown,
-    /// then flushes the store.
+    /// joins every in-flight connection handler, then flushes the store.
     ///
     /// # Errors
     ///
@@ -104,8 +135,9 @@ impl Server {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(READ_POLL))?;
                     let server = self.clone();
-                    std::thread::spawn(move || server.handle_connection(stream));
+                    self.track(std::thread::spawn(move || server.handle_connection(stream)));
                 }
                 Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
@@ -113,28 +145,61 @@ impl Server {
                 Err(error) => return Err(error),
             }
         }
+        self.join_handlers();
         self.cache.flush()
     }
 
-    fn spawn_connection(&self, stream: TcpStream) -> io::Result<()> {
-        stream.set_nonblocking(false)?;
-        let server = self.clone();
-        std::thread::spawn(move || server.handle_connection(stream));
-        Ok(())
+    /// Registers a connection-handler thread, pruning finished ones so a
+    /// long-lived server does not accumulate dead handles.
+    fn track(&self, handle: JoinHandle<io::Result<()>>) {
+        let mut handlers = self.handlers.lock().expect("handler registry poisoned");
+        handlers.retain(|h| !h.is_finished());
+        handlers.push(handle);
+    }
+
+    /// Joins every tracked connection handler.  Called after the accept
+    /// loop exits and before the store flush: an in-flight miss run gets to
+    /// persist its result and deliver its reply before the server exits.
+    fn join_handlers(&self) {
+        let handlers =
+            std::mem::take(&mut *self.handlers.lock().expect("handler registry poisoned"));
+        for handle in handlers {
+            // A failed or panicked handler must not abort the final flush.
+            let _ = handle.join();
+        }
     }
 
     fn handle_connection<S: io::Read + io::Write>(&self, stream: S) -> io::Result<()> {
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
         loop {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                return Ok(()); // client hung up
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // client hung up
+                Ok(_) => {}
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Read timed out.  Any bytes already received stay
+                    // appended to `line` and the next read continues the
+                    // same request, so a slow writer is never corrupted —
+                    // but once shutdown begins an idle connection must
+                    // return promptly so the serve loop can join us.
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(error) => return Err(error),
             }
             if line.trim().is_empty() {
+                line.clear();
                 continue;
             }
             let (response, stop) = self.respond(line.trim());
+            line.clear();
             let mut text = response.to_string();
             text.push('\n');
             reader.get_mut().write_all(text.as_bytes())?;
@@ -229,6 +294,9 @@ impl Server {
         }
         // Miss path: run through the campaign exec path and persist, so the
         // next query (from anyone) hits.
+        if let Some(delay) = self.miss_delay {
+            std::thread::sleep(delay);
+        }
         let started = Instant::now();
         let metrics = execute_with(&scenario.spec, self.engine);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -376,6 +444,49 @@ mod tests {
         let reply = client::request_tcp(addr, &parse(r#"{"op":"shutdown"}"#)).unwrap();
         assert_eq!(reply.get("stopping"), Some(&Value::Bool(true)));
         serving.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_waits_for_inflight_miss_and_persists_it() {
+        // Regression: handlers used to be detached, so a protocol shutdown
+        // could flush the store and exit while a miss run was still
+        // executing — losing the computed result and the client's reply.
+        let root = temp_root("race");
+        let server = Server::new(
+            ResultCache::open(root.clone()).unwrap(),
+            EngineKind::default(),
+        )
+        .with_miss_delay(Duration::from_millis(300));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serving = {
+            let server = server.clone();
+            std::thread::spawn(move || server.serve_tcp(&listener))
+        };
+        let spec_json = r#"{"kind":"solve_window","counter_reset":true,"nrh":4096}"#;
+        let query = {
+            let request = parse(&format!(r#"{{"op":"query","spec":{spec_json}}}"#));
+            std::thread::spawn(move || client::request_tcp(addr, &request))
+        };
+        // Let the miss start (the handler sleeps 300 ms before executing),
+        // then race a shutdown against it.
+        std::thread::sleep(Duration::from_millis(100));
+        let reply = client::request_tcp(addr, &parse(r#"{"op":"shutdown"}"#)).unwrap();
+        assert_eq!(reply.get("stopping"), Some(&Value::Bool(true)));
+        serving.join().unwrap().unwrap();
+        // The racing query still received a real reply...
+        let reply = query.join().unwrap().unwrap();
+        assert_eq!(reply.get("ok"), Some(&Value::Bool(true)), "{reply}");
+        assert_eq!(reply.get("hit"), Some(&Value::Bool(false)));
+        assert!(reply.get("metrics").is_some());
+        // ...and its result was persisted before the shutdown flush.
+        let reopened = ResultCache::open(root).unwrap();
+        let spec = ScenarioSpec::from_json(&parse(spec_json)).unwrap();
+        let scenario = Scenario::new("serve", spec);
+        assert!(
+            reopened.lookup(&scenario).is_some(),
+            "in-flight miss result must survive shutdown"
+        );
     }
 
     #[cfg(unix)]

@@ -1,0 +1,236 @@
+//! Append-only JSON perf-trajectory files (`BENCH_sim.json`,
+//! `BENCH_store.json`).
+//!
+//! A trajectory file is a pretty-printed JSON array of measurement objects.
+//! CI appends one entry per run on `main` (via `prac-bench bench sim
+//! --append` / `prac-bench store bench --append`), so regressions show up
+//! as a widening series instead of a lost prose note.  Every entry carries
+//! a `unix_time` and — when the caller passes one via `--commit` — the
+//! short git commit hash, so each point is attributable.  The commit hash
+//! is handed in by CI rather than read from the repository at runtime: the
+//! bench binary must not grow a git dependency or behave differently
+//! inside and outside a checkout.
+//!
+//! Appending is strict: a file that exists but does not parse as a JSON
+//! array of objects fails with [`std::io::ErrorKind::InvalidData`] instead
+//! of being clobbered — a half-written or hand-mangled trajectory is
+//! evidence to keep, not to overwrite.
+
+use std::io;
+use std::path::Path;
+
+use result_store::write_atomic;
+use serde_json::{Map, Value};
+
+/// Loads a trajectory file as its list of measurement entries.
+///
+/// A missing file is an empty trajectory.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] when the file exists but is not a
+/// JSON array of objects, and propagates other read errors.
+pub fn load(path: &Path) -> io::Result<Vec<Map>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(error) => return Err(error),
+    };
+    let malformed = |detail: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{} is not a JSON array of measurement objects ({detail}); \
+                 refusing to touch it",
+                path.display()
+            ),
+        )
+    };
+    let entries = match serde_json::from_str(&text) {
+        Ok(Value::Array(entries)) => entries,
+        Ok(_) => return Err(malformed("top level is not an array")),
+        Err(error) => return Err(malformed(&error.to_string())),
+    };
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(index, entry)| match entry {
+            Value::Object(map) => Ok(map),
+            _ => Err(malformed(&format!("entry {index} is not an object"))),
+        })
+        .collect()
+}
+
+/// Appends one measurement entry to the trajectory at `path`, atomically.
+///
+/// # Errors
+///
+/// Fails loudly (without modifying the file) when the existing file is
+/// malformed — see [`load`] — and propagates write errors.
+pub fn append(path: &Path, entry: Map) -> io::Result<()> {
+    let mut entries = load(path)?;
+    entries.push(entry);
+    let entries: Vec<Value> = entries.into_iter().map(Value::Object).collect();
+    let text = serde_json::to_string_pretty(&Value::Array(entries))
+        .expect("JSON serialisation is infallible");
+    write_atomic(path, text.as_bytes())
+}
+
+/// Starts a measurement entry with the bookkeeping fields every trajectory
+/// point carries: `unix_time` and, when provided, the short `commit` hash.
+#[must_use]
+pub fn base_entry(commit: Option<&str>) -> Map {
+    let mut entry = Map::new();
+    entry.insert(
+        "unix_time".into(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs())
+            .into(),
+    );
+    if let Some(commit) = commit {
+        entry.insert("commit".into(), commit.into());
+    }
+    entry
+}
+
+/// Renders the simulator-core and store trajectories as the markdown
+/// "Perf trajectory" tables embedded in the README (and printed by
+/// `prac-bench bench trajectory`).
+#[must_use]
+pub fn render_markdown(sim: &[Map], store: &[Map]) -> String {
+    let mut out = String::new();
+    out.push_str("### Simulator core (`BENCH_sim.json`)\n\n");
+    if sim.is_empty() {
+        out.push_str("_No entries yet — see the bench-append workflow below._\n");
+    } else {
+        out.push_str(
+            "| commit | wheel push/pop (ns) | bank min-reduce (ns) \
+             | scheduler scan (ns) | fig10 --quick (ms) |\n",
+        );
+        out.push_str("|---|---|---|---|---|\n");
+        for entry in sim {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                commit_cell(entry),
+                number_cell(entry, "wheel_push_pop_ns"),
+                number_cell(entry, "bank_min_reduce_ns"),
+                number_cell(entry, "scheduler_scan_ns"),
+                number_cell(entry, "fig10_quick_wall_ms"),
+            ));
+        }
+    }
+    out.push_str("\n### Result store (`BENCH_store.json`)\n\n");
+    if store.is_empty() {
+        out.push_str("_No entries yet — see the bench-append workflow below._\n");
+    } else {
+        out.push_str("| commit | lookup mean (ns) | lookup p50 (ns) | fig10 --quick (ms) |\n");
+        out.push_str("|---|---|---|---|\n");
+        for entry in store {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                commit_cell(entry),
+                number_cell(entry, "store_lookup_ns_mean"),
+                number_cell(entry, "store_lookup_ns_p50"),
+                number_cell(entry, "fig10_quick_wall_ms"),
+            ));
+        }
+    }
+    out
+}
+
+/// The `commit` column: the short hash when recorded, else a dash (entries
+/// predating the commit field stay renderable).
+fn commit_cell(entry: &Map) -> String {
+    match entry.get("commit").and_then(Value::as_str) {
+        Some(commit) => format!("`{commit}`"),
+        None => "—".to_string(),
+    }
+}
+
+/// A numeric metric formatted to one decimal, or a dash when absent.
+fn number_cell(entry: &Map, key: &str) -> String {
+    match entry.get(key).and_then(Value::as_f64) {
+        Some(value) => format!("{value:.1}"),
+        None => "—".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("prac-trajectory-{}-{tag}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn entry(commit: &str, value: f64) -> Map {
+        let mut entry = base_entry(Some(commit));
+        entry.insert("fig10_quick_wall_ms".into(), value.into());
+        entry
+    }
+
+    #[test]
+    fn append_creates_then_extends_the_file() {
+        let path = temp_file("extend");
+        append(&path, entry("abc1234", 100.0)).unwrap();
+        append(&path, entry("def5678", 90.0)).unwrap();
+        let entries = load(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0].get("commit").and_then(Value::as_str),
+            Some("abc1234")
+        );
+        assert_eq!(
+            entries[1]
+                .get("fig10_quick_wall_ms")
+                .and_then(Value::as_f64),
+            Some(90.0)
+        );
+        assert!(entries[0].contains_key("unix_time"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_refuses_to_clobber_a_malformed_file() {
+        for broken in [r#"{"not":"an array"}"#, "[{\"ok\":true}, 7]", "not json"] {
+            let path = temp_file("malformed");
+            std::fs::write(&path, broken).unwrap();
+            let error = append(&path, entry("abc1234", 1.0)).unwrap_err();
+            assert_eq!(error.kind(), io::ErrorKind::InvalidData, "{broken}");
+            // Fail loudly means fail read-only: the file is untouched.
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), broken);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_trajectory() {
+        let path = temp_file("missing");
+        assert_eq!(load(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn markdown_renders_entries_and_tolerates_legacy_fields() {
+        let mut sim = base_entry(Some("abc1234"));
+        sim.insert("wheel_push_pop_ns".into(), 74.7.into());
+        sim.insert("bank_min_reduce_ns".into(), 220.1.into());
+        sim.insert("scheduler_scan_ns".into(), 591.4.into());
+        sim.insert("fig10_quick_wall_ms".into(), 188.2.into());
+        // A legacy store entry without a commit field renders with a dash.
+        let mut store = Map::new();
+        store.insert("store_lookup_ns_mean".into(), 3108.9.into());
+        store.insert("store_lookup_ns_p50".into(), 2129u32.into());
+        store.insert("fig10_quick_wall_ms".into(), 188.2.into());
+        let text = render_markdown(&[sim], &[store]);
+        assert!(text.contains("`abc1234`"), "{text}");
+        assert!(text.contains("| 74.7 |"), "{text}");
+        assert!(text.contains("| — | 3108.9 |"), "{text}");
+        let empty = render_markdown(&[], &[]);
+        assert!(empty.contains("No entries yet"), "{empty}");
+    }
+}

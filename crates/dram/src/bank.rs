@@ -1,5 +1,14 @@
 //! Per-bank state: row buffer, timing windows, PRAC activation counters and
 //! the in-DRAM mitigation queue.
+//!
+//! The hot timing state (open row + the three earliest-legal-time windows)
+//! lives in a struct-of-arrays [`BankTimingTable`] so the device can scan
+//! and min-reduce across every bank of a channel without striding over the
+//! cold per-bank state (PRAC counter maps and mitigation queues), which
+//! stays in [`BankMeta`].  [`Bank`] composes a one-entry table with one
+//! meta record to preserve the original single-bank API for unit and
+//! property tests, and [`BankRef`] is the read-only per-bank view the
+//! device hands out.
 
 use std::collections::HashMap;
 
@@ -8,25 +17,281 @@ use prac_core::queue::{MitigationQueue, QueueKind, RowIndex};
 use crate::command::IssueError;
 use crate::timing::DramTimingParams;
 
-/// State of a single DRAM bank.
+/// Sentinel stored in [`BankTimingTable::open_row`] for a precharged bank.
 ///
-/// The bank owns:
-/// * the open-row tracking used for row-buffer hit/miss/conflict accounting,
-/// * the earliest-legal-time bookkeeping for ACT / PRE / RD / WR,
-/// * the per-row PRAC activation counters,
-/// * one mitigation queue (design selected by [`QueueKind`]).
+/// Row indices are physical row numbers (< 2^31 in any real geometry), so
+/// `u32::MAX` can never collide with an open row.
+pub const ROW_NONE: u32 = u32::MAX;
+
+/// Struct-of-arrays timing state for every bank of one channel.
+///
+/// Each index holds the state the old per-bank struct kept inline:
+///
+/// * `open_row` — currently open row, [`ROW_NONE`] when precharged,
+/// * `next_act` — earliest tick an ACT may be issued (tRC/tRP),
+/// * `next_pre` — earliest tick a PRE may be issued (tRAS / recovery),
+/// * `next_column` — earliest tick a RD/WR may be issued (tRCD/tCCD).
+///
+/// Keeping the four arrays parallel (rather than an array of four-field
+/// structs) lets [`BankTimingTable::min_next_transition_at`] stream through
+/// densely packed `u64` lanes with a branchless select per bank.
+#[derive(Debug, Clone)]
+pub struct BankTimingTable {
+    open_row: Vec<u32>,
+    next_act: Vec<u64>,
+    next_pre: Vec<u64>,
+    next_column: Vec<u64>,
+}
+
+impl BankTimingTable {
+    /// Creates timing state for `banks` idle, fully-precharged banks.
+    #[must_use]
+    pub fn new(banks: usize) -> Self {
+        Self {
+            open_row: vec![ROW_NONE; banks],
+            next_act: vec![0; banks],
+            next_pre: vec![0; banks],
+            next_column: vec![0; banks],
+        }
+    }
+
+    /// Number of banks tracked by the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.open_row.len()
+    }
+
+    /// Whether the table tracks no banks at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.open_row.is_empty()
+    }
+
+    /// The currently open row of bank `i`, if the bank is active.
+    #[must_use]
+    pub fn open_row(&self, i: usize) -> Option<u32> {
+        let row = self.open_row[i];
+        (row != ROW_NONE).then_some(row)
+    }
+
+    /// Earliest tick at which an ACT to bank `i` is legal.
+    #[must_use]
+    pub fn act_ready_at(&self, i: usize) -> u64 {
+        self.next_act[i]
+    }
+
+    /// Earliest tick at which *any* command to bank `i` can change its
+    /// state — the bank state machine's next possible transition.
+    ///
+    /// * Bank precharged: the next transition is an ACT (gated by tRC/tRP).
+    /// * Row open: the earliest of a column access (tRCD/tCCD) or a
+    ///   precharge (tRAS / write recovery).
+    ///
+    /// The returned tick never moves backwards while the bank is idle, which
+    /// is what lets an event-driven scheduler sleep until it without
+    /// re-polling.  Note this is a *bank-local* bound; channel-wide
+    /// constraints (bus occupancy, rank ACT-to-ACT spacing, refresh
+    /// blocking) can push the real issue time later.
+    ///
+    /// The select between the two cases is branchless: `open` is widened to
+    /// an all-ones/all-zeros mask so the reduce over a whole channel never
+    /// takes a data-dependent branch.
+    #[must_use]
+    pub fn next_transition_at(&self, i: usize) -> u64 {
+        let mask = u64::from(self.open_row[i] != ROW_NONE).wrapping_neg();
+        let open_bound = self.next_column[i].min(self.next_pre[i]);
+        (open_bound & mask) | (self.next_act[i] & !mask)
+    }
+
+    /// The minimum of [`BankTimingTable::next_transition_at`] across every
+    /// bank, or `u64::MAX` for an empty table.
+    ///
+    /// This is the channel-wide "something can happen next at" bound; it
+    /// streams the four parallel arrays once with a branchless select per
+    /// bank instead of calling into each bank object.
+    #[must_use]
+    pub fn min_next_transition_at(&self) -> u64 {
+        let mut min = u64::MAX;
+        for i in 0..self.open_row.len() {
+            let mask = u64::from(self.open_row[i] != ROW_NONE).wrapping_neg();
+            let open_bound = self.next_column[i].min(self.next_pre[i]);
+            let bound = (open_bound & mask) | (self.next_act[i] & !mask);
+            min = min.min(bound);
+        }
+        min
+    }
+
+    /// Checks whether activating a row of bank `i` at `now` is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::IllegalState`] when a row is already open and
+    /// [`IssueError::TooEarly`] when tRC/tRP have not elapsed.
+    pub fn can_activate(&self, i: usize, now: u64) -> Result<(), IssueError> {
+        if self.open_row[i] != ROW_NONE {
+            return Err(IssueError::IllegalState {
+                reason: "activate issued while another row is open",
+            });
+        }
+        if now < self.next_act[i] {
+            return Err(IssueError::TooEarly {
+                ready_at: self.next_act[i],
+            });
+        }
+        Ok(())
+    }
+
+    /// Opens `row` in bank `i` at `now`, arming the tRAS/tRCD/tRC windows.
+    ///
+    /// Timing state only — the caller pairs this with
+    /// [`BankMeta::note_activation`] for the PRAC side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the legality checks of [`BankTimingTable::can_activate`].
+    pub fn activate(
+        &mut self,
+        i: usize,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<(), IssueError> {
+        self.can_activate(i, now)?;
+        self.open_row[i] = row;
+        self.next_pre[i] = now + timing.t_ras;
+        self.next_column[i] = now + timing.t_rcd;
+        self.next_act[i] = now + timing.t_rc;
+        Ok(())
+    }
+
+    /// Checks whether a precharge of bank `i` at `now` is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::TooEarly`] when tRAS (or read/write recovery)
+    /// has not elapsed. Precharging an already-closed bank is a no-op and is
+    /// allowed.
+    pub fn can_precharge(&self, i: usize, now: u64) -> Result<(), IssueError> {
+        if self.open_row[i] == ROW_NONE {
+            return Ok(());
+        }
+        if now < self.next_pre[i] {
+            return Err(IssueError::TooEarly {
+                ready_at: self.next_pre[i],
+            });
+        }
+        Ok(())
+    }
+
+    /// Precharges (closes) bank `i` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BankTimingTable::can_precharge`].
+    pub fn precharge(
+        &mut self,
+        i: usize,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<(), IssueError> {
+        self.can_precharge(i, now)?;
+        if self.open_row[i] != ROW_NONE {
+            self.open_row[i] = ROW_NONE;
+            self.next_act[i] = self.next_act[i].max(now + timing.t_rp);
+        }
+        Ok(())
+    }
+
+    /// Checks whether a column read/write of `row` in bank `i` at `now` is
+    /// legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::IllegalState`] when the addressed row is not the
+    /// open row, and [`IssueError::TooEarly`] before tRCD/tCCD elapse.
+    pub fn can_access_column(&self, i: usize, row: RowIndex, now: u64) -> Result<(), IssueError> {
+        match self.open_row[i] {
+            open if open == row && open != ROW_NONE => {}
+            ROW_NONE => {
+                return Err(IssueError::IllegalState {
+                    reason: "column access while the bank is precharged",
+                })
+            }
+            _ => {
+                return Err(IssueError::IllegalState {
+                    reason: "column access to a row that is not the open row",
+                })
+            }
+        }
+        if now < self.next_column[i] {
+            return Err(IssueError::TooEarly {
+                ready_at: self.next_column[i],
+            });
+        }
+        Ok(())
+    }
+
+    /// Performs a column read in bank `i` at `now`; returns the tick at
+    /// which data has fully returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BankTimingTable::can_access_column`].
+    pub fn read(
+        &mut self,
+        i: usize,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<u64, IssueError> {
+        self.can_access_column(i, row, now)?;
+        self.next_column[i] = now + timing.t_ccd;
+        self.next_pre[i] = self.next_pre[i].max(now + timing.t_rtp);
+        Ok(now + timing.read_latency())
+    }
+
+    /// Performs a column write in bank `i` at `now`; returns the tick at
+    /// which the write has been accepted (write data fully transferred).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BankTimingTable::can_access_column`].
+    pub fn write(
+        &mut self,
+        i: usize,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<u64, IssueError> {
+        self.can_access_column(i, row, now)?;
+        self.next_column[i] = now + timing.t_ccd;
+        self.next_pre[i] = self.next_pre[i].max(now + timing.t_cl + timing.t_bl + timing.t_wr);
+        Ok(now + timing.t_cl + timing.t_bl)
+    }
+
+    /// Applies a channel-wide blocking command (refresh or RFM) to bank
+    /// `i`: the bank is precharged immediately and no command may be issued
+    /// before `now + duration`.
+    pub fn block_until(&mut self, i: usize, now: u64, duration: u64) {
+        self.open_row[i] = ROW_NONE;
+        let until = now + duration;
+        self.next_act[i] = self.next_act[i].max(until);
+        self.next_pre[i] = self.next_pre[i].max(until);
+        self.next_column[i] = self.next_column[i].max(until);
+    }
+
+    /// Applies [`BankTimingTable::block_until`] to every bank at once.
+    pub fn block_all_until(&mut self, now: u64, duration: u64) {
+        for i in 0..self.open_row.len() {
+            self.block_until(i, now, duration);
+        }
+    }
+}
+
+/// Cold per-bank state: PRAC activation counters and the in-DRAM
+/// mitigation queue, plus the activation tallies derived from them.
 #[derive(Debug)]
-pub struct Bank {
-    /// Currently open row, if any.
-    open_row: Option<u32>,
-    /// Earliest tick an ACT may be issued.
-    next_act: u64,
-    /// Earliest tick a PRE may be issued.
-    next_pre: u64,
-    /// Earliest tick a column (RD/WR) command may be issued.
-    next_column: u64,
-    /// Tick of the most recent activation (for tRAS/tRC bookkeeping).
-    last_act: u64,
+pub struct BankMeta {
     /// Per-row PRAC activation counters (sparse; untouched rows are zero).
     counters: HashMap<RowIndex, u32>,
     /// In-DRAM mitigation queue for this bank.
@@ -38,16 +303,11 @@ pub struct Bank {
     total_activations: u64,
 }
 
-impl Bank {
-    /// Creates an idle, fully-precharged bank with the chosen queue design.
+impl BankMeta {
+    /// Creates the cold state for one bank with the chosen queue design.
     #[must_use]
     pub fn new(queue_kind: QueueKind) -> Self {
         Self {
-            open_row: None,
-            next_act: 0,
-            next_pre: 0,
-            next_column: 0,
-            last_act: 0,
             counters: HashMap::new(),
             queue: queue_kind.instantiate(),
             activations_since_rfm: 0,
@@ -55,10 +315,21 @@ impl Bank {
         }
     }
 
-    /// The currently open row, if the bank is active.
-    #[must_use]
-    pub fn open_row(&self) -> Option<u32> {
-        self.open_row
+    /// Records an activation of `row`: increments its PRAC counter, shows
+    /// the new value to the mitigation queue and bumps the activation
+    /// tallies.  Returns the row's new counter value.
+    ///
+    /// PRAC: the per-row counter is incremented (physically during the
+    /// precharge read-modify-write; counted here at activation time, which
+    /// is equivalent for threshold-crossing purposes).
+    pub fn note_activation(&mut self, row: RowIndex) -> u32 {
+        let counter = self.counters.entry(row).or_insert(0);
+        *counter = counter.saturating_add(1);
+        let value = *counter;
+        self.queue.observe_activation(row, value);
+        self.activations_since_rfm = self.activations_since_rfm.saturating_add(1);
+        self.total_activations += 1;
+        value
     }
 
     /// The PRAC counter value of `row`.
@@ -91,181 +362,6 @@ impl Bank {
         self.total_activations
     }
 
-    /// Earliest tick at which an ACT to this bank is legal.
-    #[must_use]
-    pub fn act_ready_at(&self) -> u64 {
-        self.next_act
-    }
-
-    /// Earliest tick at which *any* command to this bank can change its
-    /// state — the bank state machine's next possible transition.
-    ///
-    /// * Bank precharged: the next transition is an ACT (gated by tRC/tRP).
-    /// * Row open: the earliest of a column access (tRCD/tCCD) or a
-    ///   precharge (tRAS / write recovery).
-    ///
-    /// The returned tick never moves backwards while the bank is idle, which
-    /// is what lets an event-driven scheduler sleep until it without
-    /// re-polling.  Note this is a *bank-local* bound; channel-wide
-    /// constraints (bus occupancy, rank ACT-to-ACT spacing, refresh
-    /// blocking) can push the real issue time later.
-    #[must_use]
-    pub fn next_transition_at(&self) -> u64 {
-        match self.open_row {
-            None => self.next_act,
-            Some(_) => self.next_column.min(self.next_pre),
-        }
-    }
-
-    /// Checks whether activating `row` at `now` is legal.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`IssueError::IllegalState`] when a row is already open and
-    /// [`IssueError::TooEarly`] when tRC/tRP have not elapsed.
-    pub fn can_activate(&self, now: u64) -> Result<(), IssueError> {
-        if self.open_row.is_some() {
-            return Err(IssueError::IllegalState {
-                reason: "activate issued while another row is open",
-            });
-        }
-        if now < self.next_act {
-            return Err(IssueError::TooEarly {
-                ready_at: self.next_act,
-            });
-        }
-        Ok(())
-    }
-
-    /// Activates `row` at `now`, incrementing its PRAC counter and updating
-    /// the mitigation queue.  Returns the row's new counter value.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the legality checks of [`Bank::can_activate`].
-    pub fn activate(
-        &mut self,
-        row: RowIndex,
-        now: u64,
-        timing: &DramTimingParams,
-    ) -> Result<u32, IssueError> {
-        self.can_activate(now)?;
-        self.open_row = Some(row);
-        self.last_act = now;
-        self.next_pre = now + timing.t_ras;
-        self.next_column = now + timing.t_rcd;
-        self.next_act = now + timing.t_rc;
-        // PRAC: the per-row counter is incremented (physically during the
-        // precharge read-modify-write; counted here at activation time, which
-        // is equivalent for threshold-crossing purposes).
-        let counter = self.counters.entry(row).or_insert(0);
-        *counter = counter.saturating_add(1);
-        let value = *counter;
-        self.queue.observe_activation(row, value);
-        self.activations_since_rfm = self.activations_since_rfm.saturating_add(1);
-        self.total_activations += 1;
-        Ok(value)
-    }
-
-    /// Checks whether a precharge at `now` is legal.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`IssueError::TooEarly`] when tRAS (or read/write recovery)
-    /// has not elapsed. Precharging an already-closed bank is a no-op and is
-    /// allowed.
-    pub fn can_precharge(&self, now: u64) -> Result<(), IssueError> {
-        if self.open_row.is_none() {
-            return Ok(());
-        }
-        if now < self.next_pre {
-            return Err(IssueError::TooEarly {
-                ready_at: self.next_pre,
-            });
-        }
-        Ok(())
-    }
-
-    /// Precharges (closes) the bank at `now`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`Bank::can_precharge`].
-    pub fn precharge(&mut self, now: u64, timing: &DramTimingParams) -> Result<(), IssueError> {
-        self.can_precharge(now)?;
-        if self.open_row.is_some() {
-            self.open_row = None;
-            self.next_act = self.next_act.max(now + timing.t_rp);
-        }
-        Ok(())
-    }
-
-    /// Checks whether a column read/write of `row` at `now` is legal.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`IssueError::IllegalState`] when the addressed row is not the
-    /// open row, and [`IssueError::TooEarly`] before tRCD/tCCD elapse.
-    pub fn can_access_column(&self, row: RowIndex, now: u64) -> Result<(), IssueError> {
-        match self.open_row {
-            Some(open) if open == row => {}
-            Some(_) => {
-                return Err(IssueError::IllegalState {
-                    reason: "column access to a row that is not the open row",
-                })
-            }
-            None => {
-                return Err(IssueError::IllegalState {
-                    reason: "column access while the bank is precharged",
-                })
-            }
-        }
-        if now < self.next_column {
-            return Err(IssueError::TooEarly {
-                ready_at: self.next_column,
-            });
-        }
-        Ok(())
-    }
-
-    /// Performs a column read at `now`; returns the tick at which data has
-    /// fully returned.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`Bank::can_access_column`].
-    pub fn read(
-        &mut self,
-        row: RowIndex,
-        now: u64,
-        timing: &DramTimingParams,
-    ) -> Result<u64, IssueError> {
-        self.can_access_column(row, now)?;
-        self.next_column = now + timing.t_ccd;
-        self.next_pre = self.next_pre.max(now + timing.t_rtp);
-        Ok(now + timing.read_latency())
-    }
-
-    /// Performs a column write at `now`; returns the tick at which the write
-    /// has been accepted (write data fully transferred).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`Bank::can_access_column`].
-    pub fn write(
-        &mut self,
-        row: RowIndex,
-        now: u64,
-        timing: &DramTimingParams,
-    ) -> Result<u64, IssueError> {
-        self.can_access_column(row, now)?;
-        self.next_column = now + timing.t_ccd;
-        self.next_pre = self
-            .next_pre
-            .max(now + timing.t_cl + timing.t_bl + timing.t_wr);
-        Ok(now + timing.t_cl + timing.t_bl)
-    }
-
     /// Mitigates the row nominated by the mitigation queue (if any),
     /// resetting its PRAC counter.  Returns the mitigated row.
     ///
@@ -287,21 +383,270 @@ impl Bank {
         self.queue.reset();
     }
 
-    /// Applies a channel-wide blocking command (refresh or RFM): the bank is
-    /// precharged immediately and no command may be issued before
-    /// `now + duration`.
-    pub fn block_until(&mut self, now: u64, duration: u64) {
-        self.open_row = None;
-        let until = now + duration;
-        self.next_act = self.next_act.max(until);
-        self.next_pre = self.next_pre.max(until);
-        self.next_column = self.next_column.max(until);
+    /// Number of distinct rows with a non-zero PRAC counter.
+    #[must_use]
+    pub fn tracked_rows(&self) -> usize {
+        self.counters.values().filter(|&&c| c > 0).count()
+    }
+}
+
+/// Read-only view of one bank: its slot in the shared timing table plus its
+/// cold state.  This is what [`crate::device::DramDevice::bank`] hands out;
+/// it exposes the same accessors the old per-bank struct did.
+#[derive(Debug, Clone, Copy)]
+pub struct BankRef<'a> {
+    timings: &'a BankTimingTable,
+    index: usize,
+    meta: &'a BankMeta,
+}
+
+impl<'a> BankRef<'a> {
+    /// Builds the view for bank `index` of `timings`.
+    #[must_use]
+    pub fn new(timings: &'a BankTimingTable, index: usize, meta: &'a BankMeta) -> Self {
+        Self {
+            timings,
+            index,
+            meta,
+        }
+    }
+
+    /// The currently open row, if the bank is active.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u32> {
+        self.timings.open_row(self.index)
+    }
+
+    /// The PRAC counter value of `row`.
+    #[must_use]
+    pub fn counter(&self, row: RowIndex) -> u32 {
+        self.meta.counter(row)
+    }
+
+    /// The maximum PRAC counter value across all rows of this bank.
+    #[must_use]
+    pub fn max_counter(&self) -> u32 {
+        self.meta.max_counter()
+    }
+
+    /// Row currently nominated by the mitigation queue, if any.
+    #[must_use]
+    pub fn queue_head(&self) -> Option<RowIndex> {
+        self.meta.queue_head()
+    }
+
+    /// Activations performed since the last RFM that reached this bank.
+    #[must_use]
+    pub fn activations_since_rfm(&self) -> u32 {
+        self.meta.activations_since_rfm()
+    }
+
+    /// Lifetime activation count.
+    #[must_use]
+    pub fn total_activations(&self) -> u64 {
+        self.meta.total_activations()
+    }
+
+    /// Earliest tick at which an ACT to this bank is legal.
+    #[must_use]
+    pub fn act_ready_at(&self) -> u64 {
+        self.timings.act_ready_at(self.index)
+    }
+
+    /// Earliest tick at which *any* command to this bank can change its
+    /// state (see [`BankTimingTable::next_transition_at`]).
+    #[must_use]
+    pub fn next_transition_at(&self) -> u64 {
+        self.timings.next_transition_at(self.index)
     }
 
     /// Number of distinct rows with a non-zero PRAC counter.
     #[must_use]
     pub fn tracked_rows(&self) -> usize {
-        self.counters.values().filter(|&&c| c > 0).count()
+        self.meta.tracked_rows()
+    }
+}
+
+/// State of a single DRAM bank: a one-entry [`BankTimingTable`] composed
+/// with one [`BankMeta`].
+///
+/// The device keeps its banks in the shared table directly; this composite
+/// preserves the original mutating single-bank API so unit and property
+/// tests exercise exactly the code the device runs.
+#[derive(Debug)]
+pub struct Bank {
+    timings: BankTimingTable,
+    meta: BankMeta,
+}
+
+impl Bank {
+    /// Creates an idle, fully-precharged bank with the chosen queue design.
+    #[must_use]
+    pub fn new(queue_kind: QueueKind) -> Self {
+        Self {
+            timings: BankTimingTable::new(1),
+            meta: BankMeta::new(queue_kind),
+        }
+    }
+
+    /// The currently open row, if the bank is active.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u32> {
+        self.timings.open_row(0)
+    }
+
+    /// The PRAC counter value of `row`.
+    #[must_use]
+    pub fn counter(&self, row: RowIndex) -> u32 {
+        self.meta.counter(row)
+    }
+
+    /// The maximum PRAC counter value across all rows of this bank.
+    #[must_use]
+    pub fn max_counter(&self) -> u32 {
+        self.meta.max_counter()
+    }
+
+    /// Row currently nominated by the mitigation queue, if any.
+    #[must_use]
+    pub fn queue_head(&self) -> Option<RowIndex> {
+        self.meta.queue_head()
+    }
+
+    /// Activations performed since the last RFM that reached this bank.
+    #[must_use]
+    pub fn activations_since_rfm(&self) -> u32 {
+        self.meta.activations_since_rfm()
+    }
+
+    /// Lifetime activation count.
+    #[must_use]
+    pub fn total_activations(&self) -> u64 {
+        self.meta.total_activations()
+    }
+
+    /// Earliest tick at which an ACT to this bank is legal.
+    #[must_use]
+    pub fn act_ready_at(&self) -> u64 {
+        self.timings.act_ready_at(0)
+    }
+
+    /// Earliest tick at which *any* command to this bank can change its
+    /// state (see [`BankTimingTable::next_transition_at`]).
+    #[must_use]
+    pub fn next_transition_at(&self) -> u64 {
+        self.timings.next_transition_at(0)
+    }
+
+    /// Checks whether activating `row` at `now` is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::IllegalState`] when a row is already open and
+    /// [`IssueError::TooEarly`] when tRC/tRP have not elapsed.
+    pub fn can_activate(&self, now: u64) -> Result<(), IssueError> {
+        self.timings.can_activate(0, now)
+    }
+
+    /// Activates `row` at `now`, incrementing its PRAC counter and updating
+    /// the mitigation queue.  Returns the row's new counter value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the legality checks of [`Bank::can_activate`].
+    pub fn activate(
+        &mut self,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<u32, IssueError> {
+        self.timings.activate(0, row, now, timing)?;
+        Ok(self.meta.note_activation(row))
+    }
+
+    /// Checks whether a precharge at `now` is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::TooEarly`] when tRAS (or read/write recovery)
+    /// has not elapsed. Precharging an already-closed bank is a no-op and is
+    /// allowed.
+    pub fn can_precharge(&self, now: u64) -> Result<(), IssueError> {
+        self.timings.can_precharge(0, now)
+    }
+
+    /// Precharges (closes) the bank at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Bank::can_precharge`].
+    pub fn precharge(&mut self, now: u64, timing: &DramTimingParams) -> Result<(), IssueError> {
+        self.timings.precharge(0, now, timing)
+    }
+
+    /// Checks whether a column read/write of `row` at `now` is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::IllegalState`] when the addressed row is not the
+    /// open row, and [`IssueError::TooEarly`] before tRCD/tCCD elapse.
+    pub fn can_access_column(&self, row: RowIndex, now: u64) -> Result<(), IssueError> {
+        self.timings.can_access_column(0, row, now)
+    }
+
+    /// Performs a column read at `now`; returns the tick at which data has
+    /// fully returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Bank::can_access_column`].
+    pub fn read(
+        &mut self,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<u64, IssueError> {
+        self.timings.read(0, row, now, timing)
+    }
+
+    /// Performs a column write at `now`; returns the tick at which the write
+    /// has been accepted (write data fully transferred).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Bank::can_access_column`].
+    pub fn write(
+        &mut self,
+        row: RowIndex,
+        now: u64,
+        timing: &DramTimingParams,
+    ) -> Result<u64, IssueError> {
+        self.timings.write(0, row, now, timing)
+    }
+
+    /// Mitigates the row nominated by the mitigation queue (if any),
+    /// resetting its PRAC counter.  Returns the mitigated row.
+    pub fn mitigate_queue_head(&mut self) -> Option<RowIndex> {
+        self.meta.mitigate_queue_head()
+    }
+
+    /// Resets all PRAC counters and the mitigation queue (counter reset at
+    /// tREFW).
+    pub fn reset_counters(&mut self) {
+        self.meta.reset_counters()
+    }
+
+    /// Applies a channel-wide blocking command (refresh or RFM): the bank is
+    /// precharged immediately and no command may be issued before
+    /// `now + duration`.
+    pub fn block_until(&mut self, now: u64, duration: u64) {
+        self.timings.block_until(0, now, duration);
+    }
+
+    /// Number of distinct rows with a non-zero PRAC counter.
+    #[must_use]
+    pub fn tracked_rows(&self) -> usize {
+        self.meta.tracked_rows()
     }
 }
 
@@ -482,5 +827,27 @@ mod tests {
             IssueError::TooEarly { ready_at } if ready_at >= 1_410
         ));
         assert!(b.activate(2, 1_410, &t).is_ok());
+    }
+
+    #[test]
+    fn branchless_transition_matches_state_machine() {
+        let t = timing();
+        let mut table = BankTimingTable::new(4);
+        // Bank 0 precharged, bank 1 open, bank 2 blocked, bank 3 idle.
+        table.activate(1, 7, 0, &t).unwrap();
+        table.block_until(2, 0, 1_000);
+        assert_eq!(table.next_transition_at(0), 0);
+        assert_eq!(table.next_transition_at(1), t.t_rcd.min(t.t_ras));
+        assert_eq!(table.next_transition_at(2), 1_000);
+        let expected = (0..table.len()).map(|i| table.next_transition_at(i)).min();
+        assert_eq!(table.min_next_transition_at(), expected.unwrap());
+        assert_eq!(table.min_next_transition_at(), 0);
+    }
+
+    #[test]
+    fn min_reduce_of_empty_table_is_max() {
+        let table = BankTimingTable::new(0);
+        assert!(table.is_empty());
+        assert_eq!(table.min_next_transition_at(), u64::MAX);
     }
 }

@@ -5,7 +5,7 @@ use prac_core::config::PracConfig;
 use prac_core::queue::QueueKind;
 use serde::{Deserialize, Serialize};
 
-use crate::bank::Bank;
+use crate::bank::{BankMeta, BankRef, BankTimingTable};
 use crate::command::{DramCommand, IssueError};
 use crate::org::{DramAddress, DramOrganization};
 use crate::stats::DramStats;
@@ -69,7 +69,11 @@ pub struct ActivateOutcome {
 #[derive(Debug)]
 pub struct DramDevice {
     config: DramDeviceConfig,
-    banks: Vec<Bank>,
+    /// Hot per-bank timing state, struct-of-arrays across the channel.
+    timings: BankTimingTable,
+    /// Cold per-bank state (PRAC counters, mitigation queues), parallel to
+    /// the timing table.
+    meta: Vec<BankMeta>,
     /// Channel-wide earliest command time (set by refresh / RFM blocking).
     channel_ready_at: u64,
     /// Per-rank earliest ACT time (tRRD).
@@ -92,8 +96,8 @@ impl DramDevice {
     #[must_use]
     pub fn new(config: DramDeviceConfig) -> Self {
         let total_banks = config.organization.total_banks() as usize;
-        let banks = (0..total_banks)
-            .map(|_| Bank::new(config.queue_kind))
+        let meta = (0..total_banks)
+            .map(|_| BankMeta::new(config.queue_kind))
             .collect();
         let next_counter_reset = if config.prac.counter_reset_every_trefw {
             config.timing.t_refw
@@ -102,7 +106,8 @@ impl DramDevice {
         };
         Self {
             rank_next_act: vec![0; config.organization.ranks as usize],
-            banks,
+            timings: BankTimingTable::new(total_banks),
+            meta,
             channel_ready_at: 0,
             bus_ready_at: 0,
             alert: false,
@@ -139,8 +144,21 @@ impl DramDevice {
     ///
     /// Panics when `flat_bank` is out of range.
     #[must_use]
-    pub fn bank(&self, flat_bank: u32) -> &Bank {
-        &self.banks[flat_bank as usize]
+    pub fn bank(&self, flat_bank: u32) -> BankRef<'_> {
+        let i = flat_bank as usize;
+        BankRef::new(&self.timings, i, &self.meta[i])
+    }
+
+    /// The earliest tick at which *any* bank of the channel can change
+    /// state: the branchless min-reduce of
+    /// [`BankTimingTable::next_transition_at`] across every bank.
+    ///
+    /// A bank-local bound only — channel-wide constraints (bus occupancy,
+    /// rank ACT-to-ACT spacing, refresh blocking) can push the real issue
+    /// time later.
+    #[must_use]
+    pub fn next_bank_transition_at(&self) -> u64 {
+        self.timings.min_next_transition_at()
     }
 
     /// Number of banks in the channel.
@@ -163,8 +181,8 @@ impl DramDevice {
     /// Performs the per-tREFW counter reset if the boundary has been crossed.
     fn maybe_reset_counters(&mut self, now: u64) {
         while now >= self.next_counter_reset {
-            for bank in &mut self.banks {
-                bank.reset_counters();
+            for meta in &mut self.meta {
+                meta.reset_counters();
             }
             self.alert = false;
             self.alert_suppressed_for_acts = 0;
@@ -192,12 +210,12 @@ impl DramDevice {
                         ready_at: rank_ready,
                     });
                 }
-                self.banks[self.bank_index(addr)].can_activate(now)
+                self.timings.can_activate(self.bank_index(addr), now)
             }
-            DramCommand::Precharge(addr) => self.banks[self.bank_index(addr)].can_precharge(now),
+            DramCommand::Precharge(addr) => self.timings.can_precharge(self.bank_index(addr), now),
             DramCommand::PrechargeAll => {
-                for bank in &self.banks {
-                    bank.can_precharge(now)?;
+                for i in 0..self.timings.len() {
+                    self.timings.can_precharge(i, now)?;
                 }
                 Ok(())
             }
@@ -207,7 +225,8 @@ impl DramDevice {
                         ready_at: self.bus_ready_at,
                     });
                 }
-                self.banks[self.bank_index(addr)].can_access_column(addr.row, now)
+                self.timings
+                    .can_access_column(self.bank_index(addr), addr.row, now)
             }
             DramCommand::Refresh | DramCommand::RfmAllBank => Ok(()),
         }
@@ -230,7 +249,9 @@ impl DramDevice {
         match cmd {
             DramCommand::Activate(addr) => {
                 let idx = self.bank_index(&addr);
-                let counter = self.banks[idx].activate(addr.row, now, &self.config.timing)?;
+                self.timings
+                    .activate(idx, addr.row, now, &self.config.timing)?;
+                let counter = self.meta[idx].note_activation(addr.row);
                 self.rank_next_act[addr.rank as usize] = now + self.config.timing.t_rrd;
                 self.stats.activations += 1;
                 self.stats.max_row_counter = self.stats.max_row_counter.max(counter);
@@ -239,27 +260,29 @@ impl DramDevice {
             }
             DramCommand::Precharge(addr) => {
                 let idx = self.bank_index(&addr);
-                self.banks[idx].precharge(now, &self.config.timing)?;
+                self.timings.precharge(idx, now, &self.config.timing)?;
                 self.stats.precharges += 1;
                 Ok(now)
             }
             DramCommand::PrechargeAll => {
-                for bank in &mut self.banks {
-                    bank.precharge(now, &self.config.timing)?;
+                for i in 0..self.timings.len() {
+                    self.timings.precharge(i, now, &self.config.timing)?;
                 }
-                self.stats.precharges += self.banks.len() as u64;
+                self.stats.precharges += self.timings.len() as u64;
                 Ok(now)
             }
             DramCommand::Read(addr) => {
                 let idx = self.bank_index(&addr);
-                let done = self.banks[idx].read(addr.row, now, &self.config.timing)?;
+                let done = self.timings.read(idx, addr.row, now, &self.config.timing)?;
                 self.bus_ready_at = now + self.config.timing.t_bl;
                 self.stats.reads += 1;
                 Ok(done)
             }
             DramCommand::Write(addr) => {
                 let idx = self.bank_index(&addr);
-                let done = self.banks[idx].write(addr.row, now, &self.config.timing)?;
+                let done = self
+                    .timings
+                    .write(idx, addr.row, now, &self.config.timing)?;
                 self.bus_ready_at = now + self.config.timing.t_bl;
                 self.stats.writes += 1;
                 Ok(done)
@@ -294,16 +317,14 @@ impl DramDevice {
     fn service_refresh(&mut self, now: u64) -> u64 {
         let t = &self.config.timing;
         let end = now + t.t_rfc;
-        for bank in &mut self.banks {
-            bank.block_until(now, t.t_rfc);
-        }
+        self.timings.block_all_until(now, t.t_rfc);
         self.channel_ready_at = self.channel_ready_at.max(end);
         self.stats.refreshes += 1;
         self.refreshes_seen += 1;
         if let Some(every) = self.config.tref_every_n_refreshes {
             if every > 0 && self.refreshes_seen.is_multiple_of(u64::from(every)) {
-                for bank in &mut self.banks {
-                    if bank.mitigate_queue_head().is_some() {
+                for meta in &mut self.meta {
+                    if meta.mitigate_queue_head().is_some() {
                         self.stats.rows_mitigated_by_tref += 1;
                     }
                 }
@@ -318,9 +339,9 @@ impl DramDevice {
     fn service_rfm(&mut self, now: u64) -> u64 {
         let t = &self.config.timing;
         let end = now + t.t_rfmab;
-        for bank in &mut self.banks {
-            bank.block_until(now, t.t_rfmab);
-            if bank.mitigate_queue_head().is_some() {
+        self.timings.block_all_until(now, t.t_rfmab);
+        for meta in &mut self.meta {
+            if meta.mitigate_queue_head().is_some() {
                 self.stats.rows_mitigated_by_rfm += 1;
             }
         }
@@ -346,7 +367,11 @@ impl DramDevice {
     /// The maximum PRAC counter across all banks (for diagnostics/tests).
     #[must_use]
     pub fn max_counter(&self) -> u32 {
-        self.banks.iter().map(Bank::max_counter).max().unwrap_or(0)
+        self.meta
+            .iter()
+            .map(BankMeta::max_counter)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -21,8 +21,11 @@
 //! cases, so failures reproduce bit-for-bit across runs and machines.
 
 use dram_sim::bank::Bank;
-use dram_sim::command::IssueError;
+use dram_sim::command::{DramCommand, IssueError};
+use dram_sim::device::{DramDevice, DramDeviceConfig};
+use dram_sim::org::DramAddress;
 use dram_sim::timing::DramTimingParams;
+use prac_core::config::PracConfig;
 use prac_core::queue::QueueKind;
 use proptest::collection;
 use proptest::prelude::*;
@@ -125,7 +128,114 @@ fn drive(timing: &DramTimingParams, steps: &[Step]) {
     }
 }
 
+/// One randomised subsystem step: channel selector, command selector, bank
+/// selector, row, tick delta.
+type DeviceStep = (u8, u8, u8, u32, u64);
+
+/// Replays a random command stream against one [`DramDevice`] per channel
+/// (the subsystem shape: a device models exactly one channel) and checks the
+/// struct-of-arrays layout's device-wide invariants at every step:
+///
+/// * **The min-reduce is honest.**  `next_bank_transition_at()` equals the
+///   fold of `next_transition_at` over every per-bank view — the branchless
+///   reduction can never disagree with the per-bank state it summarises.
+/// * **The bound is monotone.**  Accepted commands only push per-bank
+///   windows into the future and rejected commands mutate nothing, so the
+///   device-wide bound never moves backwards as the stream advances.
+/// * **Ordering survives the layout.**  Whenever a bank accepts an ACT, the
+///   tRC/tRP gaps to that same bank's previous ACT/PRE have elapsed, and
+///   accepted column accesses respect tRCD — indexed per (channel, bank) so
+///   cross-bank SoA indexing errors cannot hide.
+fn drive_devices(channels: u32, steps: &[DeviceStep]) {
+    let config = DramDeviceConfig::tiny_for_tests(PracConfig::paper_default());
+    let org = config.organization;
+    let timing = config.timing;
+    let mut devices: Vec<DramDevice> = (0..channels)
+        .map(|_| DramDevice::new(config.clone()))
+        .collect();
+    let banks = org.total_banks();
+    let mut last_act = vec![None::<u64>; (channels * banks) as usize];
+    let mut last_pre = vec![None::<u64>; (channels * banks) as usize];
+    let mut now = 0u64;
+    for &(chan_sel, cmd_sel, bank_sel, row, delta) in steps {
+        now += delta;
+        let channel = u32::from(chan_sel) % channels;
+        let device = &mut devices[channel as usize];
+        let flat = u32::from(bank_sel) % banks;
+        let addr = DramAddress::new(
+            &org,
+            flat / org.banks_per_rank(),
+            (flat / org.banks_per_group) % org.bank_groups,
+            flat % org.banks_per_group,
+            row % org.rows_per_bank,
+            0,
+        )
+        .with_channel(channel);
+        let before = device.next_bank_transition_at();
+        let command = match cmd_sel % 4 {
+            0 => DramCommand::Activate(addr),
+            1 => DramCommand::Precharge(addr),
+            2 => DramCommand::Read(addr),
+            _ => DramCommand::Write(addr),
+        };
+        let shadow = (channel * banks + flat) as usize;
+        let was_open = device.bank(flat).open_row().is_some();
+        match device.issue(command, now) {
+            Ok(_) => match cmd_sel % 4 {
+                0 => {
+                    if let Some(act) = last_act[shadow] {
+                        assert!(now >= act + timing.t_rc, "tRC violated: {act} -> {now}");
+                    }
+                    if let Some(pre) = last_pre[shadow] {
+                        assert!(now >= pre + timing.t_rp, "tRP violated: {pre} -> {now}");
+                    }
+                    last_act[shadow] = Some(now);
+                }
+                // A precharge of an already-closed bank is an accepted
+                // no-op: it pushes no window, so the shadow ignores it.
+                1 if was_open => {
+                    if let Some(act) = last_act[shadow] {
+                        assert!(now >= act + timing.t_ras, "tRAS violated: {act} -> {now}");
+                    }
+                    last_pre[shadow] = Some(now);
+                }
+                1 => {}
+                _ => {
+                    let act = last_act[shadow].expect("column access implies an ACT");
+                    assert!(now >= act + timing.t_rcd, "tRCD violated: {act} -> {now}");
+                }
+            },
+            Err(IssueError::TooEarly { ready_at }) => {
+                assert!(ready_at > now, "TooEarly must name a future tick");
+            }
+            Err(IssueError::IllegalState { .. }) => {}
+        }
+        let folded = (0..banks)
+            .map(|index| device.bank(index).next_transition_at())
+            .min()
+            .expect("a device has at least one bank");
+        assert_eq!(
+            device.next_bank_transition_at(),
+            folded,
+            "min-reduce disagrees with the per-bank fold on channel {channel}"
+        );
+        assert!(
+            device.next_bank_transition_at() >= before,
+            "device-wide bound moved backwards on channel {channel}"
+        );
+    }
+}
+
 proptest! {
+    #[test]
+    fn device_min_reduce_and_ordering_hold_across_channel_counts(
+        steps in collection::vec((0u8..8, 0u8..4, 0u8..8, 0u32..64, 0u64..120), 1..200),
+    ) {
+        for channels in [1u32, 2, 4] {
+            drive_devices(channels, &steps);
+        }
+    }
+
     #[test]
     fn random_sequences_respect_timing_under_paper_parameters(
         steps in collection::vec((0u8..4, 0u32..8, 0u64..600), 1..250),

@@ -408,7 +408,10 @@ impl MemoryController {
             return None;
         }
         let org = self.device.config().organization;
-        let candidates: Vec<SchedulerCandidate> = self
+        // Stream the candidates straight out of the pending queue: this runs
+        // on every scheduling poll *and* every wake-up computation, so it
+        // must not allocate a candidate list per call.
+        let candidates = self
             .pending
             .iter()
             .enumerate()
@@ -421,9 +424,8 @@ impl MemoryController {
                     row_hit: bank.open_row() == Some(p.address.row),
                     arrival_tick: p.request.arrival_tick,
                 }
-            })
-            .collect();
-        let index = self.scheduler.choose(&candidates)?.queue_index;
+            });
+        let index = self.scheduler.choose_from(candidates)?.queue_index;
         let pending = &self.pending[index];
         let addr = pending.address;
         let cmd = match self.device.bank(addr.flat_bank(&org)).open_row() {

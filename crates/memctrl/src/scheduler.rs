@@ -64,26 +64,45 @@ impl FrFcfsScheduler {
         &self,
         candidates: &'c [SchedulerCandidate],
     ) -> Option<&'c SchedulerCandidate> {
-        if candidates.is_empty() {
-            return None;
-        }
-        let oldest = candidates
+        let chosen = self.choose_from(candidates.iter().copied())?;
+        candidates
             .iter()
-            .min_by_key(|c| (c.arrival_tick, c.queue_index))
-            .expect("candidates is non-empty");
+            .find(|c| c.queue_index == chosen.queue_index)
+    }
+
+    /// [`FrFcfsScheduler::choose`] over a streamed candidate sequence.
+    ///
+    /// One pass, no intermediate list: the controller's hot path feeds its
+    /// pending queue through a mapping iterator instead of collecting a
+    /// `Vec<SchedulerCandidate>` on every poll.  Tracks the oldest candidate
+    /// and the oldest row hit simultaneously; ties are impossible because
+    /// `queue_index` is unique, and strict `<` on `(arrival_tick,
+    /// queue_index)` keeps the first-minimum semantics of the slice path.
+    #[must_use]
+    pub fn choose_from<I>(&self, candidates: I) -> Option<SchedulerCandidate>
+    where
+        I: IntoIterator<Item = SchedulerCandidate>,
+    {
+        let mut oldest: Option<SchedulerCandidate> = None;
+        let mut oldest_hit: Option<SchedulerCandidate> = None;
+        for c in candidates {
+            let key = (c.arrival_tick, c.queue_index);
+            if oldest.is_none_or(|b| key < (b.arrival_tick, b.queue_index)) {
+                oldest = Some(c);
+            }
+            if c.row_hit && oldest_hit.is_none_or(|b| key < (b.arrival_tick, b.queue_index)) {
+                oldest_hit = Some(c);
+            }
+        }
+        let oldest = oldest?;
         let oldest_hit_allowed = self.cap == 0 || self.consecutive_hits < self.cap;
-        let chosen = if oldest_hit_allowed {
+        Some(if oldest_hit_allowed {
             // Prefer the oldest row hit, else the oldest request overall.
-            candidates
-                .iter()
-                .filter(|c| c.row_hit)
-                .min_by_key(|c| (c.arrival_tick, c.queue_index))
-                .unwrap_or(oldest)
+            oldest_hit.unwrap_or(oldest)
         } else {
             // Cap reached: force the oldest request regardless of hit status.
             oldest
-        };
-        Some(chosen)
+        })
     }
 
     /// Records that a command for the chosen candidate was accepted by the
@@ -224,6 +243,41 @@ mod tests {
             Some(1),
             "cap forces the oldest"
         );
+    }
+
+    #[test]
+    fn choose_from_matches_the_slice_path() {
+        // The streamed single-pass scan must agree with the reference slice
+        // implementation for every streak state, including ties on
+        // arrival_tick (broken by queue_index) and hitless lists.
+        let lists: Vec<Vec<SchedulerCandidate>> = vec![
+            vec![],
+            vec![candidate(0, 0, 1, false, 30), candidate(1, 1, 2, false, 10)],
+            vec![
+                candidate(0, 0, 1, true, 20),
+                candidate(1, 1, 2, true, 20),
+                candidate(2, 0, 3, false, 5),
+            ],
+            vec![
+                candidate(3, 1, 1, false, 7),
+                candidate(1, 0, 2, true, 7),
+                candidate(2, 1, 3, true, 7),
+                candidate(0, 0, 4, false, 9),
+            ],
+        ];
+        for hits_so_far in [0, 3, 4, 5] {
+            let mut s = FrFcfsScheduler::new(4);
+            for _ in 0..hits_so_far {
+                s.note_scheduled(0, true);
+            }
+            for list in &lists {
+                assert_eq!(
+                    s.choose_from(list.iter().copied()).map(|c| c.queue_index),
+                    s.choose(list).map(|c| c.queue_index),
+                    "streak {hits_so_far}, list {list:?}"
+                );
+            }
+        }
     }
 
     #[test]

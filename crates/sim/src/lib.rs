@@ -14,7 +14,7 @@
 //!   the paper's single-channel system bit-identically.
 //! * [`event`] — the two interchangeable execution engines behind one trait:
 //!   the legacy per-tick loop ([`event::TickEngine`]) and the event-driven
-//!   engine ([`event::EventEngine`]) whose binary-heap [`event::EventWheel`]
+//!   engine ([`event::EventEngine`]) whose slab-backed [`event::EventWheel`]
 //!   jumps straight to each component's next wake-up while producing
 //!   bit-identical results (asserted by `tests/engine_equivalence.rs`).
 //! * [`experiment`] — the mitigation-descriptor layer of the pluggable
