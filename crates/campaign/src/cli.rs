@@ -35,6 +35,7 @@ struct Options {
     attack: Option<AttackKind>,
     workers: Option<usize>,
     engine: EngineKind,
+    fork_prefix: bool,
     no_cache: bool,
     out_dir: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
@@ -115,6 +116,11 @@ OPTIONS:
     --engine <E>      Simulation engine: `event` (default) jumps between
                       component wake-ups; `tick` is the legacy per-cycle
                       loop.  Results are bit-identical either way.
+    --fork-prefix <M> `on` (default) groups performance cells that differ
+                      only in their mitigation setup, simulates their shared
+                      traces/baseline/prefix once and forks per cell; `off`
+                      runs every cell cold.  Results are bit-identical
+                      either way.
     --no-cache        Ignore and do not update the incremental result cache
     --out <DIR>       Artifact root (default: target/campaigns)
     --cache-dir <DIR> Result store root (default: target/campaigns/cache)
@@ -149,6 +155,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         attack: None,
         workers: None,
         engine: EngineKind::default(),
+        fork_prefix: true,
         no_cache: false,
         out_dir: None,
         cache_dir: None,
@@ -217,6 +224,20 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--engine requires `tick` or `event`".to_string())?;
                 options.engine = EngineKind::parse(value)
                     .ok_or_else(|| format!("unknown engine `{value}` (use `tick` or `event`)"))?;
+            }
+            "--fork-prefix" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--fork-prefix requires `on` or `off`".to_string())?;
+                options.fork_prefix = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!(
+                            "unknown --fork-prefix value `{other}` (use `on` or `off`)"
+                        ))
+                    }
+                };
             }
             "--out" => {
                 options.out_dir = Some(
@@ -466,6 +487,7 @@ fn run_command(options: &Options) -> i32 {
         let mut runner = CampaignRunner::new()
             .with_progress(true)
             .with_engine(options.engine)
+            .with_fork_prefix(options.fork_prefix)
             .with_artifacts(ArtifactStore::new(&artifact_root));
         if let Some(workers) = options.workers {
             runner = runner.with_workers(workers);
@@ -930,12 +952,19 @@ fn sim_bench(options: &Options) -> i32 {
     black_box(picked);
     let scheduler_scan_ns = started.elapsed().as_nanos() as f64 / SCAN_ROUNDS as f64;
 
-    // The end-to-end yardstick: fig10 quick, no cache.
+    // The end-to-end yardstick: fig10 quick, no cache — once cold and once
+    // with checkpoint/fork prefix sharing, so the trajectory tracks the
+    // fork path's speedup alongside the kernel timings.
     let campaign = find_campaign("fig10", &Profile::quick()).expect("fig10 is registered");
-    let runner = CampaignRunner::new().with_engine(options.engine);
-    let fig10_wall_ms = match runner.run(&campaign) {
-        Ok(summary) => summary.wall_ms,
-        Err(error) => {
+    let fig10 = |fork_prefix: bool| {
+        let runner = CampaignRunner::new()
+            .with_engine(options.engine)
+            .with_fork_prefix(fork_prefix);
+        runner.run(&campaign).map(|summary| summary.wall_ms)
+    };
+    let (fig10_wall_ms, fig10_fork_wall_ms) = match (fig10(false), fig10(true)) {
+        (Ok(cold), Ok(forked)) => (cold, forked),
+        (Err(error), _) | (_, Err(error)) => {
             eprintln!("error: fig10 bench run failed: {error}");
             return 1;
         }
@@ -950,6 +979,7 @@ fn sim_bench(options: &Options) -> i32 {
         "scheduler scan:       {scheduler_scan_ns:.1} ns/call over {SCAN_CANDIDATES} candidates"
     );
     println!("fig10 quick no-cache: {fig10_wall_ms:.1} ms");
+    println!("fig10 quick forked:   {fig10_fork_wall_ms:.1} ms");
 
     if let Some(path) = &options.append {
         let mut entry = trajectory::base_entry(options.commit.as_deref());
@@ -957,6 +987,7 @@ fn sim_bench(options: &Options) -> i32 {
         entry.insert("bank_min_reduce_ns".into(), bank_min_reduce_ns.into());
         entry.insert("scheduler_scan_ns".into(), scheduler_scan_ns.into());
         entry.insert("fig10_quick_wall_ms".into(), fig10_wall_ms.into());
+        entry.insert("fig10_quick_fork_wall_ms".into(), fig10_fork_wall_ms.into());
         if let Err(error) = trajectory::append(path, entry) {
             eprintln!("error: cannot append to {}: {error}", path.display());
             return 1;

@@ -81,34 +81,63 @@ pub fn execute_with(spec: &ScenarioSpec, engine: EngineKind) -> Map {
     }
 }
 
-fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map {
-    let config = ExperimentConfig {
+/// The [`ExperimentConfig`] a perf cell resolves to, optionally with its
+/// setup swapped (the prefix-group executor derives the baseline and each
+/// protected leg from the same cell template).
+fn perf_experiment_config(
+    perf: &crate::scenario::PerfScenario,
+    setup: MitigationSetup,
+    engine: EngineKind,
+) -> ExperimentConfig {
+    ExperimentConfig {
         rowhammer_threshold: perf.rowhammer_threshold,
         prac_level: perf.prac_level,
-        setup: perf.setup.clone(),
+        setup,
         instructions_per_core: perf.instructions_per_core,
         cores: perf.cores,
         channels: perf.channels.max(1),
         attack: perf.attack,
         engine,
-    };
+    }
+}
+
+/// The deterministic result of a perf cell that cannot be configured as
+/// specified (e.g. no safe TB-Window for the threshold): the failure is
+/// recorded as the cell's result instead of silently running a different
+/// configuration.
+fn perf_config_error(
+    perf: &crate::scenario::PerfScenario,
+    error: &prac_core::error::ConfigError,
+) -> Map {
+    let mut m = Map::new();
+    m.insert("setup".into(), perf.setup.label().into());
+    m.insert("nrh".into(), perf.rowhammer_threshold.into());
+    m.insert("completed".into(), false.into());
+    m.insert("config_error".into(), error.to_string().into());
+    m
+}
+
+fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map {
+    let config = perf_experiment_config(perf, perf.setup.clone(), engine);
     let (normalized, protected, baseline) =
         match run_workload_normalized(&config, &perf.workload.workload, perf.seed) {
             Ok(outcome) => outcome,
-            Err(error) => {
-                // The scenario cannot be configured as specified (e.g. no
-                // safe TB-Window for the threshold).  Record the failure as
-                // the cell's deterministic result instead of silently
-                // running a different configuration.
-                let mut m = Map::new();
-                m.insert("setup".into(), perf.setup.label().into());
-                m.insert("nrh".into(), perf.rowhammer_threshold.into());
-                m.insert("completed".into(), false.into());
-                m.insert("config_error".into(), error.to_string().into());
-                return m;
-            }
+            Err(error) => return perf_config_error(perf, &error),
         };
-    let energy = energy_overhead_for(&baseline, &protected, BANKS_PER_RFM);
+    perf_metrics(perf, normalized, &protected, &baseline)
+}
+
+/// Renders one perf cell's flat metric map from its protected and baseline
+/// runs.  Both the cold path ([`execute_perf`]) and the prefix-group path
+/// ([`execute_perf_group`]) feed this exact function, so grouped execution
+/// cannot drift from the per-cell schema.
+fn perf_metrics(
+    perf: &crate::scenario::PerfScenario,
+    normalized: f64,
+    protected: &system_sim::SystemResult,
+    baseline: &system_sim::SystemResult,
+) -> Map {
+    let energy = energy_overhead_for(baseline, protected, BANKS_PER_RFM);
 
     // Metric fields here are additive-only without a SIM_REVISION bump:
     // entries cached by an older binary stay valid (same simulation, same
@@ -219,6 +248,147 @@ fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map
         );
     }
     m
+}
+
+/// Executes a group of perf cells that differ only in their mitigation
+/// setup, sharing as much simulation work as bit-identity allows.  Returns
+/// one metric map per input cell, in input order, each byte-identical to
+/// what [`execute`] would have produced cold.
+///
+/// Shared work, from cheapest to most aggressive:
+///
+/// 1. **Traces** are generated once — they depend on every sweep parameter
+///    *except* the setup.
+/// 2. **The baseline leg** (the normalisation denominator every cell needs)
+///    runs once instead of once per cell.
+/// 3. **The common prefix** of the protected legs is simulated once under
+///    the mitigation-free baseline configuration, paused at the group's
+///    minimum [`system_sim::fork_horizon`], and forked per cell: each fork
+///    is refitted to its cell's mitigation configuration and resumed.
+///
+/// Cells whose horizon is zero (PARA can mitigate on the very first
+/// activation) run their protected leg cold from the shared traces, and any
+/// fork whose prefix turns out not to be mitigation-free falls back to a
+/// cold run — sharing is a pure wall-clock optimisation, never a semantic
+/// one.
+#[must_use]
+pub fn execute_perf_group(
+    perfs: &[&crate::scenario::PerfScenario],
+    engine: EngineKind,
+) -> Vec<Map> {
+    use system_sim::{fork_horizon, workload_traces, PrefixOutcome, SystemSimulation};
+
+    if perfs.len() <= 1 {
+        return perfs
+            .iter()
+            .map(|perf| execute_perf(perf, engine))
+            .collect();
+    }
+    let template = perfs[0];
+    let baseline_config = perf_experiment_config(template, MitigationSetup::BaselineNoAbo, engine);
+    let Ok(baseline_system) = baseline_config.build_system_config() else {
+        // The baseline itself cannot be configured (e.g. an invalid channel
+        // count): every cell fails identically, so record each cold.
+        return perfs
+            .iter()
+            .map(|perf| execute_perf(perf, engine))
+            .collect();
+    };
+    let traces = workload_traces(
+        &baseline_config,
+        &baseline_system,
+        &template.workload.workload,
+        template.seed,
+    );
+
+    // Resolve every cell up front: its protected system configuration (or
+    // the deterministic config-error result) and its fork horizon.
+    let mut results: Vec<Option<Map>> = vec![None; perfs.len()];
+    let mut legs: Vec<(usize, system_sim::SystemConfig, u64)> = Vec::new();
+    for (slot, perf) in perfs.iter().enumerate() {
+        if perf.setup == MitigationSetup::BaselineNoAbo {
+            // Handled below: the baseline leg doubles as this cell's
+            // protected run.
+            continue;
+        }
+        let config = perf_experiment_config(perf, perf.setup.clone(), engine);
+        match config.build_system_config() {
+            Ok(system) => {
+                let horizon = fork_horizon(&system.device);
+                legs.push((slot, system, horizon));
+            }
+            Err(error) => results[slot] = Some(perf_config_error(perf, &error)),
+        }
+    }
+
+    // Run the shared baseline leg, pausing at the shortest fork horizon so
+    // the paused state can seed every forkable protected leg.
+    let pause_at = legs
+        .iter()
+        .filter(|(_, _, horizon)| *horizon > 0)
+        .map(|(_, _, horizon)| *horizon)
+        .min();
+    let (baseline, prefix) = match pause_at {
+        Some(pause) => {
+            match SystemSimulation::new(baseline_system.clone(), traces.clone()).run_until(pause) {
+                PrefixOutcome::Paused(prefix) if prefix.is_mitigation_free() => {
+                    // The baseline leg itself resumes from the prefix (it
+                    // *is* the prefix's configuration, so no refit needed).
+                    (prefix.fork().resume(), Some(prefix))
+                }
+                PrefixOutcome::Paused(prefix) => {
+                    // A mitigation fired under the disabled policy — should
+                    // be impossible, but sharing must fail safe: finish the
+                    // baseline from the prefix and run everything else cold.
+                    (prefix.resume(), None)
+                }
+                // The run ended before the first horizon: the completed
+                // result is exactly the cold baseline run.
+                PrefixOutcome::Finished(result) => (result, None),
+            }
+        }
+        None => (
+            SystemSimulation::new(baseline_system, traces.clone()).run(),
+            None,
+        ),
+    };
+
+    // Protected legs: fork the prefix where the horizon allows, cold
+    // otherwise.
+    for (slot, system, horizon) in legs {
+        let forked = prefix
+            .as_ref()
+            .filter(|prefix| horizon >= prefix.now() && prefix.now() > 0)
+            .map(|prefix| {
+                let mut fork = prefix.fork();
+                fork.refit_mitigation(&system.device.prac, system.device.tref_every_n_refreshes);
+                fork.resume()
+            });
+        let protected =
+            forked.unwrap_or_else(|| SystemSimulation::new(system, traces.clone()).run());
+        let normalized = if baseline.total_ipc() > 0.0 {
+            protected.total_ipc() / baseline.total_ipc()
+        } else {
+            0.0
+        };
+        results[slot] = Some(perf_metrics(perfs[slot], normalized, &protected, &baseline));
+    }
+
+    // Baseline cells: the shared baseline run is both of their legs.
+    for (slot, perf) in perfs.iter().enumerate() {
+        if results[slot].is_none() {
+            let normalized = if baseline.total_ipc() > 0.0 {
+                baseline.total_ipc() / baseline.total_ipc()
+            } else {
+                0.0
+            };
+            results[slot] = Some(perf_metrics(perf, normalized, &baseline, &baseline));
+        }
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every cell produced a result"))
+        .collect()
 }
 
 /// Ticks an `attacks` cell may spend per attacker access before the run is
@@ -668,6 +838,85 @@ mod tests {
         );
         assert!(attacked.contains_key("max_row_activations"));
         assert!(attacked.contains_key("nrh_breached"));
+    }
+
+    #[test]
+    fn grouped_execution_is_bit_identical_to_cold_cells() {
+        // The fork/prefix group executor must reproduce the per-cell path
+        // byte for byte for every kind of member: the shared baseline, an
+        // ABO cell (forked), a PARA cell (zero horizon, runs cold inside
+        // the group), and an unconfigurable TPRAC cell (config error).
+        let cell = |setup: MitigationSetup, nrh: u32| crate::scenario::PerfScenario {
+            setup,
+            rowhammer_threshold: nrh,
+            prac_level: prac_core::config::PracLevel::One,
+            workload: workloads::quick_suite().remove(0),
+            instructions_per_core: 4_000,
+            cores: 2,
+            channels: 1,
+            attack: None,
+            seed: 21,
+        };
+        let cells = [
+            cell(MitigationSetup::BaselineNoAbo, 1024),
+            cell(MitigationSetup::AboOnly, 1024),
+            cell(MitigationSetup::AboPlusAcbRfm, 1024),
+            cell(
+                MitigationSetup::Tprac {
+                    tref_rate: prac_core::tprac::TrefRate::None,
+                    counter_reset: true,
+                },
+                1024,
+            ),
+            cell(
+                MitigationSetup::Para {
+                    one_in: 64,
+                    seed: system_sim::PARA_DEFAULT_SEED,
+                },
+                1024,
+            ),
+        ];
+        for engine in [EngineKind::Tick, EngineKind::Event] {
+            let refs: Vec<&crate::scenario::PerfScenario> = cells.iter().collect();
+            let grouped = execute_perf_group(&refs, engine);
+            for (perf, grouped_metrics) in cells.iter().zip(&grouped) {
+                let cold = execute_perf(perf, engine);
+                assert_eq!(
+                    grouped_metrics,
+                    &cold,
+                    "{engine:?}/{}: grouped result diverged from the cold run",
+                    perf.setup.slug()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_execution_records_config_errors_per_cell() {
+        let cell = |setup: MitigationSetup| crate::scenario::PerfScenario {
+            setup,
+            rowhammer_threshold: 1, // no safe TB-Window exists at NRH = 1
+            prac_level: prac_core::config::PracLevel::One,
+            workload: workloads::quick_suite().remove(0),
+            instructions_per_core: 1_000,
+            cores: 1,
+            channels: 1,
+            attack: None,
+            seed: 3,
+        };
+        let cells = [
+            cell(MitigationSetup::Tprac {
+                tref_rate: prac_core::tprac::TrefRate::None,
+                counter_reset: true,
+            }),
+            cell(MitigationSetup::AboOnly),
+        ];
+        let refs: Vec<&crate::scenario::PerfScenario> = cells.iter().collect();
+        let grouped = execute_perf_group(&refs, EngineKind::default());
+        assert_eq!(grouped[0].get("completed"), Some(&Value::Bool(false)));
+        assert!(grouped[0].contains_key("config_error"));
+        assert_eq!(grouped[0], execute_perf(&cells[0], EngineKind::default()));
+        assert_eq!(grouped[1], execute_perf(&cells[1], EngineKind::default()));
     }
 
     #[test]

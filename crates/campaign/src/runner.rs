@@ -14,8 +14,81 @@ use system_sim::{parallel_map, EngineKind};
 
 use crate::artifact::{ArtifactPaths, ArtifactStore};
 use crate::cache::{CachedResult, ResultCache};
-use crate::exec::execute_with;
-use crate::scenario::{Campaign, Scenario};
+use crate::exec::{execute_perf_group, execute_with};
+use crate::scenario::{Campaign, Scenario, ScenarioSpec};
+
+/// One unit of parallel work: a lone scenario, or a group of perf cells
+/// sharing everything but their mitigation setup (executed together so the
+/// common prefix is simulated once).
+#[derive(Debug)]
+enum WorkUnit {
+    /// A scenario executed on its own, with its campaign index.
+    Single(usize, Scenario),
+    /// Perf cells with identical sweep parameters, as `(index, scenario)`.
+    PrefixGroup(Vec<(usize, Scenario)>),
+}
+
+impl WorkUnit {
+    /// The scenario this unit holds at campaign index `index`.
+    fn scenario_at(&self, index: usize) -> &Scenario {
+        match self {
+            WorkUnit::Single(_, scenario) => scenario,
+            WorkUnit::PrefixGroup(cells) => {
+                &cells
+                    .iter()
+                    .find(|(cell_index, _)| *cell_index == index)
+                    .expect("index belongs to this unit")
+                    .1
+            }
+        }
+    }
+}
+
+/// The grouping key of a perf cell: its canonical spec JSON with the
+/// `setup` field removed.  Cells with equal keys share traces, baseline leg
+/// and fork prefix; non-perf cells never group.
+fn prefix_group_key(spec: &ScenarioSpec) -> Option<String> {
+    if !matches!(spec, ScenarioSpec::Perf(_)) {
+        return None;
+    }
+    match spec.to_json() {
+        serde_json::Value::Object(mut map) => {
+            map.remove("setup");
+            Some(serde_json::Value::Object(map).to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Splits the pending cells into work units, preserving campaign order of
+/// first appearance.  With `fork_prefix` off (or for groups of one) every
+/// cell becomes its own unit.
+fn plan_work_units(pending: Vec<(usize, Scenario)>, fork_prefix: bool) -> Vec<WorkUnit> {
+    if !fork_prefix {
+        return pending
+            .into_iter()
+            .map(|(index, scenario)| WorkUnit::Single(index, scenario))
+            .collect();
+    }
+    let mut units: Vec<WorkUnit> = Vec::new();
+    let mut group_of: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (index, scenario) in pending {
+        match prefix_group_key(&scenario.spec) {
+            Some(key) => match group_of.get(&key) {
+                Some(&unit) => match &mut units[unit] {
+                    WorkUnit::PrefixGroup(cells) => cells.push((index, scenario)),
+                    WorkUnit::Single(..) => unreachable!("grouped units are PrefixGroup"),
+                },
+                None => {
+                    group_of.insert(key, units.len());
+                    units.push(WorkUnit::PrefixGroup(vec![(index, scenario)]));
+                }
+            },
+            None => units.push(WorkUnit::Single(index, scenario)),
+        }
+    }
+    units
+}
 
 /// The outcome of one scenario within a campaign run.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +126,7 @@ pub struct CampaignRunner {
     artifacts: Option<ArtifactStore>,
     progress: bool,
     engine: EngineKind,
+    fork_prefix: bool,
 }
 
 impl Default for CampaignRunner {
@@ -63,6 +137,7 @@ impl Default for CampaignRunner {
             artifacts: None,
             progress: false,
             engine: EngineKind::default(),
+            fork_prefix: true,
         }
     }
 }
@@ -111,6 +186,21 @@ impl CampaignRunner {
         self
     }
 
+    /// Enables or disables checkpoint/fork prefix sharing (default: on).
+    ///
+    /// When on, performance cells that differ only in their mitigation setup
+    /// are grouped: the group's traces and baseline leg run once, and the
+    /// shared mitigation-free prefix of the protected legs is simulated once
+    /// and forked per cell ([`crate::exec::execute_perf_group`]).  Results
+    /// are bit-identical either way — this knob only trades memory (the
+    /// paused prefix state) for wall-clock time, and exists as an escape
+    /// hatch and for benchmarking the speedup itself.
+    #[must_use]
+    pub fn with_fork_prefix(mut self, fork_prefix: bool) -> Self {
+        self.fork_prefix = fork_prefix;
+        self
+    }
+
     /// Runs every scenario of `campaign`, returning records in campaign
     /// order.
     ///
@@ -148,33 +238,63 @@ impl CampaignRunner {
             );
         }
 
-        // Phase 2: fan the misses out over the work-stealing pool.
+        // Phase 2: fan the misses out over the work-stealing pool.  With
+        // prefix sharing on, perf cells that differ only in their mitigation
+        // setup travel as one work unit so the group executor can simulate
+        // their common prefix once; everything else stays per-cell.
         let executed = pending.len();
+        let units = plan_work_units(pending, self.fork_prefix);
         let done = AtomicUsize::new(0);
         let campaign_name = campaign.name.as_str();
         let progress = self.progress;
         let engine = self.engine;
-        let fresh = parallel_map(pending, self.workers, |(index, scenario)| {
-            let cell_started = Instant::now();
-            let metrics = execute_with(&scenario.spec, engine);
-            let wall_ms = cell_started.elapsed().as_secs_f64() * 1e3;
-            if progress {
-                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                println!(
-                    "[{campaign_name}] {finished}/{executed} {} ({wall_ms:.0} ms)",
-                    scenario.name
-                );
-            }
-            (
-                *index,
-                ScenarioRecord {
-                    scenario: scenario.clone(),
-                    metrics,
-                    cached: false,
-                    wall_ms,
-                },
-            )
-        });
+        let fresh: Vec<(usize, ScenarioRecord)> = parallel_map(units, self.workers, |unit| {
+            let unit_started = Instant::now();
+            let results: Vec<(usize, Map)> = match unit {
+                WorkUnit::Single(index, scenario) => {
+                    vec![(*index, execute_with(&scenario.spec, engine))]
+                }
+                WorkUnit::PrefixGroup(cells) => {
+                    let perfs: Vec<&crate::scenario::PerfScenario> = cells
+                        .iter()
+                        .map(|(_, scenario)| match &scenario.spec {
+                            ScenarioSpec::Perf(perf) => perf.as_ref(),
+                            _ => unreachable!("prefix groups contain only perf cells"),
+                        })
+                        .collect();
+                    let metrics = execute_perf_group(&perfs, engine);
+                    cells.iter().map(|(index, _)| *index).zip(metrics).collect()
+                }
+            };
+            // Shared work cannot be attributed to one cell; spread the
+            // unit's wall time evenly so per-cell costs stay meaningful.
+            let wall_ms = unit_started.elapsed().as_secs_f64() * 1e3 / results.len() as f64;
+            results
+                .into_iter()
+                .map(|(index, metrics)| {
+                    let scenario = unit.scenario_at(index);
+                    if progress {
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        println!(
+                            "[{campaign_name}] {finished}/{executed} {} ({wall_ms:.0} ms)",
+                            scenario.name
+                        );
+                    }
+                    (
+                        index,
+                        ScenarioRecord {
+                            scenario: scenario.clone(),
+                            metrics,
+                            cached: false,
+                            wall_ms,
+                        },
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
         // Phase 3: store fresh results and stitch the record list together.
         for (index, record) in fresh {

@@ -63,13 +63,27 @@ pub fn load(path: &Path) -> io::Result<Vec<Map>> {
 
 /// Appends one measurement entry to the trajectory at `path`, atomically.
 ///
+/// When the new entry carries a `commit` hash that an existing entry
+/// already has, the old entry is replaced in place instead of appended:
+/// re-running the bench job for one commit (a CI retry, a local re-measure)
+/// refreshes that point rather than recording the same commit twice.
+/// Entries without a commit hash are always strictly appended.
+///
 /// # Errors
 ///
 /// Fails loudly (without modifying the file) when the existing file is
 /// malformed — see [`load`] — and propagates write errors.
 pub fn append(path: &Path, entry: Map) -> io::Result<()> {
     let mut entries = load(path)?;
-    entries.push(entry);
+    let duplicate = entry.get("commit").and_then(Value::as_str).and_then(|new| {
+        entries
+            .iter()
+            .position(|existing| existing.get("commit").and_then(Value::as_str) == Some(new))
+    });
+    match duplicate {
+        Some(index) => entries[index] = entry,
+        None => entries.push(entry),
+    }
     let entries: Vec<Value> = entries.into_iter().map(Value::Object).collect();
     let text = serde_json::to_string_pretty(&Value::Array(entries))
         .expect("JSON serialisation is infallible");
@@ -106,17 +120,18 @@ pub fn render_markdown(sim: &[Map], store: &[Map]) -> String {
     } else {
         out.push_str(
             "| commit | wheel push/pop (ns) | bank min-reduce (ns) \
-             | scheduler scan (ns) | fig10 --quick (ms) |\n",
+             | scheduler scan (ns) | fig10 --quick (ms) | fig10 forked (ms) |\n",
         );
-        out.push_str("|---|---|---|---|---|\n");
+        out.push_str("|---|---|---|---|---|---|\n");
         for entry in sim {
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} |\n",
                 commit_cell(entry),
                 number_cell(entry, "wheel_push_pop_ns"),
                 number_cell(entry, "bank_min_reduce_ns"),
                 number_cell(entry, "scheduler_scan_ns"),
                 number_cell(entry, "fig10_quick_wall_ms"),
+                number_cell(entry, "fig10_quick_fork_wall_ms"),
             ));
         }
     }
@@ -196,6 +211,38 @@ mod tests {
     }
 
     #[test]
+    fn append_replaces_an_entry_with_the_same_commit() {
+        let path = temp_file("dedupe");
+        append(&path, entry("abc1234", 100.0)).unwrap();
+        append(&path, entry("def5678", 90.0)).unwrap();
+        // A re-measure of the first commit replaces it in place.
+        append(&path, entry("abc1234", 80.0)).unwrap();
+        let entries = load(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0].get("commit").and_then(Value::as_str),
+            Some("abc1234")
+        );
+        assert_eq!(
+            entries[0]
+                .get("fig10_quick_wall_ms")
+                .and_then(Value::as_f64),
+            Some(80.0)
+        );
+        assert_eq!(
+            entries[1].get("commit").and_then(Value::as_str),
+            Some("def5678")
+        );
+        // Commitless entries never dedupe: strict append.
+        let mut anonymous = Map::new();
+        anonymous.insert("fig10_quick_wall_ms".into(), 70.0.into());
+        append(&path, anonymous.clone()).unwrap();
+        append(&path, anonymous).unwrap();
+        assert_eq!(load(&path).unwrap().len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn append_refuses_to_clobber_a_malformed_file() {
         for broken in [r#"{"not":"an array"}"#, "[{\"ok\":true}, 7]", "not json"] {
             let path = temp_file("malformed");
@@ -221,6 +268,7 @@ mod tests {
         sim.insert("bank_min_reduce_ns".into(), 220.1.into());
         sim.insert("scheduler_scan_ns".into(), 591.4.into());
         sim.insert("fig10_quick_wall_ms".into(), 188.2.into());
+        sim.insert("fig10_quick_fork_wall_ms".into(), 121.6.into());
         // A legacy store entry without a commit field renders with a dash.
         let mut store = Map::new();
         store.insert("store_lookup_ns_mean".into(), 3108.9.into());
@@ -229,6 +277,7 @@ mod tests {
         let text = render_markdown(&[sim], &[store]);
         assert!(text.contains("`abc1234`"), "{text}");
         assert!(text.contains("| 74.7 |"), "{text}");
+        assert!(text.contains("| 188.2 | 121.6 |"), "{text}");
         assert!(text.contains("| — | 3108.9 |"), "{text}");
         let empty = render_markdown(&[], &[]);
         assert!(empty.contains("No entries yet"), "{empty}");

@@ -55,6 +55,15 @@ impl QueueKind {
 /// PRAC counter value) and, when the bank receives an RFM or Targeted
 /// Refresh, nominates the row to mitigate.
 pub trait MitigationQueue: std::fmt::Debug + Send {
+    /// Deep-copies the queue behind its trait object (checkpoint/fork).
+    fn clone_box(&self) -> Box<dyn MitigationQueue>;
+
+    /// Captures the queue's complete state — see [`crate::snapshot`].
+    fn snapshot(&self) -> crate::snapshot::StateSnapshot;
+
+    /// Restores state previously captured from the same queue type.
+    fn restore(&mut self, snapshot: &crate::snapshot::StateSnapshot);
+
     /// Records that `row` was activated and now has `activation_count`
     /// accumulated activations.
     fn observe_activation(&mut self, row: RowIndex, activation_count: u32);
@@ -106,7 +115,15 @@ impl SingleEntryQueue {
     }
 }
 
+impl Clone for Box<dyn MitigationQueue> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 impl MitigationQueue for SingleEntryQueue {
+    crate::snapshot_methods!(dyn MitigationQueue);
+
     fn observe_activation(&mut self, row: RowIndex, activation_count: u32) {
         match self.entry {
             Some((tracked_row, tracked_count)) => {
@@ -193,6 +210,8 @@ impl FifoQueue {
 }
 
 impl MitigationQueue for FifoQueue {
+    crate::snapshot_methods!(dyn MitigationQueue);
+
     fn observe_activation(&mut self, row: RowIndex, activation_count: u32) {
         if activation_count >= self.admission_threshold
             && !self.entries.contains(&row)
@@ -256,6 +275,8 @@ impl PriorityQueue {
 }
 
 impl MitigationQueue for PriorityQueue {
+    crate::snapshot_methods!(dyn MitigationQueue);
+
     fn observe_activation(&mut self, row: RowIndex, activation_count: u32) {
         let entry = self.counts.entry(row).or_insert(0);
         *entry = (*entry).max(activation_count);

@@ -1,0 +1,180 @@
+//! The cross-crate state-capture contract behind checkpoint/fork execution.
+//!
+//! Campaign cells that share a workload prefix can simulate that prefix once,
+//! capture the complete system state at the divergence point, and fork one
+//! copy per cell.  Forking only works if *every* stateful component — core
+//! pipelines, caches, controller queues, PRAC counters, mitigation engines,
+//! attack patterns — can produce a faithful deep copy of itself.  This module
+//! is the contract those components implement:
+//!
+//! * [`StateSnapshot`] — an opaque, owned capture of one component's state.
+//!   Internally it is a type-erased deep copy; the component that produced it
+//!   is the only one that can restore from it.
+//! * [`Restorable`] — the capture/restore pair itself.
+//!
+//! Trait-object components (the [`crate::mitigation::MitigationEngine`]
+//! engines, the mitigation queues, the attack patterns) expose
+//! `snapshot()` / `restore()` directly on their traits using the
+//! [`snapshot_methods!`](crate::snapshot_methods) helper, so a
+//! `Box<dyn MitigationEngine>` is forkable without knowing the concrete
+//! engine behind it.
+//!
+//! The correctness bar is *bit-identity*: resuming from a snapshot must
+//! produce exactly the run the uninterrupted simulation would have produced
+//! (enforced end to end by `tests/fork_equivalence.rs` in the umbrella
+//! crate).
+
+use std::any::Any;
+use std::fmt;
+
+/// Object-safe inner cell of a [`StateSnapshot`]: deep-clonable and
+/// downcastable.  Blanket-implemented for every `Clone` state type.
+trait SnapshotCell: fmt::Debug + Send {
+    /// Deep-copies the cell.
+    fn clone_cell(&self) -> Box<dyn SnapshotCell>;
+    /// Downcast access for [`StateSnapshot::restore_as`].
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Clone + fmt::Debug + Send + 'static> SnapshotCell for T {
+    fn clone_cell(&self) -> Box<dyn SnapshotCell> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// An opaque, owned capture of one component's complete internal state.
+///
+/// A snapshot is a deep copy: it shares no mutable state with the component
+/// it was captured from, so the original can keep running (and diverge)
+/// without invalidating the capture.  Snapshots are themselves clonable, so
+/// one captured prefix state can seed many forks.
+#[derive(Debug)]
+pub struct StateSnapshot(Box<dyn SnapshotCell>);
+
+impl Clone for StateSnapshot {
+    fn clone(&self) -> Self {
+        Self(self.0.clone_cell())
+    }
+}
+
+impl StateSnapshot {
+    /// Captures `state` (by value) as an opaque snapshot.
+    #[must_use]
+    pub fn capture<T: Clone + fmt::Debug + Send + 'static>(state: T) -> Self {
+        Self(Box::new(state))
+    }
+
+    /// Recovers the captured state if the snapshot holds a `T`.
+    #[must_use]
+    pub fn restore_as<T: Clone + 'static>(&self) -> Option<T> {
+        self.0.as_any().downcast_ref::<T>().cloned()
+    }
+
+    /// Recovers the captured state, panicking when the snapshot was taken
+    /// from a different component type.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot does not hold a `T` — restoring a component
+    /// from some *other* component's snapshot is a programming error, not a
+    /// recoverable condition.
+    #[must_use]
+    pub fn restore_expecting<T: Clone + 'static>(&self, what: &str) -> T {
+        self.restore_as()
+            .unwrap_or_else(|| panic!("snapshot does not hold a {what}; captured {:?}", self.0))
+    }
+}
+
+/// A component whose complete internal state can be captured and restored.
+///
+/// The contract is bit-identity: after `restore`, the component must behave
+/// exactly as it did at the moment `snapshot` was taken — same future
+/// decisions, same seeded random draws, same statistics.
+pub trait Restorable {
+    /// Captures the component's complete internal state.
+    fn snapshot(&self) -> StateSnapshot;
+
+    /// Restores state previously captured from a component of the same type.
+    fn restore(&mut self, snapshot: &StateSnapshot);
+}
+
+impl<T: Clone + fmt::Debug + Send + 'static> Restorable for T {
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::capture(self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &StateSnapshot) {
+        *self = snapshot.restore_expecting::<T>(std::any::type_name::<T>());
+    }
+}
+
+/// Implements the forkability methods (`clone_box`, `snapshot`, `restore`)
+/// of a snapshot-aware trait for a `Clone` concrete type.
+///
+/// Use inside an `impl TheTrait for ConcreteType` block, passing the trait
+/// object type `clone_box` must return:
+///
+/// ```ignore
+/// impl MitigationEngine for MyEngine {
+///     prac_core::snapshot_methods!(dyn MitigationEngine);
+///     // ... the trait's behavioural methods ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! snapshot_methods {
+    ($trait_object:ty) => {
+        fn clone_box(&self) -> ::std::boxed::Box<$trait_object> {
+            ::std::boxed::Box::new(::std::clone::Clone::clone(self))
+        }
+
+        fn snapshot(&self) -> $crate::snapshot::StateSnapshot {
+            $crate::snapshot::StateSnapshot::capture(::std::clone::Clone::clone(self))
+        }
+
+        fn restore(&mut self, snapshot: &$crate::snapshot::StateSnapshot) {
+            *self = snapshot.restore_expecting::<Self>(::std::any::type_name::<Self>());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_and_deep_copies() {
+        let mut counters = vec![1u32, 2, 3];
+        let snap = Restorable::snapshot(&counters);
+        counters.push(4);
+        assert_eq!(counters.len(), 4);
+        counters.restore(&snap);
+        assert_eq!(counters, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshots_are_clonable_and_reusable() {
+        let snap = StateSnapshot::capture(41u64);
+        let copy = snap.clone();
+        assert_eq!(snap.restore_as::<u64>(), Some(41));
+        assert_eq!(copy.restore_as::<u64>(), Some(41));
+        // Restoring twice from the same snapshot works (it is not consumed).
+        assert_eq!(snap.restore_as::<u64>(), Some(41));
+    }
+
+    #[test]
+    fn mismatched_types_do_not_downcast() {
+        let snap = StateSnapshot::capture(7u32);
+        assert_eq!(snap.restore_as::<u64>(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot does not hold a")]
+    fn restore_expecting_panics_on_type_mismatch() {
+        let snap = StateSnapshot::capture(7u32);
+        let _: String = snap.restore_expecting("String");
+    }
+}

@@ -58,7 +58,7 @@ impl MemoryPort for SharedPort<'_> {
 }
 
 /// A cluster of trace-driven cores sharing an LLC.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CpuCluster {
     config: CpuConfig,
     cores: Vec<Core>,

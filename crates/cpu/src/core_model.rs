@@ -72,7 +72,7 @@ struct RobEntry {
 }
 
 /// A single trace-driven core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Core {
     id: u32,
     config: CpuConfig,

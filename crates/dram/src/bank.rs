@@ -290,7 +290,7 @@ impl BankTimingTable {
 
 /// Cold per-bank state: PRAC activation counters and the in-DRAM
 /// mitigation queue, plus the activation tallies derived from them.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BankMeta {
     /// Per-row PRAC activation counters (sparse; untouched rows are zero).
     counters: HashMap<RowIndex, u32>,
@@ -473,7 +473,7 @@ impl<'a> BankRef<'a> {
 /// The device keeps its banks in the shared table directly; this composite
 /// preserves the original mutating single-bank API so unit and property
 /// tests exercise exactly the code the device runs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Bank {
     timings: BankTimingTable,
     meta: BankMeta,

@@ -66,7 +66,7 @@ pub struct ActivateOutcome {
 }
 
 /// One DRAM channel with PRAC support.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DramDevice {
     config: DramDeviceConfig,
     /// Hot per-bank timing state, struct-of-arrays across the channel.
@@ -123,6 +123,29 @@ impl DramDevice {
     #[must_use]
     pub fn config(&self) -> &DramDeviceConfig {
         &self.config
+    }
+
+    /// Re-targets a forked device at a different PRAC configuration without
+    /// disturbing the accumulated bank state (checkpoint/fork divergence
+    /// point — see `prac_core::snapshot`).
+    ///
+    /// Only valid while no counter reset has fired yet (the campaign fork
+    /// point is always before the first tREFW boundary; the caller's purity
+    /// guard enforces this): a cold device in that regime has its first
+    /// reset still scheduled at `tREFW`, so re-deriving the schedule from
+    /// the new configuration is exactly what a cold run would hold.
+    pub fn refit_prac(&mut self, prac: PracConfig, tref_every_n_refreshes: Option<u32>) {
+        debug_assert_eq!(
+            self.stats.counter_resets, 0,
+            "refit_prac after a counter reset would diverge from a cold run"
+        );
+        self.config.prac = prac;
+        self.config.tref_every_n_refreshes = tref_every_n_refreshes;
+        self.next_counter_reset = if self.config.prac.counter_reset_every_trefw {
+            self.config.timing.t_refw
+        } else {
+            u64::MAX
+        };
     }
 
     /// Accumulated statistics.

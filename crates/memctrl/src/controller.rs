@@ -82,7 +82,7 @@ struct PendingRequest {
 /// [`MitigationEngine`], normally built from the device's
 /// [`MitigationPolicy`]; [`MemoryController::with_mitigation_engine`] injects
 /// an arbitrary engine instead.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemoryController {
     device: DramDevice,
     config: ControllerConfig,
@@ -189,6 +189,31 @@ impl MemoryController {
             config,
             rfm_log: Vec::new(),
         }
+    }
+
+    /// Re-targets a forked controller at a different mitigation
+    /// configuration (the checkpoint/fork divergence point).
+    ///
+    /// Rebuilds exactly the policy-dependent pieces
+    /// [`MemoryController::with_mitigation_engine`] derives from the PRAC
+    /// configuration — the mitigation engine, the ABO responder, the
+    /// declarative policy and the device-side PRAC parameters — while
+    /// leaving all accumulated state (queues, scheduler streaks, bank
+    /// counters, statistics, the obfuscation sequence) untouched.  A fresh
+    /// engine is correct at the fork point because every built-in engine
+    /// derives its schedule from absolute deadlines anchored at tick 0 and
+    /// the fork point lies before the target policy's first possible
+    /// divergence (the campaign layer computes that horizon).
+    pub fn refit_mitigation(
+        &mut self,
+        prac: prac_core::config::PracConfig,
+        tref_every_n_refreshes: Option<u32>,
+    ) {
+        let timing = self.device.config().timing;
+        self.mitigation = prac.policy.build_engine(&prac, timing.t_refi);
+        self.abo = AboResponder::new(&prac, timing.t_abo_act);
+        self.policy = prac.policy.clone();
+        self.device.refit_prac(prac, tref_every_n_refreshes);
     }
 
     /// Assigns the channel of the subsystem this controller drives

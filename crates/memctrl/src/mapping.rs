@@ -40,6 +40,11 @@ use serde::{Deserialize, Serialize};
 
 /// A physical→DRAM address translation policy.
 pub trait AddressMapping: std::fmt::Debug + Send + Sync {
+    /// Deep-copies the mapping behind its trait object.  Mappings are
+    /// immutable configuration, so the copy exists purely to make the
+    /// controller clonable for checkpoint/fork execution.
+    fn clone_box(&self) -> Box<dyn AddressMapping>;
+
     /// Decodes a physical byte address into DRAM coordinates (including the
     /// channel in multi-channel organisations).
     fn decode(&self, physical_address: u64) -> DramAddress;
@@ -280,7 +285,17 @@ impl MopMapping {
     }
 }
 
+impl Clone for Box<dyn AddressMapping> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 impl AddressMapping for MopMapping {
+    fn clone_box(&self) -> Box<dyn AddressMapping> {
+        Box::new(self.clone())
+    }
+
     fn decode(&self, physical_address: u64) -> DramAddress {
         let line = subsystem_line(&self.org, physical_address);
         let (channel, inner) = split_channel(line, &self.org, self.interleave);
@@ -371,6 +386,10 @@ impl BankStripedMapping {
 }
 
 impl AddressMapping for BankStripedMapping {
+    fn clone_box(&self) -> Box<dyn AddressMapping> {
+        Box::new(self.clone())
+    }
+
     fn decode(&self, physical_address: u64) -> DramAddress {
         let line = subsystem_line(&self.org, physical_address);
         let (channel, inner) = split_channel(line, &self.org, self.interleave);
@@ -449,6 +468,10 @@ impl RowInterleavedMapping {
 }
 
 impl AddressMapping for RowInterleavedMapping {
+    fn clone_box(&self) -> Box<dyn AddressMapping> {
+        Box::new(self.clone())
+    }
+
     fn decode(&self, physical_address: u64) -> DramAddress {
         let line = subsystem_line(&self.org, physical_address);
         let (channel, inner) = split_channel(line, &self.org, self.interleave);

@@ -80,7 +80,12 @@ struct WheelSlot {
 ///
 /// Time never moves backwards: the wheel panics in debug builds if a
 /// wake-up is registered at or before the last tick it handed out.
-#[derive(Debug)]
+///
+/// The wheel is `Clone` for the checkpoint/fork contract, but note that it
+/// is *derived* state: a forked run rebuilds its wheel from component
+/// wake-ups on the first loop iteration, so carrying one across a fork is
+/// never required for correctness.
+#[derive(Debug, Clone)]
 pub struct EventWheel {
     /// The slab: current wake-up per slot (the truth).
     slots: Vec<WheelSlot>,

@@ -485,6 +485,24 @@ pub fn run_workload(
     seed: u64,
 ) -> Result<SystemResult> {
     let system_config = config.build_system_config()?;
+    let traces = workload_traces(config, &system_config, workload, seed);
+    Ok(SystemSimulation::new(system_config, traces).run())
+}
+
+/// Builds the per-core traces of a run: one seeded copy of `workload` per
+/// core, plus the adversarial co-runner's trace when the attack knob is set.
+///
+/// The traces depend only on the sweep parameters (cores, instruction
+/// budget, channels, attack, seed) — never on the mitigation setup — so the
+/// campaign runner generates them once per shared-prefix group and reuses
+/// them across every mitigation leg.
+#[must_use]
+pub fn workload_traces(
+    config: &ExperimentConfig,
+    system_config: &SystemConfig,
+    workload: &SyntheticWorkload,
+    seed: u64,
+) -> Vec<Trace> {
     let mut traces: Vec<Trace> = (0..config.cores)
         .map(|core| {
             // Give each core its own slice of the address space so four
@@ -496,9 +514,9 @@ pub fn run_workload(
         })
         .collect();
     if let Some(attack) = &config.attack {
-        traces.push(attacker_trace(attack, &system_config, seed));
+        traces.push(attacker_trace(attack, system_config, seed));
     }
-    Ok(SystemSimulation::new(system_config, traces).run())
+    traces
 }
 
 /// Generates the adversarial co-runner's trace: flush+reload pairs

@@ -29,6 +29,12 @@
 //!   registered `workloads::attack` pattern next to the benign workload.
 //! * [`energy`] — converts run results into the Table 5 energy-overhead rows
 //!   via the `prac-core` energy model.
+//! * [`snapshot`] — the checkpoint/fork execution layer:
+//!   [`system::SystemSimulation::run_until`] pauses a run on a tick boundary
+//!   as a [`snapshot::PausedSimulation`] that can be forked (deep-copied),
+//!   refitted to a different mitigation configuration, and resumed
+//!   bit-identically to an uninterrupted run — the campaign runner uses it
+//!   to simulate shared scenario prefixes once and fork per cell.
 //! * [`parallel`] — a work-stealing thread pool used by the campaign runner
 //!   to sweep workloads and configurations concurrently, with a streaming
 //!   variant whose producer can keep feeding the pool while workers run.
@@ -41,16 +47,18 @@ pub mod energy;
 pub mod event;
 pub mod experiment;
 pub mod parallel;
+pub mod snapshot;
 pub mod subsystem;
 pub mod system;
 
 pub use energy::energy_overhead_for;
 pub use event::{EngineKind, EventEngine, SimulationEngine, TickEngine};
 pub use experiment::{
-    mitigation_registry, run_workload, run_workload_normalized, ExperimentConfig,
+    mitigation_registry, run_workload, run_workload_normalized, workload_traces, ExperimentConfig,
     MitigationDescriptor, MitigationSetup, ResolvedMitigation, PARA_DEFAULT_SEED,
 };
 pub use parallel::{parallel_map, parallel_map_streaming};
+pub use snapshot::{fork_horizon, PausedSimulation, PrefixOutcome};
 pub use subsystem::{ChannelStats, MemorySubsystem};
 pub use system::{simulations_built, SystemConfig, SystemResult, SystemSimulation};
 // The attacker-side registry mirrors `mitigation_registry` and is consumed

@@ -47,7 +47,7 @@ pub struct ChannelStats {
 }
 
 /// N independent per-channel memory controllers behind one address router.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemorySubsystem {
     controllers: Vec<MemoryController>,
     /// Subsystem-level copy of the address mapping, used only to route
@@ -98,6 +98,31 @@ impl MemorySubsystem {
         Self {
             controllers,
             router,
+        }
+    }
+
+    /// Re-targets a forked subsystem at a different mitigation
+    /// configuration (the checkpoint/fork divergence point), mirroring the
+    /// per-channel derivations [`MemorySubsystem::new`] performs: PARA
+    /// seeds are re-mixed with the channel index so every channel keeps an
+    /// independent decision stream, and each controller refits its engine,
+    /// ABO responder and device-side PRAC parameters in place.  The
+    /// obfuscation seed is policy-independent and stays untouched.
+    pub fn refit_mitigation(
+        &mut self,
+        prac: &prac_core::config::PracConfig,
+        tref_every_n_refreshes: Option<u32>,
+    ) {
+        for (channel, controller) in self.controllers.iter_mut().enumerate() {
+            let mix = (channel as u64).wrapping_mul(CHANNEL_SEED_MIX);
+            let mut prac = prac.clone();
+            if let MitigationPolicy::Para { one_in, seed } = prac.policy {
+                prac.policy = MitigationPolicy::Para {
+                    one_in,
+                    seed: seed ^ mix,
+                };
+            }
+            controller.refit_mitigation(prac, tref_every_n_refreshes);
         }
     }
 

@@ -27,6 +27,7 @@ use memctrl::stats::ControllerStats;
 use serde::{Deserialize, Serialize};
 
 use crate::event::{EngineKind, EventSource, EventWheel, SimulationEngine};
+use crate::snapshot::{PausedSimulation, PrefixOutcome};
 use crate::subsystem::{ChannelStats, MemorySubsystem};
 
 /// Configuration of one full-system run.
@@ -142,8 +143,8 @@ impl SystemResult {
 
 /// A backlog entry: a core's request waiting for queue space on its channel
 /// (decoded once, on arrival).
-#[derive(Debug)]
-struct BacklogEntry {
+#[derive(Debug, Clone)]
+pub(crate) struct BacklogEntry {
     core: u32,
     request: CoreMemoryRequest,
     channel: u32,
@@ -162,7 +163,15 @@ pub fn simulations_built() -> u64 {
 }
 
 /// A full-system simulation instance.
-#[derive(Debug)]
+///
+/// Cloning deep-copies the complete system state (cores, caches,
+/// controllers, devices, mitigation engines) — this is the fork primitive
+/// of the checkpoint/fork subsystem ([`crate::snapshot`]).  A clone does
+/// **not** count as a newly *built* simulation for
+/// [`simulations_built`]: that counter exists to prove cache hits avoid
+/// simulating, and forks are exactly the mechanism that avoids re-running
+/// prefixes.
+#[derive(Debug, Clone)]
 pub struct SystemSimulation {
     cluster: CpuCluster,
     memory: MemorySubsystem,
@@ -210,6 +219,12 @@ impl SystemSimulation {
     #[must_use]
     pub fn memory(&self) -> &MemorySubsystem {
         &self.memory
+    }
+
+    /// The memory subsystem (mutable) — only the checkpoint/fork layer
+    /// needs this, to refit the mitigation configuration at a fork point.
+    pub(crate) fn memory_mut(&mut self) -> &mut MemorySubsystem {
+        &mut self.memory
     }
 
     /// The engine the configuration selected.
@@ -300,14 +315,34 @@ impl SystemSimulation {
     }
 
     /// The legacy main loop: one tick per iteration.
-    pub(crate) fn run_ticked(mut self) -> SystemResult {
-        let mut now = 0u64;
-        let mut backlog: Vec<BacklogEntry> = Vec::new();
-        while now < self.max_ticks && !self.cluster.all_finished() {
+    pub(crate) fn run_ticked(self) -> SystemResult {
+        self.run_ticked_from(0, Vec::new(), None)
+            .expect_finished("tick run without a pause bound")
+    }
+
+    /// The tick-engine main loop, generalised over a resume point and an
+    /// optional pause bound (the checkpoint/fork entry point).
+    ///
+    /// Processes ticks `[now, min(pause_at, max_ticks))` — pausing at `P`
+    /// leaves the system in exactly the state an uninterrupted run has
+    /// after settling ticks `[0, P)`, so resuming from the returned
+    /// [`PausedSimulation`] replays the cold run bit for bit.
+    pub(crate) fn run_ticked_from(
+        mut self,
+        mut now: u64,
+        mut backlog: Vec<BacklogEntry>,
+        pause_at: Option<u64>,
+    ) -> PrefixOutcome {
+        let bound = pause_at.unwrap_or(self.max_ticks).min(self.max_ticks);
+        while now < bound && !self.cluster.all_finished() {
             self.step(now, &mut backlog);
             now += 1;
         }
-        self.finish(now)
+        if now < self.max_ticks && !self.cluster.all_finished() {
+            // Only the pause bound stopped the loop.
+            return PrefixOutcome::Paused(PausedSimulation::new(self, now, backlog));
+        }
+        PrefixOutcome::Finished(self.finish(now))
     }
 
     /// The event-driven main loop: settle a tick, ask every component for
@@ -318,12 +353,38 @@ impl SystemSimulation {
     /// core by one cycle — which [`CpuCluster::credit_stalled_cycles`]
     /// accounts for in bulk, keeping the per-core cycle counts (and thus
     /// IPC, slowdown and energy inputs) bit-identical.
-    pub(crate) fn run_event_driven(mut self) -> SystemResult {
-        let mut backlog: Vec<BacklogEntry> = Vec::new();
+    pub(crate) fn run_event_driven(self) -> SystemResult {
+        self.run_event_from(0, Vec::new(), None)
+            .expect_finished("event run without a pause bound")
+    }
+
+    /// The event-engine main loop, generalised over a resume point and an
+    /// optional pause bound (the checkpoint/fork entry point).
+    ///
+    /// Pausing at `P` stops *before* settling tick `P`, crediting only the
+    /// skipped ticks strictly below it; the resumed run then visits `P`
+    /// itself.  When the cold run would have skipped `P` as a no-op, the
+    /// resumed visit is a pure no-op too (the engine purity contract) and
+    /// ages each unfinished core by the same one cycle the cold run
+    /// credited in bulk — so cycle counts stay bit-identical either way.
+    ///
+    /// The event wheel is always rebuilt from component wake-ups on the
+    /// first iteration, so a resumed run starts with a fresh wheel rather
+    /// than a captured one (the wheel is derived state).
+    pub(crate) fn run_event_from(
+        mut self,
+        mut now: u64,
+        mut backlog: Vec<BacklogEntry>,
+        pause_at: Option<u64>,
+    ) -> PrefixOutcome {
         let mut wheel = EventWheel::new();
-        let mut now = 0u64;
         if now >= self.max_ticks || self.cluster.all_finished() {
-            return self.finish(0);
+            return PrefixOutcome::Finished(self.finish(now));
+        }
+        if let Some(pause) = pause_at {
+            if now >= pause.min(self.max_ticks) {
+                return PrefixOutcome::Paused(PausedSimulation::new(self, now, backlog));
+            }
         }
         loop {
             // Invariant: now < max_ticks and at least one core is unfinished,
@@ -351,14 +412,37 @@ impl SystemSimulation {
                 .next_after(now)
                 .unwrap_or(self.max_ticks)
                 .min(self.max_ticks);
+            // Clamp the jump to the pause bound: skipped ticks up to the
+            // bound are credited exactly as the cold run credits them, and
+            // the bound tick itself is left for the resumed run to settle.
+            let next = match pause_at {
+                Some(pause) if pause < self.max_ticks => next.min(pause),
+                _ => next,
+            };
             self.cluster.credit_stalled_cycles(next - now - 1);
+            if pause_at == Some(next) && next < self.max_ticks {
+                return PrefixOutcome::Paused(PausedSimulation::new(self, next, backlog));
+            }
             if next >= self.max_ticks {
                 now = self.max_ticks;
                 break;
             }
             now = next;
         }
-        self.finish(now)
+        PrefixOutcome::Finished(self.finish(now))
+    }
+
+    /// Runs the simulation with its configured engine until it either
+    /// completes or reaches `pause_at`, whichever comes first.
+    ///
+    /// A paused simulation has settled exactly the ticks `[0, pause_at)`;
+    /// [`PausedSimulation::resume`] continues from there and produces a
+    /// result bit-identical to an uninterrupted [`SystemSimulation::run`].
+    pub fn run_until(self, pause_at: u64) -> PrefixOutcome {
+        match self.engine {
+            EngineKind::Tick => self.run_ticked_from(0, Vec::new(), Some(pause_at)),
+            EngineKind::Event => self.run_event_from(0, Vec::new(), Some(pause_at)),
+        }
     }
 }
 

@@ -110,6 +110,15 @@ impl AttackAccess {
 /// Implementations must be `Send` so attack cells can run on the campaign
 /// runner's worker threads.
 pub trait AttackPattern: std::fmt::Debug + Send {
+    /// Deep-copies the pattern behind its trait object (checkpoint/fork).
+    fn clone_box(&self) -> Box<dyn AttackPattern>;
+
+    /// Captures the pattern's complete state — see [`prac_core::snapshot`].
+    fn snapshot(&self) -> prac_core::StateSnapshot;
+
+    /// Restores state previously captured from the same pattern type.
+    fn restore(&mut self, snapshot: &prac_core::StateSnapshot);
+
     /// Short human-readable label (reports, logs).
     fn label(&self) -> &'static str;
 
@@ -179,7 +188,15 @@ impl SingleSidedPattern {
     }
 }
 
+impl Clone for Box<dyn AttackPattern> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 impl AttackPattern for SingleSidedPattern {
+    prac_core::snapshot_methods!(dyn AttackPattern);
+
     fn label(&self) -> &'static str {
         "single-sided"
     }
@@ -222,6 +239,8 @@ impl DoubleSidedPattern {
 }
 
 impl AttackPattern for DoubleSidedPattern {
+    prac_core::snapshot_methods!(dyn AttackPattern);
+
     fn label(&self) -> &'static str {
         "double-sided"
     }
@@ -271,6 +290,8 @@ impl ManySidedPattern {
 }
 
 impl AttackPattern for ManySidedPattern {
+    prac_core::snapshot_methods!(dyn AttackPattern);
+
     fn label(&self) -> &'static str {
         "many-sided"
     }
@@ -326,6 +347,8 @@ impl HalfDoublePattern {
 }
 
 impl AttackPattern for HalfDoublePattern {
+    prac_core::snapshot_methods!(dyn AttackPattern);
+
     fn label(&self) -> &'static str {
         "half-double"
     }
@@ -401,6 +424,8 @@ impl DecoyBlastPattern {
 }
 
 impl AttackPattern for DecoyBlastPattern {
+    prac_core::snapshot_methods!(dyn AttackPattern);
+
     fn label(&self) -> &'static str {
         "decoy-blast"
     }
@@ -471,6 +496,8 @@ impl RfmPressurePattern {
 }
 
 impl AttackPattern for RfmPressurePattern {
+    prac_core::snapshot_methods!(dyn AttackPattern);
+
     fn label(&self) -> &'static str {
         "rfm-pressure"
     }

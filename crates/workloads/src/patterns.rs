@@ -67,13 +67,6 @@ impl AddressPattern {
         }
     }
 
-    /// Creates an iterator over the pattern's addresses.
-    #[deprecated(note = "renamed to `AddressPattern::stream`")]
-    #[must_use]
-    pub fn iter(&self) -> AddressStream {
-        self.stream()
-    }
-
     /// The number of distinct address slots the pattern cycles over (the
     /// stride between slots is [`LINE_BYTES`] except for `Strided`, where it
     /// is the configured stride).
@@ -90,13 +83,6 @@ impl AddressPattern {
             AddressPattern::HotSet { lines, .. } => (*lines).max(1),
         }
     }
-
-    /// The number of distinct cache lines the pattern can touch.
-    #[deprecated(note = "renamed to `AddressPattern::distinct_slots`")]
-    #[must_use]
-    pub fn distinct_lines(&self) -> u64 {
-        self.distinct_slots()
-    }
 }
 
 /// Infinite stream over an [`AddressPattern`]'s cache-line addresses.
@@ -106,10 +92,6 @@ pub struct AddressStream {
     position: u64,
     rng: Option<StdRng>,
 }
-
-/// Legacy name of [`AddressStream`].
-#[deprecated(note = "renamed to `AddressStream`")]
-pub type PatternIter = AddressStream;
 
 impl AddressStream {
     /// Next cache-line-aligned address (infinite stream).
@@ -206,13 +188,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_work() {
-        let p = AddressPattern::HotSet { base: 0, lines: 2 };
-        let mut it: PatternIter = p.iter();
-        assert_eq!(it.next_address(), 0);
-        assert_eq!(it.next_address(), 64);
-        assert_eq!(p.distinct_lines(), 2);
-        assert_eq!(p.distinct_lines(), p.distinct_slots());
+    fn stream_state_snapshot_roundtrips() {
+        // The random stream carries an RNG; a snapshot must capture it so a
+        // restored stream replays the exact same tail (checkpoint/fork).
+        use prac_core::Restorable;
+        let p = AddressPattern::Random {
+            base: 0x8000,
+            footprint: 1 << 20,
+            seed: 7,
+        };
+        let mut stream = p.stream();
+        for _ in 0..37 {
+            stream.next_address();
+        }
+        let snap = stream.snapshot();
+        let tail: Vec<u64> = (0..50).map(|_| stream.next_address()).collect();
+        stream.restore(&snap);
+        let replay: Vec<u64> = (0..50).map(|_| stream.next_address()).collect();
+        assert_eq!(tail, replay);
     }
 }
