@@ -36,6 +36,7 @@ struct Options {
     workers: Option<usize>,
     engine: EngineKind,
     fork_prefix: bool,
+    sim_threads: usize,
     no_cache: bool,
     out_dir: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
@@ -94,10 +95,10 @@ COMMANDS:
     store             Inspect or maintain the result store directly
     bench             Perf-trajectory tooling: `bench sim` micro-benchmarks
                       the event-core kernels (wheel churn, bank min-reduce,
-                      scheduler scan) plus the fig10-quick wall clock;
-                      `bench trajectory` renders the recorded trajectories
-                      (default BENCH_sim.json + BENCH_store.json) as
-                      markdown tables
+                      scheduler scan) plus the fig10-quick and 4-channel
+                      scaling-quick wall clocks; `bench trajectory` renders
+                      the recorded trajectories (default BENCH_sim.json +
+                      BENCH_store.json) as markdown tables
 
 OPTIONS:
     --all             Run every registered campaign
@@ -121,6 +122,10 @@ OPTIONS:
                       traces/baseline/prefix once and forks per cell; `off`
                       runs every cell cold.  Results are bit-identical
                       either way.
+    --sim-threads <N> Worker threads stepping due memory channels of one
+                      event round in parallel inside each simulation
+                      (default 1: sequential).  Multiplies with --workers.
+                      Results are bit-identical for every value.
     --no-cache        Ignore and do not update the incremental result cache
     --out <DIR>       Artifact root (default: target/campaigns)
     --cache-dir <DIR> Result store root (default: target/campaigns/cache)
@@ -156,6 +161,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         workers: None,
         engine: EngineKind::default(),
         fork_prefix: true,
+        sim_threads: 1,
         no_cache: false,
         out_dir: None,
         cache_dir: None,
@@ -224,6 +230,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--engine requires `tick` or `event`".to_string())?;
                 options.engine = EngineKind::parse(value)
                     .ok_or_else(|| format!("unknown engine `{value}` (use `tick` or `event`)"))?;
+            }
+            "--sim-threads" => {
+                let sim_threads = numeric("--sim-threads")? as usize;
+                if sim_threads == 0 {
+                    return Err("--sim-threads must be at least 1".to_string());
+                }
+                options.sim_threads = sim_threads;
             }
             "--fork-prefix" => {
                 let value = iter
@@ -488,6 +501,7 @@ fn run_command(options: &Options) -> i32 {
             .with_progress(true)
             .with_engine(options.engine)
             .with_fork_prefix(options.fork_prefix)
+            .with_sim_threads(options.sim_threads)
             .with_artifacts(ArtifactStore::new(&artifact_root));
         if let Some(workers) = options.workers {
             runner = runner.with_workers(workers);
@@ -862,8 +876,9 @@ fn bench_command(options: &Options) -> i32 {
 /// `prac-bench bench sim`: micro-benchmarks the three event-core hot paths
 /// reshaped by the data-layout pass — event-wheel churn, the branchless
 /// per-device bank min-reduce and the allocation-free FR-FCFS candidate
-/// scan — plus the end-to-end fig10-quick wall clock, and optionally
-/// appends the measurement to the `BENCH_sim.json` trajectory.
+/// scan — plus the end-to-end fig10-quick wall clock (cold and forked) and
+/// the cold 4-channel scaling-quick wall clock, and optionally appends the
+/// measurement to the `BENCH_sim.json` trajectory.
 fn sim_bench(options: &Options) -> i32 {
     use std::hint::black_box;
     use std::time::Instant;
@@ -970,6 +985,26 @@ fn sim_bench(options: &Options) -> i32 {
         }
     };
 
+    // The multi-channel yardstick: the 4-channel slice of the scaling
+    // campaign, cold — the run whose wall clock the channel-sharded
+    // execution work targets.
+    let mut scaling = find_campaign("scaling", &Profile::quick()).expect("scaling is registered");
+    scaling
+        .scenarios
+        .retain(|scenario| scenario.name.starts_with("ch4/"));
+    assert!(
+        !scaling.scenarios.is_empty(),
+        "the scaling campaign lost its 4-channel cells"
+    );
+    let runner = CampaignRunner::new().with_engine(options.engine);
+    let scaling_4ch_wall_ms = match runner.run(&scaling) {
+        Ok(summary) => summary.wall_ms,
+        Err(error) => {
+            eprintln!("error: scaling 4ch bench run failed: {error}");
+            return 1;
+        }
+    };
+
     println!("wheel push/pop:       {wheel_push_pop_ns:.1} ns/round ({WHEEL_ROUNDS} rounds)");
     println!(
         "bank min-reduce:      {bank_min_reduce_ns:.1} ns/call over {} banks",
@@ -980,6 +1015,7 @@ fn sim_bench(options: &Options) -> i32 {
     );
     println!("fig10 quick no-cache: {fig10_wall_ms:.1} ms");
     println!("fig10 quick forked:   {fig10_fork_wall_ms:.1} ms");
+    println!("scaling quick 4ch:    {scaling_4ch_wall_ms:.1} ms");
 
     if let Some(path) = &options.append {
         let mut entry = trajectory::base_entry(options.commit.as_deref());
@@ -988,6 +1024,10 @@ fn sim_bench(options: &Options) -> i32 {
         entry.insert("scheduler_scan_ns".into(), scheduler_scan_ns.into());
         entry.insert("fig10_quick_wall_ms".into(), fig10_wall_ms.into());
         entry.insert("fig10_quick_fork_wall_ms".into(), fig10_fork_wall_ms.into());
+        entry.insert(
+            "scaling_quick_4ch_wall_ms".into(),
+            scaling_4ch_wall_ms.into(),
+        );
         if let Err(error) = trajectory::append(path, entry) {
             eprintln!("error: cannot append to {}: {error}", path.display());
             return 1;
@@ -1161,6 +1201,16 @@ mod tests {
         );
         assert!(parse(&args(&["run", "fig10", "--engine", "warp"])).is_err());
         assert!(parse(&args(&["run", "fig10", "--engine"])).is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_sim_threads() {
+        let options = parse(&args(&["run", "scaling", "--sim-threads", "4"])).unwrap();
+        assert_eq!(options.sim_threads, 4);
+        assert_eq!(parse(&args(&["run", "scaling"])).unwrap().sim_threads, 1);
+        assert!(parse(&args(&["run", "scaling", "--sim-threads", "0"])).is_err());
+        assert!(parse(&args(&["run", "scaling", "--sim-threads", "two"])).is_err());
+        assert!(parse(&args(&["run", "scaling", "--sim-threads"])).is_err());
     }
 
     #[test]

@@ -43,8 +43,20 @@ pub fn execute(spec: &ScenarioSpec) -> Map {
 /// deliberately excluded from the cache key.
 #[must_use]
 pub fn execute_with(spec: &ScenarioSpec, engine: EngineKind) -> Map {
+    execute_sharded(spec, engine, 1)
+}
+
+/// [`execute_with`] with an explicit worker-thread count for parallel
+/// channel stepping.
+///
+/// Like the engine, the thread count is an execution knob: every value
+/// produces bit-identical metrics (enforced by the thread-count race in the
+/// differential suite), so cached results remain valid across thread counts
+/// and `sim_threads` is deliberately excluded from the cache key.
+#[must_use]
+pub fn execute_sharded(spec: &ScenarioSpec, engine: EngineKind, sim_threads: usize) -> Map {
     match spec {
-        ScenarioSpec::Perf(perf) => execute_perf(perf, engine),
+        ScenarioSpec::Perf(perf) => execute_perf(perf, engine, sim_threads),
         ScenarioSpec::AboLatency {
             prac_level,
             nbo,
@@ -88,6 +100,7 @@ fn perf_experiment_config(
     perf: &crate::scenario::PerfScenario,
     setup: MitigationSetup,
     engine: EngineKind,
+    sim_threads: usize,
 ) -> ExperimentConfig {
     ExperimentConfig {
         rowhammer_threshold: perf.rowhammer_threshold,
@@ -98,6 +111,7 @@ fn perf_experiment_config(
         channels: perf.channels.max(1),
         attack: perf.attack,
         engine,
+        sim_threads,
     }
 }
 
@@ -117,8 +131,12 @@ fn perf_config_error(
     m
 }
 
-fn execute_perf(perf: &crate::scenario::PerfScenario, engine: EngineKind) -> Map {
-    let config = perf_experiment_config(perf, perf.setup.clone(), engine);
+fn execute_perf(
+    perf: &crate::scenario::PerfScenario,
+    engine: EngineKind,
+    sim_threads: usize,
+) -> Map {
+    let config = perf_experiment_config(perf, perf.setup.clone(), engine, sim_threads);
     let (normalized, protected, baseline) =
         match run_workload_normalized(&config, &perf.workload.workload, perf.seed) {
             Ok(outcome) => outcome,
@@ -276,22 +294,39 @@ pub fn execute_perf_group(
     perfs: &[&crate::scenario::PerfScenario],
     engine: EngineKind,
 ) -> Vec<Map> {
+    execute_perf_group_sharded(perfs, engine, 1)
+}
+
+/// [`execute_perf_group`] with an explicit worker-thread count for parallel
+/// channel stepping (an execution knob like the engine — every value yields
+/// byte-identical metric maps).
+#[must_use]
+pub fn execute_perf_group_sharded(
+    perfs: &[&crate::scenario::PerfScenario],
+    engine: EngineKind,
+    sim_threads: usize,
+) -> Vec<Map> {
     use system_sim::{fork_horizon, workload_traces, PrefixOutcome, SystemSimulation};
 
     if perfs.len() <= 1 {
         return perfs
             .iter()
-            .map(|perf| execute_perf(perf, engine))
+            .map(|perf| execute_perf(perf, engine, sim_threads))
             .collect();
     }
     let template = perfs[0];
-    let baseline_config = perf_experiment_config(template, MitigationSetup::BaselineNoAbo, engine);
+    let baseline_config = perf_experiment_config(
+        template,
+        MitigationSetup::BaselineNoAbo,
+        engine,
+        sim_threads,
+    );
     let Ok(baseline_system) = baseline_config.build_system_config() else {
         // The baseline itself cannot be configured (e.g. an invalid channel
         // count): every cell fails identically, so record each cold.
         return perfs
             .iter()
-            .map(|perf| execute_perf(perf, engine))
+            .map(|perf| execute_perf(perf, engine, sim_threads))
             .collect();
     };
     let traces = workload_traces(
@@ -311,7 +346,7 @@ pub fn execute_perf_group(
             // protected run.
             continue;
         }
-        let config = perf_experiment_config(perf, perf.setup.clone(), engine);
+        let config = perf_experiment_config(perf, perf.setup.clone(), engine, sim_threads);
         match config.build_system_config() {
             Ok(system) => {
                 let horizon = fork_horizon(&system.device);
@@ -880,7 +915,7 @@ mod tests {
             let refs: Vec<&crate::scenario::PerfScenario> = cells.iter().collect();
             let grouped = execute_perf_group(&refs, engine);
             for (perf, grouped_metrics) in cells.iter().zip(&grouped) {
-                let cold = execute_perf(perf, engine);
+                let cold = execute_perf(perf, engine, 1);
                 assert_eq!(
                     grouped_metrics,
                     &cold,
@@ -915,8 +950,14 @@ mod tests {
         let grouped = execute_perf_group(&refs, EngineKind::default());
         assert_eq!(grouped[0].get("completed"), Some(&Value::Bool(false)));
         assert!(grouped[0].contains_key("config_error"));
-        assert_eq!(grouped[0], execute_perf(&cells[0], EngineKind::default()));
-        assert_eq!(grouped[1], execute_perf(&cells[1], EngineKind::default()));
+        assert_eq!(
+            grouped[0],
+            execute_perf(&cells[0], EngineKind::default(), 1)
+        );
+        assert_eq!(
+            grouped[1],
+            execute_perf(&cells[1], EngineKind::default(), 1)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use system_sim::{parallel_map, EngineKind};
 
 use crate::artifact::{ArtifactPaths, ArtifactStore};
 use crate::cache::{CachedResult, ResultCache};
-use crate::exec::{execute_perf_group, execute_with};
+use crate::exec::{execute_perf_group_sharded, execute_sharded};
 use crate::scenario::{Campaign, Scenario, ScenarioSpec};
 
 /// One unit of parallel work: a lone scenario, or a group of perf cells
@@ -127,6 +127,7 @@ pub struct CampaignRunner {
     progress: bool,
     engine: EngineKind,
     fork_prefix: bool,
+    sim_threads: usize,
 }
 
 impl Default for CampaignRunner {
@@ -138,6 +139,7 @@ impl Default for CampaignRunner {
             progress: false,
             engine: EngineKind::default(),
             fork_prefix: true,
+            sim_threads: 1,
         }
     }
 }
@@ -201,6 +203,19 @@ impl CampaignRunner {
         self
     }
 
+    /// Sets the worker-thread count each simulation uses to step due
+    /// channels of one event round in parallel (default 1: sequential).
+    /// Results and cache entries are thread-count-independent — like
+    /// [`CampaignRunner::with_engine`], this only changes how fast the
+    /// misses run.  Note this parallelism *multiplies* with
+    /// [`CampaignRunner::with_workers`]: `workers` runs scenarios
+    /// concurrently, `sim_threads` parallelises channels inside each one.
+    #[must_use]
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads.max(1);
+        self
+    }
+
     /// Runs every scenario of `campaign`, returning records in campaign
     /// order.
     ///
@@ -248,11 +263,12 @@ impl CampaignRunner {
         let campaign_name = campaign.name.as_str();
         let progress = self.progress;
         let engine = self.engine;
+        let sim_threads = self.sim_threads;
         let fresh: Vec<(usize, ScenarioRecord)> = parallel_map(units, self.workers, |unit| {
             let unit_started = Instant::now();
             let results: Vec<(usize, Map)> = match unit {
                 WorkUnit::Single(index, scenario) => {
-                    vec![(*index, execute_with(&scenario.spec, engine))]
+                    vec![(*index, execute_sharded(&scenario.spec, engine, sim_threads))]
                 }
                 WorkUnit::PrefixGroup(cells) => {
                     let perfs: Vec<&crate::scenario::PerfScenario> = cells
@@ -262,7 +278,7 @@ impl CampaignRunner {
                             _ => unreachable!("prefix groups contain only perf cells"),
                         })
                         .collect();
-                    let metrics = execute_perf_group(&perfs, engine);
+                    let metrics = execute_perf_group_sharded(&perfs, engine, sim_threads);
                     cells.iter().map(|(index, _)| *index).zip(metrics).collect()
                 }
             };

@@ -120,18 +120,20 @@ pub fn render_markdown(sim: &[Map], store: &[Map]) -> String {
     } else {
         out.push_str(
             "| commit | wheel push/pop (ns) | bank min-reduce (ns) \
-             | scheduler scan (ns) | fig10 --quick (ms) | fig10 forked (ms) |\n",
+             | scheduler scan (ns) | fig10 --quick (ms) | fig10 forked (ms) \
+             | scaling --quick 4ch (ms) |\n",
         );
-        out.push_str("|---|---|---|---|---|---|\n");
+        out.push_str("|---|---|---|---|---|---|---|\n");
         for entry in sim {
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
                 commit_cell(entry),
                 number_cell(entry, "wheel_push_pop_ns"),
                 number_cell(entry, "bank_min_reduce_ns"),
                 number_cell(entry, "scheduler_scan_ns"),
                 number_cell(entry, "fig10_quick_wall_ms"),
                 number_cell(entry, "fig10_quick_fork_wall_ms"),
+                number_cell(entry, "scaling_quick_4ch_wall_ms"),
             ));
         }
     }
@@ -269,6 +271,7 @@ mod tests {
         sim.insert("scheduler_scan_ns".into(), 591.4.into());
         sim.insert("fig10_quick_wall_ms".into(), 188.2.into());
         sim.insert("fig10_quick_fork_wall_ms".into(), 121.6.into());
+        sim.insert("scaling_quick_4ch_wall_ms".into(), 402.5.into());
         // A legacy store entry without a commit field renders with a dash.
         let mut store = Map::new();
         store.insert("store_lookup_ns_mean".into(), 3108.9.into());
@@ -277,7 +280,7 @@ mod tests {
         let text = render_markdown(&[sim], &[store]);
         assert!(text.contains("`abc1234`"), "{text}");
         assert!(text.contains("| 74.7 |"), "{text}");
-        assert!(text.contains("| 188.2 | 121.6 |"), "{text}");
+        assert!(text.contains("| 188.2 | 121.6 | 402.5 |"), "{text}");
         assert!(text.contains("| — | 3108.9 |"), "{text}");
         let empty = render_markdown(&[], &[]);
         assert!(empty.contains("No entries yet"), "{empty}");

@@ -23,6 +23,13 @@ use crate::timing::DramTimingParams;
 /// `u32::MAX` can never collide with an open row.
 pub const ROW_NONE: u32 = u32::MAX;
 
+/// Low bits of each [`BankTimingTable::packed_transition`] lane reserved
+/// for the bank index (so the table is capped at 2^16 banks).
+const INDEX_BITS: u32 = 16;
+
+/// Largest tick that packs without colliding with the index bits.
+const TICK_CEIL: u64 = u64::MAX >> INDEX_BITS;
+
 /// Struct-of-arrays timing state for every bank of one channel.
 ///
 /// Each index holds the state the old per-bank struct kept inline:
@@ -32,26 +39,37 @@ pub const ROW_NONE: u32 = u32::MAX;
 /// * `next_pre` — earliest tick a PRE may be issued (tRAS / recovery),
 /// * `next_column` — earliest tick a RD/WR may be issued (tRCD/tCCD).
 ///
-/// Keeping the four arrays parallel (rather than an array of four-field
-/// structs) lets [`BankTimingTable::min_next_transition_at`] stream through
-/// densely packed `u64` lanes with a branchless select per bank.
+/// `packed_transition` is derived state: bank `i`'s next transition tick
+/// (see [`BankTimingTable::next_transition_at`]) packed into the high
+/// `64 - INDEX_BITS` bits with the bank index below.  Every mutator
+/// refreshes the touched lane, which keeps the channel-wide min-reduce —
+/// the hot read in the event engine's wake-up computation, called far more
+/// often than any timing window moves — down to a single loop-carried
+/// `min` per bank over one contiguous array.
 #[derive(Debug, Clone)]
 pub struct BankTimingTable {
     open_row: Vec<u32>,
     next_act: Vec<u64>,
     next_pre: Vec<u64>,
     next_column: Vec<u64>,
+    packed_transition: Vec<u64>,
 }
 
 impl BankTimingTable {
     /// Creates timing state for `banks` idle, fully-precharged banks.
     #[must_use]
     pub fn new(banks: usize) -> Self {
+        debug_assert!(
+            banks < (1 << INDEX_BITS),
+            "bank index must fit the packed-transition low bits"
+        );
         Self {
             open_row: vec![ROW_NONE; banks],
             next_act: vec![0; banks],
             next_pre: vec![0; banks],
             next_column: vec![0; banks],
+            // Idle precharged banks can transition (ACT) at tick 0.
+            packed_transition: (0..banks as u64).collect(),
         }
     }
 
@@ -103,22 +121,40 @@ impl BankTimingTable {
         (open_bound & mask) | (self.next_act[i] & !mask)
     }
 
+    /// Re-derives bank `i`'s `packed_transition` lane after its timing
+    /// state moved.
+    ///
+    /// The `(tick, bank index)` pair packs into one `u64` — tick in the
+    /// high `64 - INDEX_BITS` bits, index below — so the reduce is a
+    /// packed argmin whose low bits break ties toward the lowest bank
+    /// index.  Ticks are saturated at `2^48 - 1` before packing; real
+    /// transition ticks sit many orders of magnitude below that bound (the
+    /// livelock cap is tens of millions), so saturation never fires on a
+    /// reachable schedule.
+    fn refresh_packed(&mut self, i: usize) {
+        let tick = self.next_transition_at(i);
+        self.packed_transition[i] = (tick.min(TICK_CEIL) << INDEX_BITS) | i as u64;
+    }
+
     /// The minimum of [`BankTimingTable::next_transition_at`] across every
     /// bank, or `u64::MAX` for an empty table.
     ///
-    /// This is the channel-wide "something can happen next at" bound; it
-    /// streams the four parallel arrays once with a branchless select per
-    /// bank instead of calling into each bank object.
+    /// This is the channel-wide "something can happen next at" bound.  The
+    /// mutators keep the packed `(tick, bank index)` lanes current, so the
+    /// fold here streams one contiguous `u64` array with a single
+    /// loop-carried `min` per bank — no select, no re-derivation — which
+    /// is what the auto-vectorizer turns into the cheapest possible
+    /// unsigned min-reduce.
     #[must_use]
     pub fn min_next_transition_at(&self) -> u64 {
-        let mut min = u64::MAX;
-        for i in 0..self.open_row.len() {
-            let mask = u64::from(self.open_row[i] != ROW_NONE).wrapping_neg();
-            let open_bound = self.next_column[i].min(self.next_pre[i]);
-            let bound = (open_bound & mask) | (self.next_act[i] & !mask);
-            min = min.min(bound);
+        if self.packed_transition.is_empty() {
+            return u64::MAX;
         }
-        min
+        let mut packed_min = u64::MAX;
+        for &packed in &self.packed_transition {
+            packed_min = packed_min.min(packed);
+        }
+        packed_min >> INDEX_BITS
     }
 
     /// Checks whether activating a row of bank `i` at `now` is legal.
@@ -161,6 +197,7 @@ impl BankTimingTable {
         self.next_pre[i] = now + timing.t_ras;
         self.next_column[i] = now + timing.t_rcd;
         self.next_act[i] = now + timing.t_rc;
+        self.refresh_packed(i);
         Ok(())
     }
 
@@ -198,6 +235,7 @@ impl BankTimingTable {
         if self.open_row[i] != ROW_NONE {
             self.open_row[i] = ROW_NONE;
             self.next_act[i] = self.next_act[i].max(now + timing.t_rp);
+            self.refresh_packed(i);
         }
         Ok(())
     }
@@ -247,6 +285,7 @@ impl BankTimingTable {
         self.can_access_column(i, row, now)?;
         self.next_column[i] = now + timing.t_ccd;
         self.next_pre[i] = self.next_pre[i].max(now + timing.t_rtp);
+        self.refresh_packed(i);
         Ok(now + timing.read_latency())
     }
 
@@ -266,6 +305,7 @@ impl BankTimingTable {
         self.can_access_column(i, row, now)?;
         self.next_column[i] = now + timing.t_ccd;
         self.next_pre[i] = self.next_pre[i].max(now + timing.t_cl + timing.t_bl + timing.t_wr);
+        self.refresh_packed(i);
         Ok(now + timing.t_cl + timing.t_bl)
     }
 
@@ -278,6 +318,7 @@ impl BankTimingTable {
         self.next_act[i] = self.next_act[i].max(until);
         self.next_pre[i] = self.next_pre[i].max(until);
         self.next_column[i] = self.next_column[i].max(until);
+        self.refresh_packed(i);
     }
 
     /// Applies [`BankTimingTable::block_until`] to every bank at once.

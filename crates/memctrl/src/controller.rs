@@ -340,7 +340,18 @@ impl MemoryController {
     /// Advances the controller by one tick.  At most one DRAM command is
     /// issued per tick.  Returns the requests that completed at this tick.
     pub fn tick(&mut self, now: u64) -> Vec<CompletedRequest> {
-        let mut completed = self.collect_completions(now);
+        let mut completed = Vec::new();
+        self.tick_into(now, &mut completed);
+        completed
+    }
+
+    /// [`MemoryController::tick`] with a caller-owned completion buffer:
+    /// appends this tick's completions to `completed` instead of allocating
+    /// a fresh `Vec` per poll.  This is the hot-loop entry point — the
+    /// memory subsystem polls a controller at every one of its wake-ups, so
+    /// the buffer lives across ticks at the call site.
+    pub fn tick_into(&mut self, now: u64, completed: &mut Vec<CompletedRequest>) {
+        self.collect_completions_into(now, completed);
 
         // 1. Periodic refresh has the highest priority once due.
         if self.config.refresh_enabled
@@ -355,21 +366,20 @@ impl MemoryController {
                 if performs_tref {
                     self.mitigation.note_targeted_refresh(now);
                 }
-                return completed;
+                return;
             }
         }
         // Refresh due but channel blocked: fall through and retry next tick.
 
         // 2. Mitigation policies (RFM engines).
         if self.drive_rfm_engines(now) {
-            return completed;
+            return;
         }
 
         // 3. Demand scheduling.
         self.schedule_demand(now);
 
-        completed.extend(self.collect_completions(now));
-        completed
+        self.collect_completions_into(now, completed);
     }
 
     /// Runs the ABO responder and the mitigation engine; returns `true` when
@@ -604,9 +614,9 @@ impl MemoryController {
         wake
     }
 
-    /// Removes and returns requests whose completion tick has been reached.
-    fn collect_completions(&mut self, now: u64) -> Vec<CompletedRequest> {
-        let mut completed = Vec::new();
+    /// Removes requests whose completion tick has been reached, appending
+    /// them to the caller-owned buffer.
+    fn collect_completions_into(&mut self, now: u64, completed: &mut Vec<CompletedRequest>) {
         let mut i = 0;
         while i < self.pending.len() {
             if let Some(done) = self.pending[i].completion_tick {
@@ -630,7 +640,6 @@ impl MemoryController {
             }
             i += 1;
         }
-        completed
     }
 }
 

@@ -5,10 +5,16 @@
 //! waiting out a timing constraint.  The [`EventEngine`] eliminates those
 //! dead cycles: after settling a tick it asks each component for the next
 //! tick at which it could possibly act — the CPU cluster reports the
-//! earliest retire/issue opportunity, the memory controller the earliest
-//! completion, refresh, RFM-engine or demand-scheduling opportunity — and
-//! registers those wake-ups with a slab-backed [`EventWheel`], then jumps
-//! straight to the earliest one.
+//! earliest retire/issue opportunity, each channel's memory controller the
+//! earliest completion, refresh, RFM-engine or demand-scheduling
+//! opportunity — and registers those wake-ups with a slab-backed
+//! [`EventWheel`], then jumps straight to the earliest one.
+//!
+//! Wake-ups are keyed by **(tick, source slot)**, with one slot per channel
+//! controller: a 4-channel wheel holds the cluster, the forwarding glue and
+//! four independent channel streams, so the engine polls only the channels
+//! whose wake-up equals the tick it jumped to instead of all of them (see
+//! `SystemSimulation::run_event_from`).
 //!
 //! # Cycle-exactness
 //!
@@ -36,12 +42,18 @@ use std::collections::BinaryHeap;
 
 use crate::system::{SystemResult, SystemSimulation};
 
-/// Who registered a wake-up with the [`EventWheel`].
+/// Who registered a wake-up with a default-shaped ([`EventWheel::new`])
+/// wheel.
+///
+/// The engine's own wheel is built with [`EventWheel::with_slots`] and
+/// addresses slots directly (fixed cluster/forwarding slots followed by one
+/// slot per channel controller); this enum remains the addressing scheme
+/// for three-slot wheels in tests and benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventSource {
     /// The CPU cluster (earliest retire or issue opportunity).
     Cluster = 0,
-    /// The memory controller (completions, refresh, RFM engines, demand).
+    /// A memory controller (completions, refresh, RFM engines, demand).
     Controller = 1,
     /// The system glue: backlog requests waiting for controller queue space.
     Forwarding = 2,
@@ -188,6 +200,19 @@ impl EventWheel {
             return Some(tick);
         }
         None
+    }
+
+    /// The tick slot `slot` is currently armed at, or `None` when the slot
+    /// is disarmed.  The engine uses this to decide which channels a jump
+    /// lands on: a channel is polled exactly when its slot is armed at the
+    /// tick the wheel handed out.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range.
+    #[must_use]
+    pub fn armed_at(&self, slot: usize) -> Option<u64> {
+        self.slots[slot].armed_at
     }
 
     /// Number of live (non-stale) wake-ups currently armed.

@@ -353,6 +353,21 @@ pub struct ExperimentConfig {
     /// by the differential suite), so this is an execution knob, not part of
     /// the experiment's identity.
     pub engine: EngineKind,
+    /// Worker threads stepping due channels of one event round in parallel
+    /// (values ≤ 1 step sequentially).  Results are bit-identical for every
+    /// value (asserted by the thread-count race in the differential suite),
+    /// so like `engine` this is an execution knob excluded from the
+    /// experiment's identity and the campaign cache keys.
+    #[serde(default = "default_sim_threads")]
+    pub sim_threads: usize,
+}
+
+/// Serde default for [`ExperimentConfig::sim_threads`]: sequential stepping.
+// Referenced by the `#[serde(default = "...")]` attribute above; the offline
+// serde-derive shim does not expand it, so the compiler cannot see the use.
+#[allow(dead_code)]
+fn default_sim_threads() -> usize {
+    1
 }
 
 impl ExperimentConfig {
@@ -369,6 +384,7 @@ impl ExperimentConfig {
             channels: 1,
             attack: None,
             engine: EngineKind::default(),
+            sim_threads: 1,
         }
     }
 
@@ -376,6 +392,14 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the worker-thread count for parallel channel stepping (values
+    /// ≤ 1 step sequentially; results are identical either way).
+    #[must_use]
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
         self
     }
 
@@ -468,6 +492,7 @@ impl ExperimentConfig {
                 .saturating_mul(600)
                 .max(20_000_000),
             engine: self.engine,
+            sim_threads: self.sim_threads,
         })
     }
 }

@@ -250,6 +250,57 @@ where
     collect(state)
 }
 
+/// Applies `f` to every item of `items` in place, fanning contiguous chunks
+/// out over up to `threads` scoped threads.  With one thread (or fewer than
+/// two items) this degenerates to a plain sequential loop with no thread
+/// machinery at all.
+///
+/// This is the channel-sharding primitive: the items are per-channel shards
+/// that share no state, each is mutated independently, and the caller
+/// merges any outputs in item order afterwards — so the observable result
+/// is identical for every thread count.  Unlike [`parallel_map`] there is
+/// no work stealing: one event round's shards are few and similarly sized,
+/// and the per-round latency of chunked scoped spawns is what matters, not
+/// imbalance resilience.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic with its **original payload**, matching
+/// [`parallel_map`].
+pub fn parallel_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Send + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for shard in items.chunks_mut(chunk) {
+            let f = &f;
+            let panic_payload = &panic_payload;
+            scope.spawn(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                    for item in shard {
+                        f(item);
+                    }
+                })) {
+                    panic_payload.lock().get_or_insert(payload);
+                }
+            });
+        }
+    });
+    if let Some(payload) = panic_payload.into_inner() {
+        resume_unwind(payload);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +373,36 @@ mod tests {
         });
         let out = parallel_map_streaming(inputs, 4, |x| x * 3);
         assert_eq!(out, (0..24u64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_mutates_every_item_at_any_thread_count() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..37).collect();
+            parallel_for_each_mut(&mut items, threads, |x| *x *= 2);
+            assert_eq!(
+                items,
+                (0..37).map(|x| x * 2).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        parallel_for_each_mut(&mut empty, 4, |_| unreachable!());
+    }
+
+    #[test]
+    fn for_each_mut_propagates_the_original_panic_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut items: Vec<u32> = (0..16).collect();
+            parallel_for_each_mut(&mut items, 4, |x| {
+                assert!(*x != 7, "shard payload {x}");
+            });
+        })
+        .expect_err("a shard panic must propagate");
+        let message = caught
+            .downcast_ref::<String>()
+            .expect("payload should be the original formatted message");
+        assert_eq!(message, "shard payload 7");
     }
 
     #[test]

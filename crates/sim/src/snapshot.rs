@@ -128,6 +128,12 @@ impl PrefixOutcome {
 /// the bits of engine-loop state (current tick, un-forwarded request
 /// backlog) needed to continue exactly where the run left off.
 ///
+/// The event wheel (including its per-channel slots) and the per-channel
+/// due mask are *not* captured: both are derived state that the event
+/// engine's main loop rebuilds on its first iteration — the resumed run
+/// starts with every channel due, which over-polls harmlessly and
+/// converges to the exact fired set after one jump.
+///
 /// Cloning ([`PausedSimulation::fork`]) deep-copies everything, so one
 /// captured prefix can seed arbitrarily many divergent continuations.
 #[derive(Debug, Clone)]
@@ -261,6 +267,7 @@ mod tests {
             instructions_per_core: 3_000,
             max_ticks: 50_000_000,
             engine,
+            sim_threads: 1,
         };
         SystemSimulation::new(config, traces)
     }

@@ -53,6 +53,11 @@ pub struct MemorySubsystem {
     /// Subsystem-level copy of the address mapping, used only to route
     /// requests to channels (each controller re-decodes internally).
     router: Box<dyn AddressMapping>,
+    /// One reusable completion buffer per channel for the parallel stepping
+    /// path of [`MemorySubsystem::tick_due`].  Always drained back to empty
+    /// before the call returns, so this is scratch space, not state — a
+    /// forked clone carrying empty buffers is correct by construction.
+    scratch: Vec<Vec<CompletedRequest>>,
 }
 
 /// Splay constant mixed into per-channel seeds (the golden-ratio mixer);
@@ -98,6 +103,7 @@ impl MemorySubsystem {
         Self {
             controllers,
             router,
+            scratch: (0..channels).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -169,21 +175,78 @@ impl MemorySubsystem {
         self.controllers[channel as usize].enqueue(request)
     }
 
-    /// Advances every channel by one tick, in channel order, returning all
-    /// completions.  The fixed order keeps multi-channel runs deterministic.
-    pub fn tick(&mut self, now: u64) -> Vec<CompletedRequest> {
-        if self.controllers.len() == 1 {
-            return self.controllers[0].tick(now);
-        }
-        let mut completed = Vec::new();
+    /// Advances every channel by one tick, in channel order, appending all
+    /// completions to the caller-owned buffer.  The fixed order keeps
+    /// multi-channel runs deterministic, and the reused buffer keeps the
+    /// per-tick hot path allocation-free.
+    pub fn tick(&mut self, now: u64, completed: &mut Vec<CompletedRequest>) {
         for controller in &mut self.controllers {
-            completed.extend(controller.tick(now));
+            controller.tick_into(now, completed);
         }
-        completed
+    }
+
+    /// Advances exactly the channels whose `due` flag is set by one tick,
+    /// appending their completions to `completed` in channel order.
+    ///
+    /// This is the per-channel scheduling entry point: the event engine
+    /// tracks one wake-up stream per channel and sets `due` only for the
+    /// channels whose wake-up equals `now`, so a quiet channel no longer
+    /// pays for every busy channel's events.  Skipping a non-due channel is
+    /// exact, not approximate: by the engine purity contract a poll of a
+    /// channel before its registered wake-up is a pure no-op, and an
+    /// unpolled channel's state (hence its armed wake-up) cannot change.
+    ///
+    /// When `sim_threads > 1` and at least two channels are due, the due
+    /// channels step concurrently on scoped threads — channels share no
+    /// state between the request-fanout and completion-merge barriers.
+    /// Each channel fills its own scratch buffer and the buffers are
+    /// drained into `completed` in channel index order, which is exactly
+    /// the sequential iteration order, so the output (request completion
+    /// order, and therefore every downstream id, statistic and log) is
+    /// byte-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `due.len()` differs from the channel
+    /// count.
+    pub fn tick_due(
+        &mut self,
+        now: u64,
+        due: &[bool],
+        sim_threads: usize,
+        completed: &mut Vec<CompletedRequest>,
+    ) {
+        debug_assert_eq!(due.len(), self.controllers.len());
+        let due_count = due.iter().filter(|&&is_due| is_due).count();
+        if sim_threads > 1 && due_count > 1 {
+            let mut shards: Vec<(&mut MemoryController, &mut Vec<CompletedRequest>)> = self
+                .controllers
+                .iter_mut()
+                .zip(self.scratch.iter_mut())
+                .enumerate()
+                .filter(|&(channel, _)| due[channel])
+                .map(|(_, shard)| shard)
+                .collect();
+            crate::parallel::parallel_for_each_mut(&mut shards, sim_threads, |shard| {
+                let (controller, buffer) = shard;
+                controller.tick_into(now, buffer);
+            });
+            // Completion-merge barrier: drain the per-channel buffers in
+            // channel index order — the sequential order exactly.
+            for (_, buffer) in shards {
+                completed.append(buffer);
+            }
+            return;
+        }
+        for (channel, controller) in self.controllers.iter_mut().enumerate() {
+            if due[channel] {
+                controller.tick_into(now, completed);
+            }
+        }
     }
 
     /// Earliest tick strictly after `now` at which *any* channel could act:
-    /// the min of every controller's wake-up registration.  `None` when all
+    /// the min of every channel's wake-up registration.  `None` when all
     /// channels are fully idle.
     #[must_use]
     pub fn next_event_at(&self, now: u64) -> Option<u64> {
@@ -191,6 +254,18 @@ impl MemorySubsystem {
             .iter()
             .filter_map(|controller| controller.next_event_at(now))
             .min()
+    }
+
+    /// Earliest tick strictly after `now` at which the given channel could
+    /// act — that channel's own wake-up stream for the per-channel slots of
+    /// the event wheel.  `None` when the channel is fully idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is out of range.
+    #[must_use]
+    pub fn next_event_at_channel(&self, channel: u32, now: u64) -> Option<u64> {
+        self.controllers[channel as usize].next_event_at(now)
     }
 
     /// Controller statistics summed over every channel.
@@ -235,17 +310,20 @@ impl MemorySubsystem {
         if self.controllers.len() == 1 {
             return self.controllers[0].rfm_log().to_vec();
         }
-        let mut tagged: Vec<(u64, u32, RfmKind)> = self
+        let total: usize = self
             .controllers
             .iter()
-            .enumerate()
-            .flat_map(|(channel, controller)| {
+            .map(|controller| controller.rfm_log().len())
+            .sum();
+        let mut tagged: Vec<(u64, u32, RfmKind)> = Vec::with_capacity(total);
+        for (channel, controller) in self.controllers.iter().enumerate() {
+            tagged.extend(
                 controller
                     .rfm_log()
                     .iter()
-                    .map(move |&(tick, kind)| (tick, channel as u32, kind))
-            })
-            .collect();
+                    .map(|&(tick, kind)| (tick, channel as u32, kind)),
+            );
+        }
         tagged.sort_by_key(|&(tick, channel, _)| (tick, channel));
         tagged
             .into_iter()
@@ -309,7 +387,7 @@ mod tests {
         assert_ne!(sub.route(0), sub.route(64));
         let mut completed = Vec::new();
         for now in 0..2_000 {
-            completed.extend(sub.tick(now));
+            sub.tick(now, &mut completed);
         }
         assert_eq!(completed.len(), 2);
         let stats = sub.aggregated_controller_stats();
@@ -346,7 +424,7 @@ mod tests {
         assert!(sub.enqueue(0, MemoryRequest::read(9, 0x40, 0, 0)));
         let mut completed = Vec::new();
         for now in 0..2_000 {
-            completed.extend(sub.tick(now));
+            sub.tick(now, &mut completed);
         }
         assert_eq!(completed.len(), 1);
         assert_eq!(sub.merged_rfm_log(), sub.controller(0).rfm_log());
@@ -389,6 +467,61 @@ mod tests {
         assert_eq!(obf_seeds[0], 0x5eed_5eed);
         let unique: std::collections::HashSet<u64> = obf_seeds.iter().copied().collect();
         assert_eq!(unique.len(), 4, "per-channel injection seeds must differ");
+    }
+
+    /// The sharded stepping path must be byte-identical to the sequential
+    /// walk: same completion order, same per-channel statistics, for every
+    /// thread count — the core determinism contract of `--sim-threads`.
+    #[test]
+    fn tick_due_is_thread_count_independent() {
+        let run = |sim_threads: usize| {
+            let mut sub = subsystem(4);
+            let mut id = 0u64;
+            for line in 0..32u64 {
+                let pa = line * 64;
+                let channel = sub.route(pa);
+                if sub.can_accept(channel) {
+                    assert!(sub.enqueue(channel, MemoryRequest::read(id, pa, 0, 0)));
+                    id += 1;
+                }
+            }
+            let due = vec![true; 4];
+            let mut completed = Vec::new();
+            for now in 0..4_000 {
+                sub.tick_due(now, &due, sim_threads, &mut completed);
+            }
+            (completed, sub.channel_stats(), sub.merged_rfm_log())
+        };
+        let sequential = run(1);
+        assert!(!sequential.0.is_empty(), "the workload must complete reads");
+        for sim_threads in [2usize, 4, 8] {
+            assert_eq!(run(sim_threads), sequential, "threads = {sim_threads}");
+        }
+    }
+
+    /// Only due channels may be polled — and polling a channel before its
+    /// registered wake-up must be a no-op (the purity contract per-channel
+    /// scheduling rests on).
+    #[test]
+    fn non_due_channels_are_left_untouched() {
+        let mut sub = subsystem(2);
+        let pa = (0..64)
+            .map(|i| i * 64)
+            .find(|&pa| sub.route(pa) == 1)
+            .expect("some line routes to channel 1");
+        assert!(sub.enqueue(1, MemoryRequest::read(1, pa, 0, 0)));
+        let mut completed = Vec::new();
+        // Poll only channel 0 (idle): nothing may happen anywhere.
+        for now in 0..2_000 {
+            sub.tick_due(now, &[true, false], 1, &mut completed);
+        }
+        assert!(completed.is_empty());
+        assert_eq!(sub.aggregated_controller_stats().reads_completed, 0);
+        // Now poll channel 1 as well: the read completes.
+        for now in 2_000..4_000 {
+            sub.tick_due(now, &[true, true], 1, &mut completed);
+        }
+        assert_eq!(completed.len(), 1);
     }
 
     #[test]

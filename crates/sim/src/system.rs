@@ -21,14 +21,21 @@ use cpu_sim::trace::Trace;
 use dram_sim::device::DramDeviceConfig;
 use dram_sim::stats::DramStats;
 use memctrl::controller::ControllerConfig;
-use memctrl::request::{MemoryRequest, RequestKind};
+use memctrl::request::{CompletedRequest, MemoryRequest, RequestKind};
 use memctrl::rfm::RfmKind;
 use memctrl::stats::ControllerStats;
 use serde::{Deserialize, Serialize};
 
-use crate::event::{EngineKind, EventSource, EventWheel, SimulationEngine};
+use crate::event::{EngineKind, EventWheel, SimulationEngine};
 use crate::snapshot::{PausedSimulation, PrefixOutcome};
 use crate::subsystem::{ChannelStats, MemorySubsystem};
+
+/// Wheel slot for the CPU cluster's next wake-up.
+const SLOT_CLUSTER: usize = 0;
+/// Wheel slot for pending backlog forwarding (always `now + 1` when armed).
+const SLOT_FORWARDING: usize = 1;
+/// First per-channel wheel slot; channel `ch` lives at `CHANNEL_SLOT_BASE + ch`.
+const CHANNEL_SLOT_BASE: usize = 2;
 
 /// Configuration of one full-system run.
 #[derive(Debug, Clone)]
@@ -45,6 +52,12 @@ pub struct SystemConfig {
     pub max_ticks: u64,
     /// Which engine visits the ticks (results are engine-independent).
     pub engine: EngineKind,
+    /// Worker threads for stepping independent channels of one event round
+    /// concurrently (values ≤ 1 step sequentially).  Results are
+    /// bit-identical for every value — like `engine`, this is an execution
+    /// knob, not part of what is simulated, and is excluded from campaign
+    /// cache keys.
+    pub sim_threads: usize,
 }
 
 impl SystemConfig {
@@ -77,6 +90,7 @@ impl SystemConfig {
             instructions_per_core,
             max_ticks: instructions_per_core.saturating_mul(400).max(10_000_000),
             engine: EngineKind::default(),
+            sim_threads: 1,
         }
     }
 
@@ -184,6 +198,7 @@ pub struct SystemSimulation {
     /// is far from the critical path.
     inflight: std::collections::HashMap<u64, (u32, u64)>,
     next_controller_id: u64,
+    sim_threads: usize,
 }
 
 impl SystemSimulation {
@@ -206,6 +221,7 @@ impl SystemSimulation {
             engine: config.engine,
             inflight: std::collections::HashMap::new(),
             next_controller_id: 0,
+            sim_threads: config.sim_threads.max(1),
         }
     }
 
@@ -250,7 +266,22 @@ impl SystemSimulation {
     /// routing.  Both engines drive this exact function — the tick engine
     /// for every tick, the event engine only for ticks in which something
     /// can happen.
-    fn step(&mut self, now: u64, backlog: &mut Vec<BacklogEntry>) {
+    ///
+    /// `due` selects which channels are polled this tick.  Polling a
+    /// channel ahead of its wake-up is a pure no-op (the engine purity
+    /// contract), so the tick engine passes an all-true mask while the
+    /// event engine narrows it to the channels whose wheel slot fired —
+    /// the results are bit-identical either way.  Fanning a request out to
+    /// a channel marks it due: the enqueue mutates that controller, so its
+    /// previously armed wake-up no longer covers it.  `completions` is
+    /// caller-owned scratch, drained before the function returns.
+    fn step(
+        &mut self,
+        now: u64,
+        backlog: &mut Vec<BacklogEntry>,
+        due: &mut [bool],
+        completions: &mut Vec<CompletedRequest>,
+    ) {
         // 1. CPU side: collect new DRAM-bound requests, routing each to its
         //    channel once on arrival.
         let output = self.cluster.tick(now);
@@ -285,14 +316,17 @@ impl SystemSimulation {
             };
             let accepted = self.memory.enqueue(entry.channel, request);
             debug_assert!(accepted);
+            due[entry.channel as usize] = true;
             if !entry.request.is_write && entry.core != u32::MAX {
                 self.inflight.insert(id, (entry.core, entry.request.id));
             }
         }
 
-        // 3. Memory side: advance every channel one tick and merge the
+        // 3. Memory side: advance the due channels one tick and merge the
         //    per-channel completions back into the in-flight map.
-        for completion in self.memory.tick(now) {
+        self.memory
+            .tick_due(now, due, self.sim_threads, completions);
+        for completion in completions.drain(..) {
             if completion.kind == RequestKind::Read {
                 if let Some((core, core_req_id)) = self.inflight.remove(&completion.id) {
                     self.cluster.on_memory_completion(core, core_req_id);
@@ -334,8 +368,12 @@ impl SystemSimulation {
         pause_at: Option<u64>,
     ) -> PrefixOutcome {
         let bound = pause_at.unwrap_or(self.max_ticks).min(self.max_ticks);
+        // The tick engine visits every tick, so every channel is due every
+        // tick (`step` only ever sets flags, never clears them).
+        let mut due = vec![true; self.memory.channels() as usize];
+        let mut completions = Vec::new();
         while now < bound && !self.cluster.all_finished() {
-            self.step(now, &mut backlog);
+            self.step(now, &mut backlog, &mut due, &mut completions);
             now += 1;
         }
         if now < self.max_ticks && !self.cluster.all_finished() {
@@ -370,14 +408,23 @@ impl SystemSimulation {
     ///
     /// The event wheel is always rebuilt from component wake-ups on the
     /// first iteration, so a resumed run starts with a fresh wheel rather
-    /// than a captured one (the wheel is derived state).
+    /// than a captured one (the wheel is derived state).  The same holds
+    /// for the per-channel due mask: it starts all-true, which over-polls
+    /// harmlessly (polling ahead of a wake-up is a no-op) and converges to
+    /// the exact fired set after one jump.
     pub(crate) fn run_event_from(
         mut self,
         mut now: u64,
         mut backlog: Vec<BacklogEntry>,
         pause_at: Option<u64>,
     ) -> PrefixOutcome {
-        let mut wheel = EventWheel::new();
+        let channels = self.memory.channels() as usize;
+        let mut wheel = EventWheel::with_slots(CHANNEL_SLOT_BASE + channels);
+        // All channels due on the first iteration: cold starts and resumed
+        // forks alike begin with one full poll, then narrow to the channels
+        // whose slot actually fired.
+        let mut due = vec![true; channels];
+        let mut completions = Vec::new();
         if now >= self.max_ticks || self.cluster.all_finished() {
             return PrefixOutcome::Finished(self.finish(now));
         }
@@ -389,14 +436,21 @@ impl SystemSimulation {
         loop {
             // Invariant: now < max_ticks and at least one core is unfinished,
             // mirroring the tick engine's loop condition.
-            self.step(now, &mut backlog);
+            self.step(now, &mut backlog, &mut due, &mut completions);
             if self.cluster.all_finished() {
                 now += 1;
                 break;
             }
-            wheel.reregister(EventSource::Cluster, self.cluster.next_event_at(now));
-            // The memory wake-up is the min across every channel controller.
-            wheel.reregister(EventSource::Controller, self.memory.next_event_at(now));
+            wheel.reregister_slot(SLOT_CLUSTER, self.cluster.next_event_at(now));
+            // Each channel keeps its own wheel slot.  A channel that was
+            // not polled this tick did not change state, so its armed
+            // wake-up is still exact — only due channels need re-arming.
+            for (channel, is_due) in due.iter().enumerate() {
+                if *is_due {
+                    let wake = self.memory.next_event_at_channel(channel as u32, now);
+                    wheel.reregister_slot(CHANNEL_SLOT_BASE + channel, wake);
+                }
+            }
             // Forwarding is pending when any backlog entry's own channel has
             // queue space (a full channel must not mask another channel's
             // waiting request).
@@ -404,7 +458,7 @@ impl SystemSimulation {
                 .iter()
                 .any(|entry| self.memory.can_accept(entry.channel))
                 .then_some(now + 1);
-            wheel.reregister(EventSource::Forwarding, forwarding);
+            wheel.reregister_slot(SLOT_FORWARDING, forwarding);
             // No wake-up means the system is dead in the water (e.g. every
             // core waits on a completion that can never come); the tick
             // engine would spin to the cap, so jump there directly.
@@ -426,6 +480,13 @@ impl SystemSimulation {
             if next >= self.max_ticks {
                 now = self.max_ticks;
                 break;
+            }
+            // The jump lands on `next`: poll exactly the channels whose
+            // slot is armed there.  (Cluster and forwarding wake-ups do not
+            // by themselves make a channel due — fan-out marks the target
+            // channel due inside `step` when a request actually lands.)
+            for (channel, is_due) in due.iter_mut().enumerate() {
+                *is_due = wheel.armed_at(CHANNEL_SLOT_BASE + channel) == Some(next);
             }
             now = next;
         }
@@ -471,6 +532,7 @@ mod tests {
             instructions_per_core: instr,
             max_ticks: 50_000_000,
             engine: EngineKind::default(),
+            sim_threads: 1,
         };
         SystemSimulation::new(config, traces)
     }
@@ -583,6 +645,7 @@ mod tests {
                 instructions_per_core: instr,
                 max_ticks: 50_000_000,
                 engine: EngineKind::default(),
+                sim_threads: 1,
             }
         };
         sim_config.cpu.cores = traces.len() as u32;
@@ -655,6 +718,7 @@ mod tests {
             instructions_per_core: 4_000,
             max_ticks: 50_000_000,
             engine: EngineKind::default(),
+            sim_threads: 1,
         };
         SystemSimulation::new(config, traces)
     }
