@@ -11,6 +11,7 @@
 
 use std::path::PathBuf;
 
+use dram_sim::DeviceProfile;
 use result_store::{Bundle, ResultStore};
 use serde_json::{Map, Value};
 use system_sim::{AttackKind, EngineKind};
@@ -32,6 +33,8 @@ struct Options {
     instructions_per_core: Option<u64>,
     cores: Option<u32>,
     channels: Option<u32>,
+    ranks: Option<u32>,
+    device_profile: Option<DeviceProfile>,
     attack: Option<AttackKind>,
     workers: Option<usize>,
     engine: EngineKind,
@@ -55,6 +58,7 @@ enum Command {
     List,
     Mitigations,
     Attacks,
+    Profiles,
     Run,
     Serve,
     Query,
@@ -72,6 +76,7 @@ USAGE:
     prac-bench list [--full]
     prac-bench mitigations
     prac-bench attacks
+    prac-bench profiles
     prac-bench run <name>... [options]
     prac-bench run --all [options]
     prac-bench serve [--addr H:P | --socket PATH] [--cache-dir DIR] [--engine E]
@@ -86,6 +91,7 @@ COMMANDS:
     list              Enumerate the registered campaigns
     mitigations       Enumerate the registered mitigation setups
     attacks           Enumerate the registered attack patterns
+    profiles          Enumerate the named DDR5 device timing profiles
     run               Execute campaigns through the parallel runner
     serve             Answer scenario queries from the result store over
                       newline-delimited JSON (run-on-miss, persist, reply)
@@ -109,6 +115,13 @@ OPTIONS:
     --channels <N>    Override memory-channel count for performance cells
                       (power of two; the `scaling` campaign sweeps its own
                       channel counts and ignores this knob)
+    --ranks <N>       Override ranks per channel for performance cells
+                      (power of two; default: the device organization's own
+                      rank count; the `scaling` campaign sweeps its own
+                      rank counts and ignores this knob)
+    --profile <SLUG>  Run cells against a named DDR5 device timing profile
+                      (see `prac-bench profiles` for slugs; default:
+                      jedec-baseline)
     --attack <SLUG>   Run performance cells with an adversarial co-runner on
                       one extra core (see `prac-bench attacks` for slugs;
                       the `attacks` campaign sweeps its own patterns and
@@ -157,6 +170,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         instructions_per_core: None,
         cores: None,
         channels: None,
+        ranks: None,
+        device_profile: None,
         attack: None,
         workers: None,
         engine: EngineKind::default(),
@@ -179,6 +194,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         Some("list") => options.command = Command::List,
         Some("mitigations") => options.command = Command::Mitigations,
         Some("attacks") => options.command = Command::Attacks,
+        Some("profiles") => options.command = Command::Profiles,
         Some("run") => options.command = Command::Run,
         Some("serve") => options.command = Command::Serve,
         Some("query") => options.command = Command::Query,
@@ -202,11 +218,25 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--instr" => options.instructions_per_core = Some(numeric("--instr")?),
             "--cores" => options.cores = Some(numeric("--cores")? as u32),
             "--channels" => {
-                let channels = numeric("--channels")? as u32;
-                if channels == 0 || !channels.is_power_of_two() {
-                    return Err(format!("--channels must be a power of two, got {channels}"));
-                }
-                options.channels = Some(channels);
+                options.channels = Some(power_of_two_flag("--channels", numeric("--channels")?)?);
+            }
+            "--ranks" => {
+                options.ranks = Some(power_of_two_flag("--ranks", numeric("--ranks")?)?);
+            }
+            "--profile" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--profile requires a device-profile slug".to_string())?;
+                options.device_profile = Some(DeviceProfile::parse(value).ok_or_else(|| {
+                    let known: Vec<&str> = DeviceProfile::registry()
+                        .into_iter()
+                        .map(DeviceProfile::slug)
+                        .collect();
+                    format!(
+                        "unknown device profile `{value}` (known: {})",
+                        known.join(", ")
+                    )
+                })?);
             }
             "--attack" => {
                 let value = iter
@@ -319,6 +349,20 @@ fn parse(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
+/// Validates a power-of-two topology flag.  The wording mirrors the
+/// simulator's own `ExperimentConfig` validation so the CLI and the library
+/// reject a bad count with the same message, naming the accepted range.
+fn power_of_two_flag(name: &str, value: u64) -> Result<u32, String> {
+    let value = u32::try_from(value)
+        .map_err(|_| format!("{name} must be a power of two (1, 2, 4, ...), got {value}"))?;
+    if value == 0 || !value.is_power_of_two() {
+        return Err(format!(
+            "{name} must be a power of two (1, 2, 4, ...), got {value}"
+        ));
+    }
+    Ok(value)
+}
+
 fn profile_for(options: &Options) -> Profile {
     let mut profile = if options.full {
         Profile::full()
@@ -333,6 +377,12 @@ fn profile_for(options: &Options) -> Profile {
     }
     if let Some(channels) = options.channels {
         profile.channels = channels;
+    }
+    if let Some(ranks) = options.ranks {
+        profile.ranks = ranks;
+    }
+    if let Some(device_profile) = options.device_profile {
+        profile.device_profile = device_profile;
     }
     if let Some(attack) = options.attack {
         profile.attack = Some(attack);
@@ -405,6 +455,37 @@ pub fn run_cli(args: &[String]) -> i32 {
             }
             0
         }
+        Command::Profiles => {
+            let registry = DeviceProfile::registry();
+            println!("{} named device timing profiles:\n", registry.len());
+            println!(
+                "{:<16} {:<22} {:>8} {:>9} {:>11} {:<10}  summary",
+                "slug", "label", "tRFC", "tRFMab", "PRAC", "on-die ECC"
+            );
+            for profile in registry {
+                let timing = profile.timing();
+                let prac: Vec<String> = prac_core::config::PracLevel::all()
+                    .into_iter()
+                    .filter(|level| profile.supports_prac_level(*level))
+                    .map(|level| level.rfms_per_alert().to_string())
+                    .collect();
+                let ecc = profile.on_die_ecc().map_or_else(
+                    || "none".to_string(),
+                    |ecc| format!("SEC/{}b", ecc.codeword_bits),
+                );
+                println!(
+                    "{:<16} {:<22} {:>7}t {:>8}t {:>11} {:<10}  {}",
+                    profile.slug(),
+                    profile.label(),
+                    timing.t_rfc,
+                    timing.t_rfmab,
+                    prac.join("/"),
+                    ecc,
+                    profile.summary()
+                );
+            }
+            0
+        }
         Command::Run => run_command(&options),
         Command::Serve => serve_command(&options),
         Command::Query => query_command(&options),
@@ -430,7 +511,8 @@ pub fn delegate(campaign_name: &str) -> i32 {
     while let Some(arg) = env.next() {
         match arg.as_str() {
             "--full" => args.push(arg),
-            "--instr" | "--workers" | "--engine" | "--channels" | "--attack" => {
+            "--instr" | "--workers" | "--engine" | "--channels" | "--ranks" | "--profile"
+            | "--attack" => {
                 if let Some(value) = env.next() {
                     args.push(arg);
                     args.push(value);
@@ -1190,6 +1272,53 @@ mod tests {
     }
 
     #[test]
+    fn topology_flags_reject_bad_counts_naming_the_accepted_range() {
+        // Both topology knobs share one validator, so a bad count is
+        // rejected with identical wording that names the accepted range.
+        for flag in ["--channels", "--ranks"] {
+            let error = parse(&args(&["run", "fig10", flag, "3"])).unwrap_err();
+            assert_eq!(
+                error,
+                format!("{flag} must be a power of two (1, 2, 4, ...), got 3")
+            );
+            let error = parse(&args(&["run", "fig10", flag, "0"])).unwrap_err();
+            assert_eq!(
+                error,
+                format!("{flag} must be a power of two (1, 2, 4, ...), got 0")
+            );
+        }
+    }
+
+    #[test]
+    fn parses_and_validates_ranks() {
+        let options = parse(&args(&["run", "scaling", "--ranks", "2"])).unwrap();
+        assert_eq!(options.ranks, Some(2));
+        assert_eq!(profile_for(&options).ranks, 2);
+        assert!(parse(&args(&["run", "fig10", "--ranks", "3"])).is_err());
+        assert!(parse(&args(&["run", "fig10", "--ranks"])).is_err());
+        // Unset means "use the organization's own rank count".
+        assert_eq!(
+            profile_for(&parse(&args(&["run", "fig10"])).unwrap()).ranks,
+            0
+        );
+    }
+
+    #[test]
+    fn parses_and_validates_device_profiles() {
+        let options = parse(&args(&["run", "fig10", "--profile", "vendor-a"])).unwrap();
+        assert_eq!(options.device_profile, Some(DeviceProfile::VendorA));
+        assert_eq!(profile_for(&options).device_profile, DeviceProfile::VendorA);
+        let error = parse(&args(&["run", "fig10", "--profile", "vendor-z"])).unwrap_err();
+        assert!(error.contains("unknown device profile `vendor-z`"));
+        assert!(error.contains("jedec-baseline"));
+        assert!(parse(&args(&["run", "fig10", "--profile"])).is_err());
+        assert_eq!(
+            profile_for(&parse(&args(&["run", "fig10"])).unwrap()).device_profile,
+            DeviceProfile::JedecBaseline
+        );
+    }
+
+    #[test]
     fn parses_engine_selection() {
         let options = parse(&args(&["run", "fig10", "--engine", "tick"])).unwrap();
         assert_eq!(options.engine, EngineKind::Tick);
@@ -1218,6 +1347,7 @@ mod tests {
         assert_eq!(run_cli(&args(&["list"])), 0);
         assert_eq!(run_cli(&args(&["mitigations"])), 0);
         assert_eq!(run_cli(&args(&["attacks"])), 0);
+        assert_eq!(run_cli(&args(&["profiles"])), 0);
         assert_eq!(run_cli(&args(&["help"])), 0);
         assert_eq!(run_cli(&args(&["run", "no-such-campaign"])), 2);
         assert_eq!(run_cli(&args(&["run"])), 2);

@@ -5,6 +5,8 @@
 //! from fields of the spec), which is what makes cached results valid across
 //! runs: same spec → same key → same metrics, bit for bit.
 
+use dram_sim::device::DramDeviceConfig;
+use dram_sim::DeviceProfile;
 use prac_core::config::MitigationPolicy;
 use prac_core::overhead::{rfm_interval_register_bits, StorageModel};
 use prac_core::security::{figure7_windows, CounterResetPolicy, SecurityAnalysis};
@@ -88,8 +90,9 @@ pub fn execute_sharded(spec: &ScenarioSpec, engine: EngineKind, sim_threads: usi
             setup,
             nrh,
             accesses,
+            profile,
             seed,
-        } => execute_attack(attack, setup, *nrh, *accesses, *seed),
+        } => execute_attack(attack, setup, *nrh, *accesses, *profile, *seed),
     }
 }
 
@@ -109,6 +112,8 @@ fn perf_experiment_config(
         instructions_per_core: perf.instructions_per_core,
         cores: perf.cores,
         channels: perf.channels.max(1),
+        ranks: perf.ranks,
+        profile: perf.profile,
         attack: perf.attack,
         engine,
         sim_threads,
@@ -250,6 +255,15 @@ fn perf_metrics(
                 per_channel.controller.row_hit_rate().into(),
             );
         }
+    }
+    // Rank-override and device-profile cells name their topology.  Emitted
+    // only when non-default, for the same schema-stability reason as the
+    // per-channel block above.
+    if perf.ranks > 0 {
+        m.insert("ranks".into(), perf.ranks.into());
+    }
+    if perf.profile != DeviceProfile::JedecBaseline {
+        m.insert("device_profile".into(), perf.profile.slug().into());
     }
     // Adversarial co-runner cells add their security headline.  Emitted
     // only when the attack knob is set, for the same schema-stability
@@ -437,6 +451,7 @@ fn execute_attack(
     setup: &MitigationSetup,
     nrh: u32,
     accesses: u64,
+    profile: DeviceProfile,
     seed: u64,
 ) -> Map {
     let mut m = Map::new();
@@ -444,8 +459,21 @@ fn execute_attack(
     m.insert("setup".into(), setup.label().into());
     m.insert("nrh".into(), nrh.into());
     m.insert("accesses".into(), accesses.into());
+    // Schema stability: baseline cells keep the exact metric set they had
+    // before the profile dimension existed (their cache keys are identical).
+    if profile != DeviceProfile::JedecBaseline {
+        m.insert("device_profile".into(), profile.slug().into());
+    }
 
-    let timing = DramTimingSummary::ddr5_8000b();
+    // Same bit-identity branch as `ExperimentConfig::build_system_config`:
+    // the JEDEC baseline keeps the seed's authored ns summary, vendor
+    // profiles derive theirs from the profile's tick-level timing.
+    let organization = DramDeviceConfig::paper_default().organization;
+    let timing = if profile == DeviceProfile::JedecBaseline {
+        DramTimingSummary::ddr5_8000b()
+    } else {
+        profile.timing().summary(organization.rows_per_bank)
+    };
     let resolved = match setup.resolve(nrh, &timing) {
         Ok(resolved) => resolved,
         Err(error) => {
@@ -501,6 +529,24 @@ fn execute_attack(
         0.0
     };
     m.insert("attacker_slowdown".into(), slowdown.into());
+    // On-die ECC adjudication: a post-breach metric layer for ECC-equipped
+    // profiles.  The overshoot beyond NRH on the hottest row is converted
+    // into raw bit flips and adjudicated codeword by codeword — singleton
+    // flips are silently corrected, colliding flips escape to the host.
+    if let Some(ecc) = profile.on_die_ecc() {
+        let overshoot = u64::from(mitigated.max_row_activations).saturating_sub(u64::from(nrh));
+        let adjudication =
+            ecc.adjudicate(overshoot, workloads::attack::row_bits(&organization), seed);
+        m.insert("ecc_raw_flips".into(), adjudication.raw_flips.into());
+        m.insert(
+            "ecc_flips_corrected".into(),
+            adjudication.flips_corrected.into(),
+        );
+        m.insert(
+            "ecc_flips_escaped".into(),
+            adjudication.flips_escaped.into(),
+        );
+    }
     m.insert(
         "completed".into(),
         (mitigated.completed && baseline.completed).into(),
@@ -720,6 +766,8 @@ mod tests {
             instructions_per_core: 1_000,
             cores: 2,
             channels: 1,
+            ranks: 0,
+            profile: dram_sim::DeviceProfile::JedecBaseline,
             attack: None,
             seed: 1,
         }));
@@ -742,6 +790,8 @@ mod tests {
             instructions_per_core: 3_000,
             cores: 2,
             channels: 4,
+            ranks: 0,
+            profile: dram_sim::DeviceProfile::JedecBaseline,
             attack: None,
             seed: 77,
         }));
@@ -772,6 +822,8 @@ mod tests {
             instructions_per_core: 2_000,
             cores: 2,
             channels: 1,
+            ranks: 0,
+            profile: dram_sim::DeviceProfile::JedecBaseline,
             attack: None,
             seed: 78,
         }));
@@ -787,6 +839,7 @@ mod tests {
             setup,
             nrh: 512,
             accesses: 700,
+            profile: DeviceProfile::JedecBaseline,
             seed: 1,
         };
         // Undefended: the single-sided hammer must breach the threshold.
@@ -832,6 +885,46 @@ mod tests {
     }
 
     #[test]
+    fn ecc_profiles_adjudicate_breach_overshoot() {
+        let spec = |profile| ScenarioSpec::Attack {
+            attack: AttackKind::SingleSided,
+            setup: MitigationSetup::BaselineNoAbo,
+            nrh: 512,
+            accesses: 700,
+            profile,
+            seed: 1,
+        };
+        // The baseline device has no on-die ECC, so the adjudication fields
+        // must stay absent (metric schema is additive-only).
+        let baseline = execute(&spec(DeviceProfile::JedecBaseline));
+        assert!(!baseline.contains_key("ecc_raw_flips"));
+        assert!(!baseline.contains_key("device_profile"));
+        for profile in [DeviceProfile::VendorA, DeviceProfile::VendorB] {
+            let metrics = execute(&spec(profile));
+            assert_eq!(
+                metrics.get("device_profile").and_then(Value::as_str),
+                Some(profile.slug())
+            );
+            let raw = metrics
+                .get("ecc_raw_flips")
+                .and_then(Value::as_u64)
+                .unwrap();
+            let corrected = metrics
+                .get("ecc_flips_corrected")
+                .and_then(Value::as_u64)
+                .unwrap();
+            let escaped = metrics
+                .get("ecc_flips_escaped")
+                .and_then(Value::as_u64)
+                .unwrap();
+            // Every raw flip is adjudicated exactly once.
+            assert_eq!(corrected + escaped, raw);
+            // An undefended breach at this depth overshoots enough to flip bits.
+            assert!(raw > 0, "{} produced no raw flips", profile.slug());
+        }
+    }
+
+    #[test]
     fn unconfigurable_attack_cells_record_the_error() {
         let spec = ScenarioSpec::Attack {
             attack: AttackKind::DoubleSided,
@@ -841,6 +934,7 @@ mod tests {
             },
             nrh: 1, // no safe TB-Window exists
             accesses: 100,
+            profile: DeviceProfile::JedecBaseline,
             seed: 0,
         };
         let metrics = execute(&spec);
@@ -859,6 +953,8 @@ mod tests {
                 instructions_per_core: 2_000,
                 cores: 1,
                 channels: 1,
+                ranks: 0,
+                profile: dram_sim::DeviceProfile::JedecBaseline,
                 attack,
                 seed: 5,
             }))
@@ -889,6 +985,8 @@ mod tests {
             instructions_per_core: 4_000,
             cores: 2,
             channels: 1,
+            ranks: 0,
+            profile: dram_sim::DeviceProfile::JedecBaseline,
             attack: None,
             seed: 21,
         };
@@ -936,6 +1034,8 @@ mod tests {
             instructions_per_core: 1_000,
             cores: 1,
             channels: 1,
+            ranks: 0,
+            profile: dram_sim::DeviceProfile::JedecBaseline,
             attack: None,
             seed: 3,
         };
@@ -970,6 +1070,8 @@ mod tests {
             instructions_per_core: 5_000,
             cores: 2,
             channels: 1,
+            ranks: 0,
+            profile: dram_sim::DeviceProfile::JedecBaseline,
             attack: None,
             seed: 41,
         }));

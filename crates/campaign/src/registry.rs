@@ -7,6 +7,7 @@
 //! another policy, another workload mix — are a few lines of data here
 //! rather than a new binary.
 
+use dram_sim::DeviceProfile;
 use prac_core::config::PracLevel;
 use prac_core::queue::QueueKind;
 use prac_core::tprac::TrefRate;
@@ -30,6 +31,15 @@ pub struct Profile {
     /// Memory channels for full-system performance runs (the `scaling`
     /// campaign sweeps its own channel counts and ignores this knob).
     pub channels: u32,
+    /// Rank-count override for full-system performance runs.  `0` — the
+    /// default — keeps the organisation's own rank count and every
+    /// pre-existing cache key byte-identical.  The `scaling` campaign sweeps
+    /// its own rank counts and ignores this knob.
+    pub ranks: u32,
+    /// Device timing profile for full-system performance runs.  The JEDEC
+    /// baseline — the default — reproduces the paper's system and its exact
+    /// cache keys.
+    pub device_profile: DeviceProfile,
     /// Adversarial co-runner for full-system performance runs (the
     /// `attacks` campaign sweeps its own attack patterns and ignores this
     /// knob).  `None` — the default — keeps every cell benign and every
@@ -46,6 +56,8 @@ impl Profile {
             instructions_per_core: 20_000,
             cores: 2,
             channels: 1,
+            ranks: 0,
+            device_profile: DeviceProfile::JedecBaseline,
             attack: None,
         }
     }
@@ -58,6 +70,8 @@ impl Profile {
             instructions_per_core: 150_000,
             cores: 4,
             channels: 1,
+            ranks: 0,
+            device_profile: DeviceProfile::JedecBaseline,
             attack: None,
         }
     }
@@ -146,6 +160,8 @@ fn push_perf_matrix(
                     instructions_per_core: profile.instructions_per_core,
                     cores: profile.cores,
                     channels: profile.channels,
+                    ranks: profile.ranks,
+                    profile: profile.device_profile,
                     attack: profile.attack,
                     seed,
                 })),
@@ -564,16 +580,18 @@ fn defenses(profile: &Profile) -> Campaign {
     campaign
 }
 
-/// Beyond-paper channel-scaling sweep: every registered mitigation engine
-/// across 1, 2 and 4 memory channels, one representative workload per
+/// Beyond-paper topology-scaling sweep: every registered mitigation engine
+/// across 1, 2 and 4 memory channels — and, along the orthogonal axis, rank
+/// counts 1 and 2 on a single channel — with one representative workload per
 /// memory-intensity bucket.  Each channel keeps its own mitigation engine
 /// and ABO responder (as in hardware), so this campaign answers questions
 /// the single-channel registry cannot: how per-channel RFM budgets, TB-RFM
-/// stalls and channel interleaving compose as the memory system grows.
+/// stalls, channel interleaving and rank-level parallelism (per-rank tFAW,
+/// staggered refresh) compose as the memory system grows.
 fn scaling(profile: &Profile) -> Campaign {
     let mut campaign = Campaign::new(
         "scaling",
-        "Channel scaling: every registered mitigation across 1/2/4 channels",
+        "Topology scaling: every registered mitigation across 1/2/4 channels and 1/2 ranks",
         "Beyond-paper: mitigation slowdowns shrink with channel parallelism; per-channel RFM budgets multiply",
     );
     let buckets = profile.intensity_buckets();
@@ -593,6 +611,33 @@ fn scaling(profile: &Profile) -> Campaign {
                         instructions_per_core: profile.instructions_per_core,
                         cores: profile.cores,
                         channels,
+                        ranks: 0,
+                        profile: DeviceProfile::JedecBaseline,
+                        attack: profile.attack,
+                        seed: 0x5CA_11E5,
+                    })),
+                ));
+            }
+        }
+    }
+    // The rank axis: overriding the paper organisation's 4 ranks down to 1
+    // or 2 shrinks bank-level parallelism while the per-rank constraints
+    // (tFAW window, refresh stagger under the vendor profiles) bind harder.
+    for ranks in [1u32, 2] {
+        for descriptor in system_sim::mitigation_registry() {
+            for workload in &buckets {
+                campaign.push(Scenario::new(
+                    format!("rank{ranks}/{}/{}", workload.workload.name, descriptor.slug),
+                    ScenarioSpec::Perf(Box::new(PerfScenario {
+                        setup: descriptor.setup.clone(),
+                        rowhammer_threshold: 1024,
+                        prac_level: PracLevel::One,
+                        workload: workload.clone(),
+                        instructions_per_core: profile.instructions_per_core,
+                        cores: profile.cores,
+                        channels: 1,
+                        ranks,
+                        profile: DeviceProfile::JedecBaseline,
                         attack: profile.attack,
                         seed: 0x5CA_11E5,
                     })),
@@ -640,10 +685,35 @@ fn attacks(profile: &Profile) -> Campaign {
                         setup: mitigation.setup.clone(),
                         nrh,
                         accesses,
+                        profile: DeviceProfile::JedecBaseline,
                         seed: 0x00A7_7ACC ^ u64::from(nrh),
                     },
                 ));
             }
+        }
+    }
+    // The on-die ECC sweep: every attack pattern against each ECC-equipped
+    // vendor profile, undefended, at the lowest threshold of the sweep.  An
+    // undefended run is guaranteed to overshoot NRH, so these cells always
+    // exercise the post-breach adjudication (flips corrected vs escaped).
+    let ecc_nrh = thresholds[0];
+    for device_profile in DeviceProfile::registry() {
+        if device_profile.on_die_ecc().is_none() {
+            continue;
+        }
+        for attack in attack_registry() {
+            let accesses = attack.kind.accesses_to_breach(ecc_nrh) * 5 / 4;
+            campaign.push(Scenario::new(
+                format!("ecc/{}/{}", device_profile.slug(), attack.slug),
+                ScenarioSpec::Attack {
+                    attack: attack.kind,
+                    setup: MitigationSetup::BaselineNoAbo,
+                    nrh: ecc_nrh,
+                    accesses,
+                    profile: device_profile,
+                    seed: 0x00A7_7ACC ^ u64::from(ecc_nrh),
+                },
+            ));
         }
     }
     campaign
@@ -710,12 +780,19 @@ mod tests {
     fn attacks_campaign_crosses_both_registries_per_threshold() {
         let attacks = attack_registry().len();
         let mitigations = system_sim::mitigation_registry().len();
+        let ecc_profiles = DeviceProfile::registry()
+            .into_iter()
+            .filter(|p| p.on_die_ecc().is_some())
+            .count();
         let campaign = find_campaign("attacks", &Profile::quick()).unwrap();
-        assert_eq!(campaign.scenarios.len(), attacks * mitigations * 2);
+        assert_eq!(
+            campaign.scenarios.len(),
+            attacks * mitigations * 2 + ecc_profiles * attacks
+        );
         let full = find_campaign("attacks", &Profile::full()).unwrap();
         assert_eq!(
             full.scenarios.len(),
-            attacks * mitigations * Profile::full().nrh_sweep().len()
+            attacks * mitigations * Profile::full().nrh_sweep().len() + ecc_profiles * attacks
         );
         assert!(attacks >= 6, "{attacks} registered attack patterns");
         // Every cell's budget is at least the pattern's breach budget, so
@@ -743,6 +820,66 @@ mod tests {
                 "{} is not an attack cell",
                 scenario.name
             );
+        }
+    }
+
+    #[test]
+    fn attacks_campaign_includes_every_ecc_profile() {
+        let campaign = find_campaign("attacks", &Profile::quick()).unwrap();
+        for device_profile in DeviceProfile::registry() {
+            if device_profile.on_die_ecc().is_none() {
+                continue;
+            }
+            let cells = campaign
+                .scenarios
+                .iter()
+                .filter(|s| {
+                    matches!(
+                        &s.spec,
+                        ScenarioSpec::Attack { profile, .. } if *profile == device_profile
+                    )
+                })
+                .count();
+            assert_eq!(
+                cells,
+                attack_registry().len(),
+                "{} should face every attack",
+                device_profile.slug()
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_campaign_sweeps_ranks_alongside_channels() {
+        let campaign = find_campaign("scaling", &Profile::quick()).unwrap();
+        let mitigations = system_sim::mitigation_registry().len();
+        let buckets = Profile::quick().intensity_buckets().len();
+        assert_eq!(campaign.scenarios.len(), (3 + 2) * mitigations * buckets);
+        for ranks in [1u32, 2] {
+            let cells: Vec<_> = campaign
+                .scenarios
+                .iter()
+                .filter(|s| s.name.starts_with(&format!("rank{ranks}/")))
+                .collect();
+            assert_eq!(cells.len(), mitigations * buckets);
+            for scenario in cells {
+                let ScenarioSpec::Perf(perf) = &scenario.spec else {
+                    panic!("{} is not a perf cell", scenario.name);
+                };
+                assert_eq!(perf.ranks, ranks);
+                assert_eq!(perf.channels, 1);
+            }
+        }
+        // The channel cells keep ranks = 0 (no override) so their
+        // pre-existing cache keys survive the rank dimension.
+        for scenario in &campaign.scenarios {
+            if scenario.name.starts_with("ch") {
+                let ScenarioSpec::Perf(perf) = &scenario.spec else {
+                    panic!("{} is not a perf cell", scenario.name);
+                };
+                assert_eq!(perf.ranks, 0, "{}", scenario.name);
+                assert_eq!(perf.profile, DeviceProfile::JedecBaseline);
+            }
         }
     }
 

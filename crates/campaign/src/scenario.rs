@@ -14,6 +14,7 @@
 //! result cache re-run only the cells that changed; bumping the revision
 //! when simulation semantics change retires every stale cache entry at once.
 
+use dram_sim::DeviceProfile;
 use prac_core::config::PracLevel;
 use prac_core::queue::QueueKind;
 use prac_core::tprac::TrefRate;
@@ -129,6 +130,12 @@ pub struct PerfScenario {
     pub cores: u32,
     /// Number of memory channels (1 reproduces the paper's system).
     pub channels: u32,
+    /// Rank-count override (`0` keeps the organisation's default rank count
+    /// and the exact pre-rank cache keys).
+    pub ranks: u32,
+    /// Named device timing profile ([`DeviceProfile::JedecBaseline`]
+    /// reproduces the paper's system and its exact cache keys).
+    pub profile: DeviceProfile,
     /// Optional adversarial co-runner on one extra core (`None` reproduces
     /// the paper's benign runs and their exact cache keys).
     pub attack: Option<AttackKind>,
@@ -212,6 +219,11 @@ pub enum ScenarioSpec {
         nrh: u32,
         /// Serialized attacker accesses per run.
         accesses: u64,
+        /// Device timing profile of the defending DRAM
+        /// ([`DeviceProfile::JedecBaseline`] keeps the pre-profile cache
+        /// keys; the vendor profiles add the on-die ECC adjudication to the
+        /// cell's security metrics).
+        profile: DeviceProfile,
         /// Seed mixed into the pattern's own seeded streams.
         seed: u64,
     },
@@ -243,6 +255,17 @@ impl ScenarioSpec {
                 // cached result is orphaned by the field's introduction.
                 if perf.channels > 1 {
                     map.insert("channels".into(), perf.channels.into());
+                }
+                // Same key-stability rule as `channels`: `0` means "no rank
+                // override" and is omitted, so every pre-rank spec keeps its
+                // exact canonical JSON and cache key.
+                if perf.ranks > 0 {
+                    map.insert("ranks".into(), perf.ranks.into());
+                }
+                // And again for the device profile: the JEDEC baseline (the
+                // paper's system) is omitted.
+                if perf.profile != DeviceProfile::JedecBaseline {
+                    map.insert("profile".into(), perf.profile.slug().into());
                 }
                 // Same key-stability rule as `channels`: benign cells keep
                 // the exact canonical JSON they had before the attacker
@@ -320,6 +343,7 @@ impl ScenarioSpec {
                 setup,
                 nrh,
                 accesses,
+                profile,
                 seed,
             } => {
                 map.insert("kind".into(), "attack".into());
@@ -327,6 +351,11 @@ impl ScenarioSpec {
                 map.insert("setup".into(), setup_to_json(setup));
                 map.insert("nrh".into(), (*nrh).into());
                 map.insert("accesses".into(), (*accesses).into());
+                // Key stability: the JEDEC baseline is omitted so every
+                // pre-profile attack cell keeps its exact cache key.
+                if *profile != DeviceProfile::JedecBaseline {
+                    map.insert("profile".into(), profile.slug().into());
+                }
                 map.insert("seed".into(), (*seed).into());
             }
         }
@@ -358,6 +387,10 @@ impl ScenarioSpec {
                 cores: u64_field(value, "cores")? as u32,
                 // Omitted in canonical JSON when 1 (key stability).
                 channels: value.get("channels").and_then(Value::as_u64).unwrap_or(1) as u32,
+                // Omitted in canonical JSON when 0 / baseline (key
+                // stability).
+                ranks: value.get("ranks").and_then(Value::as_u64).unwrap_or(0) as u32,
+                profile: profile_from_json(value)?,
                 // Omitted in canonical JSON when benign (key stability).
                 attack: match value.get("attack") {
                     None | Some(Value::Null) => None,
@@ -410,6 +443,7 @@ impl ScenarioSpec {
                 setup: setup_from_json(field(value, "setup")?)?,
                 nrh: u64_field(value, "nrh")? as u32,
                 accesses: u64_field(value, "accesses")?,
+                profile: profile_from_json(value)?,
                 seed: u64_field(value, "seed")?,
             }),
             other => Err(format!("unknown scenario kind `{other}`")),
@@ -443,6 +477,18 @@ fn str_field<'v>(value: &'v Value, name: &str) -> Result<&'v str, String> {
     field(value, name)?
         .as_str()
         .ok_or_else(|| format!("missing or non-string `{name}`"))
+}
+
+/// Parses the optional `profile` member of a spec object: omitted (the
+/// canonical form of the JEDEC baseline) resolves to the default profile.
+fn profile_from_json(value: &Value) -> Result<DeviceProfile, String> {
+    match value.get("profile") {
+        None | Some(Value::Null) => Ok(DeviceProfile::JedecBaseline),
+        Some(profile) => {
+            let slug = profile.as_str().ok_or("non-string `profile`")?;
+            DeviceProfile::parse(slug).ok_or_else(|| format!("unknown device profile `{slug}`"))
+        }
+    }
 }
 
 fn prac_level_from_rfms(rfms: u64) -> Result<PracLevel, String> {
@@ -686,6 +732,8 @@ mod tests {
                 instructions_per_core: 10_000,
                 cores: 2,
                 channels: 1,
+                ranks: 0,
+                profile: DeviceProfile::JedecBaseline,
                 attack: None,
                 seed: 7,
             })),
@@ -762,6 +810,7 @@ mod tests {
                     setup: MitigationSetup::AboOnly,
                     nrh: 1024,
                     accesses: 1_000,
+                    profile: DeviceProfile::JedecBaseline,
                     seed: 3,
                 },
             );
@@ -781,6 +830,91 @@ mod tests {
             let reparsed: Value = serde_json::from_str(&text).unwrap();
             assert_eq!(reparsed.to_string(), text);
         }
+    }
+
+    #[test]
+    fn default_rank_and_profile_are_omitted_from_the_canonical_json() {
+        // Key-stability guarantee: a cell with no rank override on the JEDEC
+        // baseline profile serialises exactly as it did before either
+        // dimension existed, for both perf and attack kinds.
+        let json = perf_scenario(1024).spec.to_json().to_string();
+        assert!(!json.contains("ranks"), "unexpected ranks field: {json}");
+        assert!(
+            !json.contains("profile"),
+            "unexpected profile field: {json}"
+        );
+        let attack = ScenarioSpec::Attack {
+            attack: AttackKind::SingleSided,
+            setup: MitigationSetup::AboOnly,
+            nrh: 1024,
+            accesses: 1_000,
+            profile: DeviceProfile::JedecBaseline,
+            seed: 3,
+        };
+        let json = attack.to_json().to_string();
+        assert!(
+            !json.contains("profile"),
+            "unexpected profile field: {json}"
+        );
+    }
+
+    #[test]
+    fn changed_ranks_or_profile_change_the_key_and_round_trip() {
+        let base = perf_scenario(1024);
+        let mut ranked = base.clone();
+        if let ScenarioSpec::Perf(perf) = &mut ranked.spec {
+            perf.ranks = 2;
+        }
+        assert_ne!(base.key(), ranked.key());
+        assert!(ranked.spec.to_json().to_string().contains("\"ranks\":2"));
+        assert_eq!(
+            ScenarioSpec::from_json(&ranked.spec.to_json()).unwrap(),
+            ranked.spec
+        );
+
+        let mut profiled = base.clone();
+        if let ScenarioSpec::Perf(perf) = &mut profiled.spec {
+            perf.profile = DeviceProfile::VendorA;
+        }
+        assert_ne!(base.key(), profiled.key());
+        assert_ne!(ranked.key(), profiled.key());
+        assert!(profiled
+            .spec
+            .to_json()
+            .to_string()
+            .contains("\"profile\":\"vendor-a\""));
+        assert_eq!(
+            ScenarioSpec::from_json(&profiled.spec.to_json()).unwrap(),
+            profiled.spec
+        );
+
+        let ecc_attack = ScenarioSpec::Attack {
+            attack: AttackKind::SingleSided,
+            setup: MitigationSetup::AboOnly,
+            nrh: 1024,
+            accesses: 1_000,
+            profile: DeviceProfile::VendorB,
+            seed: 3,
+        };
+        assert!(ecc_attack
+            .to_json()
+            .to_string()
+            .contains("\"profile\":\"vendor-b\""));
+        assert_eq!(
+            ScenarioSpec::from_json(&ecc_attack.to_json()).unwrap(),
+            ecc_attack
+        );
+    }
+
+    #[test]
+    fn unknown_profiles_are_rejected_by_from_json() {
+        let bad = serde_json::from_str(
+            r#"{"kind":"attack","attack":{"pattern":"single_sided"},"setup":{"policy":"abo_only"},"nrh":1024,"accesses":1000,"profile":"vendor-z","seed":3}"#,
+        )
+        .unwrap();
+        assert!(ScenarioSpec::from_json(&bad)
+            .unwrap_err()
+            .contains("vendor-z"));
     }
 
     #[test]

@@ -148,6 +148,27 @@ fn fork_equivalence_with_channel_sharding() {
     }
 }
 
+/// Pause/fork/resume on a 2-rank device: the paused snapshot must carry
+/// the per-rank tFAW activation rings and the staggered refresh windows,
+/// so a fork taken mid-run replays the cold run exactly.  Every mitigation
+/// under one representative attack, both engines.
+#[test]
+fn fork_equivalence_on_a_two_rank_device() {
+    for engine in [EngineKind::Tick, EngineKind::Event] {
+        for mitigation in mitigation_registry() {
+            let context = format!("{engine:?} / {} / 2 ranks", mitigation.slug);
+            let config = config_for(
+                mitigation.setup.clone(),
+                Some(AttackKind::DoubleSided),
+                1,
+                engine,
+            )
+            .with_ranks(2);
+            assert_fork_equivalent(&config, &context);
+        }
+    }
+}
+
 /// A perf campaign whose cells share a workload prefix must produce
 /// byte-identical records whether the runner forks the shared prefix or
 /// executes every cell cold.
@@ -164,6 +185,8 @@ fn prefix_grouped_campaign_matches_cell_by_cell_execution() {
                 instructions_per_core: 2_000,
                 cores: 2,
                 channels: 1,
+                ranks: 0,
+                profile: dram_sim::DeviceProfile::JedecBaseline,
                 attack: Some(AttackKind::SingleSided),
                 seed,
             })),

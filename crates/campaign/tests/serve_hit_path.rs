@@ -36,6 +36,8 @@ fn serve_hit_path_never_constructs_a_simulation() {
         instructions_per_core: 2_000,
         cores: 1,
         channels: 1,
+        ranks: 0,
+        profile: dram_sim::DeviceProfile::JedecBaseline,
         attack: None,
         seed: 99,
     }));

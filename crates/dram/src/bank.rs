@@ -157,6 +157,27 @@ impl BankTimingTable {
         packed_min >> INDEX_BITS
     }
 
+    /// The minimum of [`BankTimingTable::next_transition_at`] across the
+    /// contiguous bank range `[start, end)`, or `u64::MAX` for an empty
+    /// range.
+    ///
+    /// The device's flat bank index is rank-major (rank `r`'s banks occupy
+    /// `[r * banks_per_rank, (r + 1) * banks_per_rank)`), so this is the
+    /// rank-local "something can happen next at" bound — the same packed
+    /// argmin lane as the channel-wide reduce, folded over a subrange.
+    #[must_use]
+    pub fn min_next_transition_in(&self, start: usize, end: usize) -> u64 {
+        let end = end.min(self.packed_transition.len());
+        if start >= end {
+            return u64::MAX;
+        }
+        let mut packed_min = u64::MAX;
+        for &packed in &self.packed_transition[start..end] {
+            packed_min = packed_min.min(packed);
+        }
+        packed_min >> INDEX_BITS
+    }
+
     /// Checks whether activating a row of bank `i` at `now` is legal.
     ///
     /// # Errors
@@ -324,6 +345,15 @@ impl BankTimingTable {
     /// Applies [`BankTimingTable::block_until`] to every bank at once.
     pub fn block_all_until(&mut self, now: u64, duration: u64) {
         for i in 0..self.open_row.len() {
+            self.block_until(i, now, duration);
+        }
+    }
+
+    /// Applies [`BankTimingTable::block_until`] to the contiguous bank range
+    /// `[start, end)` — the rank-local blocking primitive used by staggered
+    /// refresh, where each rank's blackout starts at its own offset.
+    pub fn block_range_until(&mut self, start: usize, end: usize, now: u64, duration: u64) {
+        for i in start..end.min(self.open_row.len()) {
             self.block_until(i, now, duration);
         }
     }
@@ -890,5 +920,48 @@ mod tests {
         let table = BankTimingTable::new(0);
         assert!(table.is_empty());
         assert_eq!(table.min_next_transition_at(), u64::MAX);
+    }
+
+    #[test]
+    fn subrange_min_reduce_matches_per_bank_fold() {
+        let t = timing();
+        let mut table = BankTimingTable::new(8);
+        table.activate(1, 7, 0, &t).unwrap();
+        table.block_until(2, 0, 1_000);
+        table.activate(5, 3, 10, &t).unwrap();
+        table.block_until(6, 0, 2_500);
+        for (start, end) in [(0usize, 4usize), (4, 8), (2, 7), (0, 8), (3, 3)] {
+            let expected = (start..end)
+                .map(|i| table.next_transition_at(i))
+                .min()
+                .unwrap_or(u64::MAX);
+            assert_eq!(
+                table.min_next_transition_in(start, end),
+                expected,
+                "subrange [{start}, {end})"
+            );
+        }
+        // The full-range fold agrees with the channel-wide reduce.
+        assert_eq!(
+            table.min_next_transition_in(0, table.len()),
+            table.min_next_transition_at()
+        );
+    }
+
+    #[test]
+    fn block_range_only_touches_the_range() {
+        let t = timing();
+        let mut table = BankTimingTable::new(4);
+        table.block_range_until(2, 4, 0, 1_000);
+        assert_eq!(table.next_transition_at(0), 0);
+        assert_eq!(table.next_transition_at(1), 0);
+        assert_eq!(table.next_transition_at(2), 1_000);
+        assert_eq!(table.next_transition_at(3), 1_000);
+        assert!(table.can_activate(0, 0).is_ok());
+        assert!(matches!(
+            table.can_activate(3, 500),
+            Err(IssueError::TooEarly { ready_at: 1_000 })
+        ));
+        let _ = t;
     }
 }

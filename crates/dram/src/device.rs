@@ -55,6 +55,10 @@ impl DramDeviceConfig {
     }
 }
 
+/// Sentinel for an empty slot of the per-rank tFAW activation ring (no ACT
+/// recorded; real issue ticks are bounded far below this).
+const ACT_NONE: u64 = u64::MAX;
+
 /// Result of issuing an `Activate` command: the row's new PRAC counter value
 /// and whether this activation pushed the device into asserting Alert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +82,12 @@ pub struct DramDevice {
     channel_ready_at: u64,
     /// Per-rank earliest ACT time (tRRD).
     rank_next_act: Vec<u64>,
+    /// Per-rank ring of the last four ACT issue ticks (tFAW window), oldest
+    /// at the cursor.  Only maintained when `timing.t_faw > 0`, so the
+    /// default (tFAW-less) hot path is untouched.
+    rank_act_history: Vec<[u64; 4]>,
+    /// Per-rank cursor into `rank_act_history` (index of the oldest entry).
+    rank_act_cursor: Vec<u8>,
     /// Shared data-bus availability.
     bus_ready_at: u64,
     /// Whether the Alert signal is currently asserted.
@@ -104,8 +114,11 @@ impl DramDevice {
         } else {
             u64::MAX
         };
+        let ranks = config.organization.ranks as usize;
         Self {
-            rank_next_act: vec![0; config.organization.ranks as usize],
+            rank_next_act: vec![0; ranks],
+            rank_act_history: vec![[ACT_NONE; 4]; ranks],
+            rank_act_cursor: vec![0; ranks],
             timings: BankTimingTable::new(total_banks),
             meta,
             channel_ready_at: 0,
@@ -184,6 +197,22 @@ impl DramDevice {
         self.timings.min_next_transition_at()
     }
 
+    /// The earliest tick at which any bank of `rank` can change state: the
+    /// packed-argmin fold of [`BankTimingTable::next_transition_at`] over
+    /// the rank's contiguous (rank-major) slice of the bank array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank` is out of range.
+    #[must_use]
+    pub fn next_rank_transition_at(&self, rank: u32) -> u64 {
+        assert!(rank < self.config.organization.ranks, "rank out of range");
+        let banks_per_rank = self.config.organization.banks_per_rank() as usize;
+        let start = rank as usize * banks_per_rank;
+        self.timings
+            .min_next_transition_in(start, start + banks_per_rank)
+    }
+
     /// Number of banks in the channel.
     #[must_use]
     pub fn bank_count(&self) -> u32 {
@@ -233,6 +262,17 @@ impl DramDevice {
                         ready_at: rank_ready,
                     });
                 }
+                if self.config.timing.t_faw > 0 {
+                    // tFAW: the fourth-most-recent ACT to this rank must be
+                    // at least one tFAW window in the past.
+                    let rank = addr.rank as usize;
+                    let oldest = self.rank_act_history[rank][self.rank_act_cursor[rank] as usize];
+                    if oldest != ACT_NONE && now < oldest + self.config.timing.t_faw {
+                        return Err(IssueError::TooEarly {
+                            ready_at: oldest + self.config.timing.t_faw,
+                        });
+                    }
+                }
                 self.timings.can_activate(self.bank_index(addr), now)
             }
             DramCommand::Precharge(addr) => self.timings.can_precharge(self.bank_index(addr), now),
@@ -276,6 +316,12 @@ impl DramDevice {
                     .activate(idx, addr.row, now, &self.config.timing)?;
                 let counter = self.meta[idx].note_activation(addr.row);
                 self.rank_next_act[addr.rank as usize] = now + self.config.timing.t_rrd;
+                if self.config.timing.t_faw > 0 {
+                    let rank = addr.rank as usize;
+                    let cursor = self.rank_act_cursor[rank] as usize;
+                    self.rank_act_history[rank][cursor] = now;
+                    self.rank_act_cursor[rank] = ((cursor + 1) % 4) as u8;
+                }
                 self.stats.activations += 1;
                 self.stats.max_row_counter = self.stats.max_row_counter.max(counter);
                 self.note_activation(counter);
@@ -339,9 +385,32 @@ impl DramDevice {
     /// TREF cadence is hit, mitigates each bank's queue head.
     fn service_refresh(&mut self, now: u64) -> u64 {
         let t = &self.config.timing;
-        let end = now + t.t_rfc;
-        self.timings.block_all_until(now, t.t_rfc);
-        self.channel_ready_at = self.channel_ready_at.max(end);
+        let end = if t.refresh_stagger > 0 && self.config.organization.ranks > 1 {
+            // Staggered refresh: rank r's blackout runs `r * stagger` ticks
+            // longer, so the ranks come back online one after another and
+            // the channel itself is never blanket-blocked for the full
+            // window (commands to an already-recovered rank may issue while
+            // later ranks are still refreshing).
+            let banks_per_rank = self.config.organization.banks_per_rank() as usize;
+            let ranks = self.config.organization.ranks as usize;
+            let mut end = now + t.t_rfc;
+            for rank in 0..ranks {
+                let duration = t.t_rfc + t.refresh_stagger * rank as u64;
+                self.timings.block_range_until(
+                    rank * banks_per_rank,
+                    (rank + 1) * banks_per_rank,
+                    now,
+                    duration,
+                );
+                end = end.max(now + duration);
+            }
+            end
+        } else {
+            let end = now + t.t_rfc;
+            self.timings.block_all_until(now, t.t_rfc);
+            self.channel_ready_at = self.channel_ready_at.max(end);
+            end
+        };
         self.stats.refreshes += 1;
         self.refreshes_seen += 1;
         if let Some(every) = self.config.tref_every_n_refreshes {
@@ -596,6 +665,78 @@ mod tests {
         assert!(matches!(err, IssueError::TooEarly { .. }));
         let ready = d.config().timing.t_rrd;
         assert!(d.issue(DramCommand::Activate(b), ready).is_ok());
+    }
+
+    #[test]
+    fn tfaw_caps_four_activations_per_rank_window() {
+        let prac = PracConfig::builder().rowhammer_threshold(1024).build();
+        let mut cfg = DramDeviceConfig::tiny_for_tests(prac);
+        cfg.organization = cfg.organization.with_ranks(2);
+        cfg.timing.t_faw = 500; // larger than tRC so tFAW is the binding constraint
+        let mut d = DramDevice::new(cfg);
+        let org = d.config().organization;
+        let t_rrd = d.config().timing.t_rrd;
+        // Four ACTs to distinct banks of rank 0 at tRRD spacing.
+        let mut now = 0;
+        for (bg, bank) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let a = DramAddress::new(&org, 0, bg, bank, 1, 0);
+            d.issue(DramCommand::Activate(a), now).unwrap();
+            now += t_rrd;
+        }
+        // A fifth rank-0 ACT before the window closes is deferred to
+        // oldest-of-four + tFAW, even once tRC on the bank has elapsed.
+        let first = DramAddress::new(&org, 0, 0, 0, 1, 0);
+        d.issue(DramCommand::Precharge(first), d.config().timing.t_ras)
+            .unwrap();
+        let again = DramAddress::new(&org, 0, 0, 0, 2, 0);
+        let err = d
+            .issue(DramCommand::Activate(again), d.config().timing.t_rc)
+            .unwrap_err();
+        assert!(matches!(err, IssueError::TooEarly { ready_at: 500 }));
+        // The other rank's window is independent.
+        let other_rank = DramAddress::new(&org, 1, 0, 0, 1, 0);
+        assert!(d.issue(DramCommand::Activate(other_rank), now).is_ok());
+        // At the window boundary the deferred ACT issues.
+        assert!(d.issue(DramCommand::Activate(again), 500).is_ok());
+    }
+
+    #[test]
+    fn staggered_refresh_releases_ranks_in_order() {
+        let prac = PracConfig::builder().rowhammer_threshold(1024).build();
+        let mut cfg = DramDeviceConfig::tiny_for_tests(prac);
+        cfg.organization = cfg.organization.with_ranks(2);
+        cfg.timing.refresh_stagger = 100;
+        let mut d = DramDevice::new(cfg);
+        let org = d.config().organization;
+        let t_rfc = d.config().timing.t_rfc;
+        let end = d.issue(DramCommand::Refresh, 0).unwrap();
+        assert_eq!(end, t_rfc + 100, "last rank ends the refresh");
+        let rank0 = DramAddress::new(&org, 0, 0, 0, 1, 0);
+        let rank1 = DramAddress::new(&org, 1, 0, 0, 1, 0);
+        // Rank 0 recovers a full stagger step before rank 1.
+        assert!(matches!(
+            d.can_issue(&DramCommand::Activate(rank0), t_rfc - 1),
+            Err(IssueError::TooEarly { .. })
+        ));
+        assert!(d.can_issue(&DramCommand::Activate(rank0), t_rfc).is_ok());
+        assert!(matches!(
+            d.can_issue(&DramCommand::Activate(rank1), t_rfc),
+            Err(IssueError::TooEarly { ready_at }) if ready_at == t_rfc + 100
+        ));
+        assert!(d
+            .can_issue(&DramCommand::Activate(rank1), t_rfc + 100)
+            .is_ok());
+        // The rank-local transition bound tracks the staggered recovery.
+        assert_eq!(d.next_rank_transition_at(0), t_rfc);
+        assert_eq!(d.next_rank_transition_at(1), t_rfc + 100);
+    }
+
+    #[test]
+    fn unstaggered_refresh_blocks_the_channel_as_before() {
+        let mut d = tiny_device(64);
+        let end = d.issue(DramCommand::Refresh, 0).unwrap();
+        assert_eq!(end, d.config().timing.t_rfc);
+        assert_eq!(d.channel_ready_at(), end);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod bank;
 pub mod command;
 pub mod device;
 pub mod org;
+pub mod profile;
 pub mod stats;
 pub mod timing;
 
@@ -40,5 +41,6 @@ pub use bank::Bank;
 pub use command::DramCommand;
 pub use device::{DramDevice, DramDeviceConfig};
 pub use org::{DramAddress, DramOrganization};
+pub use profile::{DeviceProfile, EccAdjudication, OnDieEcc};
 pub use stats::DramStats;
 pub use timing::DramTimingParams;

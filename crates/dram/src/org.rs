@@ -71,6 +71,14 @@ impl DramOrganization {
         self
     }
 
+    /// Replaces the rank count (builder-style), leaving the per-rank
+    /// geometry untouched.
+    #[must_use]
+    pub fn with_ranks(mut self, ranks: u32) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
     /// Banks per rank.
     #[must_use]
     pub fn banks_per_rank(&self) -> u32 {
@@ -290,6 +298,18 @@ mod tests {
         assert!(!org.is_valid());
         let org = DramOrganization::tiny_for_tests().with_channels(3);
         assert!(!org.is_valid());
+    }
+
+    #[test]
+    fn ranks_scale_banks_and_capacity() {
+        let quad = DramOrganization::ddr5_32gb_quad_rank();
+        let dual = quad.with_ranks(2);
+        assert!(dual.is_valid());
+        assert_eq!(dual.banks_per_rank(), quad.banks_per_rank());
+        assert_eq!(dual.total_banks(), quad.total_banks() / 2);
+        assert_eq!(dual.capacity_bytes(), quad.capacity_bytes() / 2);
+        assert!(!quad.with_ranks(0).is_valid());
+        assert!(!quad.with_ranks(3).is_valid());
     }
 
     #[test]

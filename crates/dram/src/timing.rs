@@ -43,6 +43,15 @@ pub struct DramTimingParams {
     /// which the controller may issue up to `ABOACT` further activations
     /// after Alert asserts.
     pub t_abo_act: u64,
+    /// Four-activation window per rank (tFAW): no more than four ACTs may
+    /// issue to one rank inside any window of this length.  `0` disables the
+    /// constraint (the seed behaviour, preserved bit-for-bit).
+    pub t_faw: u64,
+    /// Per-rank refresh stagger: rank `r`'s refresh blackout starts
+    /// `r * refresh_stagger` ticks after the refresh command, so other ranks
+    /// keep serving commands during part of the tRFC window.  `0` keeps the
+    /// channel-wide blanket blackout (the seed behaviour).
+    pub refresh_stagger: u64,
 }
 
 impl DramTimingParams {
@@ -65,6 +74,8 @@ impl DramTimingParams {
             t_refw: ns_to_ticks(32.0 * 1_000_000.0),
             t_rfmab: ns_to_ticks(350.0),
             t_abo_act: ns_to_ticks(180.0),
+            t_faw: 0,
+            refresh_stagger: 0,
         }
     }
 
@@ -153,6 +164,19 @@ mod tests {
     #[test]
     fn fast_test_timing_is_consistent() {
         assert!(DramTimingParams::fast_for_tests().is_consistent());
+    }
+
+    #[test]
+    fn rank_level_knobs_default_off() {
+        // The seed device has no tFAW constraint and no refresh staggering;
+        // both knobs must stay 0 in every stock timing set so the default
+        // path is bit-identical to the pre-rank-refactor simulator.
+        let t = DramTimingParams::ddr5_8000b();
+        assert_eq!(t.t_faw, 0);
+        assert_eq!(t.refresh_stagger, 0);
+        let fast = DramTimingParams::fast_for_tests();
+        assert_eq!(fast.t_faw, 0);
+        assert_eq!(fast.refresh_stagger, 0);
     }
 
     #[test]

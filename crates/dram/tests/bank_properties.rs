@@ -226,6 +226,83 @@ fn drive_devices(channels: u32, steps: &[DeviceStep]) {
     }
 }
 
+/// Replays a random command stream against one 2-rank, tFAW-enabled device
+/// and checks the rank-aware invariants at every step:
+///
+/// * **The per-rank tFAW window is never exceeded.**  A shadow log of every
+///   accepted ACT's (rank, tick) proves that no half-open window
+///   `(now - tFAW, now]` ever holds more than four ACTs to one rank — the
+///   rolling-window restatement of the four-ACT ring the device maintains.
+/// * **The rank lane agrees with the per-bank fold.**  For each rank,
+///   `next_rank_transition_at(rank)` equals the min-fold of
+///   `next_transition_at` over exactly that rank's banks, and the
+///   device-wide `next_bank_transition_at()` equals the min across the two
+///   rank lanes — so the packed subrange reduction can neither leak a bank
+///   into the wrong rank nor disagree with the full reduce.
+fn drive_two_rank_device(t_faw: u64, steps: &[DeviceStep]) {
+    let mut config = DramDeviceConfig::tiny_for_tests(PracConfig::paper_default());
+    config.organization = config.organization.with_ranks(2);
+    config.timing.t_faw = t_faw;
+    let org = config.organization;
+    let mut device = DramDevice::new(config);
+    let banks = org.total_banks();
+    let banks_per_rank = org.banks_per_rank();
+    let mut act_log: Vec<(u32, u64)> = Vec::new();
+    let mut now = 0u64;
+    for &(_, cmd_sel, bank_sel, row, delta) in steps {
+        now += delta;
+        let flat = u32::from(bank_sel) % banks;
+        let rank = flat / banks_per_rank;
+        let addr = DramAddress::new(
+            &org,
+            rank,
+            (flat / org.banks_per_group) % org.bank_groups,
+            flat % org.banks_per_group,
+            row % org.rows_per_bank,
+            0,
+        );
+        let command = match cmd_sel % 4 {
+            0 => DramCommand::Activate(addr),
+            1 => DramCommand::Precharge(addr),
+            2 => DramCommand::Read(addr),
+            _ => DramCommand::Write(addr),
+        };
+        let accepted_act =
+            matches!(command, DramCommand::Activate(_)) && device.issue(command, now).is_ok();
+        if accepted_act {
+            act_log.push((rank, now));
+            let in_window = act_log
+                .iter()
+                .filter(|&&(r, tick)| r == rank && tick + t_faw > now)
+                .count();
+            assert!(
+                in_window <= 4,
+                "tFAW exceeded: {in_window} ACTs to rank {rank} within {t_faw} ticks of {now}"
+            );
+        }
+        for lane in 0..org.ranks {
+            let start = lane * banks_per_rank;
+            let folded = (start..start + banks_per_rank)
+                .map(|index| device.bank(index).next_transition_at())
+                .min()
+                .expect("a rank has at least one bank");
+            assert_eq!(
+                device.next_rank_transition_at(lane),
+                folded,
+                "rank lane {lane} disagrees with its per-bank fold"
+            );
+        }
+        assert_eq!(
+            device.next_bank_transition_at(),
+            (0..org.ranks)
+                .map(|lane| device.next_rank_transition_at(lane))
+                .min()
+                .expect("a device has at least one rank"),
+            "device-wide bound disagrees with the min across rank lanes"
+        );
+    }
+}
+
 proptest! {
     #[test]
     fn device_min_reduce_and_ordering_hold_across_channel_counts(
@@ -234,6 +311,14 @@ proptest! {
         for channels in [1u32, 2, 4] {
             drive_devices(channels, &steps);
         }
+    }
+
+    #[test]
+    fn two_rank_device_honours_tfaw_and_the_rank_lanes(
+        t_faw in 1u64..600,
+        steps in collection::vec((0u8..1, 0u8..4, 0u8..8, 0u32..64, 0u64..120), 1..200),
+    ) {
+        drive_two_rank_device(t_faw, &steps);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use prac_core::mitigation::{BankActivationView, MitigationEngine};
 use prac_core::obfuscation::{InjectionSequence, ObfuscationConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::mapping::{AddressMapping, ChannelInterleave, MappingKind};
+use crate::mapping::{AddressMapping, ChannelInterleave, MappingKind, RankInterleave};
 use crate::request::{CompletedRequest, MemoryRequest, RequestKind};
 use crate::rfm::{AboResponder, RfmKind};
 use crate::scheduler::{FrFcfsScheduler, SchedulerCandidate};
@@ -33,6 +33,9 @@ pub struct ControllerConfig {
     /// Which physical-address bits select the channel in multi-channel
     /// organisations (no effect with one channel).
     pub channel_interleave: ChannelInterleave,
+    /// Where the rank bits sit within each channel's layout (no effect with
+    /// one rank).
+    pub rank_interleave: RankInterleave,
     /// Row-buffer management policy.
     pub page_policy: PagePolicy,
     /// FR-FCFS consecutive-row-hit cap (0 disables the cap).
@@ -52,6 +55,7 @@ impl Default for ControllerConfig {
         Self {
             mapping: MappingKind::Mop,
             channel_interleave: ChannelInterleave::CacheLine,
+            rank_interleave: RankInterleave::Interleaved,
             page_policy: PagePolicy::Open,
             frfcfs_cap: 4,
             queue_capacity: 64,
@@ -168,9 +172,11 @@ impl MemoryController {
         let injection = config
             .obfuscation
             .map(|cfg| InjectionSequence::new(cfg, config.obfuscation_seed));
-        let mapping = config
-            .mapping
-            .instantiate_with(device_config.organization, config.channel_interleave);
+        let mapping = config.mapping.instantiate_full(
+            device_config.organization,
+            config.channel_interleave,
+            config.rank_interleave,
+        );
         let scheduler = FrFcfsScheduler::new(config.frfcfs_cap);
         let next_refresh = timing.t_refi;
         Self {

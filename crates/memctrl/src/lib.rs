@@ -37,7 +37,7 @@ pub mod stats;
 
 pub use controller::{ControllerConfig, MemoryController, PagePolicy};
 pub use mapping::{
-    AddressMapping, BankStripedMapping, ChannelInterleave, MappingKind, MopMapping,
+    AddressMapping, BankStripedMapping, ChannelInterleave, MappingKind, MopMapping, RankInterleave,
     RowInterleavedMapping,
 };
 pub use request::{CompletedRequest, MemoryRequest, RequestKind};

@@ -106,6 +106,46 @@ impl ChannelInterleave {
     }
 }
 
+/// Where the rank bits sit inside each mapping's within-channel layout.
+///
+/// * [`RankInterleave::Interleaved`] (default) keeps the rank bits in each
+///   mapping's native mid-order slot — bit-identical to the layouts before
+///   the knob existed, so every existing golden and cache key is preserved.
+/// * [`RankInterleave::Consolidated`] moves the rank bits to the most
+///   significant position: each rank owns one contiguous half (quarter, …)
+///   of the channel's address space, so streaming traffic stays on one
+///   rank and rank-level parallelism comes only from explicit placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RankInterleave {
+    /// Rank bits in the mapping's native mid-order position (the seed
+    /// layout).
+    #[default]
+    Interleaved,
+    /// Rank bits most-significant: contiguous per-rank address regions.
+    Consolidated,
+}
+
+impl RankInterleave {
+    /// Stable CLI / config spelling.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RankInterleave::Interleaved => "interleaved",
+            RankInterleave::Consolidated => "consolidated",
+        }
+    }
+
+    /// Parses a CLI spelling (`"interleaved"` / `"consolidated"`).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "interleaved" => Some(RankInterleave::Interleaved),
+            "consolidated" => Some(RankInterleave::Consolidated),
+            _ => None,
+        }
+    }
+}
+
 /// Selector for the provided mapping policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum MappingKind {
@@ -134,14 +174,34 @@ impl MappingKind {
         org: DramOrganization,
         interleave: ChannelInterleave,
     ) -> Box<dyn AddressMapping> {
+        self.instantiate_full(org, interleave, RankInterleave::default())
+    }
+
+    /// Instantiates the mapping for `org` with explicit channel- and
+    /// rank-interleave granularities.
+    #[must_use]
+    pub fn instantiate_full(
+        self,
+        org: DramOrganization,
+        interleave: ChannelInterleave,
+        rank_interleave: RankInterleave,
+    ) -> Box<dyn AddressMapping> {
         match self {
-            MappingKind::Mop => Box::new(MopMapping::new(org).with_interleave(interleave)),
-            MappingKind::BankStriped => {
-                Box::new(BankStripedMapping::new(org).with_interleave(interleave))
-            }
-            MappingKind::RowInterleaved => {
-                Box::new(RowInterleavedMapping::new(org).with_interleave(interleave))
-            }
+            MappingKind::Mop => Box::new(
+                MopMapping::new(org)
+                    .with_interleave(interleave)
+                    .with_rank_interleave(rank_interleave),
+            ),
+            MappingKind::BankStriped => Box::new(
+                BankStripedMapping::new(org)
+                    .with_interleave(interleave)
+                    .with_rank_interleave(rank_interleave),
+            ),
+            MappingKind::RowInterleaved => Box::new(
+                RowInterleavedMapping::new(org)
+                    .with_interleave(interleave)
+                    .with_rank_interleave(rank_interleave),
+            ),
         }
     }
 }
@@ -245,6 +305,7 @@ pub struct MopMapping {
     org: DramOrganization,
     mop_run: u32,
     interleave: ChannelInterleave,
+    rank_interleave: RankInterleave,
 }
 
 impl MopMapping {
@@ -261,6 +322,7 @@ impl MopMapping {
             org,
             mop_run,
             interleave: ChannelInterleave::default(),
+            rank_interleave: RankInterleave::default(),
         }
     }
 
@@ -271,17 +333,27 @@ impl MopMapping {
         self
     }
 
+    /// Replaces the rank-interleave position (builder-style).
+    #[must_use]
+    pub fn with_rank_interleave(mut self, rank_interleave: RankInterleave) -> Self {
+        self.rank_interleave = rank_interleave;
+        self
+    }
+
+    /// Field widths low → high.  Interleaved:
+    /// `[col_low, bg, bank, rank, col_high, row]`; consolidated moves the
+    /// rank width to the top: `[col_low, bg, bank, col_high, row, rank]`.
     fn widths(&self) -> [u32; 6] {
         let col_low = log2(self.mop_run);
         let col_high = log2(self.org.columns_per_row) - col_low;
-        [
-            col_low,
-            log2(self.org.bank_groups),
-            log2(self.org.banks_per_group),
-            log2(self.org.ranks),
-            col_high,
-            log2(self.org.rows_per_bank),
-        ]
+        let bg = log2(self.org.bank_groups);
+        let bank = log2(self.org.banks_per_group);
+        let rank = log2(self.org.ranks);
+        let row = log2(self.org.rows_per_bank);
+        match self.rank_interleave {
+            RankInterleave::Interleaved => [col_low, bg, bank, rank, col_high, row],
+            RankInterleave::Consolidated => [col_low, bg, bank, col_high, row, rank],
+        }
     }
 }
 
@@ -301,13 +373,17 @@ impl AddressMapping for MopMapping {
         let (channel, inner) = split_channel(line, &self.org, self.interleave);
         let widths = self.widths();
         let f = extract_fields(inner, &widths);
-        let column = f[0] | (f[4] << log2(self.mop_run));
+        let (rank, col_high, row) = match self.rank_interleave {
+            RankInterleave::Interleaved => (f[3], f[4], f[5]),
+            RankInterleave::Consolidated => (f[5], f[3], f[4]),
+        };
+        let column = f[0] | (col_high << log2(self.mop_run));
         DramAddress {
             channel,
-            rank: f[3],
+            rank,
             bank_group: f[1],
             bank: f[2],
-            row: f[5],
+            row,
             column,
         }
     }
@@ -321,14 +397,24 @@ impl AddressMapping for MopMapping {
         let col_low_bits = log2(self.mop_run);
         let col_low = address.column & (self.mop_run - 1);
         let col_high = address.column >> col_low_bits;
-        let fields = [
-            col_low,
-            address.bank_group,
-            address.bank,
-            address.rank,
-            col_high,
-            address.row,
-        ];
+        let fields = match self.rank_interleave {
+            RankInterleave::Interleaved => [
+                col_low,
+                address.bank_group,
+                address.bank,
+                address.rank,
+                col_high,
+                address.row,
+            ],
+            RankInterleave::Consolidated => [
+                col_low,
+                address.bank_group,
+                address.bank,
+                col_high,
+                address.row,
+                address.rank,
+            ],
+        };
         let inner = pack_fields(&fields, &widths);
         join_channel(address.channel, inner, &self.org, self.interleave)
             * u64::from(self.org.column_bytes)
@@ -350,6 +436,7 @@ impl AddressMapping for MopMapping {
 pub struct BankStripedMapping {
     org: DramOrganization,
     interleave: ChannelInterleave,
+    rank_interleave: RankInterleave,
 }
 
 impl BankStripedMapping {
@@ -364,6 +451,7 @@ impl BankStripedMapping {
         Self {
             org,
             interleave: ChannelInterleave::default(),
+            rank_interleave: RankInterleave::default(),
         }
     }
 
@@ -374,14 +462,25 @@ impl BankStripedMapping {
         self
     }
 
+    /// Replaces the rank-interleave position (builder-style).
+    #[must_use]
+    pub fn with_rank_interleave(mut self, rank_interleave: RankInterleave) -> Self {
+        self.rank_interleave = rank_interleave;
+        self
+    }
+
+    /// Interleaved: `[bg, bank, rank, col, row]`; consolidated:
+    /// `[bg, bank, col, row, rank]`.
     fn widths(&self) -> [u32; 5] {
-        [
-            log2(self.org.bank_groups),
-            log2(self.org.banks_per_group),
-            log2(self.org.ranks),
-            log2(self.org.columns_per_row),
-            log2(self.org.rows_per_bank),
-        ]
+        let bg = log2(self.org.bank_groups);
+        let bank = log2(self.org.banks_per_group);
+        let rank = log2(self.org.ranks);
+        let col = log2(self.org.columns_per_row);
+        let row = log2(self.org.rows_per_bank);
+        match self.rank_interleave {
+            RankInterleave::Interleaved => [bg, bank, rank, col, row],
+            RankInterleave::Consolidated => [bg, bank, col, row, rank],
+        }
     }
 }
 
@@ -394,13 +493,17 @@ impl AddressMapping for BankStripedMapping {
         let line = subsystem_line(&self.org, physical_address);
         let (channel, inner) = split_channel(line, &self.org, self.interleave);
         let f = extract_fields(inner, &self.widths());
+        let (rank, column, row) = match self.rank_interleave {
+            RankInterleave::Interleaved => (f[2], f[3], f[4]),
+            RankInterleave::Consolidated => (f[4], f[2], f[3]),
+        };
         DramAddress {
             channel,
             bank_group: f[0],
             bank: f[1],
-            rank: f[2],
-            column: f[3],
-            row: f[4],
+            rank,
+            column,
+            row,
         }
     }
 
@@ -409,13 +512,22 @@ impl AddressMapping for BankStripedMapping {
     }
 
     fn encode(&self, address: &DramAddress) -> u64 {
-        let fields = [
-            address.bank_group,
-            address.bank,
-            address.rank,
-            address.column,
-            address.row,
-        ];
+        let fields = match self.rank_interleave {
+            RankInterleave::Interleaved => [
+                address.bank_group,
+                address.bank,
+                address.rank,
+                address.column,
+                address.row,
+            ],
+            RankInterleave::Consolidated => [
+                address.bank_group,
+                address.bank,
+                address.column,
+                address.row,
+                address.rank,
+            ],
+        };
         let inner = pack_fields(&fields, &self.widths());
         join_channel(address.channel, inner, &self.org, self.interleave)
             * u64::from(self.org.column_bytes)
@@ -432,6 +544,7 @@ impl AddressMapping for BankStripedMapping {
 pub struct RowInterleavedMapping {
     org: DramOrganization,
     interleave: ChannelInterleave,
+    rank_interleave: RankInterleave,
 }
 
 impl RowInterleavedMapping {
@@ -446,6 +559,7 @@ impl RowInterleavedMapping {
         Self {
             org,
             interleave: ChannelInterleave::default(),
+            rank_interleave: RankInterleave::default(),
         }
     }
 
@@ -456,14 +570,25 @@ impl RowInterleavedMapping {
         self
     }
 
+    /// Replaces the rank-interleave position (builder-style).
+    #[must_use]
+    pub fn with_rank_interleave(mut self, rank_interleave: RankInterleave) -> Self {
+        self.rank_interleave = rank_interleave;
+        self
+    }
+
+    /// Interleaved: `[col, bank, bg, rank, row]`; consolidated:
+    /// `[col, bank, bg, row, rank]`.
     fn widths(&self) -> [u32; 5] {
-        [
-            log2(self.org.columns_per_row),
-            log2(self.org.banks_per_group),
-            log2(self.org.bank_groups),
-            log2(self.org.ranks),
-            log2(self.org.rows_per_bank),
-        ]
+        let col = log2(self.org.columns_per_row);
+        let bank = log2(self.org.banks_per_group);
+        let bg = log2(self.org.bank_groups);
+        let rank = log2(self.org.ranks);
+        let row = log2(self.org.rows_per_bank);
+        match self.rank_interleave {
+            RankInterleave::Interleaved => [col, bank, bg, rank, row],
+            RankInterleave::Consolidated => [col, bank, bg, row, rank],
+        }
     }
 }
 
@@ -476,13 +601,17 @@ impl AddressMapping for RowInterleavedMapping {
         let line = subsystem_line(&self.org, physical_address);
         let (channel, inner) = split_channel(line, &self.org, self.interleave);
         let f = extract_fields(inner, &self.widths());
+        let (rank, row) = match self.rank_interleave {
+            RankInterleave::Interleaved => (f[3], f[4]),
+            RankInterleave::Consolidated => (f[4], f[3]),
+        };
         DramAddress {
             channel,
             column: f[0],
             bank: f[1],
             bank_group: f[2],
-            rank: f[3],
-            row: f[4],
+            rank,
+            row,
         }
     }
 
@@ -491,13 +620,22 @@ impl AddressMapping for RowInterleavedMapping {
     }
 
     fn encode(&self, address: &DramAddress) -> u64 {
-        let fields = [
-            address.column,
-            address.bank,
-            address.bank_group,
-            address.rank,
-            address.row,
-        ];
+        let fields = match self.rank_interleave {
+            RankInterleave::Interleaved => [
+                address.column,
+                address.bank,
+                address.bank_group,
+                address.rank,
+                address.row,
+            ],
+            RankInterleave::Consolidated => [
+                address.column,
+                address.bank,
+                address.bank_group,
+                address.row,
+                address.rank,
+            ],
+        };
         let inner = pack_fields(&fields, &self.widths());
         join_channel(address.channel, inner, &self.org, self.interleave)
             * u64::from(self.org.column_bytes)
@@ -708,6 +846,61 @@ mod tests {
     }
 
     #[test]
+    fn rank_interleave_labels_round_trip() {
+        for interleave in [RankInterleave::Interleaved, RankInterleave::Consolidated] {
+            assert_eq!(RankInterleave::parse(interleave.label()), Some(interleave));
+        }
+        assert_eq!(RankInterleave::parse("diagonal"), None);
+        assert_eq!(RankInterleave::default(), RankInterleave::Interleaved);
+    }
+
+    #[test]
+    fn consolidated_rank_bits_partition_the_address_space() {
+        // With rank bits most-significant, each rank owns one contiguous
+        // half of a 2-rank channel's address space.
+        let o = org().with_ranks(2);
+        let lines = o.capacity_bytes() / u64::from(o.column_bytes);
+        for kind in [
+            MappingKind::Mop,
+            MappingKind::BankStriped,
+            MappingKind::RowInterleaved,
+        ] {
+            let m = kind.instantiate_full(
+                o,
+                ChannelInterleave::CacheLine,
+                RankInterleave::Consolidated,
+            );
+            for probe in [0, 64, lines / 4] {
+                assert_eq!(m.decode(probe * 64).rank, 0, "{kind:?} low half");
+                assert_eq!(
+                    m.decode((lines / 2 + probe) * 64).rank,
+                    1,
+                    "{kind:?} high half"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_rank_interleave_matches_the_seed_layout() {
+        // `instantiate_with` (no rank knob) and `instantiate_full` with the
+        // default must decode identically — the bit-identity the goldens pin.
+        let o = org();
+        for kind in [
+            MappingKind::Mop,
+            MappingKind::BankStriped,
+            MappingKind::RowInterleaved,
+        ] {
+            let seed = kind.instantiate_with(o, ChannelInterleave::CacheLine);
+            let full =
+                kind.instantiate_full(o, ChannelInterleave::CacheLine, RankInterleave::Interleaved);
+            for pa in [0u64, 64, 4096, 1 << 20, (1 << 30) + 64 * 7] {
+                assert_eq!(seed.decode(pa), full.decode(pa), "{kind:?} at {pa:#x}");
+            }
+        }
+    }
+
+    #[test]
     fn multi_channel_decode_stays_within_bounds() {
         let o = org().with_channels(2);
         for kind in [
@@ -808,6 +1001,70 @@ mod proptests {
             prop_assume!(a != b);
             let o = org().with_channels(4);
             let m = BankStripedMapping::new(o).with_interleave(ChannelInterleave::Row);
+            prop_assert_ne!(m.decode(a * 64), m.decode(b * 64));
+        }
+
+        /// Ranks {1,2} × every mapping × both channel interleaves × both
+        /// rank interleaves × channels {1,2,4}: decoded coordinates stay in
+        /// bounds and encode/decode is the identity.
+        #[test]
+        fn rank_aware_bijective(
+            line in 0u64..(1u64 << 31),
+            channels_log2 in 0u32..3,
+            ranks_log2 in 0u32..2,
+            kind_index in 0usize..3,
+            channel_interleave in 0u32..2,
+            rank_interleave in 0u32..2,
+        ) {
+            let o = org()
+                .with_channels(1 << channels_log2)
+                .with_ranks(1 << ranks_log2);
+            let kind = [
+                MappingKind::Mop,
+                MappingKind::BankStriped,
+                MappingKind::RowInterleaved,
+            ][kind_index];
+            let ci = if channel_interleave == 1 {
+                ChannelInterleave::Row
+            } else {
+                ChannelInterleave::CacheLine
+            };
+            let ri = if rank_interleave == 1 {
+                RankInterleave::Consolidated
+            } else {
+                RankInterleave::Interleaved
+            };
+            let m = kind.instantiate_full(o, ci, ri);
+            // Keep the probe inside the (rank-dependent) capacity so the
+            // round trip is exact rather than modulo-wrapped.
+            let lines = o.capacity_bytes() / u64::from(o.column_bytes);
+            let pa = (line % lines) * u64::from(o.column_bytes);
+            let d = m.decode(pa);
+            prop_assert!(d.channel < o.channels);
+            prop_assert!(d.rank < o.ranks);
+            prop_assert!(d.bank_group < o.bank_groups);
+            prop_assert!(d.bank < o.banks_per_group);
+            prop_assert!(d.row < o.rows_per_bank);
+            prop_assert!(d.column < o.columns_per_row);
+            prop_assert_eq!(m.encode(&d), pa);
+        }
+
+        /// Rank bits really partition the line space under both rank
+        /// interleaves: distinct lines stay distinct after decode.
+        #[test]
+        fn rank_aware_decode_is_injective(
+            a in 0u64..(1u64 << 26),
+            b in 0u64..(1u64 << 26),
+            rank_interleave in 0u32..2,
+        ) {
+            prop_assume!(a != b);
+            let o = org().with_ranks(2);
+            let ri = if rank_interleave == 1 {
+                RankInterleave::Consolidated
+            } else {
+                RankInterleave::Interleaved
+            };
+            let m = MappingKind::Mop.instantiate_full(o, ChannelInterleave::CacheLine, ri);
             prop_assert_ne!(m.decode(a * 64), m.decode(b * 64));
         }
     }

@@ -16,6 +16,7 @@
 use cpu_sim::config::CpuConfig;
 use cpu_sim::trace::{Trace, TraceOp};
 use dram_sim::device::DramDeviceConfig;
+use dram_sim::profile::DeviceProfile;
 use memctrl::controller::ControllerConfig;
 use prac_core::config::{MitigationPolicy, PracConfig, PracLevel};
 use prac_core::error::{ConfigError, Result};
@@ -342,6 +343,16 @@ pub struct ExperimentConfig {
     pub cores: u32,
     /// Number of memory channels (1 reproduces the paper's Table 3 system).
     pub channels: u32,
+    /// Rank-count override for the DRAM organisation.  `0` keeps the
+    /// organisation's own rank count (the paper's Table 3 system); any other
+    /// value must be a power of two, enforced by
+    /// [`ExperimentConfig::build_system_config`].
+    pub ranks: u32,
+    /// Named device timing profile.  [`DeviceProfile::JedecBaseline`] keeps
+    /// the DDR5-8000B timing set bit-identical to the seed; the vendor
+    /// profiles swap in their own tRFC/RFM cadence, rank-level knobs and
+    /// on-die ECC model.
+    pub profile: DeviceProfile,
     /// Optional adversarial co-runner: when set, one extra core runs the
     /// attack pattern's access stream (encoded through the configured
     /// address mapping) alongside the benign workload copies, so the run
@@ -382,6 +393,8 @@ impl ExperimentConfig {
             instructions_per_core,
             cores: 4,
             channels: 1,
+            ranks: 0,
+            profile: DeviceProfile::JedecBaseline,
             attack: None,
             engine: EngineKind::default(),
             sim_threads: 1,
@@ -434,6 +447,24 @@ impl ExperimentConfig {
         self
     }
 
+    /// Overrides the rank count of the DRAM organisation (`0` keeps the
+    /// organisation's default).  Non-zero values must be a power of two;
+    /// [`ExperimentConfig::build_system_config`] reports a violation as a
+    /// [`ConfigError::InvalidParameter`] with the same wording as the
+    /// channel-count check.
+    #[must_use]
+    pub fn with_ranks(mut self, ranks: u32) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Selects the named device timing profile.
+    #[must_use]
+    pub fn with_profile(mut self, profile: DeviceProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Adds (or clears) the adversarial co-runner.
     #[must_use]
     pub fn with_attack(mut self, attack: Option<AttackKind>) -> Self {
@@ -448,17 +479,35 @@ impl ExperimentConfig {
     ///
     /// Propagates [`MitigationSetup::resolve`] failures (e.g. no safe
     /// TB-Window for the requested threshold) instead of silently running a
-    /// different configuration, and rejects a channel count that is zero or
-    /// not a power of two (the address mappings require power-of-two
-    /// dimensions).
+    /// different configuration, rejects channel or rank counts that are zero
+    /// or not a power of two (the address mappings require power-of-two
+    /// dimensions), and rejects a PRAC level the selected device profile
+    /// does not implement.
     pub fn build_system_config(&self) -> Result<SystemConfig> {
-        if self.channels == 0 || !self.channels.is_power_of_two() {
+        require_power_of_two("channels", self.channels)?;
+        if self.ranks != 0 {
+            require_power_of_two("ranks", self.ranks)?;
+        }
+        if !self.profile.supports_prac_level(self.prac_level) {
             return Err(ConfigError::InvalidParameter {
-                name: "channels",
-                reason: format!("must be a power of two, got {}", self.channels),
+                name: "prac_level",
+                reason: format!(
+                    "device profile `{}` does not implement PRAC-{}",
+                    self.profile.slug(),
+                    self.prac_level.rfms_per_alert()
+                ),
             });
         }
-        let timing = DramTimingSummary::ddr5_8000b();
+        // The JEDEC baseline keeps the exact seed summary (its ns constants
+        // are authored directly, not derived from ticks), so the default
+        // path stays bit-identical; vendor profiles derive theirs from the
+        // profile's tick-level timing set.
+        let timing = if self.profile == DeviceProfile::JedecBaseline {
+            DramTimingSummary::ddr5_8000b()
+        } else {
+            let organization = DramDeviceConfig::paper_default().organization;
+            self.profile.timing().summary(organization.rows_per_bank)
+        };
         let resolved = self.setup.resolve(self.rowhammer_threshold, &timing)?;
         let prac = PracConfig::builder()
             .rowhammer_threshold(self.rowhammer_threshold)
@@ -472,7 +521,11 @@ impl ExperimentConfig {
             tref_every_n_refreshes: resolved.tref_every_n_refreshes,
             ..DramDeviceConfig::paper_default()
         };
+        device.timing = self.profile.timing();
         device.organization = device.organization.with_channels(self.channels);
+        if self.ranks > 0 {
+            device.organization = device.organization.with_ranks(self.ranks);
+        }
         let mut cpu = CpuConfig::paper_default();
         // The adversarial co-runner occupies one extra core slot, so the
         // benign workload keeps its configured core count.
@@ -495,6 +548,19 @@ impl ExperimentConfig {
             sim_threads: self.sim_threads,
         })
     }
+}
+
+/// Shared validation for the power-of-two topology dimensions (`channels`,
+/// `ranks`): the CLI surfaces this `reason` verbatim, so both knobs reject
+/// bad values with identical wording that names the accepted range.
+fn require_power_of_two(name: &'static str, value: u32) -> Result<()> {
+    if value == 0 || !value.is_power_of_two() {
+        return Err(ConfigError::InvalidParameter {
+            name,
+            reason: format!("must be a power of two (1, 2, 4, ...), got {value}"),
+        });
+    }
+    Ok(())
 }
 
 /// Runs `workload` (one copy per core) under the given experiment
@@ -559,10 +625,11 @@ pub fn workload_traces(
 /// `pracleak::adversary` instead.
 fn attacker_trace(attack: &AttackKind, system: &SystemConfig, seed: u64) -> Trace {
     let org = system.device.organization;
-    let mapping = system
-        .controller
-        .mapping
-        .instantiate_with(org, system.controller.channel_interleave);
+    let mapping = system.controller.mapping.instantiate_full(
+        org,
+        system.controller.channel_interleave,
+        system.controller.rank_interleave,
+    );
     let mut pattern = attack.build(&org, system.device.timing.t_refi, seed);
     let mut now = 0u64;
     let ops = (0..system.instructions_per_core.div_ceil(2))
@@ -721,6 +788,116 @@ mod tests {
                 ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_channels(channels);
             assert_eq!(config.build_system_config().unwrap().channels(), channels);
         }
+    }
+
+    #[test]
+    fn invalid_rank_counts_are_rejected_with_the_channel_wording() {
+        for ranks in [3u32, 6, 12] {
+            let config = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_ranks(ranks);
+            let err = config.build_system_config().unwrap_err();
+            match err {
+                ConfigError::InvalidParameter { name, reason } => {
+                    assert_eq!(name, "ranks");
+                    assert_eq!(
+                        reason,
+                        format!("must be a power of two (1, 2, 4, ...), got {ranks}")
+                    );
+                }
+                other => panic!("ranks = {ranks}: unexpected error {other:?}"),
+            }
+        }
+        // The channel check uses the identical wording (same helper).
+        let err = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR)
+            .with_channels(3)
+            .build_system_config()
+            .unwrap_err();
+        match err {
+            ConfigError::InvalidParameter { name, reason } => {
+                assert_eq!(name, "channels");
+                assert_eq!(reason, "must be a power of two (1, 2, 4, ...), got 3");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // `0` means "no override" and powers of two are applied verbatim.
+        let default_org = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR)
+            .build_system_config()
+            .unwrap()
+            .device
+            .organization;
+        for ranks in [1u32, 2, 8] {
+            let config = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_ranks(ranks);
+            let org = config.build_system_config().unwrap().device.organization;
+            assert_eq!(org.ranks, ranks);
+        }
+        assert_eq!(
+            ExperimentConfig::new(MitigationSetup::AboOnly, INSTR)
+                .with_ranks(0)
+                .build_system_config()
+                .unwrap()
+                .device
+                .organization,
+            default_org
+        );
+    }
+
+    #[test]
+    fn jedec_baseline_profile_is_the_identity() {
+        // The default profile must not perturb the system configuration at
+        // all: the 1-rank/default path stays bit-identical to the seed.
+        let plain = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR);
+        let pinned = plain.clone().with_profile(DeviceProfile::JedecBaseline);
+        assert_eq!(
+            plain.build_system_config().unwrap(),
+            pinned.build_system_config().unwrap()
+        );
+    }
+
+    #[test]
+    fn vendor_profiles_change_the_device_timing() {
+        for profile in [DeviceProfile::VendorA, DeviceProfile::VendorB] {
+            let config =
+                ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_profile(profile);
+            let system = config.build_system_config().unwrap();
+            assert_eq!(system.device.timing, profile.timing());
+            assert_ne!(
+                system.device.timing,
+                dram_sim::timing::DramTimingParams::ddr5_8000b()
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_prac_levels_are_rejected_per_profile() {
+        // Vendor A tops out at PRAC-2.
+        let config = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR)
+            .with_profile(DeviceProfile::VendorA)
+            .with_prac_level(PracLevel::Four);
+        let err = config.build_system_config().unwrap_err();
+        match err {
+            ConfigError::InvalidParameter { name, reason } => {
+                assert_eq!(name, "prac_level");
+                assert!(reason.contains("vendor-a"), "{reason}");
+                assert!(reason.contains("PRAC-4"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Every registered profile accepts the paper's PRAC-1 default.
+        for profile in DeviceProfile::registry() {
+            let config =
+                ExperimentConfig::new(MitigationSetup::AboOnly, INSTR).with_profile(profile);
+            assert!(config.build_system_config().is_ok(), "{}", profile.slug());
+        }
+    }
+
+    #[test]
+    fn two_rank_runs_complete_and_stay_deterministic() {
+        let config = ExperimentConfig::new(MitigationSetup::AboOnly, INSTR)
+            .with_cores(2)
+            .with_ranks(2);
+        let a = run_workload(&config, &high_intensity_workload(), 9).unwrap();
+        let b = run_workload(&config, &high_intensity_workload(), 9).unwrap();
+        assert!(a.completed);
+        assert_eq!(a, b, "2-rank runs must replay bit-for-bit");
     }
 
     #[test]

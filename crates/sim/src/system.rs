@@ -38,7 +38,7 @@ const SLOT_FORWARDING: usize = 1;
 const CHANNEL_SLOT_BASE: usize = 2;
 
 /// Configuration of one full-system run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// CPU and cache-hierarchy configuration.
     pub cpu: CpuConfig,

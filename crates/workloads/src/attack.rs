@@ -65,6 +65,25 @@ pub fn line_slots(footprint: u64, line_bytes: u64) -> u64 {
     strided_slots(footprint, line_bytes)
 }
 
+/// Number of data bits in one DRAM row of `org` — the field the on-die ECC
+/// adjudication distributes post-breach bit flips over.
+#[must_use]
+pub fn row_bits(org: &DramOrganization) -> u64 {
+    u64::from(org.columns_per_row) * u64::from(org.column_bytes) * 8
+}
+
+/// Number of distinct ranks an attack's hot rows pressure.  The built-in
+/// placements concentrate on rank 0, so this is 1 today, but rank-aware
+/// harness metrics (ECC adjudication per rank, coverage under consolidated
+/// rank interleaving) must not bake that assumption in.
+#[must_use]
+pub fn hot_rank_span(hot_rows: &[DramAddress]) -> u32 {
+    let mut ranks: Vec<u32> = hot_rows.iter().map(|address| address.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    u32::try_from(ranks.len()).expect("rank count fits in u32")
+}
+
 /// One access an attack pattern wants to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttackAccess {
@@ -738,6 +757,29 @@ mod tests {
     }
 
     const T_REFI: u64 = 15_600;
+
+    #[test]
+    fn row_bits_and_rank_span_describe_the_hot_row_field() {
+        // The paper organisation: 128 columns × 64 B = 8 KiB rows.
+        assert_eq!(row_bits(&org()), 128 * 64 * 8);
+        // Every built-in placement concentrates on rank 0 regardless of the
+        // organisation's rank count.
+        for descriptor in attack_registry() {
+            let pattern = descriptor.kind.build(&org(), T_REFI, 1);
+            let hot = pattern.hot_rows();
+            assert_eq!(hot_rank_span(&hot), 1, "{}", descriptor.slug);
+        }
+        // A synthetic multi-rank spread is counted without double-counting.
+        let o = org();
+        let spread = [
+            DramAddress::new(&o, 0, 0, 0, 1, 0),
+            DramAddress::new(&o, 1, 0, 0, 1, 0),
+            DramAddress::new(&o, 1, 1, 0, 2, 0),
+            DramAddress::new(&o, 3, 0, 1, 3, 0),
+        ];
+        assert_eq!(hot_rank_span(&spread), 3);
+        assert_eq!(hot_rank_span(&[]), 0);
+    }
 
     #[test]
     fn registry_slugs_and_labels_are_unique_and_described() {

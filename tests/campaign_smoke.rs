@@ -31,6 +31,8 @@ fn tiny_campaign() -> Campaign {
             instructions_per_core: 3_000,
             cores: 1,
             channels: 1,
+            ranks: 0,
+            profile: dram_sim::DeviceProfile::JedecBaseline,
             attack: None,
             seed: 42,
         })),

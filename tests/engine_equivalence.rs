@@ -439,6 +439,50 @@ fn thread_count_race_survives_an_adversarial_corunner() {
     }
 }
 
+/// The rank race: a multi-rank device adds per-rank tFAW windows and
+/// staggered refresh to both engines' timing paths, so every registered
+/// mitigation on a 1- and 2-rank subsystem must stay **bit-for-bit
+/// identical** tick-vs-event AND across `--sim-threads {1, 4}` — rank bits
+/// land inside each channel, so the sharded merge must not reorder
+/// rank-interleaved traffic.
+#[test]
+fn engines_agree_across_rank_counts() {
+    let workloads = representative_workloads();
+    let memory_bound = &workloads[0];
+    assert_eq!(memory_bound.intensity, workloads::MemoryIntensity::High);
+    for setup in all_setups() {
+        for ranks in [1u32, 2] {
+            let seed = 0xD1FF ^ u64::from(ranks);
+            let run = |engine: EngineKind, sim_threads: usize| {
+                let config = ExperimentConfig::new(setup.clone(), 4_000)
+                    .with_cores(2)
+                    .with_channels(2)
+                    .with_ranks(ranks)
+                    .with_engine(engine)
+                    .with_sim_threads(sim_threads);
+                run_workload(&config, &memory_bound.workload, seed)
+                    .expect("registered setups resolve at NRH 1024")
+            };
+            let ticked = run(EngineKind::Tick, 1);
+            let evented = run(EngineKind::Event, 1);
+            assert_eq!(
+                ticked,
+                evented,
+                "engines diverged at {ranks} rank(s): setup {:?}",
+                setup.label()
+            );
+            let sharded = run(EngineKind::Event, 4);
+            assert_eq!(
+                evented,
+                sharded,
+                "sim-threads 4 diverged at {ranks} rank(s): setup {:?}",
+                setup.label()
+            );
+            assert!(ticked.completed, "rank race run hit the tick cap");
+        }
+    }
+}
+
 /// The full quick suite under every setup, at the quick campaign budget,
 /// on both the single-channel and a four-channel subsystem.
 /// Heavy: meant for the release-mode CI job
